@@ -1,0 +1,28 @@
+.PHONY: all build test bench examples doc clean fuzz
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	@for e in quickstart penguin loan colors kb_versioning legal deductive_db paper_tour; do \
+	  echo "== examples/$$e =="; dune exec examples/$$e.exe; done
+
+doc:  # requires odoc
+	dune build @doc
+
+# Re-run the whole suite under several qcheck seeds.
+fuzz:
+	@for i in 1 2 3 4 5 6 7 8; do \
+	  QCHECK_SEED=$$((i * 7919)) dune exec test/main.exe -- -e \
+	    | tail -1; done
+
+clean:
+	dune clean

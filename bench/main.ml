@@ -1,0 +1,317 @@
+(* Benchmark harness.
+
+   Part 1 regenerates, qualitatively, every figure of the paper (the paper
+   reports no timings, so the "rows" of each figure are the inferences it
+   claims; EXPERIMENTS.md records paper-vs-measured for each).
+
+   Part 2 times the algorithms on scaled synthetic workloads (experiments
+   B1-B9 in DESIGN.md): the two V-fixpoint engines, OV vs EV, naive vs
+   relevance-driven grounding, classical vs ordered stable enumeration,
+   well-founded vs ordered fixpoints, knowledge-base inheritance depth,
+   goal-directed proof vs materialisation, incremental maintenance vs
+   recomputation, and magic sets vs full bottom-up evaluation. *)
+
+open Bechamel
+open Toolkit
+module W = Workloads
+
+let lit = Lang.Parser.parse_literal
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: qualitative regeneration of the paper's figures             *)
+(* ------------------------------------------------------------------ *)
+
+let show_value prog comp q =
+  let g = W.ground_at prog comp in
+  let m = Ordered.Vfix.least_model g in
+  Format.printf "  %-28s %a@." q Logic.Interp.pp_value
+    (Logic.Interp.value_lit m (lit q))
+
+let regenerate_figures () =
+  Format.printf "== Figure 1 (P1, overruling): view from c1 ==@.";
+  let p1 = Ordered.Program.parse_exn W.fig1_src in
+  List.iter
+    (show_value p1 "c1")
+    [ "fly(pigeon)"; "fly(penguin)"; "ground_animal(penguin)";
+      "ground_animal(pigeon)"
+    ];
+  Format.printf "== Figure 2 (P2, defeating): view from c1 ==@.";
+  let p2 = Ordered.Program.parse_exn W.fig2_src in
+  List.iter
+    (show_value p2 "c1")
+    [ "rich(mimmo)"; "poor(mimmo)"; "free_ticket(mimmo)" ];
+  Format.printf "== Figure 3 (loan program): take_loan per scenario ==@.";
+  List.iter
+    (fun (label, facts) ->
+      let p = Ordered.Program.parse_exn (W.fig3_src facts) in
+      Format.printf " scenario %s:@." label;
+      show_value p "c1" "take_loan")
+    [ ("1: inflation(12)", "inflation(12).");
+      ("2: inflation(12), loan_rate(16)", "inflation(12). loan_rate(16).");
+      ("3: inflation(19), loan_rate(16)", "inflation(19). loan_rate(16).")
+    ];
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: timed experiments                                           *)
+(* ------------------------------------------------------------------ *)
+
+let vfix_engine ?viewpoint ~engine prog =
+  let comp =
+    match viewpoint with
+    | Some name -> name
+    | None -> Ordered.Program.component_name prog 0
+  in
+  let g = W.ground_at prog comp in
+  Staged.stage (fun () -> ignore (Ordered.Vfix.least_model ~engine g))
+
+(* B1: incremental vs naive V over suppression chains. *)
+let bench_vfix =
+  let sizes = [ 50; 200; 800 ] in
+  Test.make_grouped ~name:"vfix"
+    [ Test.make_indexed ~name:"incremental" ~args:sizes (fun n ->
+          vfix_engine ~engine:`Incremental (W.chain n));
+      Test.make_indexed ~name:"naive" ~args:sizes (fun n ->
+          vfix_engine ~engine:`Naive (W.chain n))
+    ]
+
+(* B1b: overruling towers (inheritance depth of the core engine). *)
+let bench_tower =
+  Test.make_indexed ~name:"vfix/tower" ~args:[ 8; 32; 128 ] (fun d ->
+      (* view from the most specific component, which sees all d layers *)
+      vfix_engine ~viewpoint:(Printf.sprintf "c%d" (d - 1))
+        ~engine:`Incremental (W.tower d))
+
+(* B2: OV vs EV end-to-end (ground + solve) on ancestor chains. *)
+let bench_ov_ev =
+  let sizes = [ 8; 16; 32 ] in
+  let solve build n =
+    Staged.stage (fun () ->
+        let g = build (W.ancestor_rules n) in
+        ignore (Ordered.Vfix.least_model g))
+  in
+  Test.make_grouped ~name:"ov_ev"
+    [ Test.make_indexed ~name:"ov" ~args:sizes
+        (solve (fun rs -> Ordered.Bridge.ground_ov ~grounder:`Relevant rs));
+      Test.make_indexed ~name:"ev" ~args:sizes
+        (solve (fun rs -> Ordered.Bridge.ground_ev ~grounder:`Relevant rs))
+    ]
+
+(* B4: naive vs relevance-driven grounding on ancestor chains. *)
+let bench_grounding =
+  let sizes = [ 8; 16; 32 ] in
+  Test.make_grouped ~name:"ground"
+    [ Test.make_indexed ~name:"naive" ~args:sizes (fun n ->
+          let rs = W.ancestor_rules n in
+          Staged.stage (fun () -> ignore (Ground.Grounder.naive rs)));
+      Test.make_indexed ~name:"relevant" ~args:sizes (fun n ->
+          let rs = W.ancestor_rules n in
+          Staged.stage (fun () -> ignore (Ground.Grounder.relevant rs)))
+    ]
+
+(* B3: stable-model enumeration — classical GL solver vs the ordered
+   enumeration over OV(C) — on k independent even loops (2^k models). *)
+let bench_stable =
+  let sizes = [ 1; 2 ] in
+  Test.make_grouped ~name:"stable"
+    [ Test.make_indexed ~name:"datalog_gl" ~args:(sizes @ [ 6 ]) (fun k ->
+          let np = Datalog.Nprog.of_rules (W.even_loops k) in
+          Staged.stage (fun () -> ignore (Datalog.Stable.enumerate np)));
+      Test.make_indexed ~name:"ordered_ov" ~args:sizes (fun k ->
+          let g = Ordered.Bridge.ground_ov (W.even_loops k) in
+          Staged.stage (fun () -> ignore (Ordered.Stable.stable_models g)))
+    ]
+
+(* B6: well-founded alternating fixpoint vs ordered V on win/move. *)
+let bench_wfs =
+  let sizes = [ 32; 128; 512 ] in
+  Test.make_grouped ~name:"wfs"
+    [ Test.make_indexed ~name:"alternating" ~args:sizes (fun n ->
+          let np =
+            Datalog.Nprog.of_rules
+              (Ground.Grounder.relevant ~naf:true (W.win_move n))
+                .Ground.Grounder.rules
+          in
+          Staged.stage (fun () -> ignore (Datalog.Wellfounded.compute np)));
+      Test.make_indexed ~name:"ordered_v" ~args:sizes (fun n ->
+          let g =
+            Ordered.Bridge.ground_ov ~grounder:`Relevant (W.win_move n)
+          in
+          Staged.stage (fun () -> ignore (Ordered.Vfix.lfp g)))
+    ]
+
+(* B7: goal-directed proof vs full materialisation on k disconnected
+   islands — the relevance closure touches one island only. *)
+let bench_prove =
+  let args = [ 4; 16; 64 ] in
+  let goal = lit "i0_a9" in
+  Test.make_grouped ~name:"prove"
+    [ Test.make_indexed ~name:"goal_directed" ~args (fun k ->
+          let g = W.ground_at (W.islands k 10) "main" in
+          Staged.stage (fun () -> ignore (Ordered.Prove.holds g goal)));
+      Test.make_indexed ~name:"materialise" ~args (fun k ->
+          let g = W.ground_at (W.islands k 10) "main" in
+          Staged.stage (fun () ->
+              ignore
+                (Logic.Interp.holds (Ordered.Vfix.least_model g) goal)))
+    ]
+
+(* B8: incremental maintenance (DRed) vs from-scratch recomputation when
+   one edge of an n-node transitive closure flips. *)
+let bench_incremental =
+  let args = [ 16; 48 ] in
+  let setup n =
+    let consts = List.init n (fun i -> Logic.Term.Int i) in
+    let ground =
+      (Ground.Grounder.naive ~extra_constants:consts
+         (Lang.Parser.parse_rules
+            "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."))
+        .Ground.Grounder.rules
+    in
+    let t = Datalog.Incremental.create ground in
+    for i = 0 to n - 2 do
+      Datalog.Incremental.add t
+        (Logic.Atom.make "e" [ Logic.Term.Int i; Logic.Term.Int (i + 1) ])
+    done;
+    t
+  in
+  let mid_edge n =
+    Logic.Atom.make "e" [ Logic.Term.Int (n / 2); Logic.Term.Int ((n / 2) + 1) ]
+  in
+  Test.make_grouped ~name:"incremental"
+    [ Test.make_indexed ~name:"dred_flip" ~args (fun n ->
+          let t = setup n in
+          let e = mid_edge n in
+          Staged.stage (fun () ->
+              Datalog.Incremental.remove t e;
+              Datalog.Incremental.add t e));
+      Test.make_indexed ~name:"recompute_flip" ~args (fun n ->
+          let t = setup n in
+          Staged.stage (fun () -> ignore (Datalog.Incremental.recompute t)))
+    ]
+
+(* B9: magic sets vs full bottom-up evaluation — transitive closure over
+   an n-node chain, queried from a node near the end. *)
+let bench_magic =
+  let args = [ 16; 48 ] in
+  let tc =
+    Lang.Parser.parse_rules "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+  in
+  let prog n =
+    tc
+    @ List.init (n - 1) (fun i ->
+          Logic.Rule.fact
+            (Logic.Literal.pos
+               (Logic.Atom.make "e" [ Logic.Term.Int i; Logic.Term.Int (i + 1) ])))
+  in
+  let query n =
+    Logic.Atom.make "t" [ Logic.Term.Int (n - 4); Logic.Term.Var "Y" ]
+  in
+  Test.make_grouped ~name:"magic"
+    [ Test.make_indexed ~name:"magic_sets" ~args (fun n ->
+          let p = prog n and q = query n in
+          Staged.stage (fun () -> ignore (Datalog.Magic.answers p ~query:q)));
+      Test.make_indexed ~name:"full_bottom_up" ~args (fun n ->
+          let p = prog n in
+          Staged.stage (fun () ->
+              let ground = (Ground.Grounder.relevant ~naf:true p).Ground.Grounder.rules in
+              let np = Datalog.Nprog.of_rules ground in
+              ignore (Datalog.Consequence.lfp np)))
+    ]
+
+(* B5: knowledge-base query vs inheritance depth (ground + solve). *)
+let bench_kb =
+  Test.make_indexed ~name:"kb/depth" ~args:[ 4; 16; 64 ] (fun d ->
+      let prog = W.kb_chain d in
+      let comp = Printf.sprintf "v%d" (d - 1) in
+      Staged.stage (fun () ->
+          let g = W.ground_at prog comp in
+          ignore (Ordered.Vfix.least_model g)))
+
+(* Paper figures, end-to-end (parse + ground + solve). *)
+let bench_figures =
+  let pipeline src comp =
+    Staged.stage (fun () ->
+        let p = Ordered.Program.parse_exn src in
+        ignore (Ordered.Vfix.least_model (W.ground_at p comp)))
+  in
+  Test.make_grouped ~name:"figures"
+    [ Test.make ~name:"fig1_penguin" (pipeline W.fig1_src "c1");
+      Test.make ~name:"fig2_defeat" (pipeline W.fig2_src "c1");
+      Test.make ~name:"fig3_loan_s1" (pipeline (W.fig3_src "inflation(12).") "c1");
+      Test.make ~name:"fig3_loan_s2"
+        (pipeline (W.fig3_src "inflation(12). loan_rate(16).") "c1");
+      Test.make ~name:"fig3_loan_s3"
+        (pipeline (W.fig3_src "inflation(19). loan_rate(16).") "c1")
+    ]
+
+let groups =
+  [ ("figures", bench_figures); ("vfix", bench_vfix); ("tower", bench_tower);
+    ("ov_ev", bench_ov_ev); ("ground", bench_grounding);
+    ("stable", bench_stable); ("wfs", bench_wfs); ("kb", bench_kb);
+    ("prove", bench_prove); ("incremental", bench_incremental);
+    ("magic", bench_magic)
+  ]
+
+(* Optional argv filters: `bench/main.exe vfix prove` runs only those
+   groups. *)
+let selected_tests () =
+  let wanted = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    if wanted = [] then List.map snd groups
+    else
+      List.filter_map
+        (fun (name, t) -> if List.mem name wanted then Some t else None)
+        groups
+  in
+  if chosen = [] then begin
+    Printf.eprintf "no benchmark group matches; available: %s\n"
+      (String.concat ", " (List.map fst groups));
+    exit 2
+  end;
+  Test.make_grouped ~name:"olp" chosen
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances (selected_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "== Timings (monotonic clock, OLS estimate per run) ==@.";
+  Format.printf "  %-40s %14s@." "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Format.printf "  %-40s %14s@." name pretty)
+    rows
+
+let () =
+  regenerate_figures ();
+  run_benchmarks ()

@@ -1,0 +1,316 @@
+(* olp — command-line front end for the ordered-logic-programming library.
+
+   Subcommands: check, ground, least, models, query, prove, explain, repl. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program path =
+  match Ordered.Program.parse (read_file path) with
+  | Ok p -> p
+  | Error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    exit 2
+
+(* Resolve the viewpoint component: an explicit name, or the unique minimal
+   component of the order. *)
+let resolve_component prog = function
+  | Some name -> (
+    match Ordered.Program.component_id prog name with
+    | Some id -> id
+    | None ->
+      Printf.eprintf "unknown component %S (available: %s)\n" name
+        (String.concat ", "
+           (Array.to_list (Ordered.Program.component_names prog)));
+      exit 2)
+  | None -> (
+    match Ordered.Poset.minimal (Ordered.Program.poset prog) with
+    | [ id ] -> id
+    | ids ->
+      Printf.eprintf
+        "ambiguous viewpoint: specify -c one of %s\n"
+        (String.concat ", "
+           (List.map (Ordered.Program.component_name prog) ids));
+      exit 2)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Ordered-program source file.")
+
+let component_arg =
+  Arg.(value & opt (some string) None
+       & info [ "c"; "component" ] ~docv:"COMPONENT"
+           ~doc:"Viewpoint component (default: the unique minimal one).")
+
+let depth_arg =
+  Arg.(value & opt int 0
+       & info [ "depth" ] ~docv:"N"
+           ~doc:"Function-symbol nesting bound for grounding.")
+
+let relevant_arg =
+  Arg.(value & flag
+       & info [ "relevant" ]
+           ~doc:"Use relevance-driven grounding (see library docs for the \
+                 semantic caveat on arbitrary ordered programs).")
+
+let grounder_of_flag relevant = if relevant then `Relevant else `Naive
+
+(* --facts rel=path, repeatable: bulk-load a base relation from delimited
+   text into the viewpoint component. *)
+let facts_arg =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+      Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> Error (`Msg "expected REL=PATH")
+  in
+  let print ppf (rel, path) = Format.fprintf ppf "%s=%s" rel path in
+  Arg.(value & opt_all (conv (parse, print)) []
+       & info [ "facts" ] ~docv:"REL=PATH"
+           ~doc:"Load tab-separated tuples from $(i,PATH) as facts of \
+                 relation $(i,REL) into the viewpoint component \
+                 (repeatable).")
+
+let max_instances_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-instances" ] ~docv:"N"
+           ~doc:"Abort grounding once more than N ground instances are \
+                 produced (guards against accidental blow-up).")
+
+let ground_view file comp depth relevant facts max_instances =
+  let prog = load_program file in
+  let id = resolve_component prog comp in
+  let prog =
+    List.fold_left
+      (fun prog (rel, path) ->
+        match Edb.facts_of_file ~rel path with
+        | Ok fs -> Ordered.Program.add_rules prog id fs
+        | Error e ->
+          Printf.eprintf "%s: %s\n" path e;
+          exit 2)
+      prog facts
+  in
+  match
+    Ordered.Gop.ground ?max_instances ~grounder:(grounder_of_flag relevant)
+      ~depth prog id
+  with
+  | g -> (prog, id, g)
+  | exception Invalid_argument e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+
+(* ------------------------------------------------------------------ *)
+
+let dot_arg =
+  Arg.(value & flag
+       & info [ "dot" ]
+           ~doc:"Emit a Graphviz digraph instead of text output.")
+
+let check_cmd =
+  let run file dot =
+    let prog = load_program file in
+    if dot then (print_string (Ordered.Dot.poset prog); exit 0);
+    let names = Ordered.Program.component_names prog in
+    Format.printf "%d component(s): %s@." (Array.length names)
+      (String.concat ", " (Array.to_list names));
+    let poset = Ordered.Program.poset prog in
+    Array.iteri
+      (fun a _ ->
+        Array.iteri
+          (fun b _ ->
+            if Ordered.Poset.lt poset a b then
+              Format.printf "  %s < %s@." names.(a) names.(b))
+          names)
+      names;
+    let unsafe = Ground.Safety.check (Ordered.Program.all_rules prog) in
+    List.iter
+      (fun r -> Format.printf "warning: %a@." Ground.Safety.pp_report r)
+      unsafe;
+    (* Static conflict analysis from each minimal viewpoint. *)
+    List.iter
+      (fun comp ->
+        List.iter
+          (fun c ->
+            Format.printf "conflict [from %s]: %a@."
+              (Ordered.Program.component_name prog comp)
+              (Ordered.Analysis.pp_conflict prog)
+              c)
+          (Ordered.Analysis.conflicts prog comp))
+      (Ordered.Poset.minimal (Ordered.Program.poset prog));
+    Format.printf "ok@."
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Parse and sanity-check a program: components, order, rule \
+             safety, and the static overruling/defeating structure \
+             ($(b,--dot) draws the component order).")
+    Term.(const run $ file_arg $ dot_arg)
+
+let ground_cmd =
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print size diagnostics instead of the rules.")
+  in
+  let run file comp depth relevant facts max_instances stats =
+    let prog, _, g = ground_view file comp depth relevant facts max_instances in
+    if stats then
+      Format.printf "%a@." Ordered.Gop.pp_stats (Ordered.Gop.stats g)
+    else
+      Array.iteri
+        (fun i (r : Ordered.Gop.grule) ->
+          Format.printf "[%s] %a@."
+            (Ordered.Program.component_name prog r.comp)
+            Logic.Rule.pp
+            (Ordered.Gop.rule_src g i))
+        g.Ordered.Gop.rules
+  in
+  Cmd.v
+    (Cmd.info "ground" ~doc:"Print the ground instances of the view C*.")
+    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg
+          $ facts_arg $ max_instances_arg $ stats_flag)
+
+let least_cmd =
+  let run file comp depth relevant facts max_instances =
+    let _, _, g = ground_view file comp depth relevant facts max_instances in
+    Format.printf "%a@." Logic.Interp.pp (Ordered.Vfix.least_model g)
+  in
+  Cmd.v
+    (Cmd.info "least"
+       ~doc:"Print the least model (the fixpoint of the ordered immediate \
+             transformation V).")
+    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg $ facts_arg $ max_instances_arg)
+
+let models_cmd =
+  let kind =
+    Arg.(value
+         & opt (enum [ ("stable", `Stable); ("assumption-free", `Af);
+                       ("total", `Total) ])
+             `Stable
+         & info [ "kind" ] ~docv:"KIND"
+             ~doc:"Which models to enumerate: $(b,stable) (default), \
+                   $(b,assumption-free) or $(b,total).")
+  in
+  let limit =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N" ~doc:"Stop after N models.")
+  in
+  let run file comp depth relevant facts max_instances kind limit =
+    let _, _, g = ground_view file comp depth relevant facts max_instances in
+    let models =
+      match kind with
+      | `Stable -> Ordered.Stable.stable_models ?limit g
+      | `Af -> Ordered.Stable.assumption_free_models ?limit g
+      | `Total -> Ordered.Exhaustive.total_models ?limit g
+    in
+    Format.printf "%d model(s)@." (List.length models);
+    List.iter (fun m -> Format.printf "%a@." Logic.Interp.pp m) models
+  in
+  Cmd.v (Cmd.info "models" ~doc:"Enumerate stable / assumption-free / total models.")
+    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg $ facts_arg
+          $ max_instances_arg $ kind $ limit)
+
+let query_cmd =
+  let mode =
+    Arg.(value
+         & opt (enum [ ("least", `Least); ("cautious", `Cautious);
+                       ("brave", `Brave) ])
+             `Least
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Reasoning mode for ground literals: $(b,least) \
+                   (skeptical, the least model — default), $(b,cautious) \
+                   (true in every stable model) or $(b,brave) (true in \
+                   some stable model).")
+  in
+  let lit =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"LITERAL"
+           ~doc:"Literal, e.g. 'fly(penguin)' or 'fly(X)' (variables \
+                 enumerate the true instances).")
+  in
+  let run file comp depth relevant facts max_instances mode lit_src =
+    let _, _, g = ground_view file comp depth relevant facts max_instances in
+    let l = Lang.Parser.parse_literal lit_src in
+    if Logic.Literal.is_ground l then
+      match mode with
+      | `Least ->
+        Format.printf "%a@." Logic.Interp.pp_value (Ordered.Query.ask g l)
+      | `Cautious ->
+        Format.printf "%b@." (Ordered.Stable.cautious g l)
+      | `Brave -> Format.printf "%b@." (Ordered.Stable.brave g l)
+    else begin
+      let instances = Ordered.Query.holds_instances g l in
+      Format.printf "%d answer(s)@." (List.length instances);
+      List.iter (fun i -> Format.printf "%a@." Logic.Literal.pp i) instances
+    end
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Evaluate a literal against the least model: truth value for a \
+             ground literal, all true instances for a literal with \
+             variables.")
+    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg
+          $ facts_arg $ max_instances_arg $ mode $ lit)
+
+let prove_cmd =
+  let lit =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"LITERAL"
+           ~doc:"Ground literal to prove goal-directedly.")
+  in
+  let run file comp depth relevant facts max_instances lit_src =
+    let _, _, g = ground_view file comp depth relevant facts max_instances in
+    let l = Lang.Parser.parse_literal lit_src in
+    let v = Ordered.Prove.value g l in
+    let _, stats = Ordered.Prove.holds_with_stats g l in
+    Format.printf "%a@." Logic.Interp.pp_value v;
+    Format.printf "(explored %d of %d ground rules)@."
+      stats.Ordered.Prove.relevant_rules stats.Ordered.Prove.total_rules
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Goal-directed proof of a ground literal (relevance-closure \
+             restriction of the least-model computation).")
+    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg $ facts_arg $ max_instances_arg $ lit)
+
+let explain_cmd =
+  let lit =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"LITERAL"
+           ~doc:"Ground literal to explain.")
+  in
+  let run file comp depth relevant facts max_instances dot lit_src =
+    let _, _, g = ground_view file comp depth relevant facts max_instances in
+    let l = Lang.Parser.parse_literal lit_src in
+    if dot then print_string (Ordered.Dot.derivation g l)
+    else Format.printf "%a@." Ordered.Explain.pp (Ordered.Explain.explain g l)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Explain why a literal holds, fails or is undefined in the \
+             least model ($(b,--dot) draws the derivation neighbourhood).")
+    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg
+          $ facts_arg $ max_instances_arg $ dot_arg $ lit)
+
+let repl_cmd =
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Optional program to load at startup.")
+  in
+  let run file = Repl.run ?file () in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:"Interactive session: queries, :least, :stable, :explain, \
+             :assert and more (see :help).")
+    Term.(const run $ file)
+
+let main =
+  let doc = "ordered logic programming (Laenens, Sacca, Vermeir; SIGMOD 1990)" in
+  Cmd.group (Cmd.info "olp" ~version:"1.0.0" ~doc)
+    [ check_cmd; ground_cmd; least_cmd; models_cmd; query_cmd; prove_cmd; repl_cmd;
+      explain_cmd
+    ]
+
+let () = exit (Cmd.eval main)

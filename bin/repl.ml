@@ -1,0 +1,165 @@
+(* Interactive session on top of the Kb layer.  Lines are either ground /
+   non-ground literal queries or colon-commands; see [help_text]. *)
+
+let help_text =
+  {|commands:
+  <literal>            query the least model (variables enumerate answers)
+  :components          list objects and their parents
+  :component NAME      switch the viewpoint object
+  :least               print the least model from the viewpoint
+  :stable [N]          print (at most N) stable models
+  :explain <literal>   why does the literal hold / fail / stay undefined?
+  :assert NAME <rule>  add a rule to an object
+  :rules [NAME]        print an object's local rules
+  :check               print the potential conflicts from the viewpoint
+  :help                this message
+  :quit                leave|}
+
+type state = { kb : Kb.t; mutable viewpoint : string option }
+
+let current_viewpoint st =
+  match st.viewpoint with
+  | Some v -> Some v
+  | None -> (
+    (* default: the unique minimal object of the order, else the last
+       defined object *)
+    match Kb.objects st.kb with
+    | [] -> None
+    | objs -> (
+      let prog = Kb.to_program st.kb in
+      match Ordered.Poset.minimal (Ordered.Program.poset prog) with
+      | [ id ] -> Some (Ordered.Program.component_name prog id)
+      | _ -> Some (List.hd (List.rev objs))))
+
+let with_viewpoint st f =
+  match current_viewpoint st with
+  | None -> print_endline "no objects loaded; use :assert NAME <rule>"
+  | Some obj -> f obj
+
+let split_first s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    ( String.sub s 0 i,
+      String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let print_value v = Format.printf "%a@." Logic.Interp.pp_value v
+
+let query st src =
+  with_viewpoint st (fun obj ->
+      let l = Lang.Parser.parse_literal src in
+      if Logic.Literal.is_ground l then print_value (Kb.query st.kb ~obj l)
+      else begin
+        let g = Kb.gop st.kb ~obj in
+        let instances = Ordered.Query.holds_instances g l in
+        if instances = [] then print_endline "no"
+        else
+          List.iter
+            (fun i -> Format.printf "%a@." Logic.Literal.pp i)
+            instances
+      end)
+
+let command st line =
+  let cmd, rest = split_first line in
+  match cmd with
+  | ":help" -> print_endline help_text
+  | ":components" ->
+    List.iter
+      (fun o ->
+        match Kb.parents st.kb o with
+        | [] -> Format.printf "%s@." o
+        | ps -> Format.printf "%s < %s@." o (String.concat ", " ps))
+      (Kb.objects st.kb)
+  | ":component" ->
+    if List.mem rest (Kb.objects st.kb) then st.viewpoint <- Some rest
+    else Format.printf "unknown object %S@." rest
+  | ":least" ->
+    with_viewpoint st (fun obj ->
+        Format.printf "%a@." Logic.Interp.pp (Kb.least_model st.kb ~obj))
+  | ":stable" ->
+    with_viewpoint st (fun obj ->
+        let limit = int_of_string_opt rest in
+        let models = Kb.stable_models ?limit st.kb ~obj in
+        Format.printf "%d model(s)@." (List.length models);
+        List.iter (fun m -> Format.printf "%a@." Logic.Interp.pp m) models)
+  | ":explain" ->
+    with_viewpoint st (fun obj ->
+        let l = Lang.Parser.parse_literal rest in
+        Format.printf "%a@." Ordered.Explain.pp (Kb.explain st.kb ~obj l))
+  | ":assert" ->
+    let name, rule_src = split_first rest in
+    if name = "" || rule_src = "" then
+      print_endline "usage: :assert NAME <rule>"
+    else begin
+      if not (List.mem name (Kb.objects st.kb)) then
+        Kb.define st.kb name [];
+      Kb.add_rule_src st.kb ~obj:name rule_src
+    end
+  | ":rules" ->
+    let objs = if rest = "" then Kb.objects st.kb else [ rest ] in
+    List.iter
+      (fun o ->
+        Format.printf "component %s:@." o;
+        List.iter
+          (fun r -> Format.printf "  %a@." Logic.Rule.pp r)
+          (Kb.rules st.kb o))
+      objs
+  | ":check" ->
+    with_viewpoint st (fun obj ->
+        let prog = Kb.to_program st.kb in
+        let id = Ordered.Program.component_id_exn prog obj in
+        match Ordered.Analysis.conflicts prog id with
+        | [] -> print_endline "no potential conflicts"
+        | cs ->
+          List.iter
+            (fun c ->
+              Format.printf "%a@." (Ordered.Analysis.pp_conflict prog) c)
+            cs)
+  | ":save" ->
+    if rest = "" then print_endline "usage: :save FILE"
+    else begin
+      let oc = open_out rest in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Kb.to_source st.kb));
+      Format.printf "saved to %s@." rest
+    end
+  | ":quit" | ":exit" -> raise Exit
+  | _ -> Format.printf "unknown command %s (try :help)@." cmd
+
+let eval st line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if String.length line > 0 && line.[0] = ':' then command st line
+  else query st line
+
+let run ?file () =
+  let kb = Kb.create () in
+  (match file with
+  | Some path ->
+    let ic = open_in_bin path in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Kb.load kb src
+  | None -> ());
+  let st = { kb; viewpoint = None } in
+  let interactive = Unix.isatty Unix.stdin in
+  (try
+     while true do
+       if interactive then (print_string "olp> "; flush stdout);
+       match input_line stdin with
+       | line -> (
+         try eval st line with
+         | Exit -> raise Exit
+         | Lang.Lexer.Error (msg, pos) ->
+           Format.printf "lexical error at %d:%d: %s@." pos.line pos.col msg
+         | Lang.Parser.Error (msg, pos) ->
+           Format.printf "syntax error at %d:%d: %s@." pos.line pos.col msg
+         | Invalid_argument msg -> Format.printf "error: %s@." msg)
+       | exception End_of_file -> raise Exit
+     done
+   with Exit -> ());
+  if interactive then print_endline "bye"

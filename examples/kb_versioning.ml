@@ -1,0 +1,63 @@
+(* Knowledge-base layer: objects, inheritance, defaults/exceptions and
+   versioning (the paper's Section 5 reading of ordered logic).
+
+   A small HR knowledge base: a company policy object defines defaults; a
+   department object specialises them; policy revisions are stacked as new
+   versions, each overruling its predecessor where they conflict.
+
+   Run with: dune exec examples/kb_versioning.exe *)
+
+let rule = Lang.Parser.parse_rule
+let lit = Lang.Parser.parse_literal
+
+let show kb obj q =
+  Format.printf "%-14s %-28s %a@." obj q Logic.Interp.pp_value
+    (Kb.query kb ~obj (lit q))
+
+let () =
+  let kb = Kb.create () in
+
+  (* The company-wide policy: everyone gets a bonus, remote work needs
+     approval. *)
+  Kb.define kb "policy"
+    [ rule "bonus(X) :- employee(X).";
+      rule "-remote(X) :- employee(X).";
+      (* Defaults must be stated, not assumed: nobody is an engineer
+         unless a more specific object says so. *)
+      rule "-engineer(X) :- employee(X).";
+      rule "employee(ann).";
+      rule "employee(bob)."
+    ];
+
+  (* Engineering inherits the policy but makes remote work the default. *)
+  Kb.define kb ~isa:[ "policy" ] "engineering"
+    [ rule "remote(X) :- employee(X), engineer(X).";
+      rule "engineer(ann)."
+    ];
+
+  Format.printf "--- initial knowledge base ---@.";
+  show kb "engineering" "remote(ann)";
+  show kb "engineering" "remote(bob)";
+  show kb "engineering" "bonus(ann)";
+
+  (* A policy revision: bonuses are frozen.  The new version sits below
+     the old one, overruling only what it contradicts. *)
+  let v2 = Kb.new_version kb ~rules:[ rule "-bonus(X) :- employee(X)." ]
+      "engineering" in
+  Format.printf "--- after revision %s ---@." v2;
+  show kb v2 "bonus(ann)";
+  show kb v2 "remote(ann)";
+
+  (* Explanations survive versioning. *)
+  Format.printf "%a@." Ordered.Explain.pp
+    (Kb.explain kb ~obj:v2 (lit "bonus(ann)"));
+
+  (* A later version can re-grant bonuses to engineers only. *)
+  let v3 =
+    Kb.new_version kb ~rules:[ rule "bonus(X) :- engineer(X)." ] "engineering"
+  in
+  Format.printf "--- after revision %s ---@." v3;
+  show kb v3 "bonus(ann)";
+  show kb v3 "bonus(bob)";
+  Format.printf "versions of engineering: %s@."
+    (String.concat " -> " (Kb.versions kb "engineering"))

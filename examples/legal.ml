@@ -1,0 +1,81 @@
+(* Legal reasoning with ordered logic: lex specialis (the more specific
+   law overrules the general one) and lex posterior (the later enactment
+   overrules the earlier) are exactly the paper's overruling; a clash
+   between two incomparable authorities is the paper's defeating, and the
+   stable models enumerate the ways a court could resolve it.
+
+   Run with: dune exec examples/legal.exe *)
+
+let lit = Lang.Parser.parse_literal
+
+let statutes = {|
+% The general law of contracts.
+component civil_code {
+  valid(C) :- contract(C), signed(C).
+  -valid(C) :- contract(C), -capacity(C).
+  capacity(C) :- contract(C), adult_parties(C).
+}
+
+% Consumer-protection law refines the civil code (lex specialis).
+% Classical negation has no implicit closed world, so the law also
+% states the default "terms are not individually negotiated" — a case
+% file below can overrule it with a concrete negotiated(...) fact.
+component consumer_law extends civil_code {
+  -valid(C) :- consumer_contract(C), unfair_terms(C).
+  -negotiated(C) :- consumer_contract(C).
+}
+
+% A later amendment refines consumer law (lex posterior): unfair terms
+% are tolerated when individually negotiated.
+component amendment extends consumer_law {
+  valid(C) :- consumer_contract(C), unfair_terms(C), negotiated(C).
+}
+
+% The case at bar sits below everything it may draw on.
+component case extends amendment {
+  contract(c1).      signed(c1).   adult_parties(c1).
+  consumer_contract(c1).           unfair_terms(c1).
+
+  contract(c2).      signed(c2).   adult_parties(c2).
+  consumer_contract(c2).           unfair_terms(c2).  negotiated(c2).
+}
+|}
+
+let () =
+  let program = Ordered.Program.parse_exn statutes in
+  let case = Ordered.Program.component_id_exn program "case" in
+  let g = Ordered.Gop.ground program case in
+  let m = Ordered.Vfix.least_model g in
+  Format.printf "--- the case at bar ---@.";
+  List.iter
+    (fun q ->
+      Format.printf "  %-12s %a@." q Logic.Interp.pp_value
+        (Logic.Interp.value_lit m (lit q)))
+    [ "valid(c1)"; "valid(c2)" ];
+  Format.printf "@.why is c1 not valid?@.%a@.@." Ordered.Explain.pp
+    (Ordered.Explain.explain g (lit "valid(c1)"));
+  Format.printf "why is c2 valid again?@.%a@.@." Ordered.Explain.pp
+    (Ordered.Explain.explain g (lit "valid(c2)"));
+
+  (* Two incomparable authorities disagreeing produce defeat: neither
+     claim survives in any model — the question is genuinely open until
+     the authorities are ranked. *)
+  let clash order = {|
+    component regulator_a { -approved(m1). safe(m1). }
+    component regulator_b { approved(m1).  -untested(m1). }
+    component court extends regulator_a, regulator_b { }
+  |} ^ order
+  in
+  let approval order =
+    let program = Ordered.Program.parse_exn (clash order) in
+    let court = Ordered.Program.component_id_exn program "court" in
+    let g = Ordered.Gop.ground program court in
+    Logic.Interp.value_lit (Ordered.Vfix.least_model g) (lit "approved(m1)")
+  in
+  Format.printf "--- incomparable regulators ---@.";
+  Format.printf "unranked authorities: approved(m1) is %a@."
+    Logic.Interp.pp_value (approval "");
+  (* The legislator ranks regulator_b's word above regulator_a's: *)
+  Format.printf "after 'order regulator_b < regulator_a': approved(m1) is %a@."
+    Logic.Interp.pp_value
+    (approval "order regulator_b < regulator_a.")

@@ -1,0 +1,45 @@
+(* The paper's Figure 3: combining knowledge from disagreeing experts.
+
+   myself (c1) consults three experts on whether to take a loan:
+   - Expert2 (c2), independent: take a loan when inflation exceeds 11;
+   - Expert4 (c4): do not take a loan when the loan rate exceeds 14;
+   - Expert3 (c3 < c4), refining Expert4: take a loan when inflation
+     exceeds the loan rate by more than 2.
+
+   Depending on the facts at myself level, the answer is inferred from
+   Expert2 alone, defeated by the clash between Expert2 and Expert4, or
+   recovered because Expert3 overrules Expert4.
+
+   Run with: dune exec examples/loan.exe *)
+
+let source facts = {|
+component c2 {
+  take_loan :- inflation(X), X > 11.
+}
+component c4 {
+  -take_loan :- loan_rate(X), X > 14.
+}
+component c3 extends c4 {
+  take_loan :- inflation(X), loan_rate(Y), X > Y + 2.
+}
+component c1 extends c2, c3 {
+|} ^ facts ^ "\n}\n"
+
+let scenario title facts =
+  let src = source facts in
+  let program = Ordered.Program.parse_exn src in
+  let c1 = Ordered.Program.component_id_exn program "c1" in
+  let g = Ordered.Gop.ground program c1 in
+  let m = Ordered.Vfix.least_model g in
+  let q = Lang.Parser.parse_literal "take_loan" in
+  Format.printf "--- %s ---@." title;
+  Format.printf "take_loan: %a@." Logic.Interp.pp_value
+    (Logic.Interp.value_lit m q);
+  Format.printf "%a@.@." Ordered.Explain.pp (Ordered.Explain.explain g q)
+
+let () =
+  scenario "scenario 1: inflation(12)" "inflation(12).";
+  scenario "scenario 2: inflation(12), loan_rate(16)"
+    "inflation(12). loan_rate(16).";
+  scenario "scenario 3: inflation(19), loan_rate(16)"
+    "inflation(19). loan_rate(16)."

@@ -1,0 +1,20 @@
+(** Graphviz (DOT) export: the component order and derivation graphs.
+
+    [olp check --dot] and [olp explain --dot] emit these; pipe into
+    [dot -Tsvg] to visualise a knowledge base's inheritance structure or
+    why a literal holds. *)
+
+val poset : Program.t -> string
+(** The component order as a digraph: an edge [a -> b] per covering pair
+    [a < b] (more specific below, pointing at what it refines). *)
+
+val derivation : Gop.t -> Logic.Literal.t -> string
+(** The goal-directed dependency neighbourhood of a ground literal,
+    annotated with the least model:
+
+    - literal nodes are green (holds), red (complement holds) or grey
+      (undefined);
+    - each relevant rule is a box labelled with its component, with solid
+      edges from its body literals and a bold edge to its head;
+    - a rule box is filled when the rule fired, dashed when it is
+      suppressed (overruled/defeated) and dotted when blocked. *)

@@ -1,0 +1,45 @@
+(** Explanations: why a literal is (or is not) in the least model.
+
+    The least fixpoint of [V] derives a literal through a chain of fired
+    rules; an undefined literal is explained by the fate of each candidate
+    rule — not applicable, blocked, overruled or defeated, each pointing at
+    the responsible rule (the knowledge-base reading of the paper's
+    overruling/defeating machinery: "the penguin does not fly {e because}
+    the local rule overrules the inherited default"). *)
+
+type support = {
+  rule : Logic.Rule.t;
+  component : string;  (** the component the firing rule comes from *)
+}
+
+type obstacle =
+  | Not_applicable of Logic.Literal.t list
+      (** body literals not satisfied by the least model *)
+  | Blocked of Logic.Literal.t
+      (** a body literal whose complement holds *)
+  | Overruled_by of support
+      (** a non-blocked contradicting rule in a more specific component *)
+  | Defeated_by of support
+      (** a non-blocked contradicting rule in an incomparable or the same
+          component *)
+
+type candidate = {
+  rule : Logic.Rule.t;
+  component : string;
+  obstacles : obstacle list;  (** empty only for the firing rule *)
+}
+
+type t =
+  | Holds of { literal : Logic.Literal.t; via : support; body : Logic.Literal.t list }
+      (** the literal is in the least model, derived by [via] *)
+  | Complement_holds of { literal : Logic.Literal.t; via : support }
+      (** the complementary literal is in the least model *)
+  | Unsupported of { literal : Logic.Literal.t; candidates : candidate list }
+      (** undefined: every rule that could derive it is obstructed
+          ([candidates] may be empty — no rule mentions the literal) *)
+
+val explain : Gop.t -> Logic.Literal.t -> t
+(** Explanation w.r.t. the least model of the ground ordered program. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

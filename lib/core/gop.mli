@@ -1,0 +1,114 @@
+(** Ground ordered programs: the grounding of [C*] for one viewpoint
+    component [C], interned for the fixpoint engines.
+
+    Every ground rule carries the component it comes from ([C(r)] in the
+    paper).  For Definition 2 we precompute, for each rule [r], its
+    {e overrulers} (rules [r'] with [H(r') = -H(r)] and [C(r') < C(r)]) and
+    its {e defeaters} ([H(r') = -H(r)] and [C(r') <> C(r)] or
+    [C(r') = C(r)]).  A non-blocked overruler makes [r] {e overruled}; a
+    non-blocked defeater makes [r] {e defeated}; either way [r] is
+    {e suppressed} and cannot fire in the ordered immediate transformation
+    [V]. *)
+
+type grule = {
+  head : int;  (** head atom id *)
+  head_pol : bool;  (** head polarity: [true] for [A], [false] for [-A] *)
+  body : (int * bool) array;  (** body literals, deduplicated *)
+  comp : Program.component_id;  (** [C(r)] *)
+}
+
+type t = {
+  program : Program.t;
+  comp : Program.component_id;  (** the viewpoint component *)
+  atoms : Logic.Atom.t array;  (** atom id -> atom *)
+  ids : int Logic.Atom.Tbl.t;
+  rules : grule array;
+  by_head : int list array;  (** atom id -> rules with that head atom *)
+  by_body_pos : int list array;  (** atom id -> rules with [A] in body *)
+  by_body_neg : int list array;  (** atom id -> rules with [-A] in body *)
+  overrulers : int list array;
+  defeaters : int list array;
+  suppresses : int list array;
+      (** inverse adjacency: rules [r] overrules or defeats *)
+  universe : Logic.Term.t list;
+  active_base : Logic.Atom.t list;
+  full_base : Logic.Atom.t list Lazy.t;
+}
+
+val ground :
+  ?max_instances:int ->
+  ?grounder:[ `Naive | `Relevant ] ->
+  ?depth:int ->
+  ?extra_constants:Logic.Term.t list ->
+  Program.t ->
+  Program.component_id ->
+  t
+(** Ground the view [C*] of the given component.  [`Naive] (default) is the
+    reference semantics; [`Relevant] prunes rules with underivable bodies —
+    faster, but see the caveat in {!Ground.Grounder}.  [max_instances]
+    raises [Invalid_argument] when instantiation exceeds the budget (a
+    guard against accidental blow-up on wide universes). *)
+
+val of_view :
+  ?depth:int ->
+  ?extra_constants:Logic.Term.t list ->
+  Program.t ->
+  Program.component_id ->
+  (Program.component_id * Logic.Rule.t) list ->
+  t
+(** Intern an explicitly-given tagged view (used by transformations that
+    construct ground views directly). *)
+
+val n_atoms : t -> int
+val n_rules : t -> int
+
+val atom_id : t -> Logic.Atom.t -> int option
+
+val rule_src : t -> int -> Logic.Rule.t
+(** Decode rule [i] back to a symbolic ground rule. *)
+
+type stats = {
+  atoms : int;
+  rules : int;
+  body_literals : int;
+  overruling_edges : int;
+  defeating_edges : int;
+}
+
+val stats : t -> stats
+(** Size diagnostics: the fixpoint engines cost
+    [O(body_literals + overruling_edges + defeating_edges)] per run. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val find_rule : t -> Program.component_id -> Logic.Rule.t -> int option
+(** Index of the ground instance of a given rule in a given component. *)
+
+(** {1 Three-valued assignments over the interned atoms} *)
+
+module Values : sig
+  type gop := t
+
+  type t
+  (** Mutable dense 3-valued assignment (one slot per atom id). *)
+
+  val create : gop -> t
+  (** All atoms undefined. *)
+
+  val copy : t -> t
+
+  val value : t -> int -> Logic.Interp.value
+  val set : t -> int -> bool -> unit
+  (** Raises [Invalid_argument] on an inconsistent re-assignment. *)
+
+  val unset : t -> int -> unit
+  val defined : t -> int -> bool
+  val equal : t -> t -> bool
+
+  val of_interp : gop -> Logic.Interp.t -> t * Logic.Literal.t list
+  (** Encode an interpretation; the second result lists literals over atoms
+      that do not occur in the ground program (they take part in no rule,
+      but make the interpretation non-assumption-free). *)
+
+  val to_interp : gop -> t -> Logic.Interp.t
+end

@@ -1,0 +1,49 @@
+type t = { n : int; lt : bool array array }
+
+let make ~n ~pairs =
+  let lt = Array.make_matrix n n false in
+  let bad =
+    List.find_opt (fun (a, b) -> a < 0 || a >= n || b < 0 || b >= n) pairs
+  in
+  match bad with
+  | Some (a, b) -> Error (Printf.sprintf "order pair (%d, %d) out of range" a b)
+  | None ->
+    List.iter (fun (a, b) -> lt.(a).(b) <- true) pairs;
+    (* Warshall transitive closure. *)
+    for k = 0 to n - 1 do
+      for i = 0 to n - 1 do
+        if lt.(i).(k) then
+          for j = 0 to n - 1 do
+            if lt.(k).(j) then lt.(i).(j) <- true
+          done
+      done
+    done;
+    let cyclic = ref None in
+    for i = 0 to n - 1 do
+      if lt.(i).(i) && !cyclic = None then cyclic := Some i
+    done;
+    (match !cyclic with
+    | Some i ->
+      Error (Printf.sprintf "the component order has a cycle through id %d" i)
+    | None -> Ok { n; lt })
+
+let size t = t.n
+let lt t a b = t.lt.(a).(b)
+let leq t a b = a = b || t.lt.(a).(b)
+let incomparable t a b = a <> b && (not t.lt.(a).(b)) && not t.lt.(b).(a)
+
+let above t a =
+  List.filter (fun b -> leq t a b) (List.init t.n Fun.id)
+
+let below t a =
+  List.filter (fun b -> leq t b a) (List.init t.n Fun.id)
+
+let minimal t =
+  List.filter
+    (fun a -> not (List.exists (fun b -> t.lt.(b).(a)) (List.init t.n Fun.id)))
+    (List.init t.n Fun.id)
+
+let maximal t =
+  List.filter
+    (fun a -> not (List.exists (fun b -> t.lt.(a).(b)) (List.init t.n Fun.id)))
+    (List.init t.n Fun.id)

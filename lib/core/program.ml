@@ -1,0 +1,136 @@
+open Logic
+
+type component_id = int
+
+type t = {
+  names : string array;
+  rules : Rule.t list array;
+  poset : Poset.t;
+}
+
+let make components order =
+  let names = Array.of_list (List.map fst components) in
+  let seen = Hashtbl.create 8 in
+  let dup = ref None in
+  Array.iter
+    (fun n ->
+      if Hashtbl.mem seen n && !dup = None then dup := Some n
+      else Hashtbl.add seen n ())
+    names;
+  match !dup with
+  | Some n -> Error (Printf.sprintf "duplicate component name %S" n)
+  | None -> (
+    let index = Hashtbl.create 8 in
+    Array.iteri (fun i n -> Hashtbl.replace index n i) names;
+    let resolve (lo, hi) =
+      match Hashtbl.find_opt index lo, Hashtbl.find_opt index hi with
+      | Some a, Some b -> Ok (a, b)
+      | None, _ -> Error (Printf.sprintf "unknown component %S in order" lo)
+      | _, None -> Error (Printf.sprintf "unknown component %S in order" hi)
+    in
+    let rec resolve_all acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+        match resolve p with
+        | Ok q -> resolve_all (q :: acc) rest
+        | Error e -> Error e)
+    in
+    match resolve_all [] order with
+    | Error e -> Error e
+    | Ok pairs -> (
+      match Poset.make ~n:(Array.length names) ~pairs with
+      | Error e -> Error e
+      | Ok poset ->
+        Ok
+          { names;
+            rules = Array.of_list (List.map snd components);
+            poset
+          }))
+
+let make_exn components order =
+  match make components order with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Program.make: " ^ e)
+
+let singleton rules = make_exn [ ("main", rules) ] []
+
+let of_ast ast =
+  match Lang.Ast.components ast with
+  | exception Invalid_argument e -> Error e
+  | comps ->
+    let components =
+      List.map (fun (c : Lang.Ast.component) -> (c.name, c.rules)) comps
+    in
+    make components (Lang.Ast.order_pairs ast)
+
+let parse src =
+  match Lang.Parser.parse_file src with
+  | exception Lang.Lexer.Error (msg, pos) ->
+    Error (Printf.sprintf "lexical error at %d:%d: %s" pos.line pos.col msg)
+  | exception Lang.Parser.Error (msg, pos) ->
+    Error (Printf.sprintf "syntax error at %d:%d: %s" pos.line pos.col msg)
+  | ast -> of_ast ast
+
+let parse_exn src =
+  match parse src with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Program.parse: " ^ e)
+
+let n_components t = Array.length t.names
+let component_names t = Array.copy t.names
+
+let component_id t name =
+  let rec find i =
+    if i >= Array.length t.names then None
+    else if String.equal t.names.(i) name then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let component_id_exn t name =
+  match component_id t name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Program.component_id: unknown %S" name)
+
+let component_name t i = t.names.(i)
+let rules_of t i = t.rules.(i)
+let poset t = t.poset
+
+let view t c =
+  List.concat_map
+    (fun j -> List.map (fun r -> (j, r)) t.rules.(j))
+    (Poset.above t.poset c)
+
+let all_rules t = List.concat (Array.to_list t.rules)
+
+let add_rules t c extra =
+  let rules = Array.copy t.rules in
+  rules.(c) <- rules.(c) @ extra;
+  { t with rules }
+
+let to_ast t =
+  let comps =
+    Array.to_list
+      (Array.mapi
+         (fun i name ->
+           Lang.Ast.Component { name; parents = []; rules = t.rules.(i) })
+         t.names)
+  in
+  (* Emit the covering relation (transitive reduction), so printing and
+     re-parsing reproduces the same poset without redundant pairs. *)
+  let pairs = ref [] in
+  let n = Array.length t.names in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if
+        Poset.lt t.poset a b
+        && not
+             (List.exists
+                (fun c -> Poset.lt t.poset a c && Poset.lt t.poset c b)
+                (List.init n Fun.id))
+      then pairs := (t.names.(a), t.names.(b)) :: !pairs
+    done
+  done;
+  comps @ (if !pairs = [] then [] else [ Lang.Ast.Order (List.rev !pairs) ])
+
+let pp ppf t = Lang.Ast.pp ppf (to_ast t)

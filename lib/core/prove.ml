@@ -1,0 +1,143 @@
+open Logic
+
+(* Literal codes: 2 * atom + (1 if positive else 0). *)
+let code a pol = (2 * a) + if pol then 1 else 0
+
+type stats = {
+  closure_literals : int;
+  relevant_rules : int;
+  total_rules : int;
+}
+
+(* Dependency closure from a goal literal code; returns the set of literal
+   codes (as a bool array) and the list of relevant rule indices. *)
+let closure (g : Gop.t) goal =
+  let n = Gop.n_atoms g in
+  let seen = Array.make (2 * n) false in
+  let rule_in = Array.make (Gop.n_rules g) false in
+  let queue = Queue.create () in
+  let visit c =
+    if not seen.(c) then begin
+      seen.(c) <- true;
+      Queue.add c queue
+    end
+  in
+  visit goal;
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    let a = c / 2 and pol = c mod 2 = 1 in
+    List.iter
+      (fun i ->
+        let r = g.Gop.rules.(i) in
+        if r.head_pol = pol && not rule_in.(i) then begin
+          rule_in.(i) <- true;
+          (* body literals *)
+          Array.iter (fun (b, bp) -> visit (code b bp)) r.body;
+          (* complements of suppressors' bodies *)
+          let suppressor j =
+            Array.iter
+              (fun (b, bp) -> visit (code b (not bp)))
+              g.Gop.rules.(j).body
+          in
+          List.iter suppressor g.Gop.overrulers.(i);
+          List.iter suppressor g.Gop.defeaters.(i)
+        end)
+      g.Gop.by_head.(a)
+  done;
+  (seen, rule_in)
+
+(* Counting fixpoint over a subset of the rules (mirrors Vfix's
+   incremental engine, restricted to [rule_in]). *)
+let restricted_lfp (g : Gop.t) rule_in =
+  let nr = Gop.n_rules g in
+  let v = Gop.Values.create g in
+  let missing =
+    Array.init nr (fun i -> Array.length g.Gop.rules.(i).body)
+  in
+  let blocked = Array.make nr false in
+  let active_sup =
+    Array.init nr (fun i ->
+        List.length g.Gop.overrulers.(i) + List.length g.Gop.defeaters.(i))
+  in
+  let fired = Array.make nr false in
+  let queue = Queue.create () in
+  let derive a pol =
+    if not (Gop.Values.defined v a) then begin
+      Gop.Values.set v a pol;
+      Queue.add (a, pol) queue
+    end
+  in
+  let try_fire i =
+    if
+      rule_in.(i)
+      && (not fired.(i))
+      && missing.(i) = 0
+      && active_sup.(i) = 0
+    then begin
+      fired.(i) <- true;
+      derive g.Gop.rules.(i).head g.Gop.rules.(i).head_pol
+    end
+  in
+  (* Blocking must track *all* rules (a suppressor need not be relevant
+     itself to matter), so the block propagation is unrestricted. *)
+  let block j =
+    if not blocked.(j) then begin
+      blocked.(j) <- true;
+      List.iter
+        (fun i ->
+          active_sup.(i) <- active_sup.(i) - 1;
+          try_fire i)
+        g.Gop.suppresses.(j)
+    end
+  in
+  for i = 0 to nr - 1 do
+    try_fire i
+  done;
+  while not (Queue.is_empty queue) do
+    let a, pol = Queue.pop queue in
+    List.iter
+      (fun i ->
+        missing.(i) <- missing.(i) - 1;
+        try_fire i)
+      (if pol then g.Gop.by_body_pos.(a) else g.Gop.by_body_neg.(a));
+    List.iter block (if pol then g.Gop.by_body_neg.(a) else g.Gop.by_body_pos.(a))
+  done;
+  v
+
+let holds_code (g : Gop.t) goal =
+  let seen, rule_in = closure g goal in
+  let v = restricted_lfp g rule_in in
+  let a = goal / 2 and pol = goal mod 2 = 1 in
+  let holds =
+    match Gop.Values.value v a with
+    | Interp.True -> pol
+    | Interp.False -> not pol
+    | Interp.Undefined -> false
+  in
+  let stats =
+    { closure_literals = Array.fold_left (fun n b -> if b then n + 1 else n) 0 seen;
+      relevant_rules =
+        Array.fold_left (fun n b -> if b then n + 1 else n) 0 rule_in;
+      total_rules = Gop.n_rules g
+    }
+  in
+  (holds, stats)
+
+let holds_with_stats (g : Gop.t) (l : Literal.t) =
+  if not (Literal.is_ground l) then
+    invalid_arg "Prove.holds: literal must be ground";
+  match Gop.atom_id g l.atom with
+  | None ->
+    ( false,
+      { closure_literals = 0;
+        relevant_rules = 0;
+        total_rules = Gop.n_rules g
+      } )
+  | Some a -> holds_code g (code a l.pol)
+
+let holds g l = fst (holds_with_stats g l)
+
+let value g (l : Literal.t) =
+  if holds g l then Interp.True
+  else if holds g (Literal.neg l) then Interp.False
+  else Interp.Undefined

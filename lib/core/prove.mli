@@ -1,0 +1,40 @@
+(** Goal-directed evaluation of the least model.
+
+    The paper (Section 5) refers to a proof procedure for ordered logic
+    programs [LV]; this module provides one for the constructive
+    semantics: deciding whether a ground literal belongs to [lfp V]
+    without materialising the whole model.
+
+    The procedure is a relevance-closure construction (magic sets adapted
+    to ordered programs).  A goal literal [L] depends on:
+
+    - the body literals of every rule with head [L] (to fire it), and
+    - the {e complements} of the body literals of every overruler or
+      defeater of such a rule (a suppressor only stops mattering once it
+      is blocked, i.e. once some complement of its body is derived).
+
+    The least fixpoint of [V] restricted to the rules whose heads lie in
+    this dependency closure agrees with the full least fixpoint on every
+    literal of the closure, because firing a relevant rule depends only on
+    derived literals inside the closure (a suppressor need not fire to
+    suppress — only its blockedness matters, and the literals that can
+    block it are in the closure by construction). *)
+
+val holds : Gop.t -> Logic.Literal.t -> bool
+(** [holds g l] iff the ground literal [l] is in the least model of [g].
+    Returns [false] for literals over atoms the program never mentions. *)
+
+val value : Gop.t -> Logic.Literal.t -> Logic.Interp.value
+(** Three-valued answer: [True] if the literal is in the least model,
+    [False] if its complement is, [Undefined] otherwise. *)
+
+type stats = {
+  closure_literals : int;  (** literals in the dependency closure *)
+  relevant_rules : int;  (** rules of the restricted subprogram *)
+  total_rules : int;  (** rules in the full ground program *)
+}
+
+val holds_with_stats : Gop.t -> Logic.Literal.t -> bool * stats
+(** Like {!holds}, also reporting how much of the program the closure
+    touched (the benchmark suite uses this to show the goal-directed
+    saving). *)

@@ -1,0 +1,100 @@
+open Logic
+
+(* Branch atoms: atoms that occur as rule heads with the polarities they
+   occur with.  Atoms already decided by the least fixpoint are fixed. *)
+let branch_space (g : Gop.t) seed =
+  let n = Gop.n_atoms g in
+  let pos_head = Array.make n false in
+  let neg_head = Array.make n false in
+  Array.iter
+    (fun (r : Gop.grule) ->
+      if r.head_pol then pos_head.(r.head) <- true
+      else neg_head.(r.head) <- true)
+    g.Gop.rules;
+  List.filter_map
+    (fun a ->
+      if Gop.Values.defined seed a then None
+      else
+        match pos_head.(a), neg_head.(a) with
+        | false, false -> None
+        | p, n -> Some (a, p, n))
+    (List.init n Fun.id)
+
+let assumption_free_models ?limit (g : Gop.t) =
+  let seed = Vfix.lfp g in
+  let branch = Array.of_list (branch_space g seed) in
+  let acc = ref [] in
+  let count = ref 0 in
+  let full () =
+    match limit with
+    | Some l -> !count >= l
+    | None -> false
+  in
+  let v = Gop.Values.copy seed in
+  let check () =
+    let interp = Gop.Values.to_interp g v in
+    if Model.is_assumption_free g interp then begin
+      incr count;
+      acc := interp :: !acc
+    end
+  in
+  let rec go i =
+    if not (full ()) then
+      if i >= Array.length branch then check ()
+      else begin
+        let a, can_pos, can_neg = branch.(i) in
+        go (i + 1);
+        if can_pos then begin
+          Gop.Values.set v a true;
+          go (i + 1);
+          Gop.Values.unset v a
+        end;
+        if can_neg then begin
+          Gop.Values.set v a false;
+          go (i + 1);
+          Gop.Values.unset v a
+        end
+      end
+  in
+  go 0;
+  List.rev !acc
+
+let maximal models =
+  List.filter
+    (fun m ->
+      not
+        (List.exists
+           (fun m' -> (not (Interp.equal m m')) && Interp.subset m m')
+           models))
+    models
+
+let stable_models ?limit g = maximal (assumption_free_models ?limit g)
+
+let cautious g l =
+  List.for_all (fun m -> Interp.holds m l) (stable_models g)
+
+let brave g l = List.exists (fun m -> Interp.holds m l) (stable_models g)
+
+let cautious_consequences g =
+  match stable_models g with
+  | [] -> Interp.empty (* unreachable: the least model is assumption-free *)
+  | m :: rest ->
+    List.fold_left
+      (fun acc m' ->
+        Interp.fold
+          (fun a b acc ->
+            match Interp.value m' a with
+            | Interp.True when b -> acc
+            | Interp.False when not b -> acc
+            | _ -> Interp.unset acc a)
+          acc acc)
+      m rest
+
+let is_stable g interp =
+  Model.is_assumption_free g interp
+  &&
+  let others = assumption_free_models g in
+  not
+    (List.exists
+       (fun m -> (not (Interp.equal interp m)) && Interp.subset interp m)
+       others)

@@ -1,0 +1,37 @@
+(** Assumption-free and stable models of an ordered program in a component
+    (paper, Definitions 7 and 9).
+
+    A {e stable} model is a maximal assumption-free model; uniqueness is
+    not guaranteed (Example 5).  Every assumption-free model contains the
+    least fixpoint of [V] (Theorem 1(b)) and consists solely of literals
+    that occur as ground rule heads (each of its literals needs an applied
+    supporting rule), so the enumeration branches on head literals outside
+    the least fixpoint — exponential in their number in the worst case. *)
+
+val assumption_free_models : ?limit:int -> Gop.t -> Logic.Interp.t list
+(** All assumption-free models (at most [limit] if given), in a
+    deterministic order; always contains the least model. *)
+
+val stable_models : ?limit:int -> Gop.t -> Logic.Interp.t list
+(** The maximal assumption-free models.  [limit] caps the underlying
+    assumption-free enumeration (so with a limit the result may miss
+    stable models but every returned model is assumption-free and maximal
+    among those enumerated). *)
+
+val is_stable : Gop.t -> Logic.Interp.t -> bool
+(** Assumption-free and not properly contained in another assumption-free
+    model. *)
+
+val cautious : Gop.t -> Logic.Literal.t -> bool
+(** Skeptical entailment: the ground literal holds in {e every} stable
+    model.  [false] when there is no stable model... which cannot happen:
+    the least model is assumption-free, so a stable model always exists —
+    but the literal may simply fail somewhere. *)
+
+val brave : Gop.t -> Logic.Literal.t -> bool
+(** Credulous entailment: the ground literal holds in {e some} stable
+    model. *)
+
+val cautious_consequences : Gop.t -> Logic.Interp.t
+(** The literals common to all stable models (always a superset of the
+    least model, by Theorem 1(b)). *)

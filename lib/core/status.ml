@@ -1,0 +1,65 @@
+open Logic
+
+let lit_value (v : Gop.Values.t) (a, pol) =
+  match Gop.Values.value v a, pol with
+  | Interp.Undefined, _ -> Interp.Undefined
+  | Interp.True, true | Interp.False, false -> Interp.True
+  | Interp.True, false | Interp.False, true -> Interp.False
+
+let applicable (g : Gop.t) v i =
+  Array.for_all (fun l -> lit_value v l = Interp.True) g.rules.(i).body
+
+let head_holds (g : Gop.t) v i =
+  let r = g.rules.(i) in
+  lit_value v (r.head, r.head_pol) = Interp.True
+
+let applied g v i = applicable g v i && head_holds g v i
+
+let blocked (g : Gop.t) v i =
+  Array.exists (fun l -> lit_value v l = Interp.False) g.rules.(i).body
+
+let overruled (g : Gop.t) v i =
+  List.exists (fun j -> not (blocked g v j)) g.overrulers.(i)
+
+let defeated (g : Gop.t) v i =
+  List.exists (fun j -> not (blocked g v j)) g.defeaters.(i)
+
+let suppressed g v i = overruled g v i || defeated g v i
+
+type report = {
+  rule : Rule.t;
+  component : string;
+  applicable : bool;
+  applied : bool;
+  blocked : bool;
+  overruled : bool;
+  defeated : bool;
+}
+
+let report g v i =
+  { rule = Gop.rule_src g i;
+    component = Program.component_name g.Gop.program g.Gop.rules.(i).comp;
+    applicable = applicable g v i;
+    applied = applied g v i;
+    blocked = blocked g v i;
+    overruled = overruled g v i;
+    defeated = defeated g v i
+  }
+
+let report_all g interp =
+  let v, _extra = Gop.Values.of_interp g interp in
+  List.init (Gop.n_rules g) (report g v)
+
+let pp_report ppf r =
+  let flags =
+    List.filter_map
+      (fun (b, name) -> if b then Some name else None)
+      [ (r.applicable, "applicable");
+        (r.applied, "applied");
+        (r.blocked, "blocked");
+        (r.overruled, "overruled");
+        (r.defeated, "defeated")
+      ]
+  in
+  Format.fprintf ppf "[%s] %a: %s" r.component Rule.pp r.rule
+    (if flags = [] then "none" else String.concat ", " flags)

@@ -1,0 +1,97 @@
+(* Pure V(I): the heads of the rules that fire under I.  For a consistent
+   I the result is consistent: two complementary-headed rules cannot both
+   be unsuppressed unless one is blocked, and a blocked rule's body is
+   never satisfied by a consistent interpretation. *)
+let step (g : Gop.t) v =
+  let next = Gop.Values.create g in
+  Array.iteri
+    (fun i (r : Gop.grule) ->
+      if
+        Status.applicable g v i
+        && (not (Status.overruled g v i))
+        && not (Status.defeated g v i)
+      then Gop.Values.set next r.head r.head_pol)
+    g.rules;
+  next
+
+let lfp_naive (g : Gop.t) =
+  let rec go v =
+    let v' = step g v in
+    if Gop.Values.equal v v' then v else go v'
+  in
+  go (Gop.Values.create g)
+
+(* Incremental counting engine.  Invariants:
+   - missing.(i): body literals of rule i not yet true;
+   - blocked.(i): some body literal of rule i is false;
+   - active_sup.(i): suppressors (overrulers + defeaters) of i not yet
+     blocked;
+   - a rule fires (derives its head) when missing = 0 and active_sup = 0.
+   Monotonicity (Lemma 1) makes all three evolve in one direction only. *)
+let run_incremental (g : Gop.t) =
+  let nr = Gop.n_rules g in
+  let v = Gop.Values.create g in
+  let missing = Array.map (fun (r : Gop.grule) -> Array.length r.body) g.rules in
+  let blocked = Array.make nr false in
+  let active_sup =
+    Array.init nr (fun i ->
+        List.length g.overrulers.(i) + List.length g.defeaters.(i))
+  in
+  let fired = Array.make nr false in
+  let queue = Queue.create () in
+  let fires = ref [] in
+  let round = ref 0 in
+  let derive a pol =
+    match Gop.Values.value v a with
+    | Logic.Interp.Undefined ->
+      Gop.Values.set v a pol;
+      Queue.add (a, pol) queue
+    | Logic.Interp.True ->
+      if not pol then failwith "Vfix: inconsistent derivation (impossible)"
+    | Logic.Interp.False ->
+      if pol then failwith "Vfix: inconsistent derivation (impossible)"
+  in
+  let try_fire i =
+    if (not fired.(i)) && missing.(i) = 0 && active_sup.(i) = 0 then begin
+      fired.(i) <- true;
+      fires := (i, !round) :: !fires;
+      derive g.rules.(i).head g.rules.(i).head_pol
+    end
+  in
+  let block j =
+    if not blocked.(j) then begin
+      blocked.(j) <- true;
+      List.iter
+        (fun i ->
+          active_sup.(i) <- active_sup.(i) - 1;
+          try_fire i)
+        g.suppresses.(j)
+    end
+  in
+  for i = 0 to nr - 1 do
+    try_fire i
+  done;
+  while not (Queue.is_empty queue) do
+    incr round;
+    let a, pol = Queue.pop queue in
+    let sat_rules = if pol then g.by_body_pos.(a) else g.by_body_neg.(a) in
+    let blk_rules = if pol then g.by_body_neg.(a) else g.by_body_pos.(a) in
+    List.iter
+      (fun i ->
+        missing.(i) <- missing.(i) - 1;
+        try_fire i)
+      sat_rules;
+    List.iter block blk_rules
+  done;
+  (v, List.rev !fires)
+
+let lfp g = fst (run_incremental g)
+let trace g = snd (run_incremental g)
+
+let least_model ?(engine = `Incremental) g =
+  let v =
+    match engine with
+    | `Incremental -> lfp g
+    | `Naive -> lfp_naive g
+  in
+  Gop.Values.to_interp g v

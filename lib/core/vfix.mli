@@ -1,0 +1,36 @@
+(** The ordered immediate transformation [V_{P,C}] (paper, Definition 4)
+    and its least fixpoint.
+
+    [V(I) = { H(r) | r in ground(C-star), B(r) <= I, r neither overruled nor
+    defeated w.r.t. I }].  [V] is monotone (Lemma 1): growing [I] can only
+    satisfy more bodies and block more contradictors, so its least fixpoint
+    from the empty interpretation exists and is reached in at most
+    [2 * n_atoms] rounds.  By Theorem 1(b) the least fixpoint is the least
+    model of [P] in [C], is assumption-free, and equals the intersection of
+    all models.
+
+    Two engines compute it:
+
+    - {!lfp} — incremental counting: every rule keeps a count of unmet body
+      literals and of non-blocked suppressors; deriving a literal decrements
+      counts along precomputed adjacency, so the total work is linear in
+      program size plus suppression edges.
+    - {!lfp_naive} — fair re-evaluation of every rule each round (quadratic);
+      the executable specification, kept as a cross-check and benchmark
+      baseline. *)
+
+val step : Gop.t -> Gop.Values.t -> Gop.Values.t
+(** One application of [V] (returns a fresh assignment). *)
+
+val lfp : Gop.t -> Gop.Values.t
+(** Least fixpoint by the incremental counting engine. *)
+
+val lfp_naive : Gop.t -> Gop.Values.t
+(** Least fixpoint by Kleene iteration of {!step}. *)
+
+val least_model : ?engine:[ `Incremental | `Naive ] -> Gop.t -> Logic.Interp.t
+(** The least model [V^inf_{P,C}(0)] as a symbolic interpretation. *)
+
+val trace : Gop.t -> (int * int) list
+(** Firing order of the incremental engine: [(rule index, round)] pairs in
+    derivation order (used by {!Explain}). *)

@@ -1,0 +1,65 @@
+open Nprog
+
+let step (p : Nprog.t) (input : bool array) =
+  let out = Array.make (n_atoms p) false in
+  Array.iter
+    (fun r ->
+      if
+        r.neg = [||]
+        && Array.for_all (fun a -> input.(a)) r.pos
+      then out.(r.head) <- true)
+    p.rules;
+  out
+
+let lfp_rules (p : Nprog.t) (rules : rule array) =
+  let n = n_atoms p in
+  let truth = Array.make n false in
+  let missing = Array.map (fun r -> Array.length r.pos) rules in
+  (* index: atom -> rules of [rules] with that atom in pos *)
+  let by_pos = Array.make n [] in
+  Array.iteri
+    (fun i r -> Array.iter (fun a -> by_pos.(a) <- i :: by_pos.(a)) r.pos)
+    rules;
+  let queue = Queue.create () in
+  let derive a =
+    if not truth.(a) then begin
+      truth.(a) <- true;
+      Queue.add a queue
+    end
+  in
+  Array.iteri
+    (fun i r -> if missing.(i) = 0 && r.neg = [||] then derive r.head)
+    rules;
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    List.iter
+      (fun i ->
+        missing.(i) <- missing.(i) - 1;
+        if missing.(i) = 0 && rules.(i).neg = [||] then derive rules.(i).head)
+      by_pos.(a)
+  done;
+  truth
+
+let lfp (p : Nprog.t) = lfp_rules p p.rules
+
+let lfp_naive (p : Nprog.t) =
+  let n = n_atoms p in
+  let cur = ref (Array.make n false) in
+  let continue_ = ref true in
+  while !continue_ do
+    let next = step p !cur in
+    (* [T_P] is inflationary from the empty set on positive programs, but
+       [step] recomputes from scratch; union keeps the iteration monotone. *)
+    Array.iteri (fun i b -> if b then next.(i) <- true) !cur;
+    if next = !cur then continue_ := false else cur := next
+  done;
+  !cur
+
+let reduct (p : Nprog.t) ~assumed_false =
+  Array.of_list
+    (Array.fold_right
+       (fun r acc ->
+         if Array.for_all assumed_false r.neg then
+           { r with neg = [||] } :: acc
+         else acc)
+       p.rules [])

@@ -1,0 +1,28 @@
+(** The immediate consequence transformation [T_P] and its least fixpoint
+    — the minimal total model of a positive program ([L], [U]; paper,
+    Section 2). *)
+
+val step : Nprog.t -> bool array -> bool array
+(** One application of [T_P] to a set of atoms (given and returned as a
+    mask over the program's atom ids): atoms whose rule has every positive
+    body atom in the input and no NAF literal ({b NAF literals are
+    ignored}, i.e. the program is assumed positive; use {!reduct} first
+    for programs with negation). *)
+
+val lfp : Nprog.t -> bool array
+(** Least fixpoint of [T_P] from the empty set, computed with the counting
+    (semi-naive) algorithm in time linear in program size.  NAF body
+    literals make a rule never fire. *)
+
+val lfp_naive : Nprog.t -> bool array
+(** Same result via naive iteration of {!step} (quadratic); kept as the
+    reference implementation and as a benchmark baseline. *)
+
+val reduct : Nprog.t -> assumed_false:(int -> bool) -> Nprog.rule array
+(** Gelfond–Lifschitz reduct w.r.t. a candidate set [S]: keep rule [r] iff
+    every NAF atom [a] of [r] satisfies [assumed_false a] (i.e. [a] is not
+    in [S]); kept rules are returned with [neg] emptied. *)
+
+val lfp_rules : Nprog.t -> Nprog.rule array -> bool array
+(** Least fixpoint of [T] over an explicit (positive) rule array, using the
+    counting algorithm; [Nprog.t] supplies only the atom table. *)

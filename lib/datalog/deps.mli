@@ -1,0 +1,32 @@
+(** Predicate dependency graph, strongly connected components and
+    stratification [ABW] for (non-ground) seminegative programs.
+
+    There is an edge [p -> q] when a rule with head predicate [p] has [q]
+    in its body; the edge is {e negative} when some such occurrence of [q]
+    is under negation.  The program is stratified iff no cycle of the graph
+    contains a negative edge. *)
+
+type pred = string * int
+
+type t
+
+val of_rules : Logic.Rule.t list -> t
+(** Build the dependency graph (builtin predicates are ignored). *)
+
+val predicates : t -> pred list
+
+val depends_on : t -> pred -> (pred * bool) list
+(** Body predicates of rules defining the given head predicate, each tagged
+    with [true] when some occurrence is negative. *)
+
+val sccs : t -> pred list list
+(** Strongly connected components in reverse topological order (a component
+    appears after the components it depends on). *)
+
+val stratification : t -> (pred * int) list option
+(** [Some strata] maps every predicate to a stratum (0-based; a predicate's
+    stratum is at least that of the predicates it depends on, strictly
+    greater across negative edges); [None] if the program is not
+    stratified. *)
+
+val is_stratified : t -> bool

@@ -1,0 +1,41 @@
+open Logic
+
+type t = {
+  source : Rule.t list;
+  ground : Rule.t list;
+  nprog : Nprog.t;
+  mutable wf : Interp.t option;  (** computed on demand, then cached *)
+}
+
+let load ?depth ?(grounder = `Relevant) source =
+  let ground =
+    match grounder with
+    | `Relevant -> (Ground.Grounder.relevant ~naf:true ?depth source).rules
+    | `Naive -> (Ground.Grounder.naive ?depth source).rules
+  in
+  { source; ground; nprog = Nprog.of_rules ground; wf = None }
+
+let load_src ?depth ?grounder src =
+  load ?depth ?grounder (Lang.Parser.parse_rules src)
+
+let nprog t = t.nprog
+let ground_rules t = t.ground
+
+let minimal_model t = Nprog.decode_mask t.nprog (Consequence.lfp t.nprog)
+
+let well_founded t =
+  match t.wf with
+  | Some m -> m
+  | None ->
+    let m = Wellfounded.model t.nprog in
+    t.wf <- Some m;
+    m
+
+let stable_models ?limit t = Stable.models ?limit t.nprog
+let perfect_model t = Perfect.model t.nprog t.source
+let is_stratified t = Deps.is_stratified (Deps.of_rules t.source)
+
+let holds t (l : Literal.t) =
+  if not (Literal.is_ground l) then
+    invalid_arg "Engine.holds: literal must be ground";
+  Interp.value_lit (well_founded t) l

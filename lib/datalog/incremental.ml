@@ -1,0 +1,180 @@
+open Logic
+
+type rule = { head : Atom.t; body : Atom.t array }
+
+type t = {
+  rules : rule array;
+  by_body : int list Atom.Tbl.t;  (** rules with the atom in their body *)
+  by_head : int list Atom.Tbl.t;
+  missing : int array;  (** body atoms not currently derived *)
+  fired : bool array;  (** missing = 0 *)
+  support : int Atom.Tbl.t;  (** # fired rules with this head *)
+  mutable edb : Atom.Set.t;
+  mutable derived : Atom.Set.t;  (** edb + atoms with support > 0 *)
+}
+
+let convert (r : Rule.t) =
+  if not (Rule.is_ground r) then invalid_arg "Incremental.create: non-ground rule";
+  if not (Rule.is_positive r) then
+    invalid_arg "Incremental.create: only positive rules are supported";
+  if Ground.Builtin.is_builtin_literal (Rule.head r) then
+    invalid_arg "Incremental.create: builtin head";
+  { head = (Rule.head r).Literal.atom;
+    body =
+      Array.of_list
+        (List.map
+           (fun (l : Literal.t) -> l.atom)
+           (Literal.Set.elements (Rule.body_set r)))
+  }
+
+let tbl_add tbl key i =
+  match Atom.Tbl.find_opt tbl key with
+  | Some l -> Atom.Tbl.replace tbl key (i :: l)
+  | None -> Atom.Tbl.add tbl key [ i ]
+
+let tbl_get tbl key = Option.value ~default:[] (Atom.Tbl.find_opt tbl key)
+
+let bump tbl key delta =
+  let v = Option.value ~default:0 (Atom.Tbl.find_opt tbl key) + delta in
+  assert (v >= 0);
+  if v = 0 then Atom.Tbl.remove tbl key else Atom.Tbl.replace tbl key v;
+  v
+
+let create_state src =
+  let facts, proper = List.partition Rule.is_fact src in
+  let rules = Array.of_list (List.map convert proper) in
+  let by_body = Atom.Tbl.create 64 in
+  let by_head = Atom.Tbl.create 64 in
+  Array.iteri
+    (fun i r ->
+      tbl_add by_head r.head i;
+      Array.iter (fun a -> tbl_add by_body a i) r.body)
+    rules;
+  { rules;
+    by_body;
+    by_head;
+    missing = Array.map (fun r -> Array.length r.body) rules;
+    fired = Array.make (Array.length rules) false;
+    support = Atom.Tbl.create 64;
+    edb = Atom.Set.empty;
+    derived = Atom.Set.empty
+  }
+  |> fun t ->
+  (* Source facts become initial EDB atoms, inserted by [create]. *)
+  (t, List.map (fun (r : Rule.t) -> (Rule.head r).Literal.atom) facts)
+
+let holds t a = Atom.Set.mem a t.derived
+let derived t = t.derived
+let edb t = t.edb
+
+(* Propagate newly-derived atoms semi-naively. *)
+let propagate t queue =
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    List.iter
+      (fun i ->
+        t.missing.(i) <- t.missing.(i) - 1;
+        if t.missing.(i) = 0 then begin
+          t.fired.(i) <- true;
+          let h = t.rules.(i).head in
+          ignore (bump t.support h 1);
+          if not (Atom.Set.mem h t.derived) then begin
+            t.derived <- Atom.Set.add h t.derived;
+            Queue.add h queue
+          end
+        end)
+      (tbl_get t.by_body a)
+  done
+
+let derive t a =
+  if not (Atom.Set.mem a t.derived) then begin
+    t.derived <- Atom.Set.add a t.derived;
+    let q = Queue.create () in
+    Queue.add a q;
+    propagate t q
+  end
+
+let add t a =
+  if not (Atom.Set.mem a t.edb) then begin
+    t.edb <- Atom.Set.add a t.edb;
+    derive t a
+  end
+
+let create src =
+  let t, initial_facts = create_state src in
+  List.iter (add t) initial_facts;
+  t
+
+(* DRed deletion: over-delete everything whose derivation may involve the
+   removed atoms, then re-derive what still has support. *)
+let remove t a =
+  if Atom.Set.mem a t.edb then begin
+    t.edb <- Atom.Set.remove a t.edb;
+    (* Over-deletion: Delta starts at {a} (unless it still has rule
+       support independent of a — conservatively over-delete anyway, the
+       re-derivation phase brings it back if justified). *)
+    let delta = ref Atom.Set.empty in
+    let queue = Queue.create () in
+    let push x =
+      if (not (Atom.Set.mem x !delta)) && Atom.Set.mem x t.derived then begin
+        delta := Atom.Set.add x !delta;
+        Queue.add x queue
+      end
+    in
+    push a;
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun i ->
+          if t.fired.(i) then push t.rules.(i).head)
+        (tbl_get t.by_body x)
+    done;
+    (* Remove the over-deleted atoms (except those still in the EDB) and
+       reset the state of every rule that touches them. *)
+    let removed = Atom.Set.filter (fun x -> not (Atom.Set.mem x t.edb)) !delta in
+    t.derived <- Atom.Set.diff t.derived removed;
+    let affected = Hashtbl.create 64 in
+    Atom.Set.iter
+      (fun x ->
+        List.iter (fun i -> Hashtbl.replace affected i ()) (tbl_get t.by_body x);
+        List.iter (fun i -> Hashtbl.replace affected i ()) (tbl_get t.by_head x))
+      removed;
+    Hashtbl.iter
+      (fun i () ->
+        if t.fired.(i) then begin
+          t.fired.(i) <- false;
+          ignore (bump t.support t.rules.(i).head (-1))
+        end;
+        t.missing.(i) <-
+          Array.fold_left
+            (fun n b -> if Atom.Set.mem b t.derived then n else n + 1)
+            0 t.rules.(i).body)
+      affected;
+    (* Re-derivation: an affected rule whose body survived re-fires; its
+       head (and onward consequences) come back. *)
+    let q = Queue.create () in
+    Hashtbl.iter
+      (fun i () ->
+        if t.missing.(i) = 0 && not t.fired.(i) then begin
+          t.fired.(i) <- true;
+          let h = t.rules.(i).head in
+          ignore (bump t.support h 1);
+          if not (Atom.Set.mem h t.derived) then begin
+            t.derived <- Atom.Set.add h t.derived;
+            Queue.add h q
+          end
+        end)
+      affected;
+    propagate t q
+  end
+
+let recompute t =
+  let rules =
+    Array.to_list t.rules
+    |> List.map (fun r ->
+           Rule.make (Literal.pos r.head)
+             (Array.to_list (Array.map Literal.pos r.body)))
+  in
+  let facts = List.map (fun a -> Rule.fact (Literal.pos a)) (Atom.Set.elements t.edb) in
+  let p = Nprog.of_rules (rules @ facts) in
+  Nprog.decode_mask p (Consequence.lfp p)

@@ -1,0 +1,154 @@
+open Logic
+
+(* An adornment is one [b]ound / [f]ree flag per argument position. *)
+type adornment = bool array (* true = bound *)
+
+let adorned_name pred (a : adornment) =
+  pred ^ "__"
+  ^ String.init (Array.length a) (fun i -> if a.(i) then 'b' else 'f')
+
+let magic_name pred a = "magic_" ^ adorned_name pred a
+
+let check_positive rules =
+  List.iter
+    (fun (r : Rule.t) ->
+      if
+        Literal.is_negative (Rule.head r)
+        || List.exists
+             (fun (l : Literal.t) ->
+               Literal.is_negative l
+               && not (Ground.Builtin.is_builtin_literal l))
+             (Rule.body r)
+      then
+        invalid_arg
+          "Magic.transform: only positive rules are supported")
+    rules
+
+(* Predicates defined by at least one proper rule are IDB. *)
+let idb_preds rules =
+  List.fold_left
+    (fun acc (r : Rule.t) ->
+      if Rule.is_fact r then acc
+      else
+        let h = (Rule.head r).Literal.atom in
+        (h.Atom.pred, Atom.arity h) :: acc)
+    [] rules
+  |> List.sort_uniq compare
+
+let bound_vars_of_term bound t =
+  List.for_all (fun v -> List.mem v bound) (Term.vars t)
+
+let adornment_of_atom bound (a : Atom.t) : adornment =
+  Array.of_list (List.map (bound_vars_of_term bound) a.args)
+
+(* Arguments at bound positions. *)
+let bound_args (a : Atom.t) (ad : adornment) =
+  List.filteri (fun i _ -> ad.(i)) a.args
+
+let transform rules ~query =
+  check_positive rules;
+  if Ground.Builtin.is_builtin_atom query then
+    invalid_arg "Magic.transform: builtin query";
+  let idb = idb_preds rules in
+  let is_idb (a : Atom.t) = List.mem (a.Atom.pred, Atom.arity a) idb in
+  let query_ad : adornment =
+    Array.of_list (List.map Term.is_ground query.Atom.args)
+  in
+  let out = ref [] in
+  let emit r = out := r :: !out in
+  let seen = Hashtbl.create 16 in
+  let work = Queue.create () in
+  let demand (pred, arity) (ad : adornment) =
+    let key = (pred, arity, Array.to_list ad) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      Queue.add (pred, arity, ad) work
+    end
+  in
+  if is_idb query then demand (query.Atom.pred, Atom.arity query) query_ad;
+  while not (Queue.is_empty work) do
+    let pred, arity, ad = Queue.pop work in
+    List.iter
+      (fun (r : Rule.t) ->
+        let h = (Rule.head r).Literal.atom in
+        if String.equal h.Atom.pred pred && Atom.arity h = arity then begin
+          (* variables bound by the magic guard *)
+          let bound = ref [] in
+          List.iteri
+            (fun i t -> if ad.(i) then bound := Term.add_vars t !bound)
+            h.Atom.args;
+          let magic_head =
+            Atom.make (magic_name pred ad) (bound_args h ad)
+          in
+          (* walk the body left-to-right, rewriting IDB atoms and
+             generating magic rules *)
+          let prefix = ref [ Literal.pos magic_head ] in
+          List.iter
+            (fun (l : Literal.t) ->
+              let a = l.Literal.atom in
+              if Ground.Builtin.is_builtin_literal l then
+                prefix := l :: !prefix
+              else if is_idb a then begin
+                let ad' = adornment_of_atom !bound a in
+                demand (a.Atom.pred, Atom.arity a) ad';
+                (* magic rule: the bindings flowing into this call *)
+                emit
+                  (Rule.make
+                     (Literal.pos
+                        (Atom.make
+                           (magic_name a.Atom.pred ad')
+                           (bound_args a ad')))
+                     (List.rev !prefix));
+                (* the call itself, adorned *)
+                let adorned =
+                  { a with Atom.pred = adorned_name a.Atom.pred ad' }
+                in
+                prefix := Literal.pos adorned :: !prefix;
+                bound := Atom.add_vars a !bound
+              end
+              else begin
+                (* EDB atom: kept as is, binds its variables *)
+                prefix := l :: !prefix;
+                bound := Atom.add_vars a !bound
+              end)
+            (Rule.body r);
+          (* the answer rule, guarded by the magic of its head *)
+          emit
+            (Rule.make
+               (Literal.pos { h with Atom.pred = adorned_name pred ad })
+               (List.rev !prefix))
+        end)
+      rules
+  done;
+  (* EDB facts and rules over EDB-only predicates pass through. *)
+  List.iter
+    (fun (r : Rule.t) ->
+      if Rule.is_fact r then emit r)
+    rules;
+  (* seed: the query's bound arguments *)
+  let adorned_query =
+    if is_idb query then { query with Atom.pred = adorned_name query.Atom.pred query_ad }
+    else query
+  in
+  if is_idb query then
+    emit
+      (Rule.fact
+         (Literal.pos
+            (Atom.make
+               (magic_name query.Atom.pred query_ad)
+               (bound_args query query_ad))));
+  (List.rev !out, adorned_query)
+
+let answers rules ~query =
+  let transformed, adorned_query = transform rules ~query in
+  let ground = (Ground.Grounder.relevant ~naf:true transformed).rules in
+  let np = Nprog.of_rules ground in
+  let model = Nprog.decode_mask np (Consequence.lfp np) in
+  Atom.Set.filter_map
+    (fun (a : Atom.t) ->
+      if String.equal a.Atom.pred adorned_query.Atom.pred then
+        match Unify.match_atom adorned_query a with
+        | Some _ -> Some { a with Atom.pred = query.Atom.pred }
+        | None -> None
+      else None)
+    model

@@ -1,0 +1,30 @@
+(** Magic-set rewriting for positive datalog queries.
+
+    Given a positive program and a query atom with some arguments bound
+    (ground), the transformation specialises the program so that bottom-up
+    evaluation only derives tuples relevant to the query — the classical
+    deductive-database counterpart of the ordered [Ordered.Prove]
+    relevance closure.
+
+    The rewriting is the textbook one with a left-to-right sideways
+    information passing strategy: predicates are {e adorned} with a
+    bound/free pattern per argument ([anc_bf]), each adorned IDB predicate
+    gets a [magic_] guard relation holding the bindings it will be called
+    with, rules are guarded by the magic of their head, and the query's
+    bound arguments seed the magic relation.
+
+    Only {e positive} rules are supported (no negative literals); builtin
+    comparisons may appear in bodies and bind nothing.  Predicates without
+    rules are EDB and are left untouched. *)
+
+val transform :
+  Logic.Rule.t list -> query:Logic.Atom.t -> Logic.Rule.t list * Logic.Atom.t
+(** [transform rules ~query] returns the rewritten program (adorned rules,
+    magic rules, and the magic seed fact for the query's bound arguments)
+    together with the adorned query atom to evaluate against it.  Raises
+    [Invalid_argument] on negative literals or a builtin query. *)
+
+val answers : Logic.Rule.t list -> query:Logic.Atom.t -> Logic.Atom.Set.t
+(** Evaluate the rewritten program bottom-up (relevance grounding + least
+    fixpoint) and return the query instances that hold, with the original
+    predicate name restored. *)

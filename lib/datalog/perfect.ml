@@ -1,0 +1,65 @@
+open Logic
+
+let eval_with_strata (p : Nprog.t) (stratum_of : Atom.t -> int) =
+  let n = Nprog.n_atoms p in
+  let max_stratum = ref 0 in
+  Array.iter
+    (fun a -> max_stratum := max !max_stratum (stratum_of a))
+    p.atoms;
+  let truth = Array.make n false in
+  let decided = Array.make n false in
+  for s = 0 to !max_stratum do
+    (* Rules whose head lives in stratum [s]; NAF atoms of such rules are in
+       strictly lower strata, hence already decided. *)
+    let rules =
+      Array.of_list
+        (Array.to_list p.rules
+        |> List.filter_map (fun (r : Nprog.rule) ->
+               if stratum_of p.atoms.(r.head) <> s then None
+               else if
+                 Array.exists (fun a -> decided.(a) && truth.(a)) r.neg
+               then None
+               else Some { r with Nprog.neg = [||] }))
+    in
+    (* Seed the fixpoint with everything derived in lower strata. *)
+    let seeded =
+      Array.append rules
+        (Array.of_list
+           (List.filter_map
+              (fun a ->
+                if truth.(a) then Some { Nprog.head = a; pos = [||]; neg = [||] }
+                else None)
+              (List.init n Fun.id)))
+    in
+    let result = Consequence.lfp_rules p seeded in
+    Array.iteri (fun a b -> if b then truth.(a) <- true) result;
+    Array.iteri
+      (fun a _ -> if stratum_of p.atoms.(a) <= s then decided.(a) <- true)
+      p.atoms
+  done;
+  Nprog.decode_mask p truth
+
+let model (p : Nprog.t) src =
+  let g = Deps.of_rules src in
+  match Deps.stratification g with
+  | None -> None
+  | Some strata ->
+    let stratum_of (a : Atom.t) =
+      match List.assoc_opt (a.pred, Atom.arity a) strata with
+      | Some s -> s
+      | None -> 0
+    in
+    Some (eval_with_strata p stratum_of)
+
+let model_of_ground (p : Nprog.t) =
+  (* Treat each ground atom's predicate via a ground source program. *)
+  let src =
+    Array.to_list p.rules
+    |> List.map (fun (r : Nprog.rule) ->
+           Rule.make
+             (Literal.pos p.atoms.(r.head))
+             (Array.to_list (Array.map (fun a -> Literal.pos p.atoms.(a)) r.pos)
+             @ Array.to_list
+                 (Array.map (fun a -> Literal.neg_atom p.atoms.(a)) r.neg)))
+  in
+  model p src

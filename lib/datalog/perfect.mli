@@ -1,0 +1,16 @@
+(** Perfect-model (iterated fixpoint) semantics for stratified programs
+    [ABW, P1, P2].
+
+    Strata are evaluated bottom-up: within a stratum, negative literals
+    refer only to lower strata and are decided by closed-world assumption
+    on the result so far.  For a stratified program the perfect model is
+    total, unique, and coincides with both the well-founded and the unique
+    stable model. *)
+
+val model : Nprog.t -> Logic.Rule.t list -> Logic.Atom.Set.t option
+(** [model p src] evaluates the ground program [p] stratum by stratum
+    according to the stratification of the (possibly non-ground) source
+    rules [src]; [None] if [src] is not stratified. *)
+
+val model_of_ground : Nprog.t -> Logic.Atom.Set.t option
+(** Stratify the ground program itself (each ground atom's predicate). *)

@@ -1,0 +1,68 @@
+let is_stable (p : Nprog.t) (s : bool array) =
+  let rules = Consequence.reduct p ~assumed_false:(fun a -> not s.(a)) in
+  Consequence.lfp_rules p rules = s
+
+let enumerate ?limit (p : Nprog.t) =
+  let wf = Wellfounded.compute p in
+  (* Branch atoms: atoms occurring under NAF and undefined in the
+     well-founded model.  Any stable model agrees with the well-founded
+     model on defined atoms, and is determined by its restriction to NAF
+     atoms (the reduct depends only on those). *)
+  let n = Nprog.n_atoms p in
+  let branch = ref [] in
+  for a = n - 1 downto 0 do
+    if
+      p.by_neg.(a) <> []
+      && (not wf.true_.(a))
+      && not wf.false_.(a)
+    then branch := a :: !branch
+  done;
+  let branch = Array.of_list !branch in
+  let guess = Array.copy wf.true_ in
+  (* guess.(a) for NAF atoms: assumed membership in the candidate set. *)
+  let found = ref [] in
+  let count = ref 0 in
+  let full () =
+    match limit with
+    | Some l -> !count >= l
+    | None -> false
+  in
+  let check () =
+    let rules = Consequence.reduct p ~assumed_false:(fun a -> not guess.(a)) in
+    let m = Consequence.lfp_rules p rules in
+    (* Consistency: the guess must coincide with the least model on every
+       atom the reduct depended on (all NAF atoms). *)
+    let consistent =
+      Array.for_all (fun a -> m.(a) = guess.(a)) branch
+      && Array.for_all
+           Fun.id
+           (Array.mapi
+              (fun a t -> (not t) || not wf.false_.(a))
+              m)
+    in
+    if consistent && is_stable p m then begin
+      incr count;
+      found := m :: !found
+    end
+  in
+  let rec go i =
+    if not (full ()) then
+      if i >= Array.length branch then check ()
+      else begin
+        let a = branch.(i) in
+        guess.(a) <- false;
+        go (i + 1);
+        guess.(a) <- true;
+        go (i + 1);
+        guess.(a) <- wf.true_.(a)
+      end
+  in
+  go 0;
+  List.rev !found
+
+let models ?limit p = List.map (Nprog.decode_mask p) (enumerate ?limit p)
+
+let first p =
+  match enumerate ~limit:1 p with
+  | [] -> None
+  | m :: _ -> Some (Nprog.decode_mask p m)

@@ -1,0 +1,22 @@
+(** Classical (total) stable models [GL1].
+
+    A set of atoms [S] is a stable model of a normal program [P] iff [S]
+    equals the least model of the Gelfond–Lifschitz reduct [P^S].  The
+    solver seeds the search with the well-founded model (every stable model
+    contains the well-founded true atoms and avoids the well-founded false
+    atoms) and branches on the remaining atoms that occur under NAF. *)
+
+val is_stable : Nprog.t -> bool array -> bool
+(** Check the Gelfond–Lifschitz fixpoint condition for a candidate. *)
+
+val enumerate : ?limit:int -> Nprog.t -> bool array list
+(** All stable models (at most [limit] if given), each as an atom mask, in
+    a deterministic order.  Exponential in the number of undefined
+    NAF-atoms; intended for programs whose ground residue after
+    well-founded simplification is small. *)
+
+val models : ?limit:int -> Nprog.t -> Logic.Atom.Set.t list
+(** {!enumerate}, decoded to atom sets. *)
+
+val first : Nprog.t -> Logic.Atom.Set.t option
+(** The first stable model found, if any. *)

@@ -1,0 +1,71 @@
+open Logic
+
+let rule_body_lits (p : Nprog.t) (r : Nprog.rule) =
+  Array.to_list (Array.map (fun a -> Literal.pos p.atoms.(a)) r.pos)
+  @ Array.to_list (Array.map (fun a -> Literal.neg_atom p.atoms.(a)) r.neg)
+
+let is_three_valued_model (p : Nprog.t) (m : Interp.t) =
+  Array.for_all
+    (fun (r : Nprog.rule) ->
+      let hv = Interp.value m p.atoms.(r.head) in
+      let bv = Interp.value_conj m (rule_body_lits p r) in
+      Interp.compare_value hv bv >= 0)
+    p.rules
+
+let positive_version (p : Nprog.t) (m : Interp.t) =
+  Array.of_list
+    (List.filter_map
+       (fun (r : Nprog.rule) ->
+         let applicable =
+           Array.for_all (fun a -> Interp.value m p.atoms.(a) = Interp.True) r.pos
+           && Array.for_all
+                (fun a -> Interp.value m p.atoms.(a) = Interp.False)
+                r.neg
+         in
+         let applied = applicable && Interp.value m p.atoms.(r.head) = Interp.True in
+         if applied then Some { r with Nprog.neg = [||] } else None)
+       (Array.to_list p.rules))
+
+let is_founded (p : Nprog.t) (m : Interp.t) =
+  let fix = Consequence.lfp_rules p (positive_version p m) in
+  let m_plus =
+    Array.mapi (fun i a -> ignore i; Interp.value m a = Interp.True) p.atoms
+  in
+  fix = m_plus
+
+(* Enumerate all interpretations over the program's atoms: each atom is
+   true, false or undefined. *)
+let enumerate_interps (p : Nprog.t) f =
+  let n = Nprog.n_atoms p in
+  let rec go i m = if i >= n then f m
+    else begin
+      go (i + 1) m;
+      go (i + 1) (Interp.set m p.atoms.(i) true);
+      go (i + 1) (Interp.set m p.atoms.(i) false)
+    end
+  in
+  go 0 Interp.empty
+
+let founded_models (p : Nprog.t) =
+  let acc = ref [] in
+  enumerate_interps p (fun m ->
+      if is_three_valued_model p m && is_founded p m then acc := m :: !acc);
+  List.rev !acc
+
+let maximal_by_subset models =
+  List.filter
+    (fun m ->
+      not
+        (List.exists
+           (fun m' -> (not (Interp.equal m m')) && Interp.subset m m')
+           models))
+    models
+
+let stable_models p = maximal_by_subset (founded_models p)
+
+let total_stable_models (p : Nprog.t) =
+  Stable.models p
+  |> List.map (fun s ->
+         Array.fold_left
+           (fun m a -> Interp.set m a (Atom.Set.mem a s))
+           Interp.empty p.atoms)

@@ -1,0 +1,33 @@
+(** Three-valued models [P3], founded models and (3-valued) stable models
+    [SZ] of seminegative programs (paper, Section 3).
+
+    An interpretation [M] — a consistent set of literals over the program's
+    atoms — is a {e 3-valued model} when [value(H(r)) >= value(B(r))] for
+    every ground rule [r], under [False < Undefined < True].
+
+    The {e positive version} [C_M] of [C] w.r.t. [M] keeps only the
+    {e applied} rules (applicable with head true in [M]) and strips their
+    negative literals; [M] is {e founded} when the least fixpoint of
+    [T_{C_M}] equals [M+].  [M] is a (3-valued) {e stable model} when it is
+    a maximal founded 3-valued model. *)
+
+val is_three_valued_model : Nprog.t -> Logic.Interp.t -> bool
+
+val positive_version : Nprog.t -> Logic.Interp.t -> Nprog.rule array
+(** The paper's [C_M]: applied rules with negative literals deleted. *)
+
+val is_founded : Nprog.t -> Logic.Interp.t -> bool
+(** [T^inf_{C_M}(0) = M+] (requires [M] to be a 3-valued model to mean
+    anything; the check itself works on any interpretation). *)
+
+val founded_models : Nprog.t -> Logic.Interp.t list
+(** All founded 3-valued models, by exhaustive enumeration over the atom
+    space — exponential, for testing on small programs. *)
+
+val stable_models : Nprog.t -> Logic.Interp.t list
+(** Maximal founded 3-valued models (set-inclusion maximal on the literal
+    sets), by exhaustive enumeration — exponential, for testing. *)
+
+val total_stable_models : Nprog.t -> Logic.Interp.t list
+(** The total stable models, i.e. classical [GL1] stable models, derived
+    from {!Stable.models} (efficient path). *)

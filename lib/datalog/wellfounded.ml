@@ -1,0 +1,38 @@
+open Logic
+
+type result = { true_ : bool array; false_ : bool array }
+
+let gamma (p : Nprog.t) (s : bool array) =
+  let rules = Consequence.reduct p ~assumed_false:(fun a -> not s.(a)) in
+  Consequence.lfp_rules p rules
+
+let compute (p : Nprog.t) =
+  let n = Nprog.n_atoms p in
+  (* K ascends to lfp(gamma^2); U descends to gfp(gamma^2), starting from
+     K0 = empty, U0 = gamma(K0) (all atoms potentially true). *)
+  let k = ref (Array.make n false) in
+  let u = ref (gamma p !k) in
+  let continue_ = ref true in
+  while !continue_ do
+    let k' = gamma p !u in
+    let u' = gamma p k' in
+    if k' = !k && u' = !u then continue_ := false
+    else begin
+      k := k';
+      u := u'
+    end
+  done;
+  { true_ = !k; false_ = Array.map not !u }
+
+let model (p : Nprog.t) =
+  let r = compute p in
+  let acc = ref Interp.empty in
+  Array.iteri
+    (fun i a ->
+      if r.true_.(i) then acc := Interp.set !acc a true
+      else if r.false_.(i) then acc := Interp.set !acc a false)
+    p.atoms;
+  !acc
+
+let is_total r =
+  Array.for_all Fun.id (Array.mapi (fun i t -> t || r.false_.(i)) r.true_)

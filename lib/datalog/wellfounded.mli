@@ -1,0 +1,23 @@
+(** Well-founded semantics [VRS] via the alternating fixpoint.
+
+    [gamma p s] is the least model of the Gelfond–Lifschitz reduct of [p]
+    w.r.t. [s].  [gamma] is antimonotone, so [gamma^2] is monotone; the
+    well-founded model is [W+ = lfp (gamma^2)] (true atoms) and
+    [W- = complement of gfp (gamma^2)] (false atoms); the rest is
+    undefined. *)
+
+type result = {
+  true_ : bool array;  (** well-founded true atoms *)
+  false_ : bool array;  (** well-founded false atoms *)
+}
+
+val gamma : Nprog.t -> bool array -> bool array
+
+val compute : Nprog.t -> result
+
+val model : Nprog.t -> Logic.Interp.t
+(** The well-founded (3-valued) model as an interpretation: true atoms
+    mapped to true, well-founded-false atoms to false, others undefined. *)
+
+val is_total : result -> bool
+(** No undefined atom. *)

@@ -1,0 +1,207 @@
+open Logic
+
+type t = {
+  rules : Rule.t list;
+  universe : Term.t list;
+  active_base : Atom.t list;
+  full_base : Atom.t list Lazy.t;
+}
+
+let normalise_atom (a : Atom.t) : Atom.t =
+  { a with args = List.map Builtin.eval_term a.args }
+
+let normalise_literal (l : Literal.t) : Literal.t =
+  { l with atom = normalise_atom l.atom }
+
+let finalize_instance (r : Rule.t) : Rule.t option =
+  if not (Rule.is_ground r) then
+    invalid_arg "Grounder.finalize_instance: rule is not ground";
+  if Builtin.is_builtin_literal (Rule.head r) then
+    invalid_arg "Grounder.finalize_instance: builtin predicate in rule head";
+  let exception Dead in
+  try
+    let body =
+      List.filter_map
+        (fun l ->
+          if Builtin.is_builtin_literal l then
+            match Builtin.eval_literal l with
+            | Some true -> None
+            | Some false | None -> raise Dead
+          else Some (normalise_literal l))
+        (Rule.body r)
+    in
+    Some (Rule.make (normalise_literal (Rule.head r)) body)
+  with Dead -> None
+
+let ground_rule_instances ~universe r =
+  Herbrand.instantiations universe (Rule.vars r)
+  |> Seq.filter_map (fun s -> finalize_instance (Rule.apply s r))
+  |> List.of_seq
+
+let collect_active rules =
+  let acc = ref Atom.Set.empty in
+  List.iter
+    (fun r ->
+      acc := Atom.Set.add (Rule.head r).Literal.atom !acc;
+      List.iter (fun (l : Literal.t) -> acc := Atom.Set.add l.atom !acc) (Rule.body r))
+    rules;
+  Atom.Set.elements !acc
+
+let setup ?(depth = 0) ?(extra_constants = []) rules =
+  let sg = Herbrand.signature_of_rules rules in
+  let sg =
+    { sg with
+      constants =
+        Term.Set.elements
+          (Term.Set.union
+             (Term.Set.of_list sg.constants)
+             (Term.Set.of_list extra_constants))
+    }
+  in
+  let universe = Herbrand.universe ~depth sg in
+  let full_base = lazy (Herbrand.base ~depth ~skip:Builtin.is_builtin sg) in
+  (universe, full_base)
+
+let naive ?max_instances ?depth ?extra_constants rules =
+  let universe, full_base = setup ?depth ?extra_constants rules in
+  let count = ref 0 in
+  let budgeted insts =
+    match max_instances with
+    | None -> insts
+    | Some cap ->
+      List.iter
+        (fun _ ->
+          incr count;
+          if !count > cap then
+            invalid_arg
+              (Printf.sprintf
+                 "Grounder.naive: more than %d ground instances (universe \
+                  size %d); tighten the program or raise max_instances"
+                 cap (List.length universe)))
+        insts;
+      insts
+  in
+  let ground =
+    List.concat_map
+      (fun r -> budgeted (ground_rule_instances ~universe r))
+      rules
+    |> Rule.Set.of_list |> Rule.Set.elements
+  in
+  { rules = ground; universe; active_base = collect_active ground; full_base }
+
+(* ------------------------------------------------------------------ *)
+(* Relevance-driven grounding                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Index of derivable literals by (predicate, polarity). *)
+module Idx = struct
+  type t = (string * bool, Literal.t list ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let add (idx : t) (l : Literal.t) =
+    let key = (l.atom.pred, l.pol) in
+    match Hashtbl.find_opt idx key with
+    | Some cell -> cell := l :: !cell
+    | None -> Hashtbl.add idx key (ref [ l ])
+
+  let find (idx : t) (l : Literal.t) =
+    match Hashtbl.find_opt idx (l.atom.pred, l.pol) with
+    | Some cell -> !cell
+    | None -> []
+end
+
+(* Match the ordinary body literals of [r] left-to-right against the
+   indexed literal set, requiring (for semi-naive evaluation) that at least
+   one of them matches a literal of [delta] when [delta] is non-empty.
+   Remaining unbound variables are enumerated over [universe]. *)
+let instances_against ~naf ~universe ~idx ~delta_idx ~use_delta (r : Rule.t) =
+  let ordinary =
+    List.filter
+      (fun l ->
+        (not (Builtin.is_builtin_literal l))
+        && not (naf && Literal.is_negative l))
+      (Rule.body r)
+  in
+  let out = ref [] in
+  let rec go lits subst used_delta =
+    match lits with
+    | [] ->
+      if (not use_delta) || used_delta then begin
+        let bound = Rule.apply subst r in
+        let leftover = Rule.vars bound in
+        Herbrand.instantiations universe leftover
+        |> Seq.iter (fun s ->
+               match finalize_instance (Rule.apply s bound) with
+               | Some inst -> out := inst :: !out
+               | None -> ())
+      end
+    | (l : Literal.t) :: rest ->
+      let l' = Subst.apply_literal subst l in
+      let try_cands from_delta cands =
+        List.iter
+          (fun cand ->
+            match Unify.match_literal ~init:subst l' cand with
+            | Some subst' -> go rest subst' (used_delta || from_delta)
+            | None -> ())
+          cands
+      in
+      (* Candidates: to avoid duplicate work in semi-naive rounds we match
+         against old facts and delta separately only through the flag. *)
+      try_cands false (Idx.find idx l');
+      try_cands true (Idx.find delta_idx l')
+  in
+  go ordinary Subst.empty false;
+  !out
+
+let instances_supported_by ?(naf = false) ~universe ~support r =
+  let idx = Idx.create () in
+  List.iter (Idx.add idx) support;
+  instances_against ~naf ~universe ~idx ~delta_idx:(Idx.create ())
+    ~use_delta:false r
+
+let relevant ?(naf = false) ?depth ?extra_constants rules =
+  let universe, full_base = setup ?depth ?extra_constants rules in
+  let old_idx = Idx.create () in
+  let seen = ref Literal.Set.empty in
+  let produced = ref Rule.Set.empty in
+  (* Round 0: all rules against the (empty old + initial delta) database.
+     Facts and rules whose variables are all unbound fall back to universe
+     enumeration, seeding the derivable set. *)
+  let delta = ref [] in
+  let delta_idx = ref (Idx.create ()) in
+  let emit (inst : Rule.t) =
+    if not (Rule.Set.mem inst !produced) then begin
+      produced := Rule.Set.add inst !produced;
+      let h = Rule.head inst in
+      if not (Literal.Set.mem h !seen) then begin
+        seen := Literal.Set.add h !seen;
+        delta := h :: !delta
+      end
+    end
+  in
+  List.iter
+    (fun r ->
+      instances_against ~naf ~universe ~idx:old_idx ~delta_idx:(Idx.create ())
+        ~use_delta:false r
+      |> List.iter emit)
+    rules;
+  let rec loop () =
+    if !delta <> [] then begin
+      let d = !delta in
+      delta := [];
+      delta_idx := Idx.create ();
+      List.iter (Idx.add !delta_idx) d;
+      List.iter
+        (fun r ->
+          instances_against ~naf ~universe ~idx:old_idx ~delta_idx:!delta_idx
+            ~use_delta:true r
+          |> List.iter emit)
+        rules;
+      List.iter (Idx.add old_idx) d;
+      loop ()
+    end
+  in
+  loop ();
+  let ground = Rule.Set.elements !produced in
+  { rules = ground; universe; active_base = collect_active ground; full_base }

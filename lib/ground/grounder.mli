@@ -1,0 +1,79 @@
+(** Grounding: from rules with variables to the set of ground instances
+    (paper, Section 2: [ground(LP)]), with builtin comparison literals
+    evaluated away.
+
+    A ground instance whose builtin literals all evaluate to true keeps only
+    its ordinary literals; an instance with a false or non-evaluable builtin
+    is blocked in every interpretation and is discarded (sound for all the
+    paper's notions: such a rule is never applicable, never non-blocked,
+    hence never overrules or defeats).
+
+    Two grounders are provided:
+
+    - {!naive} — instantiate every rule over the full (depth-bounded)
+      Herbrand universe.  This is the {e reference} semantics.
+    - {!relevant} — bottom-up "intelligent" grounding: only produce
+      instances whose ordinary body literals are supported by heads of
+      already-produced instances (unbound variables fall back to universe
+      enumeration).  Sound and complete for the classical bottom-up
+      semantics (least fixpoints over applied rules, e.g. the [OV]/[EV]
+      bridges of Section 3), but {b not} semantics-preserving for arbitrary
+      ordered programs: a discarded rule with an underivable body is never
+      applicable, yet — being non-blocked — it can still overrule or defeat
+      other rules under Definition 2.  See the test suite for a witness. *)
+
+type t = {
+  rules : Logic.Rule.t list;  (** ground instances, builtin-free, deduplicated *)
+  universe : Logic.Term.t list;  (** the Herbrand universe used *)
+  active_base : Logic.Atom.t list;
+      (** atoms occurring in [rules] (heads or bodies), sorted *)
+  full_base : Logic.Atom.t list Lazy.t;
+      (** the full Herbrand base over non-builtin predicates *)
+}
+
+val naive :
+  ?max_instances:int ->
+  ?depth:int ->
+  ?extra_constants:Logic.Term.t list ->
+  Logic.Rule.t list ->
+  t
+(** Reference grounder.  [depth] bounds function-symbol nesting in the
+    universe (default [0]); [extra_constants] widens the universe (used to
+    ground a component against the constants of a whole ordered program);
+    [max_instances] guards against instantiation blow-up by raising
+    [Invalid_argument] once more than that many surviving instances have
+    been produced. *)
+
+val relevant :
+  ?naf:bool ->
+  ?depth:int ->
+  ?extra_constants:Logic.Term.t list ->
+  Logic.Rule.t list ->
+  t
+(** Relevance-driven grounder (see above for the soundness caveat).
+
+    With [~naf:true] negative body literals are read as negation-as-failure:
+    they are assumed satisfiable during grounding (their variables, if not
+    bound elsewhere, are enumerated over the universe) instead of being
+    matched against derived negative heads.  Use this mode to ground
+    classical (seminegative) programs for the [Datalog] engines. *)
+
+val ground_rule_instances :
+  universe:Logic.Term.t list -> Logic.Rule.t -> Logic.Rule.t list
+(** All surviving ground instances of one rule over a given universe
+    (builtins evaluated, arithmetic normalised). *)
+
+val instances_supported_by :
+  ?naf:bool ->
+  universe:Logic.Term.t list ->
+  support:Logic.Literal.t list ->
+  Logic.Rule.t ->
+  Logic.Rule.t list
+(** Ground instances of one rule whose ordinary body literals each match a
+    literal of [support] (with [~naf:true], negative literals are exempt);
+    variables left unbound are enumerated over [universe]. *)
+
+val finalize_instance : Logic.Rule.t -> Logic.Rule.t option
+(** Evaluate builtins and normalise arithmetic in one ground rule; [None]
+    if a builtin is false or not evaluable.  Raises [Invalid_argument] if
+    the rule is not ground or has a builtin head. *)

@@ -1,0 +1,82 @@
+(** Knowledge bases: the object-oriented reading of ordered logic
+    programming (paper, Section 5).
+
+    An object is a component; [isa] parents place it {e below} them in the
+    paper's order, so it inherits their rules and its local rules overrule
+    inherited ones (defaults and exceptions).  Versioning follows the
+    paper's remark that "a most specific module can be thought of as the
+    new version of a more general module": a new version of an object is a
+    fresh component placed below the previous version.
+
+    Queries are answered against the least model of the ground ordered
+    program viewed from the queried object (the constructive,
+    assumption-free semantics of Section 2); [stable_models] exposes the
+    credulous alternatives. *)
+
+type t
+
+val create : unit -> t
+
+val define : t -> ?isa:string list -> string -> Logic.Rule.t list -> unit
+(** [define kb ~isa name rules] adds an object.  Raises [Invalid_argument]
+    on duplicate names or unknown parents. *)
+
+val define_src : t -> ?isa:string list -> string -> string -> unit
+(** Like {!define} with the rules given in surface syntax. *)
+
+val load : t -> string -> unit
+(** Load a whole source file (components become objects, [extends] and
+    [order] become isa links).  Raises [Invalid_argument] on errors. *)
+
+val add_rule : t -> obj:string -> Logic.Rule.t -> unit
+val add_rule_src : t -> obj:string -> string -> unit
+val add_fact : t -> obj:string -> Logic.Literal.t -> unit
+
+val remove_rule : t -> obj:string -> Logic.Rule.t -> bool
+(** Remove one rule (syntactic equality); [false] if absent. *)
+
+val objects : t -> string list
+(** Object names in definition order. *)
+
+val parents : t -> string -> string list
+val rules : t -> string -> Logic.Rule.t list
+
+(** {1 Versioning} *)
+
+val new_version : t -> ?rules:Logic.Rule.t list -> string -> string
+(** [new_version kb name] creates the next version of object [name] — a
+    fresh object [name@2], [name@3], ... placed below the latest existing
+    version — and returns its name.  [rules] seeds the new version's local
+    rules (they overrule the older version's where they conflict). *)
+
+val latest_version : t -> string -> string
+(** The most recent version of an object (itself if never versioned). *)
+
+val versions : t -> string -> string list
+(** All versions, oldest first (starting with the base object). *)
+
+(** {1 Queries} *)
+
+val query : t -> obj:string -> Logic.Literal.t -> Logic.Interp.value
+(** Truth of a ground literal in the least model viewed from [obj].
+    [Logic.Interp.True] means the literal holds; querying [l] and [neg l]
+    distinguishes false from undefined. *)
+
+val query_src : t -> obj:string -> string -> Logic.Interp.value
+
+val least_model : t -> obj:string -> Logic.Interp.t
+
+val stable_models : ?limit:int -> t -> obj:string -> Logic.Interp.t list
+
+val explain : t -> obj:string -> Logic.Literal.t -> Ordered.Explain.t
+
+val to_program : t -> Ordered.Program.t
+(** The underlying ordered program (rebuilt on demand). *)
+
+val to_source : t -> string
+(** The knowledge base in surface syntax; {!load} of the result into a
+    fresh KB reproduces the same objects, parents and rules (versioning
+    counters are not serialised — versions reload as ordinary objects). *)
+
+val gop : t -> obj:string -> Ordered.Gop.t
+(** The cached ground view from an object (reground on modification). *)

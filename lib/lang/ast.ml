@@ -1,0 +1,84 @@
+type component = {
+  name : string;
+  parents : string list;
+  rules : Logic.Rule.t list;
+}
+
+type decl =
+  | Component of component
+  | Order of (string * string) list
+  | Bare_rule of Logic.Rule.t
+
+type t = decl list
+
+let default_component = "main"
+
+let components file =
+  let bare =
+    List.filter_map
+      (function
+        | Bare_rule r -> Some r
+        | Component _ | Order _ -> None)
+      file
+  in
+  let named =
+    List.filter_map
+      (function
+        | Component c -> Some c
+        | Bare_rule _ | Order _ -> None)
+      file
+  in
+  let all =
+    if bare = [] then named
+    else
+      match List.partition (fun c -> c.name = default_component) named with
+      | [], _ -> { name = default_component; parents = []; rules = bare } :: named
+      | [ main ], rest -> { main with rules = main.rules @ bare } :: rest
+      | _ -> named (* duplicate check below reports the error *)
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem seen c.name then
+        invalid_arg (Printf.sprintf "duplicate component %S" c.name)
+      else Hashtbl.add seen c.name ())
+    all;
+  all
+
+let order_pairs file =
+  let pairs =
+    List.concat_map
+      (function
+        | Component c -> List.map (fun p -> (c.name, p)) c.parents
+        | Order ps -> ps
+        | Bare_rule _ -> [])
+      file
+  in
+  List.fold_left
+    (fun acc p -> if List.mem p acc then acc else acc @ [ p ])
+    [] pairs
+
+let pp_rules ppf rules =
+  List.iter (fun r -> Format.fprintf ppf "  %a@," Logic.Rule.pp r) rules
+
+let pp_component ppf c =
+  (match c.parents with
+  | [] -> Format.fprintf ppf "@[<v>component %s {@," c.name
+  | ps ->
+    Format.fprintf ppf "@[<v>component %s extends %s {@," c.name
+      (String.concat ", " ps));
+  pp_rules ppf c.rules;
+  Format.fprintf ppf "}@]"
+
+let pp_decl ppf = function
+  | Component c -> pp_component ppf c
+  | Order pairs ->
+    Format.fprintf ppf "order %s."
+      (String.concat ", "
+         (List.map (fun (a, b) -> Printf.sprintf "%s < %s" a b) pairs))
+  | Bare_rule r -> Logic.Rule.pp ppf r
+
+let pp ppf file =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_decl)
+    file

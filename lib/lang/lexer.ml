@@ -1,0 +1,181 @@
+exception Error of string * Token.pos
+
+type state = {
+  src : string;
+  mutable idx : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.idx < String.length st.src then Some st.src.[st.idx] else None
+
+let peek2 st =
+  if st.idx + 1 < String.length st.src then Some st.src.[st.idx + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.idx <- st.idx + 1
+
+let pos st : Token.pos = { line = st.line; col = st.col }
+let error st msg = raise (Error (msg, pos st))
+let is_digit c = c >= '0' && c <= '9'
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c =
+  is_lower c || is_upper c || is_digit c || c = '\'' || c = '@'
+
+let keyword = function
+  | "component" | "module" | "object" -> Some Token.KW_COMPONENT
+  | "extends" | "isa" -> Some Token.KW_EXTENDS
+  | "order" -> Some Token.KW_ORDER
+  | "not" | "neg" -> Some Token.KW_NOT
+  | "mod" -> Some Token.KW_MOD
+  | _ -> None
+
+let rec skip_block_comment st depth start =
+  match peek st, peek2 st with
+  | None, _ -> raise (Error ("unterminated block comment", start))
+  | Some '*', Some '/' ->
+    advance st;
+    advance st;
+    if depth > 1 then skip_block_comment st (depth - 1) start
+  | Some '/', Some '*' ->
+    advance st;
+    advance st;
+    skip_block_comment st (depth + 1) start
+  | Some _, _ ->
+    advance st;
+    skip_block_comment st depth start
+
+let rec skip_line st =
+  match peek st with
+  | Some '\n' | None -> ()
+  | Some _ ->
+    advance st;
+    skip_line st
+
+let read_while st pred =
+  let start = st.idx in
+  while
+    match peek st with
+    | Some c -> pred c
+    | None -> false
+  do
+    advance st
+  done;
+  String.sub st.src start (st.idx - start)
+
+let rec next st : Token.located =
+  let p = pos st in
+  match peek st with
+  | None -> { token = EOF; pos = p }
+  | Some c -> (
+    match c with
+    | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      next st
+    | '%' ->
+      skip_line st;
+      next st
+    | '/' when peek2 st = Some '/' ->
+      skip_line st;
+      next st
+    | '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      skip_block_comment st 1 p;
+      next st
+    | '(' ->
+      advance st;
+      { token = LPAREN; pos = p }
+    | ')' ->
+      advance st;
+      { token = RPAREN; pos = p }
+    | '{' ->
+      advance st;
+      { token = LBRACE; pos = p }
+    | '}' ->
+      advance st;
+      { token = RBRACE; pos = p }
+    | ',' ->
+      advance st;
+      { token = COMMA; pos = p }
+    | '.' ->
+      advance st;
+      { token = DOT; pos = p }
+    | '~' ->
+      advance st;
+      { token = TILDE; pos = p }
+    | '+' ->
+      advance st;
+      { token = PLUS; pos = p }
+    | '*' ->
+      advance st;
+      { token = STAR; pos = p }
+    | '/' ->
+      advance st;
+      { token = SLASH; pos = p }
+    | '-' ->
+      advance st;
+      { token = MINUS; pos = p }
+    | ':' ->
+      advance st;
+      if peek st = Some '-' then (
+        advance st;
+        { token = ARROW; pos = p })
+      else error st "expected '-' after ':'"
+    | '<' ->
+      advance st;
+      (match peek st with
+      | Some '=' ->
+        advance st;
+        { token = LE; pos = p }
+      | Some '>' ->
+        advance st;
+        { token = NEQ; pos = p }
+      | _ -> { token = LT; pos = p })
+    | '>' ->
+      advance st;
+      if peek st = Some '=' then (
+        advance st;
+        { token = GE; pos = p })
+      else { token = GT; pos = p }
+    | '=' ->
+      advance st;
+      { token = EQ; pos = p }
+    | '!' ->
+      advance st;
+      if peek st = Some '=' then (
+        advance st;
+        { token = NEQ; pos = p })
+      else error st "expected '=' after '!'"
+    | c when is_digit c ->
+      let s = read_while st is_digit in
+      { token = INT (int_of_string s); pos = p }
+    | c when is_lower c ->
+      let s = read_while st is_ident_char in
+      let token =
+        match keyword s with
+        | Some kw -> kw
+        | None -> Token.IDENT s
+      in
+      { token; pos = p }
+    | c when is_upper c ->
+      let s = read_while st is_ident_char in
+      { token = VAR s; pos = p }
+    | c -> error st (Printf.sprintf "unexpected character %C" c))
+
+let tokenize src =
+  let st = { src; idx = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let tok = next st in
+    match tok.token with
+    | EOF -> List.rev (tok :: acc)
+    | _ -> go (tok :: acc)
+  in
+  go []

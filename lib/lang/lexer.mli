@@ -1,0 +1,11 @@
+(** Hand-written lexer for the surface syntax.
+
+    Comments: [%] and [//] to end of line, [/* ... */] nestable blocks.
+    Whitespace is insignificant. *)
+
+exception Error of string * Token.pos
+(** Lexical error with message and position. *)
+
+val tokenize : string -> Token.located list
+(** Tokenize a whole input string.  The result always ends with an [EOF]
+    token.  Raises {!Error} on invalid input. *)

@@ -1,0 +1,244 @@
+open Logic
+
+exception Error of string * Token.pos
+
+type state = { toks : Token.located array; mutable idx : int }
+
+let peek st = st.toks.(st.idx)
+let peek_token st = (peek st).token
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let error st msg = raise (Error (msg, (peek st).pos))
+
+let expect st token what =
+  let t = next st in
+  if t.token <> token then
+    raise
+      (Error
+         ( Printf.sprintf "expected %s, found %s" what (Token.to_string t.token),
+           t.pos ))
+
+let expect_ident st what =
+  match next st with
+  | { token = IDENT s; _ } -> s
+  | t ->
+    raise
+      (Error
+         ( Printf.sprintf "expected %s, found %s" what (Token.to_string t.token),
+           t.pos ))
+
+(* ------------------------------------------------------------------ *)
+(* Terms                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_term_prec st : Term.t = parse_addsub st
+
+and parse_addsub st =
+  let lhs = parse_mul st in
+  let rec loop lhs =
+    match peek_token st with
+    | PLUS ->
+      advance st;
+      loop (Term.App ("+", [ lhs; parse_mul st ]))
+    | MINUS ->
+      advance st;
+      loop (Term.App ("-", [ lhs; parse_mul st ]))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_mul st =
+  let lhs = parse_prim st in
+  let rec loop lhs =
+    match peek_token st with
+    | STAR ->
+      advance st;
+      loop (Term.App ("*", [ lhs; parse_prim st ]))
+    | SLASH ->
+      advance st;
+      loop (Term.App ("/", [ lhs; parse_prim st ]))
+    | KW_MOD ->
+      advance st;
+      loop (Term.App ("mod", [ lhs; parse_prim st ]))
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_prim st =
+  match next st with
+  | { token = INT n; _ } -> Term.Int n
+  | { token = VAR v; _ } -> Term.Var v
+  | { token = MINUS; _ } -> (
+    match parse_prim st with
+    | Term.Int n -> Term.Int (-n)
+    | t -> Term.App ("-", [ t ]))
+  | { token = LPAREN; _ } ->
+    let t = parse_term_prec st in
+    expect st RPAREN "')'";
+    t
+  | { token = IDENT f; _ } ->
+    if peek_token st = LPAREN then (
+      advance st;
+      let args = parse_term_list st in
+      expect st RPAREN "')'";
+      Term.App (f, args))
+    else Term.Sym f
+  | t ->
+    raise
+      (Error
+         ( Printf.sprintf "expected a term, found %s" (Token.to_string t.token),
+           t.pos ))
+
+and parse_term_list st =
+  let t = parse_term_prec st in
+  if peek_token st = COMMA then (
+    advance st;
+    t :: parse_term_list st)
+  else [ t ]
+
+(* ------------------------------------------------------------------ *)
+(* Literals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let relop_of_token = function
+  | Token.LT -> Some "<"
+  | Token.GT -> Some ">"
+  | Token.LE -> Some "<="
+  | Token.GE -> Some ">="
+  | Token.EQ -> Some "="
+  | Token.NEQ -> Some "!="
+  | _ -> None
+
+(* Parse [term (relop term)?] and classify the result as an atom. *)
+let parse_atomic st : Atom.t =
+  let t = parse_term_prec st in
+  match relop_of_token (peek_token st) with
+  | Some op ->
+    advance st;
+    let rhs = parse_term_prec st in
+    Atom.make op [ t; rhs ]
+  | None -> (
+    match t with
+    | Term.Sym p -> Atom.prop p
+    | Term.App (p, args) -> Atom.make p args
+    | Term.Var _ | Term.Int _ ->
+      error st "a literal must be a predicate or a comparison")
+
+let parse_literal_inner st : Literal.t =
+  match peek_token st with
+  | MINUS | TILDE | KW_NOT ->
+    advance st;
+    Literal.neg (Literal.pos (parse_atomic st))
+  | _ -> Literal.pos (parse_atomic st)
+
+(* ------------------------------------------------------------------ *)
+(* Rules and declarations                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_rule_inner st : Rule.t =
+  let head = parse_literal_inner st in
+  match peek_token st with
+  | DOT ->
+    advance st;
+    Rule.fact head
+  | ARROW ->
+    advance st;
+    let rec body () =
+      let l = parse_literal_inner st in
+      if peek_token st = COMMA then (
+        advance st;
+        l :: body ())
+      else [ l ]
+    in
+    let b = body () in
+    expect st DOT "'.' at end of rule";
+    Rule.make head b
+  | t -> error st (Printf.sprintf "expected ':-' or '.', found %s" (Token.to_string t))
+
+let parse_order_decl st =
+  (* order a < b, c < d. *)
+  let rec pairs () =
+    let lo = expect_ident st "component name" in
+    expect st LT "'<'";
+    let hi = expect_ident st "component name" in
+    if peek_token st = COMMA then (
+      advance st;
+      (lo, hi) :: pairs ())
+    else [ (lo, hi) ]
+  in
+  let ps = pairs () in
+  expect st DOT "'.' at end of order declaration";
+  Ast.Order ps
+
+let parse_component st =
+  let name = expect_ident st "component name" in
+  let parents =
+    if peek_token st = KW_EXTENDS then (
+      advance st;
+      let rec names () =
+        let n = expect_ident st "parent component name" in
+        if peek_token st = COMMA then (
+          advance st;
+          n :: names ())
+        else [ n ]
+      in
+      names ())
+    else []
+  in
+  expect st LBRACE "'{'";
+  let rec rules () =
+    if peek_token st = RBRACE then (
+      advance st;
+      [])
+    else
+      let r = parse_rule_inner st in
+      r :: rules ()
+  in
+  Ast.Component { name; parents; rules = rules () }
+
+let parse_decl st =
+  match peek_token st with
+  | KW_COMPONENT ->
+    advance st;
+    parse_component st
+  | KW_ORDER ->
+    advance st;
+    parse_order_decl st
+  | _ -> Ast.Bare_rule (parse_rule_inner st)
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); idx = 0 }
+
+let at_eof st = peek_token st = EOF
+
+let parse_file src =
+  let st = make_state src in
+  let rec go acc = if at_eof st then List.rev acc else go (parse_decl st :: acc) in
+  go []
+
+let finish st v =
+  if at_eof st then v
+  else
+    error st
+      (Printf.sprintf "trailing input: %s" (Token.to_string (peek_token st)))
+
+let parse_rule src =
+  let st = make_state src in
+  finish st (parse_rule_inner st)
+
+let parse_rules src =
+  let st = make_state src in
+  let rec go acc = if at_eof st then List.rev acc else go (parse_rule_inner st :: acc) in
+  go []
+
+let parse_literal src =
+  let st = make_state src in
+  finish st (parse_literal_inner st)
+
+let parse_term src =
+  let st = make_state src in
+  finish st (parse_term_prec st)

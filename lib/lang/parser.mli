@@ -1,0 +1,39 @@
+(** Recursive-descent parser for ordered-program source files.
+
+    Grammar (informal):
+    {v
+    file      ::= { decl }
+    decl      ::= component | order | rule
+    component ::= ("component"|"module"|"object") IDENT
+                  [ ("extends"|"isa") IDENT { "," IDENT } ]
+                  "{" { rule } "}"
+    order     ::= "order" IDENT "<" IDENT { "," IDENT "<" IDENT } "."
+    rule      ::= literal [ ":-" literal { "," literal } ] "."
+    literal   ::= [ "-" | "~" | "not" | "neg" ] atom
+                | term relop term
+    atom      ::= IDENT [ "(" term { "," term } ")" ]
+    term      ::= arithmetic over INT, IDENT, VAR, IDENT(terms), (term)
+                  with "+", "-", "*", "/", "mod" and unary "-"
+    relop     ::= "=" | "!=" | "<>" | "<" | ">" | "<=" | ">="
+    v}
+
+    A negated comparison such as [not X > Y] parses to the complementary
+    comparison literal. *)
+
+exception Error of string * Token.pos
+(** Syntax error with message and position. *)
+
+val parse_file : string -> Ast.t
+(** Parse a whole source string.  Raises {!Error} or {!Lexer.Error}. *)
+
+val parse_rule : string -> Logic.Rule.t
+(** Parse a single rule, e.g. ["fly(X) :- bird(X)."]. *)
+
+val parse_rules : string -> Logic.Rule.t list
+(** Parse a sequence of rules (no component syntax allowed). *)
+
+val parse_literal : string -> Logic.Literal.t
+(** Parse a single literal, e.g. ["-fly(penguin)"] (no trailing dot). *)
+
+val parse_term : string -> Logic.Term.t
+(** Parse a single term. *)

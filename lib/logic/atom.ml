@@ -1,0 +1,53 @@
+type t = { pred : string; args : Term.t list }
+
+let make pred args = { pred; args }
+let prop pred = { pred; args = [] }
+let arity a = List.length a.args
+
+let compare a b =
+  let c = String.compare a.pred b.pred in
+  if c <> 0 then c else Term.compare_lists a.args b.args
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+let is_ground a = List.for_all Term.is_ground a.args
+
+let add_vars a acc =
+  List.fold_left (fun acc t -> Term.add_vars t acc) acc a.args
+
+let vars a = add_vars a []
+let rename f a = { a with args = List.map (Term.rename f) a.args }
+
+(* Comparison builtins print infix so that [X > 11] round-trips through the
+   parser. *)
+let infix_preds = [ "<"; ">"; "<="; ">="; "="; "!=" ]
+
+let pp ppf a =
+  match a.pred, a.args with
+  | _, [] -> Format.pp_print_string ppf a.pred
+  | p, [ l; r ] when List.mem p infix_preds ->
+    Format.fprintf ppf "%a %s %a" Term.pp l p Term.pp r
+  | p, args ->
+    Format.fprintf ppf "%s(%a)" p
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Term.pp)
+      args
+
+let to_string a = Format.asprintf "%a" pp a
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

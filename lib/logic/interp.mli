@@ -1,0 +1,99 @@
+(** Three-valued interpretations.
+
+    An interpretation for a program [P] is a consistent subset of
+    [B_P U -B_P] (paper, Section 2).  We represent it as a partial map from
+    ground atoms to booleans, so consistency (never both [A] and [-A]) holds
+    by construction; an atom absent from the map is {e undefined} (the
+    paper's [I-bar]). *)
+
+type value = True | False | Undefined
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val cardinal : t -> int
+(** Number of defined atoms (= number of literals in the set view). *)
+
+val value : t -> Atom.t -> value
+(** Truth value of a ground atom. *)
+
+val value_lit : t -> Literal.t -> value
+(** Truth value of a literal: [value_lit i (-A)] is the De Morgan dual of
+    [value i A]. *)
+
+val holds : t -> Literal.t -> bool
+(** [holds i l] iff [value_lit i l = True] — i.e. the literal is a member of
+    the interpretation seen as a set of literals. *)
+
+val set : t -> Atom.t -> bool -> t
+(** [set i a b] defines [a] as [b].  Raises [Invalid_argument] if [a] is
+    already defined with the opposite value (the result would be
+    inconsistent). *)
+
+val add_lit : t -> Literal.t -> t
+(** [add_lit i l] adds literal [l]; see {!set}. *)
+
+val add_lit_opt : t -> Literal.t -> t option
+(** Like {!add_lit} but returns [None] instead of raising on
+    inconsistency. *)
+
+val unset : t -> Atom.t -> t
+(** Make an atom undefined again. *)
+
+val of_literals : Literal.t list -> t
+(** Build from a literal list; raises [Invalid_argument] if inconsistent. *)
+
+val of_literals_opt : Literal.t list -> t option
+
+val to_literals : t -> Literal.t list
+(** The literal-set view, sorted. *)
+
+val to_set : t -> Literal.Set.t
+
+val defined_atoms : t -> Atom.t list
+val true_atoms : t -> Atom.t list
+val false_atoms : t -> Atom.t list
+
+val undefined_atoms : t -> base:Atom.t list -> Atom.t list
+(** [undefined_atoms i ~base] is the paper's [I-bar]: atoms of [base] that
+    are neither true nor false in [i]. *)
+
+val is_total : t -> base:Atom.t list -> bool
+(** Total w.r.t. a Herbrand base: no undefined atom. *)
+
+val subset : t -> t -> bool
+(** [subset i j] iff every literal of [i] is a literal of [j]. *)
+
+val equal : t -> t -> bool
+
+val union : t -> t -> t option
+(** Union of the literal sets; [None] if inconsistent. *)
+
+val diff : t -> t -> t
+(** Literals of the first interpretation not in the second. *)
+
+val fold : (Atom.t -> bool -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Atom.t -> bool -> unit) -> t -> unit
+val for_all : (Atom.t -> bool -> bool) -> t -> bool
+val exists : (Atom.t -> bool -> bool) -> t -> bool
+
+val sat_body : t -> Literal.t list -> bool
+(** [sat_body i b] iff every literal of [b] is true in [i] ([B(r) <= I]) —
+    the rule is {e applicable}. *)
+
+val blocked_body : t -> Literal.t list -> bool
+(** [blocked_body i b] iff some literal of [b] has its complement in [i] —
+    the rule is {e blocked} (paper, Definition 2). *)
+
+val value_conj : t -> Literal.t list -> value
+(** Three-valued value of a conjunction: the minimum of the literal values
+    under [False < Undefined < True]; [True] for the empty conjunction
+    (paper, Section 3). *)
+
+val compare_value : value -> value -> int
+(** Ordering [False < Undefined < True]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_value : Format.formatter -> value -> unit
+val to_string : t -> string

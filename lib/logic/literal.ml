@@ -1,0 +1,41 @@
+type t = { pol : bool; atom : Atom.t }
+
+let pos atom = { pol = true; atom }
+let neg_atom atom = { pol = false; atom }
+let make pol atom = { pol; atom }
+let neg l = { l with pol = not l.pol }
+let is_positive l = l.pol
+let is_negative l = not l.pol
+
+let compare a b =
+  let c = Atom.compare a.atom b.atom in
+  if c <> 0 then c else Bool.compare a.pol b.pol
+
+let equal a b = compare a b = 0
+let complementary a b = a.pol <> b.pol && Atom.equal a.atom b.atom
+let hash = Hashtbl.hash
+let is_ground l = Atom.is_ground l.atom
+let vars l = Atom.vars l.atom
+let add_vars l acc = Atom.add_vars l.atom acc
+let rename f l = { l with atom = Atom.rename f l.atom }
+
+let pp ppf l =
+  if l.pol then Atom.pp ppf l.atom else Format.fprintf ppf "-%a" Atom.pp l.atom
+
+let to_string l = Format.asprintf "%a" pp l
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Set.Make (Ord)
+
+  let consistent s = for_all (fun l -> not (mem (neg l) s)) s
+  let positives s = filter is_positive s
+  let negatives s = filter is_negative s
+end
+
+module Map = Map.Make (Ord)

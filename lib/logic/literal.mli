@@ -1,0 +1,51 @@
+(** Literals: an atom or its (classical) negation.
+
+    Following the paper, negation may appear both in rule bodies and in rule
+    heads; [neg l] is the complementary literal [-A] of [A] (written [-X]
+    for sets, see Section 2). *)
+
+type t = { pol : bool; atom : Atom.t }
+(** [pol = true] is a positive literal [A]; [pol = false] is the negative
+    literal [-A]. *)
+
+val pos : Atom.t -> t
+val neg_atom : Atom.t -> t
+
+val make : bool -> Atom.t -> t
+
+val neg : t -> t
+(** Complement: [neg A = -A] and [neg (-A) = A]. *)
+
+val is_positive : t -> bool
+val is_negative : t -> bool
+
+val complementary : t -> t -> bool
+(** [complementary a b] is [true] iff [a = neg b]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val is_ground : t -> bool
+val vars : t -> string list
+val add_vars : t -> string list -> string list
+val rename : (string -> string) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val consistent : t -> bool
+  (** [consistent s] is [true] iff [s] contains no pair of complementary
+      literals (the paper's consistency of interpretations). *)
+
+  val positives : t -> t
+  (** The sub-set of positive literals ([X+] in the paper). *)
+
+  val negatives : t -> t
+  (** The sub-set of negative literals ([X-] in the paper). *)
+end
+
+module Map : Map.S with type key = t

@@ -1,0 +1,58 @@
+type t = { head : Literal.t; body : Literal.t list }
+
+let make head body = { head; body }
+let fact head = { head; body = [] }
+let head r = r.head
+let body r = r.body
+let body_set r = Literal.Set.of_list r.body
+let is_fact r = r.body = []
+let is_seminegative r = Literal.is_positive r.head
+
+let is_positive r =
+  Literal.is_positive r.head && List.for_all Literal.is_positive r.body
+
+let is_ground r = Literal.is_ground r.head && List.for_all Literal.is_ground r.body
+
+let vars r =
+  List.fold_left
+    (fun acc l -> Literal.add_vars l acc)
+    (Literal.vars r.head) r.body
+
+let rename f r =
+  { head = Literal.rename f r.head; body = List.map (Literal.rename f) r.body }
+
+let apply s r =
+  { head = Subst.apply_literal s r.head;
+    body = List.map (Subst.apply_literal s) r.body
+  }
+
+let compare r1 r2 =
+  let c = Literal.compare r1.head r2.head in
+  if c <> 0 then c else List.compare Literal.compare r1.body r2.body
+
+let equal r1 r2 = compare r1 r2 = 0
+
+let predicates r =
+  let add acc (l : Literal.t) =
+    let key = (l.atom.pred, Atom.arity l.atom) in
+    if List.mem key acc then acc else key :: acc
+  in
+  List.rev (List.fold_left add (add [] r.head) r.body)
+
+let pp ppf r =
+  match r.body with
+  | [] -> Format.fprintf ppf "%a." Literal.pp r.head
+  | body ->
+    Format.fprintf ppf "%a :- %a." Literal.pp r.head
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Literal.pp)
+      body
+
+let to_string r = Format.asprintf "%a" pp r
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,55 @@
+(** First-order terms.
+
+    A term is a variable, an integer constant, a symbolic constant, or a
+    function application [f(t1, ..., tn)] with [n >= 1] (paper, Section 2:
+    "a term is recursively defined as a variable, a constant or
+    [f(t1, ..., tn)]").  Integers are a distinguished constant sort so that
+    the arithmetic builtins of the loan program (Figure 3) can be
+    evaluated. *)
+
+type t =
+  | Var of string  (** logical variable, e.g. [X] *)
+  | Int of int  (** integer constant, e.g. [12] *)
+  | Sym of string  (** symbolic constant, e.g. [penguin] *)
+  | App of string * t list
+      (** function application [f(t1, ..., tn)], [n >= 1] *)
+
+val compare : t -> t -> int
+(** Total structural order, suitable for [Map]/[Set]. *)
+
+val compare_lists : t list -> t list -> int
+(** Lexicographic extension of {!compare} to argument lists. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val is_ground : t -> bool
+(** [is_ground t] is [true] iff [t] contains no variable. *)
+
+val vars : t -> string list
+(** Variables occurring in [t], each listed once, in first-occurrence
+    order. *)
+
+val add_vars : t -> string list -> string list
+(** [add_vars t acc] prepends to [acc] the variables of [t] not already in
+    [acc] (first-occurrence order overall when folded left-to-right). *)
+
+val size : t -> int
+(** Number of constructors in the term (a variable or constant has size
+    1). *)
+
+val depth : t -> int
+(** Nesting depth: constants and variables have depth 0, [f(t, ...)] has
+    depth [1 + max (depth ti)]. *)
+
+val rename : (string -> string) -> t -> t
+(** [rename f t] applies [f] to every variable name in [t]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print in the surface syntax, e.g. [f(X, 3, a)]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,180 @@
+The olp CLI, driven over the paper's programs.
+
+Sanity-check a program (components, order, safety):
+
+  $ olp check penguin.olp
+  2 component(s): c2, c1
+    c1 < c2
+  conflict [from c1]: -fly(X) :- ground_animal(X). [c1] can overrule fly(X) :- bird(X). [c2]
+  conflict [from c1]: ground_animal(penguin). [c1] can overrule -ground_animal(X) :- bird(X). [c2]
+  ok
+
+The least model from the most specific component (Figure 1):
+
+  $ olp least penguin.olp -c c1
+  {bird(penguin), bird(pigeon), -fly(penguin), fly(pigeon), ground_animal(penguin), -ground_animal(pigeon)}
+
+The viewpoint defaults to the unique minimal component:
+
+  $ olp least penguin.olp
+  {bird(penguin), bird(pigeon), -fly(penguin), fly(pigeon), ground_animal(penguin), -ground_animal(pigeon)}
+
+From c2's own viewpoint there is no exception:
+
+  $ olp query penguin.olp -c c2 'fly(penguin)'
+  true
+
+Ground queries return a three-valued answer:
+
+  $ olp query penguin.olp 'fly(penguin)'
+  false
+
+Queries with variables enumerate the true instances:
+
+  $ olp query penguin.olp 'fly(X)'
+  1 answer(s)
+  fly(pigeon)
+
+Goal-directed proof reports how much of the program it explored:
+
+  $ olp prove penguin.olp 'fly(pigeon)'
+  true
+  (explored 3 of 9 ground rules)
+
+Explanations:
+
+  $ olp explain penguin.olp 'fly(penguin)'
+  fly(penguin) does not hold: the complement was derived by -fly(penguin) :- ground_animal(penguin). [component c1]
+
+The loan program, scenario 3 (Figure 3): Expert3 overrules Expert4.
+
+  $ olp query loan.olp 'take_loan'
+  true
+
+Stable models (Example 5: two of them):
+
+  $ olp models p5.olp --kind stable
+  2 model(s)
+  {a, -b, c}
+  {-a, b, c}
+
+Assumption-free models include the least model {c}:
+
+  $ olp models p5.olp --kind assumption-free
+  3 model(s)
+  {c}
+  {a, -b, c}
+  {-a, b, c}
+
+The ground view, with component tags:
+
+  $ olp ground p5.olp | sort
+  [c1] -a :- b, c.
+  [c1] -b :- -b.
+  [c1] -b :- a.
+  [c2] a.
+  [c2] b.
+  [c2] c.
+
+Errors are reported with positions and a non-zero exit code:
+
+  $ olp least broken.olp
+  olp: FILE argument: no 'broken.olp' file or directory
+  Usage: olp least [OPTION]… FILE
+  Try 'olp least --help' or 'olp --help' for more information.
+  [124]
+
+  $ echo 'component a { p. } order a < b.' > bad.olp && olp check bad.olp
+  bad.olp: unknown component "b" in order
+  [2]
+
+  $ echo 'p :- .' > syn.olp && olp check syn.olp
+  syn.olp: syntax error at 1:6: expected a term, found '.'
+  [2]
+
+The REPL reads queries and colon-commands from stdin:
+
+  $ printf ':components\nfly(X)\n:explain fly(penguin)\n:assert c1 swims(penguin).\nswims(X)\nfly(tweety)\n:quit\n' | olp repl penguin.olp
+  c2
+  c1 < c2
+  fly(pigeon)
+  fly(penguin) does not hold: the complement was derived by -fly(penguin) :- ground_animal(penguin). [component c1]
+  swims(penguin)
+  undefined
+
+Bulk facts load from tab-separated files into the viewpoint component:
+
+  $ printf 'a\tb\nb\tc\nc\td\n' > parent.tsv
+  $ cat > anc.olp <<'OLP'
+  > component main {
+  >   anc(X, Y) :- parent(X, Y).
+  >   anc(X, Y) :- parent(X, Z), anc(Z, Y).
+  > }
+  > OLP
+  $ olp query anc.olp --facts parent=parent.tsv 'anc(a, X)'
+  3 answer(s)
+  anc(a, b)
+  anc(a, c)
+  anc(a, d)
+
+  $ printf 'a\tb\nc\n' > bad.tsv && olp least anc.olp --facts parent=bad.tsv
+  bad.tsv: line 2: expected 2 field(s) for parent, found 1
+  [2]
+
+Graphviz exports:
+
+  $ olp check penguin.olp --dot
+  digraph components {
+    rankdir=BT;
+    "c2";
+    "c1";
+    "c1" -> "c2";
+  }
+
+  $ olp explain penguin.olp --dot 'fly(pigeon)' | head -6
+  digraph derivation {
+    rankdir=BT;
+    "Lbird(pigeon)" [label="bird(pigeon)", style=filled, fillcolor=palegreen];
+    "Lfly(pigeon)" [label="fly(pigeon)", style=filled, fillcolor=palegreen];
+    "L-ground_animal(pigeon)" [label="-ground_animal(pigeon)", style=filled, fillcolor=palegreen];
+    R1 [shape=box, label="c2", style=filled, fillcolor=lightyellow];
+
+Cautious and brave reasoning over stable models (Example 5):
+
+  $ olp query p5.olp --mode cautious 'c'
+  true
+  $ olp query p5.olp --mode cautious 'a'
+  false
+  $ olp query p5.olp --mode brave 'a'
+  true
+Negative literals need "--" so the shell of options ends (or use ~):
+
+  $ olp query p5.olp --mode brave -- '-a'
+  true
+  $ olp query p5.olp --mode brave '~a'
+  true
+
+Grounding diagnostics:
+
+  $ olp ground penguin.olp --stats
+  6 atoms, 9 rules, 6 body literals, 3 overruling edges, 0 defeating edges
+
+More REPL commands: rules listing, saving, and the least model:
+
+  $ printf ':rules c1\n:least\n:save saved.olp\n:quit\n' | olp repl penguin.olp
+  component c1:
+    ground_animal(penguin).
+    -fly(X) :- ground_animal(X).
+  {bird(penguin), bird(pigeon), -fly(penguin), fly(pigeon), ground_animal(penguin), -ground_animal(pigeon)}
+  saved to saved.olp
+
+The saved file reloads to the same program:
+
+  $ olp least saved.olp
+  {bird(penguin), bird(pigeon), -fly(penguin), fly(pigeon), ground_animal(penguin), -ground_animal(pigeon)}
+
+Grounding blow-up guard:
+
+  $ olp least penguin.olp --max-instances 3
+  Gop.ground: 9 ground instances exceed the max_instances budget of 3 (universe size 2)
+  [2]

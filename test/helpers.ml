@@ -1,0 +1,73 @@
+(* Shared helpers for the test suites. *)
+
+open Logic
+
+let term = Lang.Parser.parse_term
+let lit = Lang.Parser.parse_literal
+let rule = Lang.Parser.parse_rule
+let rules = Lang.Parser.parse_rules
+let program = Ordered.Program.parse_exn
+
+let interp lits = Interp.of_literals (List.map lit lits)
+
+let ground_at prog name =
+  Ordered.Gop.ground prog (Ordered.Program.component_id_exn prog name)
+
+let least prog name = Ordered.Vfix.least_model (ground_at prog name)
+
+(* Alcotest testables *)
+
+let testable_term = Alcotest.testable Term.pp Term.equal
+let testable_literal = Alcotest.testable Literal.pp Literal.equal
+let testable_rule = Alcotest.testable Rule.pp Rule.equal
+let testable_interp = Alcotest.testable Interp.pp Interp.equal
+
+let testable_value =
+  Alcotest.testable Interp.pp_value (fun a b -> a = b)
+
+let testable_atom = Alcotest.testable Atom.pp Atom.equal
+
+(* Compare lists of interpretations as sets. *)
+let interp_set_equal l1 l2 =
+  let norm l =
+    List.sort_uniq compare (List.map Interp.to_literals l)
+  in
+  norm l1 = norm l2
+
+let testable_interp_set =
+  Alcotest.testable
+    (fun ppf l ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Interp.pp)
+        l)
+    interp_set_equal
+
+let check_value ~expected g l =
+  Alcotest.check testable_value l expected
+    (Interp.value_lit (Ordered.Vfix.least_model g) (lit l))
+
+(* Enumerate every interpretation over a list of atoms (3^n). *)
+let all_interps atoms =
+  let atoms = Array.of_list atoms in
+  let acc = ref [] in
+  let rec go i m =
+    if i >= Array.length atoms then acc := m :: !acc
+    else begin
+      go (i + 1) m;
+      go (i + 1) (Interp.set m atoms.(i) true);
+      go (i + 1) (Interp.set m atoms.(i) false)
+    end
+  in
+  go 0 Interp.empty;
+  !acc
+
+let qcheck ?(count = 100) ?print name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ?print ~name gen prop)
+
+let print_program p = Format.asprintf "%a" Ordered.Program.pp p
+
+let print_rules rs =
+  String.concat " " (List.map Logic.Rule.to_string rs)

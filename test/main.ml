@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "olp"
+    [ ("logic", Test_logic.suite);
+      ("lang", Test_lang.suite);
+      ("ground", Test_ground.suite);
+      ("datalog", Test_datalog.suite);
+      ("ordered", Test_ordered.suite);
+      ("paper", Test_paper.suite);
+      ("stable", Test_stable.suite);
+      ("bridge", Test_bridge.suite);
+      ("negative", Test_negative.suite);
+      ("kb", Test_kb.suite);
+      ("explain", Test_explain.suite);
+      ("properties", Test_props.suite);
+      ("deviations", Test_deviations.suite);
+      ("query", Test_query.suite);
+      ("analysis", Test_analysis.suite);
+      ("stress", Test_stress.suite);
+      ("incremental", Test_incremental.suite);
+      ("edb", Test_edb.suite);
+      ("magic", Test_magic.suite)
+    ]

@@ -1,0 +1,130 @@
+(* Explanations against the least model. *)
+
+open Helpers
+module E = Ordered.Explain
+
+let p1_src =
+  {| component c2 {
+       bird(penguin). bird(pigeon).
+       fly(X) :- bird(X).
+       -ground_animal(X) :- bird(X).
+     }
+     component c1 extends c2 {
+       ground_animal(penguin).
+       -fly(X) :- ground_animal(X).
+     } |}
+
+let g1 () = ground_at (program p1_src) "c1"
+
+let test_holds () =
+  match E.explain (g1 ()) (lit "fly(pigeon)") with
+  | E.Holds { via; body; _ } ->
+    Alcotest.(check string) "component" "c2" via.E.component;
+    Alcotest.check testable_rule "rule" (rule "fly(pigeon) :- bird(pigeon).")
+      via.E.rule;
+    Alcotest.(check (list testable_literal)) "body" [ lit "bird(pigeon)" ] body
+  | _ -> Alcotest.fail "expected Holds"
+
+let test_complement () =
+  match E.explain (g1 ()) (lit "fly(penguin)") with
+  | E.Complement_holds { via; _ } ->
+    Alcotest.(check string) "overruling component" "c1" via.E.component
+  | _ -> Alcotest.fail "expected Complement_holds"
+
+let test_unsupported_defeat () =
+  let p = program "component main { p. -p. }" in
+  let g = ground_at p "main" in
+  (match E.explain g (lit "p") with
+  | E.Unsupported { candidates = [ c ]; _ } ->
+    Alcotest.(check bool) "defeat obstacle" true
+      (List.exists
+         (function
+           | E.Defeated_by _ -> true
+           | _ -> false)
+         c.E.obstacles)
+  | _ -> Alcotest.fail "expected one candidate");
+  (* unknown literal *)
+  match E.explain g (lit "nothing_here") with
+  | E.Unsupported { candidates = []; _ } -> ()
+  | _ -> Alcotest.fail "expected no candidates"
+
+let test_unsupported_overruled () =
+  let p = program "component hi { p. } component lo extends hi { -p :- q. q. }" in
+  let g = ground_at p "lo" in
+  match E.explain g (lit "p") with
+  | E.Complement_holds _ -> ()
+  | _ -> Alcotest.fail "p should be false via the exception"
+
+let test_not_applicable_obstacle () =
+  let p = program "component main { p :- q. }" in
+  let g = ground_at p "main" in
+  match E.explain g (lit "p") with
+  | E.Unsupported { candidates = [ c ]; _ } -> (
+    match c.E.obstacles with
+    | [ E.Not_applicable [ l ] ] ->
+      Alcotest.check testable_literal "unmet literal" (lit "q") l
+    | _ -> Alcotest.fail "expected Not_applicable [q]")
+  | _ -> Alcotest.fail "expected one candidate"
+
+let test_pp_smoke () =
+  let g = g1 () in
+  List.iter
+    (fun q ->
+      let s = E.to_string (E.explain g (lit q)) in
+      Alcotest.(check bool) ("non-empty for " ^ q) true (String.length s > 0))
+    [ "fly(pigeon)"; "fly(penguin)"; "ground_animal(pigeon)"; "zzz" ]
+
+let suite =
+  [ Alcotest.test_case "holds" `Quick test_holds;
+    Alcotest.test_case "complement holds" `Quick test_complement;
+    Alcotest.test_case "unsupported: defeat" `Quick test_unsupported_defeat;
+    Alcotest.test_case "unsupported: overruling" `Quick test_unsupported_overruled;
+    Alcotest.test_case "unsupported: not applicable" `Quick
+      test_not_applicable_obstacle;
+    Alcotest.test_case "pretty-printing" `Quick test_pp_smoke
+  ]
+
+(* Graphviz export. *)
+
+let test_dot_poset () =
+  let p = program p1_src in
+  let dot = Ordered.Dot.poset p in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  Alcotest.(check bool) "covering edge present" true
+    (let needle = "\"c1\" -> \"c2\"" in
+     let n = String.length dot and m = String.length needle in
+     let rec go i = i + m <= n && (String.sub dot i m = needle || go (i + 1)) in
+     go 0)
+
+let test_dot_derivation_colors () =
+  let g = g1 () in
+  let dot = Ordered.Dot.derivation g (Helpers.lit "fly(penguin)") in
+  let contains needle =
+    let n = String.length dot and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub dot i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "derived literal is green" true
+    (contains "\"Lbird(penguin)\" [label=\"bird(penguin)\", style=filled, fillcolor=palegreen]");
+  Alcotest.(check bool) "refuted literal is red" true
+    (contains "fillcolor=salmon");
+  Alcotest.(check bool) "component labels on rule boxes" true
+    (contains "label=\"c2\"")
+
+let test_gop_max_instances () =
+  let p = program p1_src in
+  let c1 = Ordered.Program.component_id_exn p "c1" in
+  (match Ordered.Gop.ground ~max_instances:3 p c1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "budget must trigger");
+  ignore (Ordered.Gop.ground ~max_instances:100 p c1)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "dot: poset export" `Quick test_dot_poset;
+      Alcotest.test_case "dot: derivation colors" `Quick
+        test_dot_derivation_colors;
+      Alcotest.test_case "gop: max_instances budget" `Quick
+        test_gop_max_instances
+    ]

@@ -1,0 +1,144 @@
+(* Incremental view maintenance (DRed) for the positive-datalog
+   substrate. *)
+
+open Logic
+open Helpers
+module I = Datalog.Incremental
+
+let atom s = (lit s).Literal.atom
+
+let tc_rules =
+  rules "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+
+let check_matches_recompute ?(msg = "incremental = recompute") t =
+  Alcotest.(check bool) msg true (Atom.Set.equal (I.derived t) (I.recompute t))
+
+let test_insertions () =
+  let t = I.create (Ground.Grounder.naive ~extra_constants:[ Term.Sym "a"; Term.Sym "b"; Term.Sym "c" ] tc_rules).Ground.Grounder.rules in
+  I.add t (atom "e(a, b)");
+  I.add t (atom "e(b, c)");
+  Alcotest.(check bool) "t(a, c) derived" true (I.holds t (atom "t(a, c)"));
+  check_matches_recompute t
+
+let test_deletion_simple () =
+  let t = I.create (Ground.Grounder.naive ~extra_constants:[ Term.Sym "a"; Term.Sym "b"; Term.Sym "c" ] tc_rules).Ground.Grounder.rules in
+  I.add t (atom "e(a, b)");
+  I.add t (atom "e(b, c)");
+  I.remove t (atom "e(b, c)");
+  Alcotest.(check bool) "t(a, c) gone" false (I.holds t (atom "t(a, c)"));
+  Alcotest.(check bool) "t(a, b) stays" true (I.holds t (atom "t(a, b)"));
+  check_matches_recompute t
+
+let test_deletion_alternative_support () =
+  (* Two paths a->c; deleting one keeps t(a, c). *)
+  let consts = [ Term.Sym "a"; Term.Sym "b"; Term.Sym "c"; Term.Sym "d" ] in
+  let t = I.create (Ground.Grounder.naive ~extra_constants:consts tc_rules).Ground.Grounder.rules in
+  List.iter
+    (fun s -> I.add t (atom s))
+    [ "e(a, b)"; "e(b, c)"; "e(a, d)"; "e(d, c)" ];
+  I.remove t (atom "e(b, c)");
+  Alcotest.(check bool) "t(a, c) survives via d" true (I.holds t (atom "t(a, c)"));
+  check_matches_recompute t
+
+let test_deletion_with_cycle () =
+  (* The classic DRed case: a cycle must not keep itself alive. *)
+  let consts = [ Term.Sym "a"; Term.Sym "b"; Term.Sym "c" ] in
+  let t = I.create (Ground.Grounder.naive ~extra_constants:consts tc_rules).Ground.Grounder.rules in
+  List.iter (fun s -> I.add t (atom s)) [ "e(a, b)"; "e(b, a)"; "e(b, c)" ];
+  Alcotest.(check bool) "t(a, a) in cycle" true (I.holds t (atom "t(a, a)"));
+  I.remove t (atom "e(b, a)");
+  Alcotest.(check bool) "cycle-supported facts die" false
+    (I.holds t (atom "t(a, a)"));
+  Alcotest.(check bool) "t(a, c) survives" true (I.holds t (atom "t(a, c)"));
+  check_matches_recompute t
+
+let test_readd_after_remove () =
+  let t = I.create (Ground.Grounder.naive ~extra_constants:[ Term.Sym "a"; Term.Sym "b"; Term.Sym "c" ] tc_rules).Ground.Grounder.rules in
+  I.add t (atom "e(a, b)");
+  I.remove t (atom "e(a, b)");
+  I.add t (atom "e(a, b)");
+  Alcotest.(check bool) "t(a, b) back" true (I.holds t (atom "t(a, b)"));
+  check_matches_recompute t
+
+let test_remove_noop () =
+  let t = I.create (Ground.Grounder.naive ~extra_constants:[ Term.Sym "a"; Term.Sym "b" ] tc_rules).Ground.Grounder.rules in
+  I.add t (atom "e(a, b)");
+  I.remove t (atom "e(b, a)");
+  (* a derived (non-EDB) atom cannot be removed *)
+  I.remove t (atom "t(a, b)");
+  Alcotest.(check bool) "unchanged" true (I.holds t (atom "t(a, b)"));
+  check_matches_recompute t
+
+let test_initial_facts () =
+  let t = I.create (rules "p :- q. q. r :- p, q.") in
+  Alcotest.(check bool) "facts seeded" true (I.holds t (atom "r"));
+  I.remove t (atom "q");
+  Alcotest.(check bool) "cascade after removing seed" false (I.holds t (atom "r"));
+  check_matches_recompute t
+
+let test_rejects_bad_rules () =
+  let reject src =
+    match I.create (rules src) with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail ("should reject " ^ src)
+  in
+  reject "p :- -q.";
+  reject "-p :- q.";
+  reject "p(X) :- q(X)."
+
+(* Random update sequences against from-scratch recomputation. *)
+let prop_random_updates =
+  let open QCheck2.Gen in
+  let gen =
+    let* nedges = int_range 1 8 in
+    let edge =
+      let* x = int_bound 3 in
+      let* y = int_bound 3 in
+      return (Atom.make "e" [ Term.Int x; Term.Int y ])
+    in
+    let* ops =
+      list_size (int_range 1 20)
+        (let* add = bool in
+         let* e = edge in
+         return (add, e))
+    in
+    let* initial = list_size (return nedges) edge in
+    return (initial, ops)
+  in
+  let print (initial, ops) =
+    String.concat "; "
+      (List.map (fun a -> "init " ^ Atom.to_string a) initial
+      @ List.map
+          (fun (add, a) ->
+            (if add then "add " else "del ") ^ Atom.to_string a)
+          ops)
+  in
+  qcheck ~count:200 ~print "DRed maintenance = recomputation" gen
+    (fun (initial, ops) ->
+      let consts = List.init 4 (fun i -> Term.Int i) in
+      let ground =
+        (Ground.Grounder.naive ~extra_constants:consts tc_rules)
+          .Ground.Grounder.rules
+      in
+      let t = I.create ground in
+      List.iter (I.add t) initial;
+      List.for_all
+        (fun (add, e) ->
+          if add then I.add t e else I.remove t e;
+          Atom.Set.equal (I.derived t) (I.recompute t))
+        ops)
+
+let suite =
+  [ Alcotest.test_case "insertions" `Quick test_insertions;
+    Alcotest.test_case "simple deletion" `Quick test_deletion_simple;
+    Alcotest.test_case "deletion with alternative support" `Quick
+      test_deletion_alternative_support;
+    Alcotest.test_case "deletion through cycles (DRed)" `Quick
+      test_deletion_with_cycle;
+    Alcotest.test_case "re-add after remove" `Quick test_readd_after_remove;
+    Alcotest.test_case "remove is EDB-only" `Quick test_remove_noop;
+    Alcotest.test_case "initial facts" `Quick test_initial_facts;
+    Alcotest.test_case "rejects non-positive programs" `Quick
+      test_rejects_bad_rules;
+    prop_random_updates
+  ]

@@ -1,0 +1,154 @@
+(* Magic-set rewriting for positive datalog. *)
+
+open Logic
+open Helpers
+module M = Datalog.Magic
+
+let atom s = (lit s).Literal.atom
+
+let chain_edb n =
+  List.init n (fun i ->
+      Rule.fact (Literal.pos (Atom.make "e" [ Term.Int i; Term.Int (i + 1) ])))
+
+let tc = rules "t(X, Y) :- e(X, Y). t(X, Y) :- e(X, Z), t(Z, Y)."
+
+let full_answers rules_ ~query =
+  let ground = (Ground.Grounder.naive rules_).Ground.Grounder.rules in
+  let np = Datalog.Nprog.of_rules ground in
+  let model = Datalog.Nprog.decode_mask np (Datalog.Consequence.lfp np) in
+  Atom.Set.filter
+    (fun a -> Option.is_some (Unify.match_atom query a))
+    model
+
+let check_same name rules_ query =
+  Alcotest.(check bool)
+    name true
+    (Atom.Set.equal (M.answers rules_ ~query) (full_answers rules_ ~query))
+
+let test_bound_first_argument () =
+  let prog = tc @ chain_edb 5 in
+  let ans = M.answers prog ~query:(atom "t(0, Y)") in
+  Alcotest.(check int) "five reachable" 5 (Atom.Set.cardinal ans);
+  Alcotest.(check bool) "t(0, 3) in" true (Atom.Set.mem (atom "t(0, 3)") ans);
+  check_same "agrees with full evaluation" prog (atom "t(0, Y)")
+
+let test_bound_second_argument () =
+  let prog = tc @ chain_edb 5 in
+  check_same "bf vs fb" prog (atom "t(X, 5)");
+  check_same "fully bound" prog (atom "t(1, 4)");
+  check_same "fully free" prog (atom "t(X, Y)")
+
+let test_ground_query_miss () =
+  let prog = tc @ chain_edb 3 in
+  Alcotest.(check int) "unreachable pair" 0
+    (Atom.Set.cardinal (M.answers prog ~query:(atom "t(2, 0)")))
+
+let test_magic_restricts_computation () =
+  (* With a bound first argument, only the suffix of the chain is
+     computed: the transformed model contains no t-tuple starting before
+     the query constant. *)
+  let prog = tc @ chain_edb 20 in
+  let transformed, _ = M.transform prog ~query:(atom "t(15, Y)") in
+  let ground = (Ground.Grounder.relevant ~naf:true transformed).Ground.Grounder.rules in
+  let np = Datalog.Nprog.of_rules ground in
+  let model = Datalog.Nprog.decode_mask np (Datalog.Consequence.lfp np) in
+  Alcotest.(check bool) "no tuple about node 0" false
+    (Atom.Set.exists
+       (fun (a : Atom.t) ->
+         String.length a.Atom.pred >= 3
+         && String.sub a.Atom.pred 0 3 = "t__"
+         && List.hd a.Atom.args = Term.Int 0)
+       model)
+
+let test_edb_query () =
+  let prog = tc @ chain_edb 3 in
+  Alcotest.(check int) "EDB query passes through" 1
+    (Atom.Set.cardinal (M.answers prog ~query:(atom "e(1, Y)")))
+
+let test_idb_facts () =
+  (* a predicate with both facts and rules *)
+  let prog =
+    rules "p(a). p(X) :- q(X). q(b)."
+  in
+  let ans = M.answers prog ~query:(atom "p(X)") in
+  Alcotest.(check int) "fact and derived" 2 (Atom.Set.cardinal ans);
+  Alcotest.(check bool) "fact present" true (Atom.Set.mem (atom "p(a)") ans)
+
+let test_nonlinear_same_generation () =
+  let prog =
+    rules
+      "sg(X, X) :- node(X). \
+       sg(X, Y) :- par(X, Xp), sg(Xp, Yp), par(Y, Yp). \
+       node(a). node(b). node(c). node(p). node(q). node(r). \
+       par(a, p). par(b, p). par(c, q). par(p, r). par(q, r)."
+  in
+  check_same "same generation, bound first" prog (atom "sg(a, Y)");
+  let ans = M.answers prog ~query:(atom "sg(a, Y)") in
+  Alcotest.(check bool) "a ~ b (same parent)" true
+    (Atom.Set.mem (atom "sg(a, b)") ans);
+  Alcotest.(check bool) "a ~ c (same grandparent)" true
+    (Atom.Set.mem (atom "sg(a, c)") ans)
+
+let test_builtins_in_bodies () =
+  let prog =
+    rules "big(X) :- n(X), X > 2. n(1). n(2). n(3). n(4)."
+  in
+  check_same "builtin guard" prog (atom "big(X)");
+  Alcotest.(check int) "two bigs" 2
+    (Atom.Set.cardinal (M.answers prog ~query:(atom "big(X)")))
+
+let test_rejects_negation () =
+  match M.transform (rules "p :- -q.") ~query:(atom "p") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negation must be rejected"
+
+let prop_magic_equals_full =
+  let open QCheck2.Gen in
+  let gen =
+    let* edges =
+      list_size (int_range 1 10)
+        (let* x = int_bound 4 in
+         let* y = int_bound 4 in
+         return (x, y))
+    in
+    let* qx = int_bound 4 in
+    let* bound_side = int_bound 2 in
+    return (edges, qx, bound_side)
+  in
+  let print (edges, qx, side) =
+    Printf.sprintf "edges=%s q=%d side=%d"
+      (String.concat ","
+         (List.map (fun (x, y) -> Printf.sprintf "%d->%d" x y) edges))
+      qx side
+  in
+  qcheck ~count:150 ~print "magic = full on random graphs" gen
+    (fun (edges, qx, side) ->
+      let prog =
+        tc
+        @ List.map
+            (fun (x, y) ->
+              Rule.fact (Literal.pos (Atom.make "e" [ Term.Int x; Term.Int y ])))
+            edges
+      in
+      let query =
+        match side with
+        | 0 -> Atom.make "t" [ Term.Int qx; Term.Var "Y" ]
+        | 1 -> Atom.make "t" [ Term.Var "X"; Term.Int qx ]
+        | _ -> Atom.make "t" [ Term.Var "X"; Term.Var "Y" ]
+      in
+      Atom.Set.equal (M.answers prog ~query) (full_answers prog ~query))
+
+let suite =
+  [ Alcotest.test_case "bound first argument" `Quick test_bound_first_argument;
+    Alcotest.test_case "other binding patterns" `Quick test_bound_second_argument;
+    Alcotest.test_case "ground query miss" `Quick test_ground_query_miss;
+    Alcotest.test_case "magic restricts computation" `Quick
+      test_magic_restricts_computation;
+    Alcotest.test_case "EDB queries" `Quick test_edb_query;
+    Alcotest.test_case "IDB facts" `Quick test_idb_facts;
+    Alcotest.test_case "same generation (non-linear)" `Quick
+      test_nonlinear_same_generation;
+    Alcotest.test_case "builtins in bodies" `Quick test_builtins_in_bodies;
+    Alcotest.test_case "rejects negation" `Quick test_rejects_negation;
+    prop_magic_equals_full
+  ]
