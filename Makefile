@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean fuzz
+.PHONY: all build test bench bench-smoke examples doc clean fuzz
 
 all: build
 
@@ -11,6 +11,11 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Run every bench workload under a 2s wall-clock budget and emit JSON;
+# fails if any workload overshoots its deadline instead of surrendering.
+bench-smoke:
+	dune exec bench/smoke.exe
+
 examples:
 	@for e in quickstart penguin loan colors kb_versioning legal deductive_db paper_tour; do \
 	  echo "== examples/$$e =="; dune exec examples/$$e.exe; done
@@ -18,11 +23,13 @@ examples:
 doc:  # requires odoc
 	dune build @doc
 
-# Re-run the whole suite under several qcheck seeds.
+# Re-run the whole suite under several qcheck seeds, then hammer the
+# parser fuzz suite with a larger input count.
 fuzz:
 	@for i in 1 2 3 4 5 6 7 8; do \
 	  QCHECK_SEED=$$((i * 7919)) dune exec test/main.exe -- -e \
 	    | tail -1; done
+	FUZZ_ITERS=5000 dune exec test/main.exe -- test fuzz -e | tail -1
 
 clean:
 	dune clean

@@ -1,0 +1,154 @@
+(* Budget smoke-runner: every workload runs under one wall-clock budget
+   (default 2 s, override with SMOKE_BUDGET) and must either complete or
+   surrender in time.  Emits a single JSON document with per-workload
+   status and budget counters, plus a summary with the budget-exhaustion
+   count.  Exit code 1 if any workload overshot its deadline (the
+   graceful-degradation guarantee failed), 0 otherwise — exhaustion
+   itself is an expected outcome, not a failure. *)
+
+module B = Ordered.Budget
+module W = Workloads
+
+let budget_secs =
+  match Sys.getenv_opt "SMOKE_BUDGET" with
+  | Some s -> ( match float_of_string_opt s with Some f when f > 0. -> f | _ -> 2.0)
+  | None -> 2.0
+
+(* overshoot tolerance: the clock is polled every 64 ticks and partial
+   results still get post-processed, so allow a grace window *)
+let grace_ms = 800.
+
+type row = {
+  name : string;
+  status : string;  (* complete | partial | exhausted | error *)
+  reason : string option;
+  elapsed_ms : float;
+  steps : int;
+  instances : int;
+  detail : string;
+}
+
+let ground ~budget prog comp =
+  Ordered.Gop.ground ~budget prog
+    (Ordered.Program.component_id_exn prog comp)
+
+let run name f =
+  let budget = B.make ~timeout:budget_secs () in
+  let t0 = Unix.gettimeofday () in
+  let status, reason, detail =
+    match f budget with
+    | `Complete d -> ("complete", None, d)
+    | `Partial (d, why) -> ("partial", Some (B.reason_to_string why), d)
+    | exception B.Exhausted why ->
+      ("exhausted", Some (B.reason_to_string why), "surrendered")
+    | exception Ordered.Diag.Error e ->
+      ("error", Some (Ordered.Diag.to_string e), "diagnostic")
+  in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  { name;
+    status;
+    reason;
+    elapsed_ms;
+    steps = B.steps budget;
+    instances = B.instances budget;
+    detail
+  }
+
+let models_detail = function
+  | B.Complete ms -> `Complete (Printf.sprintf "%d models" (List.length ms))
+  | B.Partial (ms, r) ->
+    `Partial (Printf.sprintf "%d models (prefix)" (List.length ms), r)
+
+let workloads =
+  [ ( "chain-400/least",
+      fun b ->
+        let g = ground ~budget:b (W.chain 400) "main" in
+        let m = Ordered.Vfix.least_model ~budget:b g in
+        `Complete (Printf.sprintf "%d literals" (Logic.Interp.cardinal m)) );
+    ( "tower-64/least",
+      fun b ->
+        let g = ground ~budget:b (W.tower 64) "c63" in
+        let m = Ordered.Vfix.least_model ~budget:b g in
+        `Complete (Printf.sprintf "%d literals" (Logic.Interp.cardinal m)) );
+    ( "ancestor-32/well-founded",
+      fun b ->
+        let e = Datalog.Engine.load ~budget:b (W.ancestor_rules 32) in
+        let m = Datalog.Engine.well_founded ~budget:b e in
+        `Complete (Printf.sprintf "%d literals" (Logic.Interp.cardinal m)) );
+    ( "even-loops-6/stable",
+      fun b ->
+        models_detail
+          (Ordered.Stable.stable_models ~budget:b
+             (Ordered.Bridge.ground_ov (W.even_loops 6))) );
+    ( "even-loops-14/assumption-free",
+      (* deliberately too large for the budget: must surrender a partial
+         prefix at the deadline, not run away *)
+      fun b ->
+        models_detail
+          (Ordered.Stable.assumption_free_models ~budget:b
+             (Ordered.Bridge.ground_ov (W.even_loops 14))) );
+    ( "win-move-1200/well-founded",
+      (* large grounding: the deadline trips inside the grounder *)
+      fun b ->
+        let e = Datalog.Engine.load ~budget:b (W.win_move 1200) in
+        let m = Datalog.Engine.well_founded ~budget:b e in
+        `Complete (Printf.sprintf "%d literals" (Logic.Interp.cardinal m)) );
+    ( "kb-chain-48/least",
+      fun b ->
+        let g = ground ~budget:b (W.kb_chain 48) "v47" in
+        let m = Ordered.Vfix.least_model ~budget:b g in
+        `Complete (Printf.sprintf "%d literals" (Logic.Interp.cardinal m)) )
+  ]
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let () =
+  let rows = List.map (fun (name, f) -> run name f) workloads in
+  let held r = r.elapsed_ms <= (budget_secs *. 1000.) +. grace_ms in
+  let count p = List.length (List.filter p rows) in
+  let complete = count (fun r -> r.status = "complete") in
+  let budget_exhausted =
+    count (fun r -> r.status = "partial" || r.status = "exhausted")
+  in
+  let errors = count (fun r -> r.status = "error") in
+  let deadline_held = List.for_all held rows in
+  Printf.printf "{\n  \"budget_secs\": %g,\n  \"workloads\": [\n" budget_secs;
+  List.iteri
+    (fun i r ->
+      Printf.printf
+        "    {\"name\": \"%s\", \"status\": \"%s\", \"reason\": %s, \
+         \"elapsed_ms\": %.1f, \"steps\": %d, \"instances\": %d, \
+         \"detail\": \"%s\", \"deadline_held\": %b}%s\n"
+        (json_escape r.name) r.status
+        (match r.reason with
+        | None -> "null"
+        | Some s -> Printf.sprintf "\"%s\"" (json_escape s))
+        r.elapsed_ms r.steps r.instances (json_escape r.detail) (held r)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.printf
+    "  ],\n\
+    \  \"summary\": {\"total\": %d, \"complete\": %d, \"budget_exhausted\": \
+     %d, \"errors\": %d, \"deadline_held\": %b}\n\
+     }\n"
+    (List.length rows) complete budget_exhausted errors deadline_held;
+  if not deadline_held then begin
+    prerr_endline "bench-smoke: a workload overshot its deadline";
+    exit 1
+  end;
+  if errors > 0 then begin
+    prerr_endline "bench-smoke: a workload raised a diagnostic";
+    exit 1
+  end

@@ -1,8 +1,16 @@
 (* olp — command-line front end for the ordered-logic-programming library.
 
-   Subcommands: check, ground, least, models, query, prove, explain, repl. *)
+   Subcommands: check, ground, least, models, query, prove, explain, repl.
+
+   Exit codes: 0 success (complete result), 2 error (bad input, unknown
+   component, typed diagnostic), 3 partial result (a resource budget ran
+   out; any output printed is a sound prefix).  124/125 are left to
+   cmdliner. *)
 
 open Cmdliner
+
+let exit_error = 2
+let exit_partial = 3
 
 let read_file path =
   let ic = open_in_bin path in
@@ -82,7 +90,41 @@ let max_instances_arg =
            ~doc:"Abort grounding once more than N ground instances are \
                  produced (guards against accidental blow-up).")
 
-let ground_view file comp depth relevant facts max_instances =
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Wall-clock budget in seconds.  On exhaustion the command \
+                 prints any sound partial result, warns on stderr and \
+                 exits 3.")
+
+let max_steps_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-steps" ] ~docv:"N"
+           ~doc:"Solver work budget in steps (fixpoint queue pops, \
+                 enumeration nodes, grounding candidates).  On exhaustion \
+                 the command exits 3, like $(b,--timeout).")
+
+let budget_term =
+  let mk timeout max_steps = Ordered.Budget.make ?timeout ?max_steps () in
+  Term.(const mk $ timeout_arg $ max_steps_arg)
+
+(* Run a subcommand body under a budget: poll once up front (so a
+   [--timeout 0] never starts work), map typed diagnostics to exit 2 and
+   budget exhaustion to exit 3. *)
+let governed budget f =
+  try
+    Ordered.Budget.check budget;
+    f ()
+  with
+  | Ordered.Diag.Error e ->
+    Printf.eprintf "error: %s\n" (Ordered.Diag.to_string e);
+    exit exit_error
+  | Ordered.Budget.Exhausted r ->
+    Printf.eprintf "budget exhausted (%s)\n"
+      (Ordered.Budget.reason_to_string r);
+    exit exit_partial
+
+let ground_view ?budget file comp depth relevant facts max_instances =
   let prog = load_program file in
   let id = resolve_component prog comp in
   let prog =
@@ -96,13 +138,13 @@ let ground_view file comp depth relevant facts max_instances =
       prog facts
   in
   match
-    Ordered.Gop.ground ?max_instances ~grounder:(grounder_of_flag relevant)
-      ~depth prog id
+    Ordered.Gop.ground ?budget ?max_instances
+      ~grounder:(grounder_of_flag relevant) ~depth prog id
   with
   | g -> (prog, id, g)
   | exception Invalid_argument e ->
     Printf.eprintf "%s\n" e;
-    exit 2
+    exit exit_error
 
 (* ------------------------------------------------------------------ *)
 
@@ -112,7 +154,8 @@ let dot_arg =
            ~doc:"Emit a Graphviz digraph instead of text output.")
 
 let check_cmd =
-  let run file dot =
+  let run budget file dot =
+    governed budget @@ fun () ->
     let prog = load_program file in
     if dot then (print_string (Ordered.Dot.poset prog); exit 0);
     let names = Ordered.Program.component_names prog in
@@ -149,7 +192,7 @@ let check_cmd =
        ~doc:"Parse and sanity-check a program: components, order, rule \
              safety, and the static overruling/defeating structure \
              ($(b,--dot) draws the component order).")
-    Term.(const run $ file_arg $ dot_arg)
+    Term.(const run $ budget_term $ file_arg $ dot_arg)
 
 let ground_cmd =
   let stats_flag =
@@ -157,8 +200,11 @@ let ground_cmd =
          & info [ "stats" ]
              ~doc:"Print size diagnostics instead of the rules.")
   in
-  let run file comp depth relevant facts max_instances stats =
-    let prog, _, g = ground_view file comp depth relevant facts max_instances in
+  let run budget file comp depth relevant facts max_instances stats =
+    governed budget @@ fun () ->
+    let prog, _, g =
+      ground_view ~budget file comp depth relevant facts max_instances
+    in
     if stats then
       Format.printf "%a@." Ordered.Gop.pp_stats (Ordered.Gop.stats g)
     else
@@ -172,19 +218,23 @@ let ground_cmd =
   in
   Cmd.v
     (Cmd.info "ground" ~doc:"Print the ground instances of the view C*.")
-    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg
-          $ facts_arg $ max_instances_arg $ stats_flag)
+    Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
+          $ relevant_arg $ facts_arg $ max_instances_arg $ stats_flag)
 
 let least_cmd =
-  let run file comp depth relevant facts max_instances =
-    let _, _, g = ground_view file comp depth relevant facts max_instances in
-    Format.printf "%a@." Logic.Interp.pp (Ordered.Vfix.least_model g)
+  let run budget file comp depth relevant facts max_instances =
+    governed budget @@ fun () ->
+    let _, _, g =
+      ground_view ~budget file comp depth relevant facts max_instances
+    in
+    Format.printf "%a@." Logic.Interp.pp (Ordered.Vfix.least_model ~budget g)
   in
   Cmd.v
     (Cmd.info "least"
        ~doc:"Print the least model (the fixpoint of the ordered immediate \
              transformation V).")
-    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg $ facts_arg $ max_instances_arg)
+    Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
+          $ relevant_arg $ facts_arg $ max_instances_arg)
 
 let models_cmd =
   let kind =
@@ -200,20 +250,32 @@ let models_cmd =
     Arg.(value & opt (some int) None
          & info [ "limit" ] ~docv:"N" ~doc:"Stop after N models.")
   in
-  let run file comp depth relevant facts max_instances kind limit =
-    let _, _, g = ground_view file comp depth relevant facts max_instances in
-    let models =
-      match kind with
-      | `Stable -> Ordered.Stable.stable_models ?limit g
-      | `Af -> Ordered.Stable.assumption_free_models ?limit g
-      | `Total -> Ordered.Exhaustive.total_models ?limit g
+  let run budget file comp depth relevant facts max_instances kind limit =
+    governed budget @@ fun () ->
+    let _, _, g =
+      ground_view ~budget file comp depth relevant facts max_instances
     in
+    let result =
+      match kind with
+      | `Stable -> Ordered.Stable.stable_models ?limit ~budget g
+      | `Af -> Ordered.Stable.assumption_free_models ?limit ~budget g
+      | `Total -> Ordered.Exhaustive.total_models ?limit ~budget g
+    in
+    let models = Ordered.Budget.value result in
     Format.printf "%d model(s)@." (List.length models);
-    List.iter (fun m -> Format.printf "%a@." Logic.Interp.pp m) models
+    List.iter (fun m -> Format.printf "%a@." Logic.Interp.pp m) models;
+    match result with
+    | Ordered.Budget.Complete _ -> ()
+    | Ordered.Budget.Partial (_, r) ->
+      Printf.eprintf
+        "warning: enumeration truncated, budget exhausted (%s); the models \
+         above are a prefix of the full enumeration\n"
+        (Ordered.Budget.reason_to_string r);
+      exit exit_partial
   in
   Cmd.v (Cmd.info "models" ~doc:"Enumerate stable / assumption-free / total models.")
-    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg $ facts_arg
-          $ max_instances_arg $ kind $ limit)
+    Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
+          $ relevant_arg $ facts_arg $ max_instances_arg $ kind $ limit)
 
 let query_cmd =
   let mode =
@@ -232,18 +294,22 @@ let query_cmd =
            ~doc:"Literal, e.g. 'fly(penguin)' or 'fly(X)' (variables \
                  enumerate the true instances).")
   in
-  let run file comp depth relevant facts max_instances mode lit_src =
-    let _, _, g = ground_view file comp depth relevant facts max_instances in
+  let run budget file comp depth relevant facts max_instances mode lit_src =
+    governed budget @@ fun () ->
+    let _, _, g =
+      ground_view ~budget file comp depth relevant facts max_instances
+    in
     let l = Lang.Parser.parse_literal lit_src in
     if Logic.Literal.is_ground l then
       match mode with
       | `Least ->
-        Format.printf "%a@." Logic.Interp.pp_value (Ordered.Query.ask g l)
+        Format.printf "%a@." Logic.Interp.pp_value
+          (Ordered.Query.ask ~budget g l)
       | `Cautious ->
-        Format.printf "%b@." (Ordered.Stable.cautious g l)
-      | `Brave -> Format.printf "%b@." (Ordered.Stable.brave g l)
+        Format.printf "%b@." (Ordered.Stable.cautious ~budget g l)
+      | `Brave -> Format.printf "%b@." (Ordered.Stable.brave ~budget g l)
     else begin
-      let instances = Ordered.Query.holds_instances g l in
+      let instances = Ordered.Query.holds_instances ~budget g l in
       Format.printf "%d answer(s)@." (List.length instances);
       List.iter (fun i -> Format.printf "%a@." Logic.Literal.pp i) instances
     end
@@ -253,19 +319,22 @@ let query_cmd =
        ~doc:"Evaluate a literal against the least model: truth value for a \
              ground literal, all true instances for a literal with \
              variables.")
-    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg
-          $ facts_arg $ max_instances_arg $ mode $ lit)
+    Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
+          $ relevant_arg $ facts_arg $ max_instances_arg $ mode $ lit)
 
 let prove_cmd =
   let lit =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"LITERAL"
            ~doc:"Ground literal to prove goal-directedly.")
   in
-  let run file comp depth relevant facts max_instances lit_src =
-    let _, _, g = ground_view file comp depth relevant facts max_instances in
+  let run budget file comp depth relevant facts max_instances lit_src =
+    governed budget @@ fun () ->
+    let _, _, g =
+      ground_view ~budget file comp depth relevant facts max_instances
+    in
     let l = Lang.Parser.parse_literal lit_src in
-    let v = Ordered.Prove.value g l in
-    let _, stats = Ordered.Prove.holds_with_stats g l in
+    let v = Ordered.Prove.value ~budget g l in
+    let _, stats = Ordered.Prove.holds_with_stats ~budget g l in
     Format.printf "%a@." Logic.Interp.pp_value v;
     Format.printf "(explored %d of %d ground rules)@."
       stats.Ordered.Prove.relevant_rules stats.Ordered.Prove.total_rules
@@ -274,15 +343,19 @@ let prove_cmd =
     (Cmd.info "prove"
        ~doc:"Goal-directed proof of a ground literal (relevance-closure \
              restriction of the least-model computation).")
-    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg $ facts_arg $ max_instances_arg $ lit)
+    Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
+          $ relevant_arg $ facts_arg $ max_instances_arg $ lit)
 
 let explain_cmd =
   let lit =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"LITERAL"
            ~doc:"Ground literal to explain.")
   in
-  let run file comp depth relevant facts max_instances dot lit_src =
-    let _, _, g = ground_view file comp depth relevant facts max_instances in
+  let run budget file comp depth relevant facts max_instances dot lit_src =
+    governed budget @@ fun () ->
+    let _, _, g =
+      ground_view ~budget file comp depth relevant facts max_instances
+    in
     let l = Lang.Parser.parse_literal lit_src in
     if dot then print_string (Ordered.Dot.derivation g l)
     else Format.printf "%a@." Ordered.Explain.pp (Ordered.Explain.explain g l)
@@ -291,20 +364,21 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:"Explain why a literal holds, fails or is undefined in the \
              least model ($(b,--dot) draws the derivation neighbourhood).")
-    Term.(const run $ file_arg $ component_arg $ depth_arg $ relevant_arg
-          $ facts_arg $ max_instances_arg $ dot_arg $ lit)
+    Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
+          $ relevant_arg $ facts_arg $ max_instances_arg $ dot_arg $ lit)
 
 let repl_cmd =
   let file =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
            ~doc:"Optional program to load at startup.")
   in
-  let run file = Repl.run ?file () in
+  let run timeout max_steps file = Repl.run ?timeout ?max_steps ?file () in
   Cmd.v
     (Cmd.info "repl"
        ~doc:"Interactive session: queries, :least, :stable, :explain, \
-             :assert and more (see :help).")
-    Term.(const run $ file)
+             :assert and more (see :help).  $(b,--timeout)/$(b,--max-steps) \
+             budget each evaluated line; exhaustion returns to the prompt.")
+    Term.(const run $ timeout_arg $ max_steps_arg $ file)
 
 let main =
   let doc = "ordered logic programming (Laenens, Sacca, Vermeir; SIGMOD 1990)" in

@@ -15,7 +15,12 @@ let help_text =
   :help                this message
   :quit                leave|}
 
-type state = { kb : Kb.t; mutable viewpoint : string option }
+type state = {
+  kb : Kb.t;
+  mutable viewpoint : string option;
+  fresh_budget : unit -> Ordered.Budget.t;
+      (** each evaluated line gets its own budget *)
+}
 
 let current_viewpoint st =
   match st.viewpoint with
@@ -47,11 +52,13 @@ let print_value v = Format.printf "%a@." Logic.Interp.pp_value v
 
 let query st src =
   with_viewpoint st (fun obj ->
+      let budget = st.fresh_budget () in
       let l = Lang.Parser.parse_literal src in
-      if Logic.Literal.is_ground l then print_value (Kb.query st.kb ~obj l)
+      if Logic.Literal.is_ground l then
+        print_value (Kb.query ~budget st.kb ~obj l)
       else begin
-        let g = Kb.gop st.kb ~obj in
-        let instances = Ordered.Query.holds_instances g l in
+        let g = Kb.gop ~budget st.kb ~obj in
+        let instances = Ordered.Query.holds_instances ~budget g l in
         if instances = [] then print_endline "no"
         else
           List.iter
@@ -75,12 +82,22 @@ let command st line =
     else Format.printf "unknown object %S@." rest
   | ":least" ->
     with_viewpoint st (fun obj ->
-        Format.printf "%a@." Logic.Interp.pp (Kb.least_model st.kb ~obj))
+        Format.printf "%a@." Logic.Interp.pp
+          (Kb.least_model ~budget:(st.fresh_budget ()) st.kb ~obj))
   | ":stable" ->
     with_viewpoint st (fun obj ->
         let limit = int_of_string_opt rest in
-        let models = Kb.stable_models ?limit st.kb ~obj in
-        Format.printf "%d model(s)@." (List.length models);
+        let result =
+          Kb.stable_models ?limit ~budget:(st.fresh_budget ()) st.kb ~obj
+        in
+        let models = Ordered.Budget.value result in
+        (match result with
+        | Ordered.Budget.Complete _ ->
+          Format.printf "%d model(s)@." (List.length models)
+        | Ordered.Budget.Partial (_, r) ->
+          Format.printf "%d model(s) — truncated, budget exhausted (%s)@."
+            (List.length models)
+            (Ordered.Budget.reason_to_string r));
         List.iter (fun m -> Format.printf "%a@." Logic.Interp.pp m) models)
   | ":explain" ->
     with_viewpoint st (fun obj ->
@@ -133,7 +150,7 @@ let eval st line =
   else if String.length line > 0 && line.[0] = ':' then command st line
   else query st line
 
-let run ?file () =
+let run ?timeout ?max_steps ?file () =
   let kb = Kb.create () in
   (match file with
   | Some path ->
@@ -145,7 +162,8 @@ let run ?file () =
     in
     Kb.load kb src
   | None -> ());
-  let st = { kb; viewpoint = None } in
+  let fresh_budget () = Ordered.Budget.make ?timeout ?max_steps () in
+  let st = { kb; viewpoint = None; fresh_budget } in
   let interactive = Unix.isatty Unix.stdin in
   (try
      while true do
@@ -158,7 +176,13 @@ let run ?file () =
            Format.printf "lexical error at %d:%d: %s@." pos.line pos.col msg
          | Lang.Parser.Error (msg, pos) ->
            Format.printf "syntax error at %d:%d: %s@." pos.line pos.col msg
-         | Invalid_argument msg -> Format.printf "error: %s@." msg)
+         | Invalid_argument msg | Failure msg ->
+           Format.printf "error: %s@." msg
+         | Ordered.Diag.Error e ->
+           Format.printf "error: %a@." Ordered.Diag.pp e
+         | Ordered.Budget.Exhausted r ->
+           Format.printf "budget exhausted (%s)@."
+             (Ordered.Budget.reason_to_string r))
        | exception End_of_file -> raise Exit
      done
    with Exit -> ());

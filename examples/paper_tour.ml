@@ -87,7 +87,7 @@ let () =
   show gp2 "rich(mimmo)";
   show gp2 "free_ticket(mimmo)";
   Format.printf "  total models in c1: %d (the paper: none exists)@."
-    (List.length (Ordered.Exhaustive.total_models gp2));
+    (List.length (Ordered.Budget.value (Ordered.Exhaustive.total_models gp2)));
 
   section "Figure 3" "the loan program";
   List.iter
@@ -120,7 +120,7 @@ let () =
     (Ordered.Vfix.least_model g5);
   List.iter
     (fun m -> Format.printf "  stable: %a@." Interp.pp m)
-    (Ordered.Stable.stable_models g5);
+    (Ordered.Budget.value (Ordered.Stable.stable_models g5));
 
   section "Example 6" "OV(ancestor): explicit closed world";
   let anc =

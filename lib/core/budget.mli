@@ -1,0 +1,8 @@
+(** Resource budgets (deadline, steps, instances, cancellation) — see
+    {!Governor.Budget} for the full documentation.  Re-exported here so
+    users of the [Ordered] library need not depend on [Governor]
+    directly. *)
+
+include module type of struct
+  include Governor.Budget
+end

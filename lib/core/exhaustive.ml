@@ -11,11 +11,12 @@ let is_total ?base g interp =
 (* Search for a proper superset of [interp] (over the undefined atoms of
    the space) that is a model; [f] receives each one found and returns
    [true] to continue the search. *)
-let iter_superset_models ?base g interp f =
+let iter_superset_models ?base ?(budget = Budget.unlimited) g interp f =
   let undef = Interp.undefined_atoms interp ~base:(atom_space ?base g) in
   let undef = Array.of_list undef in
   let exception Stop in
   let rec go i m added =
+    Budget.tick budget;
     if i >= Array.length undef then begin
       if added && Model.is_model g m then if not (f m) then raise Stop
     end
@@ -27,26 +28,28 @@ let iter_superset_models ?base g interp f =
   in
   try go 0 interp false with Stop -> ()
 
-let is_exhaustive ?base g interp =
+let is_exhaustive ?base ?budget g interp =
   Model.is_model g interp
   &&
   let found = ref false in
-  iter_superset_models ?base g interp (fun _ ->
+  iter_superset_models ?base ?budget g interp (fun _ ->
       found := true;
       false);
   not !found
 
-let extend ?base g interp =
+let extend ?base ?budget g interp =
   if not (Model.is_model g interp) then
     invalid_arg "Exhaustive.extend: not a model";
   (* Take any largest superset model; it is exhaustive by construction. *)
   let best = ref interp in
-  iter_superset_models ?base g interp (fun m ->
+  iter_superset_models ?base ?budget g interp (fun m ->
       if Interp.cardinal m > Interp.cardinal !best then best := m;
       true);
   !best
 
-let total_models ?limit (g : Gop.t) =
+let total_models ?limit ?(budget = Budget.unlimited) (g : Gop.t) =
+  (* Anytime, like {!Stable.assumption_free_models}: a partial result is a
+     prefix of the unbudgeted enumeration. *)
   let atoms = Array.of_list g.Gop.active_base in
   let acc = ref [] in
   let count = ref 0 in
@@ -56,6 +59,7 @@ let total_models ?limit (g : Gop.t) =
     | None -> false
   in
   let rec go i m =
+    Budget.tick budget;
     if not (full ()) then
       if i >= Array.length atoms then begin
         if Model.is_model g m then begin
@@ -68,5 +72,6 @@ let total_models ?limit (g : Gop.t) =
         go (i + 1) (Interp.set m atoms.(i) false)
       end
   in
-  go 0 Interp.empty;
-  List.rev !acc
+  match go 0 Interp.empty with
+  | () -> Budget.Complete (List.rev !acc)
+  | exception Budget.Exhausted r -> Budget.Partial (List.rev !acc, r)

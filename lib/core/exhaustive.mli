@@ -18,14 +18,23 @@
 
 val is_total : ?base:[ `Active | `Full ] -> Gop.t -> Logic.Interp.t -> bool
 
-val is_exhaustive : ?base:[ `Active | `Full ] -> Gop.t -> Logic.Interp.t -> bool
+val is_exhaustive :
+  ?base:[ `Active | `Full ] -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t ->
+  bool
 (** [M] is a model and no proper superset of [M] (over the chosen atom
-    space) is a model. *)
+    space) is a model.  Budget exhaustion raises [Budget.Exhausted] (the
+    boolean answer is not anytime). *)
 
-val extend : ?base:[ `Active | `Full ] -> Gop.t -> Logic.Interp.t -> Logic.Interp.t
+val extend :
+  ?base:[ `Active | `Full ] -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t ->
+  Logic.Interp.t
 (** Proposition 2: some exhaustive model containing the given model
     (returns the input when it is already exhaustive).  Raises
-    [Invalid_argument] if the input is not a model. *)
+    [Invalid_argument] if the input is not a model and [Budget.Exhausted]
+    when the budget runs out. *)
 
-val total_models : ?limit:int -> Gop.t -> Logic.Interp.t list
-(** All total models over the active base (exhaustive enumeration). *)
+val total_models :
+  ?limit:int -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t list Budget.anytime
+(** All total models over the active base (exhaustive enumeration);
+    anytime — a [Partial] result is a prefix of the unbudgeted
+    enumeration. *)

@@ -134,8 +134,8 @@ let of_view ?(depth = 0) ?(extra_constants = []) program comp tagged =
     full_base
   }
 
-let ground ?max_instances ?(grounder = `Naive) ?(depth = 0)
-    ?(extra_constants = []) program comp =
+let ground ?(budget = Budget.unlimited) ?max_instances ?(grounder = `Naive)
+    ?(depth = 0) ?(extra_constants = []) program comp =
   let view = Program.view program comp in
   let untagged = List.map snd view in
   let sg = Herbrand.signature_of_rules untagged in
@@ -149,6 +149,24 @@ let ground ?max_instances ?(grounder = `Naive) ?(depth = 0)
     }
   in
   let universe = Herbrand.universe ~depth sg in
+  (* Count instances per source rule against the cap so the overflow
+     diagnostic names the rule being instantiated. *)
+  let count = ref 0 in
+  let guard (r : Rule.t) insts =
+    (match max_instances with
+    | None -> ()
+    | Some cap ->
+      count := !count + List.length insts;
+      if !count > cap then
+        Diag.fail
+          (Diag.Grounding_overflow
+             { rule = Rule.to_string r;
+               produced = !count;
+               cap;
+               universe = List.length universe
+             }));
+    insts
+  in
   let tagged_ground =
     match grounder with
     | `Naive ->
@@ -156,28 +174,23 @@ let ground ?max_instances ?(grounder = `Naive) ?(depth = 0)
         (fun (c, r) ->
           List.map
             (fun inst -> (c, inst))
-            (Ground.Grounder.ground_rule_instances ~universe r))
+            (guard r
+               (Ground.Grounder.ground_rule_instances ~budget ~universe r)))
         view
     | `Relevant ->
       let res =
-        Ground.Grounder.relevant ~depth ~extra_constants untagged
+        Ground.Grounder.relevant ~budget ~depth ~extra_constants untagged
       in
       let support = List.map Rule.head res.Ground.Grounder.rules in
       List.concat_map
         (fun (c, r) ->
           List.map
             (fun inst -> (c, inst))
-            (Ground.Grounder.instances_supported_by ~universe ~support r))
+            (guard r
+               (Ground.Grounder.instances_supported_by ~budget ~universe
+                  ~support r)))
         view
   in
-  (match max_instances with
-  | Some cap when List.length tagged_ground > cap ->
-    invalid_arg
-      (Printf.sprintf
-         "Gop.ground: %d ground instances exceed the max_instances budget \
-          of %d (universe size %d)"
-         (List.length tagged_ground) cap (List.length universe))
-  | _ -> ());
   (* Deduplicate instances per component (a rule occurring in two distinct
      components keeps distinct instances, as the paper requires of the
      function C). *)

@@ -36,6 +36,7 @@ type t = {
 }
 
 val ground :
+  ?budget:Budget.t ->
   ?max_instances:int ->
   ?grounder:[ `Naive | `Relevant ] ->
   ?depth:int ->
@@ -46,8 +47,11 @@ val ground :
 (** Ground the view [C*] of the given component.  [`Naive] (default) is the
     reference semantics; [`Relevant] prunes rules with underivable bodies —
     faster, but see the caveat in {!Ground.Grounder}.  [max_instances]
-    raises [Invalid_argument] when instantiation exceeds the budget (a
-    guard against accidental blow-up on wide universes). *)
+    raises [Diag.Error (Grounding_overflow _)] — carrying the offending
+    rule and the counts — when instantiation exceeds the cap (a guard
+    against accidental blow-up on wide universes).  [budget] bounds the
+    grounding work itself (deadline / steps / instances); exhaustion raises
+    [Budget.Exhausted]. *)
 
 val of_view :
   ?depth:int ->

@@ -11,7 +11,7 @@ type stats = {
 
 (* Dependency closure from a goal literal code; returns the set of literal
    codes (as a bool array) and the list of relevant rule indices. *)
-let closure (g : Gop.t) goal =
+let closure ~budget (g : Gop.t) goal =
   let n = Gop.n_atoms g in
   let seen = Array.make (2 * n) false in
   let rule_in = Array.make (Gop.n_rules g) false in
@@ -24,6 +24,7 @@ let closure (g : Gop.t) goal =
   in
   visit goal;
   while not (Queue.is_empty queue) do
+    Budget.tick budget;
     let c = Queue.pop queue in
     let a = c / 2 and pol = c mod 2 = 1 in
     List.iter
@@ -48,7 +49,7 @@ let closure (g : Gop.t) goal =
 
 (* Counting fixpoint over a subset of the rules (mirrors Vfix's
    incremental engine, restricted to [rule_in]). *)
-let restricted_lfp (g : Gop.t) rule_in =
+let restricted_lfp ~budget (g : Gop.t) rule_in =
   let nr = Gop.n_rules g in
   let v = Gop.Values.create g in
   let missing =
@@ -94,6 +95,7 @@ let restricted_lfp (g : Gop.t) rule_in =
     try_fire i
   done;
   while not (Queue.is_empty queue) do
+    Budget.tick budget;
     let a, pol = Queue.pop queue in
     List.iter
       (fun i ->
@@ -104,9 +106,9 @@ let restricted_lfp (g : Gop.t) rule_in =
   done;
   v
 
-let holds_code (g : Gop.t) goal =
-  let seen, rule_in = closure g goal in
-  let v = restricted_lfp g rule_in in
+let holds_code ~budget (g : Gop.t) goal =
+  let seen, rule_in = closure ~budget g goal in
+  let v = restricted_lfp ~budget g rule_in in
   let a = goal / 2 and pol = goal mod 2 = 1 in
   let holds =
     match Gop.Values.value v a with
@@ -123,7 +125,8 @@ let holds_code (g : Gop.t) goal =
   in
   (holds, stats)
 
-let holds_with_stats (g : Gop.t) (l : Literal.t) =
+let holds_with_stats ?(budget = Budget.unlimited) (g : Gop.t)
+    (l : Literal.t) =
   if not (Literal.is_ground l) then
     invalid_arg "Prove.holds: literal must be ground";
   match Gop.atom_id g l.atom with
@@ -133,11 +136,11 @@ let holds_with_stats (g : Gop.t) (l : Literal.t) =
         relevant_rules = 0;
         total_rules = Gop.n_rules g
       } )
-  | Some a -> holds_code g (code a l.pol)
+  | Some a -> holds_code ~budget g (code a l.pol)
 
-let holds g l = fst (holds_with_stats g l)
+let holds ?budget g l = fst (holds_with_stats ?budget g l)
 
-let value g (l : Literal.t) =
-  if holds g l then Interp.True
-  else if holds g (Literal.neg l) then Interp.False
+let value ?budget g (l : Literal.t) =
+  if holds ?budget g l then Interp.True
+  else if holds ?budget g (Literal.neg l) then Interp.False
   else Interp.Undefined

@@ -20,11 +20,13 @@
     suppress — only its blockedness matters, and the literals that can
     block it are in the closure by construction). *)
 
-val holds : Gop.t -> Logic.Literal.t -> bool
+val holds : ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> bool
 (** [holds g l] iff the ground literal [l] is in the least model of [g].
-    Returns [false] for literals over atoms the program never mentions. *)
+    Returns [false] for literals over atoms the program never mentions.
+    [budget] is ticked per closure/fixpoint derivation; exhaustion raises
+    [Budget.Exhausted]. *)
 
-val value : Gop.t -> Logic.Literal.t -> Logic.Interp.value
+val value : ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> Logic.Interp.value
 (** Three-valued answer: [True] if the literal is in the least model,
     [False] if its complement is, [Undefined] otherwise. *)
 
@@ -34,7 +36,8 @@ type stats = {
   total_rules : int;  (** rules in the full ground program *)
 }
 
-val holds_with_stats : Gop.t -> Logic.Literal.t -> bool * stats
+val holds_with_stats :
+  ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> bool * stats
 (** Like {!holds}, also reporting how much of the program the closure
     touched (the benchmark suite uses this to show the goal-directed
     saving). *)

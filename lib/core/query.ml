@@ -1,36 +1,42 @@
 open Logic
 
-let ask (g : Gop.t) l = Interp.value_lit (Vfix.least_model g) l
+let ask ?budget (g : Gop.t) l =
+  Interp.value_lit (Vfix.least_model ?budget g) l
 
-let model_literals g =
-  Interp.to_literals (Vfix.least_model g)
+let model_literals ?budget g = Interp.to_literals (Vfix.least_model ?budget g)
 
-let match_against ~init pattern facts =
-  List.filter_map (fun fact -> Unify.match_literal ~init pattern fact) facts
+let match_against ~budget ~init pattern facts =
+  List.filter_map
+    (fun fact ->
+      Budget.tick budget;
+      Unify.match_literal ~init pattern fact)
+    facts
 
-let answers (g : Gop.t) (l : Literal.t) =
-  match_against ~init:Subst.empty l (model_literals g)
+let answers ?(budget = Budget.unlimited) (g : Gop.t) (l : Literal.t) =
+  match_against ~budget ~init:Subst.empty l (model_literals ~budget g)
 
-let answers_conj (g : Gop.t) conj =
-  let facts = model_literals g in
+let answers_conj ?(budget = Budget.unlimited) (g : Gop.t) conj =
+  let facts = model_literals ~budget g in
   let step substs (l : Literal.t) =
     List.concat_map
       (fun s ->
+        Budget.tick budget;
         let l' = Subst.apply_literal s l in
         if Ground.Builtin.is_builtin_literal l' then
           if not (Literal.is_ground l') then
-            invalid_arg
-              (Printf.sprintf
-                 "Query.answers_conj: unbound builtin literal %s"
-                 (Literal.to_string l'))
+            Diag.fail
+              (Diag.Nonground_builtin
+                 { literal = Literal.to_string l';
+                   context = "Query.answers_conj"
+                 })
           else
             match Ground.Builtin.eval_literal l' with
             | Some true -> [ s ]
             | Some false | None -> []
-        else match_against ~init:s l' facts)
+        else match_against ~budget ~init:s l' facts)
       substs
   in
   List.fold_left step [ Subst.empty ] conj
 
-let holds_instances g l =
-  List.map (fun s -> Subst.apply_literal s l) (answers g l)
+let holds_instances ?budget g l =
+  List.map (fun s -> Subst.apply_literal s l) (answers ?budget g l)

@@ -4,19 +4,22 @@
     that the least model makes true; a conjunctive query threads the
     substitution through all its literals (shared variables join). *)
 
-val ask : Gop.t -> Logic.Literal.t -> Logic.Interp.value
+val ask : ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> Logic.Interp.value
 (** Ground convenience: the literal's value in the least model. *)
 
-val answers : Gop.t -> Logic.Literal.t -> Logic.Subst.t list
+val answers :
+  ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> Logic.Subst.t list
 (** All substitutions [s] (over the query's variables) such that [s]
     applied to the query is true in the least model, in a deterministic
     order.  A ground query yields [[]] or [[empty]]. *)
 
-val answers_conj : Gop.t -> Logic.Literal.t list -> Logic.Subst.t list
+val answers_conj :
+  ?budget:Budget.t -> Gop.t -> Logic.Literal.t list -> Logic.Subst.t list
 (** Conjunctive queries; builtin comparison literals in the conjunction
     are evaluated once their arguments are bound (a non-ground builtin
-    after substitution is an error). *)
+    after substitution raises [Diag.Error (Nonground_builtin _)]). *)
 
-val holds_instances : Gop.t -> Logic.Literal.t -> Logic.Literal.t list
+val holds_instances :
+  ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> Logic.Literal.t list
 (** The true ground instances of the query, i.e. [answers] applied back
     to the query literal. *)

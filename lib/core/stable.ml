@@ -20,44 +20,50 @@ let branch_space (g : Gop.t) seed =
         | p, n -> Some (a, p, n))
     (List.init n Fun.id)
 
-let assumption_free_models ?limit (g : Gop.t) =
-  let seed = Vfix.lfp g in
-  let branch = Array.of_list (branch_space g seed) in
+let assumption_free_models ?limit ?(budget = Budget.unlimited) (g : Gop.t) =
+  (* Anytime: exhaustion mid-search surrenders the models found so far,
+     tagged with the reason.  The search order is deterministic, so a
+     partial result is a prefix of the unbudgeted enumeration. *)
   let acc = ref [] in
   let count = ref 0 in
-  let full () =
-    match limit with
-    | Some l -> !count >= l
-    | None -> false
-  in
-  let v = Gop.Values.copy seed in
-  let check () =
-    let interp = Gop.Values.to_interp g v in
-    if Model.is_assumption_free g interp then begin
-      incr count;
-      acc := interp :: !acc
-    end
-  in
-  let rec go i =
-    if not (full ()) then
-      if i >= Array.length branch then check ()
-      else begin
-        let a, can_pos, can_neg = branch.(i) in
-        go (i + 1);
-        if can_pos then begin
-          Gop.Values.set v a true;
-          go (i + 1);
-          Gop.Values.unset v a
-        end;
-        if can_neg then begin
-          Gop.Values.set v a false;
-          go (i + 1);
-          Gop.Values.unset v a
-        end
+  try
+    let seed = Vfix.lfp ~budget g in
+    let branch = Array.of_list (branch_space g seed) in
+    let full () =
+      match limit with
+      | Some l -> !count >= l
+      | None -> false
+    in
+    let v = Gop.Values.copy seed in
+    let check () =
+      let interp = Gop.Values.to_interp g v in
+      if Model.is_assumption_free g interp then begin
+        incr count;
+        acc := interp :: !acc
       end
-  in
-  go 0;
-  List.rev !acc
+    in
+    let rec go i =
+      Budget.tick budget;
+      if not (full ()) then
+        if i >= Array.length branch then check ()
+        else begin
+          let a, can_pos, can_neg = branch.(i) in
+          go (i + 1);
+          if can_pos then begin
+            Gop.Values.set v a true;
+            go (i + 1);
+            Gop.Values.unset v a
+          end;
+          if can_neg then begin
+            Gop.Values.set v a false;
+            go (i + 1);
+            Gop.Values.unset v a
+          end
+        end
+    in
+    go 0;
+    Budget.Complete (List.rev !acc)
+  with Budget.Exhausted r -> Budget.Partial (List.rev !acc, r)
 
 let maximal models =
   List.filter
@@ -68,15 +74,22 @@ let maximal models =
            models))
     models
 
-let stable_models ?limit g = maximal (assumption_free_models ?limit g)
+let stable_models ?limit ?budget g =
+  Budget.map maximal (assumption_free_models ?limit ?budget g)
 
-let cautious g l =
-  List.for_all (fun m -> Interp.holds m l) (stable_models g)
+(* Boolean queries over the stable models are not anytime: an answer
+   computed from a truncated enumeration would be unsound, so budget
+   exhaustion propagates as [Budget.Exhausted]. *)
+let all_stable ?budget g = Budget.complete_exn (stable_models ?budget g)
 
-let brave g l = List.exists (fun m -> Interp.holds m l) (stable_models g)
+let cautious ?budget g l =
+  List.for_all (fun m -> Interp.holds m l) (all_stable ?budget g)
 
-let cautious_consequences g =
-  match stable_models g with
+let brave ?budget g l =
+  List.exists (fun m -> Interp.holds m l) (all_stable ?budget g)
+
+let cautious_consequences ?budget g =
+  match all_stable ?budget g with
   | [] -> Interp.empty (* unreachable: the least model is assumption-free *)
   | m :: rest ->
     List.fold_left
@@ -90,10 +103,10 @@ let cautious_consequences g =
           acc acc)
       m rest
 
-let is_stable g interp =
+let is_stable ?budget g interp =
   Model.is_assumption_free g interp
   &&
-  let others = assumption_free_models g in
+  let others = Budget.complete_exn (assumption_free_models ?budget g) in
   not
     (List.exists
        (fun m -> (not (Interp.equal interp m)) && Interp.subset interp m)

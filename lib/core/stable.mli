@@ -6,32 +6,47 @@
     least fixpoint of [V] (Theorem 1(b)) and consists solely of literals
     that occur as ground rule heads (each of its literals needs an applied
     supporting rule), so the enumeration branches on head literals outside
-    the least fixpoint — exponential in their number in the worst case. *)
+    the least fixpoint — exponential in their number in the worst case.
 
-val assumption_free_models : ?limit:int -> Gop.t -> Logic.Interp.t list
+    {b Anytime semantics.}  The enumerations take a {!Budget.t} and return
+    a {!Budget.anytime} value: [Complete models] when the search finished,
+    or [Partial (models, reason)] when the budget ran out first.  The
+    search order is deterministic, so the models of a [Partial] result are
+    a prefix of the unbudgeted enumeration (for {!stable_models}, the
+    maximal elements of such a prefix — each returned model is
+    assumption-free, but a later, larger model may have been missed).
+    Boolean queries ({!cautious}, {!brave}, {!is_stable}) are {e not}
+    anytime — a truncated enumeration could flip their answer — so they
+    raise [Budget.Exhausted] instead. *)
+
+val assumption_free_models :
+  ?limit:int -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t list Budget.anytime
 (** All assumption-free models (at most [limit] if given), in a
-    deterministic order; always contains the least model. *)
+    deterministic order; a complete enumeration always contains the least
+    model. *)
 
-val stable_models : ?limit:int -> Gop.t -> Logic.Interp.t list
+val stable_models :
+  ?limit:int -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t list Budget.anytime
 (** The maximal assumption-free models.  [limit] caps the underlying
     assumption-free enumeration (so with a limit the result may miss
     stable models but every returned model is assumption-free and maximal
-    among those enumerated). *)
+    among those enumerated); the same caveat applies to [Partial]
+    results. *)
 
-val is_stable : Gop.t -> Logic.Interp.t -> bool
+val is_stable : ?budget:Budget.t -> Gop.t -> Logic.Interp.t -> bool
 (** Assumption-free and not properly contained in another assumption-free
     model. *)
 
-val cautious : Gop.t -> Logic.Literal.t -> bool
+val cautious : ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> bool
 (** Skeptical entailment: the ground literal holds in {e every} stable
     model.  [false] when there is no stable model... which cannot happen:
     the least model is assumption-free, so a stable model always exists —
     but the literal may simply fail somewhere. *)
 
-val brave : Gop.t -> Logic.Literal.t -> bool
+val brave : ?budget:Budget.t -> Gop.t -> Logic.Literal.t -> bool
 (** Credulous entailment: the ground literal holds in {e some} stable
     model. *)
 
-val cautious_consequences : Gop.t -> Logic.Interp.t
+val cautious_consequences : ?budget:Budget.t -> Gop.t -> Logic.Interp.t
 (** The literals common to all stable models (always a superset of the
     least model, by Theorem 1(b)). *)

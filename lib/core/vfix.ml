@@ -14,8 +14,9 @@ let step (g : Gop.t) v =
     g.rules;
   next
 
-let lfp_naive (g : Gop.t) =
+let lfp_naive ?(budget = Budget.unlimited) (g : Gop.t) =
   let rec go v =
+    Budget.check budget;
     let v' = step g v in
     if Gop.Values.equal v v' then v else go v'
   in
@@ -28,7 +29,8 @@ let lfp_naive (g : Gop.t) =
      blocked;
    - a rule fires (derives its head) when missing = 0 and active_sup = 0.
    Monotonicity (Lemma 1) makes all three evolve in one direction only. *)
-let run_incremental (g : Gop.t) =
+let run_incremental ?(budget = Budget.unlimited) (g : Gop.t) =
+  Budget.check budget;
   let nr = Gop.n_rules g in
   let v = Gop.Values.create g in
   let missing = Array.map (fun (r : Gop.grule) -> Array.length r.body) g.rules in
@@ -47,9 +49,17 @@ let run_incremental (g : Gop.t) =
       Gop.Values.set v a pol;
       Queue.add (a, pol) queue
     | Logic.Interp.True ->
-      if not pol then failwith "Vfix: inconsistent derivation (impossible)"
+      if not pol then
+        Diag.fail
+          (Diag.Internal_invariant
+             { where = "Vfix.run_incremental"; atom = a; existing = true;
+               derived = false })
     | Logic.Interp.False ->
-      if pol then failwith "Vfix: inconsistent derivation (impossible)"
+      if pol then
+        Diag.fail
+          (Diag.Internal_invariant
+             { where = "Vfix.run_incremental"; atom = a; existing = false;
+               derived = true })
   in
   let try_fire i =
     if (not fired.(i)) && missing.(i) = 0 && active_sup.(i) = 0 then begin
@@ -72,6 +82,7 @@ let run_incremental (g : Gop.t) =
     try_fire i
   done;
   while not (Queue.is_empty queue) do
+    Budget.tick budget;
     incr round;
     let a, pol = Queue.pop queue in
     let sat_rules = if pol then g.by_body_pos.(a) else g.by_body_neg.(a) in
@@ -85,13 +96,13 @@ let run_incremental (g : Gop.t) =
   done;
   (v, List.rev !fires)
 
-let lfp g = fst (run_incremental g)
-let trace g = snd (run_incremental g)
+let lfp ?budget g = fst (run_incremental ?budget g)
+let trace ?budget g = snd (run_incremental ?budget g)
 
-let least_model ?(engine = `Incremental) g =
+let least_model ?(engine = `Incremental) ?budget g =
   let v =
     match engine with
-    | `Incremental -> lfp g
-    | `Naive -> lfp_naive g
+    | `Incremental -> lfp ?budget g
+    | `Naive -> lfp_naive ?budget g
   in
   Gop.Values.to_interp g v

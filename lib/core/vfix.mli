@@ -22,15 +22,23 @@
 val step : Gop.t -> Gop.Values.t -> Gop.Values.t
 (** One application of [V] (returns a fresh assignment). *)
 
-val lfp : Gop.t -> Gop.Values.t
-(** Least fixpoint by the incremental counting engine. *)
+val lfp : ?budget:Budget.t -> Gop.t -> Gop.Values.t
+(** Least fixpoint by the incremental counting engine.  [budget] is
+    ticked once per derivation processed; exhaustion raises
+    [Budget.Exhausted] (the least model is all-or-nothing — a partial
+    fixpoint would be unsound to return).  An inconsistent internal
+    derivation raises [Diag.Error (Internal_invariant _)] with the atom id
+    and the two polarities. *)
 
-val lfp_naive : Gop.t -> Gop.Values.t
-(** Least fixpoint by Kleene iteration of {!step}. *)
+val lfp_naive : ?budget:Budget.t -> Gop.t -> Gop.Values.t
+(** Least fixpoint by Kleene iteration of {!step}; [budget] is polled once
+    per round. *)
 
-val least_model : ?engine:[ `Incremental | `Naive ] -> Gop.t -> Logic.Interp.t
+val least_model :
+  ?engine:[ `Incremental | `Naive ] -> ?budget:Budget.t -> Gop.t ->
+  Logic.Interp.t
 (** The least model [V^inf_{P,C}(0)] as a symbolic interpretation. *)
 
-val trace : Gop.t -> (int * int) list
+val trace : ?budget:Budget.t -> Gop.t -> (int * int) list
 (** Firing order of the incremental engine: [(rule index, round)] pairs in
     derivation order (used by {!Explain}). *)

@@ -1,4 +1,5 @@
 open Nprog
+module Budget = Governor.Budget
 
 let step (p : Nprog.t) (input : bool array) =
   let out = Array.make (n_atoms p) false in
@@ -11,7 +12,7 @@ let step (p : Nprog.t) (input : bool array) =
     p.rules;
   out
 
-let lfp_rules (p : Nprog.t) (rules : rule array) =
+let lfp_rules ?(budget = Budget.unlimited) (p : Nprog.t) (rules : rule array) =
   let n = n_atoms p in
   let truth = Array.make n false in
   let missing = Array.map (fun r -> Array.length r.pos) rules in
@@ -31,6 +32,7 @@ let lfp_rules (p : Nprog.t) (rules : rule array) =
     (fun i r -> if missing.(i) = 0 && r.neg = [||] then derive r.head)
     rules;
   while not (Queue.is_empty queue) do
+    Budget.tick budget;
     let a = Queue.pop queue in
     List.iter
       (fun i ->
@@ -40,13 +42,14 @@ let lfp_rules (p : Nprog.t) (rules : rule array) =
   done;
   truth
 
-let lfp (p : Nprog.t) = lfp_rules p p.rules
+let lfp ?budget (p : Nprog.t) = lfp_rules ?budget p p.rules
 
-let lfp_naive (p : Nprog.t) =
+let lfp_naive ?(budget = Budget.unlimited) (p : Nprog.t) =
   let n = n_atoms p in
   let cur = ref (Array.make n false) in
   let continue_ = ref true in
   while !continue_ do
+    Budget.check budget;
     let next = step p !cur in
     (* [T_P] is inflationary from the empty set on positive programs, but
        [step] recomputes from scratch; union keeps the iteration monotone. *)

@@ -9,12 +9,12 @@ val step : Nprog.t -> bool array -> bool array
     ignored}, i.e. the program is assumed positive; use {!reduct} first
     for programs with negation). *)
 
-val lfp : Nprog.t -> bool array
+val lfp : ?budget:Governor.Budget.t -> Nprog.t -> bool array
 (** Least fixpoint of [T_P] from the empty set, computed with the counting
     (semi-naive) algorithm in time linear in program size.  NAF body
     literals make a rule never fire. *)
 
-val lfp_naive : Nprog.t -> bool array
+val lfp_naive : ?budget:Governor.Budget.t -> Nprog.t -> bool array
 (** Same result via naive iteration of {!step} (quadratic); kept as the
     reference implementation and as a benchmark baseline. *)
 
@@ -23,6 +23,7 @@ val reduct : Nprog.t -> assumed_false:(int -> bool) -> Nprog.rule array
     every NAF atom [a] of [r] satisfies [assumed_false a] (i.e. [a] is not
     in [S]); kept rules are returned with [neg] emptied. *)
 
-val lfp_rules : Nprog.t -> Nprog.rule array -> bool array
+val lfp_rules :
+  ?budget:Governor.Budget.t -> Nprog.t -> Nprog.rule array -> bool array
 (** Least fixpoint of [T] over an explicit (positive) rule array, using the
     counting algorithm; [Nprog.t] supplies only the atom table. *)

@@ -8,12 +8,24 @@
 
 type t
 
-val load : ?depth:int -> ?grounder:[ `Naive | `Relevant ] -> Logic.Rule.t list -> t
+val load :
+  ?budget:Governor.Budget.t ->
+  ?depth:int ->
+  ?grounder:[ `Naive | `Relevant ] ->
+  Logic.Rule.t list ->
+  t
 (** Ground and intern a seminegative program.  [`Relevant] (default) uses
     NAF-aware relevance grounding, which preserves all the semantics
-    below; [`Naive] instantiates over the full universe. *)
+    below; [`Naive] instantiates over the full universe.  [budget] bounds
+    the grounding (semi-naive) loop; exhaustion raises
+    [Governor.Budget.Exhausted]. *)
 
-val load_src : ?depth:int -> ?grounder:[ `Naive | `Relevant ] -> string -> t
+val load_src :
+  ?budget:Governor.Budget.t ->
+  ?depth:int ->
+  ?grounder:[ `Naive | `Relevant ] ->
+  string ->
+  t
 (** Parse the rules from surface syntax first. *)
 
 val nprog : t -> Nprog.t
@@ -23,10 +35,12 @@ val minimal_model : t -> Logic.Atom.Set.t
 (** Least fixpoint of [T_P] (NAF rules never fire); the minimal total
     model for a positive program. *)
 
-val well_founded : t -> Logic.Interp.t
-(** The well-founded (3-valued) model. *)
+val well_founded : ?budget:Governor.Budget.t -> t -> Logic.Interp.t
+(** The well-founded (3-valued) model (computed on first call, then
+    cached; the budget only governs the computing call). *)
 
-val stable_models : ?limit:int -> t -> Logic.Atom.Set.t list
+val stable_models :
+  ?limit:int -> ?budget:Governor.Budget.t -> t -> Logic.Atom.Set.t list
 (** The classical (total, Gelfond–Lifschitz) stable models. *)
 
 val perfect_model : t -> Logic.Atom.Set.t option
@@ -34,5 +48,5 @@ val perfect_model : t -> Logic.Atom.Set.t option
 
 val is_stratified : t -> bool
 
-val holds : t -> Logic.Literal.t -> Logic.Interp.value
+val holds : ?budget:Governor.Budget.t -> t -> Logic.Literal.t -> Logic.Interp.value
 (** Value of a ground literal in the well-founded model. *)

@@ -1,9 +1,11 @@
+module Budget = Governor.Budget
+
 let is_stable (p : Nprog.t) (s : bool array) =
   let rules = Consequence.reduct p ~assumed_false:(fun a -> not s.(a)) in
   Consequence.lfp_rules p rules = s
 
-let enumerate ?limit (p : Nprog.t) =
-  let wf = Wellfounded.compute p in
+let enumerate ?limit ?(budget = Budget.unlimited) (p : Nprog.t) =
+  let wf = Wellfounded.compute ~budget p in
   (* Branch atoms: atoms occurring under NAF and undefined in the
      well-founded model.  Any stable model agrees with the well-founded
      model on defined atoms, and is determined by its restriction to NAF
@@ -46,6 +48,7 @@ let enumerate ?limit (p : Nprog.t) =
     end
   in
   let rec go i =
+    Budget.tick budget;
     if not (full ()) then
       if i >= Array.length branch then check ()
       else begin
@@ -60,7 +63,8 @@ let enumerate ?limit (p : Nprog.t) =
   go 0;
   List.rev !found
 
-let models ?limit p = List.map (Nprog.decode_mask p) (enumerate ?limit p)
+let models ?limit ?budget p =
+  List.map (Nprog.decode_mask p) (enumerate ?limit ?budget p)
 
 let first p =
   match enumerate ~limit:1 p with

@@ -9,13 +9,16 @@
 val is_stable : Nprog.t -> bool array -> bool
 (** Check the Gelfond–Lifschitz fixpoint condition for a candidate. *)
 
-val enumerate : ?limit:int -> Nprog.t -> bool array list
+val enumerate :
+  ?limit:int -> ?budget:Governor.Budget.t -> Nprog.t -> bool array list
 (** All stable models (at most [limit] if given), each as an atom mask, in
     a deterministic order.  Exponential in the number of undefined
     NAF-atoms; intended for programs whose ground residue after
-    well-founded simplification is small. *)
+    well-founded simplification is small.  [budget] is ticked per search
+    node; exhaustion raises [Governor.Budget.Exhausted]. *)
 
-val models : ?limit:int -> Nprog.t -> Logic.Atom.Set.t list
+val models :
+  ?limit:int -> ?budget:Governor.Budget.t -> Nprog.t -> Logic.Atom.Set.t list
 (** {!enumerate}, decoded to atom sets. *)
 
 val first : Nprog.t -> Logic.Atom.Set.t option

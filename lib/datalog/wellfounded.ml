@@ -1,21 +1,23 @@
 open Logic
+module Budget = Governor.Budget
 
 type result = { true_ : bool array; false_ : bool array }
 
-let gamma (p : Nprog.t) (s : bool array) =
+let gamma ?budget (p : Nprog.t) (s : bool array) =
   let rules = Consequence.reduct p ~assumed_false:(fun a -> not s.(a)) in
-  Consequence.lfp_rules p rules
+  Consequence.lfp_rules ?budget p rules
 
-let compute (p : Nprog.t) =
+let compute ?(budget = Budget.unlimited) (p : Nprog.t) =
   let n = Nprog.n_atoms p in
   (* K ascends to lfp(gamma^2); U descends to gfp(gamma^2), starting from
      K0 = empty, U0 = gamma(K0) (all atoms potentially true). *)
   let k = ref (Array.make n false) in
-  let u = ref (gamma p !k) in
+  let u = ref (gamma ~budget p !k) in
   let continue_ = ref true in
   while !continue_ do
-    let k' = gamma p !u in
-    let u' = gamma p k' in
+    Budget.check budget;
+    let k' = gamma ~budget p !u in
+    let u' = gamma ~budget p k' in
     if k' = !k && u' = !u then continue_ := false
     else begin
       k := k';
@@ -24,8 +26,8 @@ let compute (p : Nprog.t) =
   done;
   { true_ = !k; false_ = Array.map not !u }
 
-let model (p : Nprog.t) =
-  let r = compute p in
+let model ?budget (p : Nprog.t) =
+  let r = compute ?budget p in
   let acc = ref Interp.empty in
   Array.iteri
     (fun i a ->

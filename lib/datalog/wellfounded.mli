@@ -11,11 +11,14 @@ type result = {
   false_ : bool array;  (** well-founded false atoms *)
 }
 
-val gamma : Nprog.t -> bool array -> bool array
+val gamma : ?budget:Governor.Budget.t -> Nprog.t -> bool array -> bool array
 
-val compute : Nprog.t -> result
+val compute : ?budget:Governor.Budget.t -> Nprog.t -> result
+(** [budget] is ticked per derivation inside each reduct fixpoint and
+    polled per alternation round; exhaustion raises
+    [Governor.Budget.Exhausted]. *)
 
-val model : Nprog.t -> Logic.Interp.t
+val model : ?budget:Governor.Budget.t -> Nprog.t -> Logic.Interp.t
 (** The well-founded (3-valued) model as an interpretation: true atoms
     mapped to true, well-founded-false atoms to false, others undefined. *)
 

@@ -1,0 +1,98 @@
+(** Resource governance for long-running solver paths.
+
+    A budget bundles the limits one evaluation is allowed to consume:
+
+    - a wall-clock {e deadline} ([timeout], seconds from creation);
+    - a {e step} budget (units of solver work: fixpoint queue pops,
+      enumeration nodes, grounding candidates);
+    - a grounding {e instance} cap (surviving ground instances);
+    - a cooperative {e cancellation} flag (flipped from another thread or a
+      signal handler);
+    - an optional deterministic {e fault injection} point for tests.
+
+    Long-running loops call {!tick} (one unit of work), {!tick_instance}
+    (one surviving ground instance) or {!check} (poll without consuming);
+    all three raise {!Exhausted} once any limit is hit.  Exhaustion by a
+    real limit is {e sticky}: every later tick re-raises, so an exhausted
+    budget cannot be accidentally reused.  The clock is polled every 64
+    ticks (and on the first), so deadline overshoot is bounded by 64 units
+    of work.
+
+    Enumeration entry points catch {!Exhausted} and return an {!anytime}
+    value: [Complete] results, or [Partial] results found so far together
+    with the machine-readable reason. *)
+
+type reason =
+  | Deadline  (** wall-clock timeout elapsed *)
+  | Steps  (** step budget consumed *)
+  | Instances  (** grounding-instance cap hit *)
+  | Cancelled  (** cooperative cancellation flag was set *)
+  | Fault  (** deterministic fault injection ({!with_trip_at}) *)
+
+exception Exhausted of reason
+
+type t
+
+val make :
+  ?timeout:float ->
+  ?max_steps:int ->
+  ?max_instances:int ->
+  ?cancel:bool ref ->
+  unit ->
+  t
+(** Fresh budget.  [timeout] is seconds from now ([0.] is already
+    exhausted); omitted limits are infinite.  [cancel] lets the caller keep
+    a handle on the cancellation flag. *)
+
+val unlimited : t
+(** The shared no-limit budget (the default everywhere).  Ticking it only
+    advances its counters; it never raises. *)
+
+val with_trip_at : step:int -> unit -> t
+(** Deterministic fault injection: an otherwise unlimited budget whose
+    [step]-th {!tick} raises [Exhausted Fault] — exactly once; subsequent
+    ticks succeed.  Tests use it to force exhaustion at an exact point. *)
+
+val tick : t -> unit
+(** Count one unit of work.  Raises {!Exhausted} when a limit is hit. *)
+
+val tick_instance : t -> unit
+(** Count one surviving ground instance (checked against
+    [max_instances]).  Raises {!Exhausted} when a limit is hit. *)
+
+val check : t -> unit
+(** Poll the deadline and cancellation flag without consuming a step
+    (always reads the clock; use at loop-round granularity). *)
+
+val cancel : t -> unit
+(** Flip the cooperative cancellation flag: the next {!tick}/{!check}
+    raises [Exhausted Cancelled]. *)
+
+val steps : t -> int
+val instances : t -> int
+
+val exhausted : t -> reason option
+(** [Some r] once the budget has tripped on a real limit (never [Fault]). *)
+
+val reason_to_string : reason -> string
+(** Machine-readable lowercase tag: ["deadline"], ["steps"],
+    ["instances"], ["cancelled"], ["fault"]. *)
+
+val pp_reason : Format.formatter -> reason -> unit
+
+(** {1 Anytime results} *)
+
+type 'a anytime =
+  | Complete of 'a
+  | Partial of 'a * reason
+      (** what was found before the budget ran out, and why it stopped *)
+
+val value : 'a anytime -> 'a
+val is_complete : 'a anytime -> bool
+val reason : 'a anytime -> reason option
+
+val complete_exn : 'a anytime -> 'a
+(** The value of a [Complete] result; re-raises [Exhausted] on [Partial]
+    (used by queries whose partial answers would be unsound). *)
+
+val map : ('a -> 'b) -> 'a anytime -> 'b anytime

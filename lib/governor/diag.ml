@@ -1,0 +1,46 @@
+type error =
+  | Grounding_overflow of {
+      rule : string;
+      produced : int;
+      cap : int;
+      universe : int;
+    }
+  | Eval_error of { op : string; detail : string }
+  | Nonground_builtin of { literal : string; context : string }
+  | Internal_invariant of {
+      where : string;
+      atom : int;
+      existing : bool;
+      derived : bool;
+    }
+  | Invalid_input of { where : string; detail : string }
+
+exception Error of error
+
+let fail e = raise (Error e)
+let invalid ~where detail = fail (Invalid_input { where; detail })
+let polarity b = if b then "positive" else "negative"
+
+let to_string = function
+  | Grounding_overflow { rule; produced; cap; universe } ->
+    Printf.sprintf
+      "grounding overflow: %d ground instances exceed the cap of %d \
+       (universe size %d); last rule instantiated: %s"
+      produced cap universe rule
+  | Eval_error { op; detail } ->
+    Printf.sprintf "evaluation error in %s: %s" op detail
+  | Nonground_builtin { literal; context } ->
+    Printf.sprintf "%s: builtin literal %s is not ground" context literal
+  | Internal_invariant { where; atom; existing; derived } ->
+    Printf.sprintf
+      "internal invariant breached in %s: atom #%d is already %s but a %s \
+       derivation was attempted (please report this)"
+      where atom (polarity existing) (polarity derived)
+  | Invalid_input { where; detail } -> Printf.sprintf "%s: %s" where detail
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Diag.Error: " ^ to_string e)
+    | _ -> None)

@@ -7,6 +7,16 @@ let is_builtin_literal (l : Literal.t) = is_builtin_atom l.atom
 let arith_fns = [ ("+", 2); ("-", 2); ("*", 2); ("/", 2); ("mod", 2); ("-", 1) ]
 let is_arith_fn fa = List.mem fa arith_fns
 
+let div_by_zero op t =
+  Governor.Diag.fail
+    (Governor.Diag.Eval_error
+       { op;
+         detail =
+           Printf.sprintf "%s by zero evaluating %s"
+             (if op = "/" then "division" else "modulo")
+             (Term.to_string t)
+       })
+
 let rec eval_term t =
   match t with
   | Term.Var _ -> invalid_arg "Builtin.eval_term: non-ground term"
@@ -17,10 +27,8 @@ let rec eval_term t =
     | "+", [ Term.Int a; Term.Int b ] -> Term.Int (a + b)
     | "-", [ Term.Int a; Term.Int b ] -> Term.Int (a - b)
     | "*", [ Term.Int a; Term.Int b ] -> Term.Int (a * b)
-    | "/", [ Term.Int _; Term.Int 0 ] ->
-      invalid_arg "Builtin.eval_term: division by zero"
-    | "mod", [ Term.Int _; Term.Int 0 ] ->
-      invalid_arg "Builtin.eval_term: mod by zero"
+    | "/", [ Term.Int _; Term.Int 0 ] -> div_by_zero "/" t
+    | "mod", [ Term.Int _; Term.Int 0 ] -> div_by_zero "mod" t
     | "/", [ Term.Int a; Term.Int b ] -> Term.Int (a / b)
     | "mod", [ Term.Int a; Term.Int b ] -> Term.Int (a mod b)
     | "-", [ Term.Int a ] -> Term.Int (-a)

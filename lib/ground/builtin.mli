@@ -24,7 +24,8 @@ val is_arith_fn : string * int -> bool
 val eval_term : Logic.Term.t -> Logic.Term.t
 (** Normalise a ground term by evaluating arithmetic sub-terms; arithmetic
     applied to non-integers is left symbolic.  Raises [Invalid_argument] on
-    non-ground input or division by zero. *)
+    non-ground input and [Governor.Diag.Error (Eval_error _)] on division
+    or modulo by zero. *)
 
 val eval_atom : Logic.Atom.t -> bool option
 (** Evaluate a ground builtin atom; [None] if it cannot be evaluated (e.g.

@@ -1,4 +1,6 @@
 open Logic
+module Budget = Governor.Budget
+module Diag = Governor.Diag
 
 type t = {
   rules : Rule.t list;
@@ -33,9 +35,15 @@ let finalize_instance (r : Rule.t) : Rule.t option =
     Some (Rule.make (normalise_literal (Rule.head r)) body)
   with Dead -> None
 
-let ground_rule_instances ~universe r =
+let ground_rule_instances ?(budget = Budget.unlimited) ~universe r =
   Herbrand.instantiations universe (Rule.vars r)
-  |> Seq.filter_map (fun s -> finalize_instance (Rule.apply s r))
+  |> Seq.filter_map (fun s ->
+         Budget.tick budget;
+         match finalize_instance (Rule.apply s r) with
+         | Some inst ->
+           Budget.tick_instance budget;
+           Some inst
+         | None -> None)
   |> List.of_seq
 
 let collect_active rules =
@@ -62,28 +70,32 @@ let setup ?(depth = 0) ?(extra_constants = []) rules =
   let full_base = lazy (Herbrand.base ~depth ~skip:Builtin.is_builtin sg) in
   (universe, full_base)
 
-let naive ?max_instances ?depth ?extra_constants rules =
-  let universe, full_base = setup ?depth ?extra_constants rules in
+(* Count surviving instances per source rule against an optional cap so
+   that, on overflow, the diagnostic names the rule being instantiated. *)
+let overflow_guard ~universe ~max_instances =
   let count = ref 0 in
-  let budgeted insts =
-    match max_instances with
-    | None -> insts
+  fun (r : Rule.t) insts ->
+    (match max_instances with
+    | None -> ()
     | Some cap ->
-      List.iter
-        (fun _ ->
-          incr count;
-          if !count > cap then
-            invalid_arg
-              (Printf.sprintf
-                 "Grounder.naive: more than %d ground instances (universe \
-                  size %d); tighten the program or raise max_instances"
-                 cap (List.length universe)))
-        insts;
-      insts
-  in
+      count := !count + List.length insts;
+      if !count > cap then
+        Diag.fail
+          (Diag.Grounding_overflow
+             { rule = Rule.to_string r;
+               produced = !count;
+               cap;
+               universe = List.length universe
+             }));
+    insts
+
+let naive ?(budget = Budget.unlimited) ?max_instances ?depth ?extra_constants
+    rules =
+  let universe, full_base = setup ?depth ?extra_constants rules in
+  let guard = overflow_guard ~universe ~max_instances in
   let ground =
     List.concat_map
-      (fun r -> budgeted (ground_rule_instances ~universe r))
+      (fun r -> guard r (ground_rule_instances ~budget ~universe r))
       rules
     |> Rule.Set.of_list |> Rule.Set.elements
   in
@@ -115,7 +127,8 @@ end
    indexed literal set, requiring (for semi-naive evaluation) that at least
    one of them matches a literal of [delta] when [delta] is non-empty.
    Remaining unbound variables are enumerated over [universe]. *)
-let instances_against ~naf ~universe ~idx ~delta_idx ~use_delta (r : Rule.t) =
+let instances_against ~budget ~naf ~universe ~idx ~delta_idx ~use_delta
+    (r : Rule.t) =
   let ordinary =
     List.filter
       (fun l ->
@@ -125,6 +138,7 @@ let instances_against ~naf ~universe ~idx ~delta_idx ~use_delta (r : Rule.t) =
   in
   let out = ref [] in
   let rec go lits subst used_delta =
+    Budget.tick budget;
     match lits with
     | [] ->
       if (not use_delta) || used_delta then begin
@@ -132,8 +146,11 @@ let instances_against ~naf ~universe ~idx ~delta_idx ~use_delta (r : Rule.t) =
         let leftover = Rule.vars bound in
         Herbrand.instantiations universe leftover
         |> Seq.iter (fun s ->
+               Budget.tick budget;
                match finalize_instance (Rule.apply s bound) with
-               | Some inst -> out := inst :: !out
+               | Some inst ->
+                 Budget.tick_instance budget;
+                 out := inst :: !out
                | None -> ())
       end
     | (l : Literal.t) :: rest ->
@@ -154,13 +171,15 @@ let instances_against ~naf ~universe ~idx ~delta_idx ~use_delta (r : Rule.t) =
   go ordinary Subst.empty false;
   !out
 
-let instances_supported_by ?(naf = false) ~universe ~support r =
+let instances_supported_by ?(budget = Budget.unlimited) ?(naf = false)
+    ~universe ~support r =
   let idx = Idx.create () in
   List.iter (Idx.add idx) support;
-  instances_against ~naf ~universe ~idx ~delta_idx:(Idx.create ())
+  instances_against ~budget ~naf ~universe ~idx ~delta_idx:(Idx.create ())
     ~use_delta:false r
 
-let relevant ?(naf = false) ?depth ?extra_constants rules =
+let relevant ?(budget = Budget.unlimited) ?(naf = false) ?depth
+    ?extra_constants rules =
   let universe, full_base = setup ?depth ?extra_constants rules in
   let old_idx = Idx.create () in
   let seen = ref Literal.Set.empty in
@@ -182,20 +201,21 @@ let relevant ?(naf = false) ?depth ?extra_constants rules =
   in
   List.iter
     (fun r ->
-      instances_against ~naf ~universe ~idx:old_idx ~delta_idx:(Idx.create ())
-        ~use_delta:false r
+      instances_against ~budget ~naf ~universe ~idx:old_idx
+        ~delta_idx:(Idx.create ()) ~use_delta:false r
       |> List.iter emit)
     rules;
   let rec loop () =
     if !delta <> [] then begin
+      Budget.check budget;
       let d = !delta in
       delta := [];
       delta_idx := Idx.create ();
       List.iter (Idx.add !delta_idx) d;
       List.iter
         (fun r ->
-          instances_against ~naf ~universe ~idx:old_idx ~delta_idx:!delta_idx
-            ~use_delta:true r
+          instances_against ~budget ~naf ~universe ~idx:old_idx
+            ~delta_idx:!delta_idx ~use_delta:true r
           |> List.iter emit)
         rules;
       List.iter (Idx.add old_idx) d;

@@ -32,6 +32,7 @@ type t = {
 }
 
 val naive :
+  ?budget:Governor.Budget.t ->
   ?max_instances:int ->
   ?depth:int ->
   ?extra_constants:Logic.Term.t list ->
@@ -41,10 +42,15 @@ val naive :
     universe (default [0]); [extra_constants] widens the universe (used to
     ground a component against the constants of a whole ordered program);
     [max_instances] guards against instantiation blow-up by raising
-    [Invalid_argument] once more than that many surviving instances have
-    been produced. *)
+    [Governor.Diag.Error (Grounding_overflow _)] — naming the rule being
+    instantiated — once more than that many surviving instances have been
+    produced.  [budget] is ticked per candidate instantiation (and per
+    surviving instance), so deadlines, step budgets and instance caps all
+    bound the grounding work; exhaustion raises
+    [Governor.Budget.Exhausted]. *)
 
 val relevant :
+  ?budget:Governor.Budget.t ->
   ?naf:bool ->
   ?depth:int ->
   ?extra_constants:Logic.Term.t list ->
@@ -59,11 +65,15 @@ val relevant :
     classical (seminegative) programs for the [Datalog] engines. *)
 
 val ground_rule_instances :
-  universe:Logic.Term.t list -> Logic.Rule.t -> Logic.Rule.t list
+  ?budget:Governor.Budget.t ->
+  universe:Logic.Term.t list ->
+  Logic.Rule.t ->
+  Logic.Rule.t list
 (** All surviving ground instances of one rule over a given universe
     (builtins evaluated, arithmetic normalised). *)
 
 val instances_supported_by :
+  ?budget:Governor.Budget.t ->
   ?naf:bool ->
   universe:Logic.Term.t list ->
   support:Logic.Literal.t list ->

@@ -126,27 +126,33 @@ let to_program kb =
   in
   Ordered.Program.make_exn comps pairs
 
-let gop kb ~obj =
+let gop ?budget kb ~obj =
   ignore (find_exn kb obj);
   match List.assoc_opt obj kb.cache with
   | Some g -> g
   | None ->
     let prog = to_program kb in
     let g =
-      Ordered.Gop.ground prog (Ordered.Program.component_id_exn prog obj)
+      Ordered.Gop.ground ?budget prog
+        (Ordered.Program.component_id_exn prog obj)
     in
     kb.cache <- (obj, g) :: kb.cache;
     g
 
 let to_source kb = Format.asprintf "%a" Ordered.Program.pp (to_program kb)
 
-let least_model kb ~obj = Ordered.Vfix.least_model (gop kb ~obj)
+let least_model ?budget kb ~obj =
+  Ordered.Vfix.least_model ?budget (gop ?budget kb ~obj)
 
-let query kb ~obj l =
+let query ?budget kb ~obj l =
   if not (Literal.is_ground l) then
     invalid_arg "Kb.query: literal must be ground";
-  Interp.value_lit (least_model kb ~obj) l
+  Interp.value_lit (least_model ?budget kb ~obj) l
 
-let query_src kb ~obj src = query kb ~obj (Lang.Parser.parse_literal src)
-let stable_models ?limit kb ~obj = Ordered.Stable.stable_models ?limit (gop kb ~obj)
+let query_src ?budget kb ~obj src =
+  query ?budget kb ~obj (Lang.Parser.parse_literal src)
+
+let stable_models ?limit ?budget kb ~obj =
+  Ordered.Stable.stable_models ?limit ?budget (gop ?budget kb ~obj)
+
 let explain kb ~obj l = Ordered.Explain.explain (gop kb ~obj) l

@@ -57,16 +57,31 @@ val versions : t -> string -> string list
 
 (** {1 Queries} *)
 
-val query : t -> obj:string -> Logic.Literal.t -> Logic.Interp.value
+val query :
+  ?budget:Ordered.Budget.t ->
+  t ->
+  obj:string ->
+  Logic.Literal.t ->
+  Logic.Interp.value
 (** Truth of a ground literal in the least model viewed from [obj].
     [Logic.Interp.True] means the literal holds; querying [l] and [neg l]
-    distinguishes false from undefined. *)
+    distinguishes false from undefined.  [budget] governs grounding and
+    the fixpoint; exhaustion raises [Ordered.Budget.Exhausted]. *)
 
-val query_src : t -> obj:string -> string -> Logic.Interp.value
+val query_src :
+  ?budget:Ordered.Budget.t -> t -> obj:string -> string -> Logic.Interp.value
 
-val least_model : t -> obj:string -> Logic.Interp.t
+val least_model :
+  ?budget:Ordered.Budget.t -> t -> obj:string -> Logic.Interp.t
 
-val stable_models : ?limit:int -> t -> obj:string -> Logic.Interp.t list
+val stable_models :
+  ?limit:int ->
+  ?budget:Ordered.Budget.t ->
+  t ->
+  obj:string ->
+  Logic.Interp.t list Ordered.Budget.anytime
+(** Anytime, like {!Ordered.Stable.stable_models}: a [Partial] result
+    carries the stable models found before the budget ran out. *)
 
 val explain : t -> obj:string -> Logic.Literal.t -> Ordered.Explain.t
 
@@ -78,5 +93,6 @@ val to_source : t -> string
     fresh KB reproduces the same objects, parents and rules (versioning
     counters are not serialised — versions reload as ordinary objects). *)
 
-val gop : t -> obj:string -> Ordered.Gop.t
-(** The cached ground view from an object (reground on modification). *)
+val gop : ?budget:Ordered.Budget.t -> t -> obj:string -> Ordered.Gop.t
+(** The cached ground view from an object (reground on modification; the
+    budget only governs a call that actually regrounds). *)

@@ -173,8 +173,63 @@ The saved file reloads to the same program:
   $ olp least saved.olp
   {bird(penguin), bird(pigeon), -fly(penguin), fly(pigeon), ground_animal(penguin), -ground_animal(pigeon)}
 
-Grounding blow-up guard:
+Grounding blow-up guard: a typed diagnostic naming the offending rule,
+exit code 2 (error):
 
   $ olp least penguin.olp --max-instances 3
-  Gop.ground: 9 ground instances exceed the max_instances budget of 3 (universe size 2)
+  error: grounding overflow: 4 ground instances exceed the cap of 3 (universe size 2); last rule instantiated: fly(X) :- bird(X).
   [2]
+
+Resource budgets.  --timeout 0 is checked before any work starts, so every
+subcommand exits 3 (partial / budget exhausted) without output:
+
+  $ olp check penguin.olp --timeout 0
+  budget exhausted (deadline)
+  [3]
+  $ olp ground penguin.olp --timeout 0
+  budget exhausted (deadline)
+  [3]
+  $ olp least penguin.olp --timeout 0
+  budget exhausted (deadline)
+  [3]
+  $ olp models p5.olp --timeout 0
+  budget exhausted (deadline)
+  [3]
+  $ olp query penguin.olp --timeout 0 'fly(penguin)'
+  budget exhausted (deadline)
+  [3]
+  $ olp prove penguin.olp --timeout 0 'fly(pigeon)'
+  budget exhausted (deadline)
+  [3]
+  $ olp explain penguin.olp --timeout 0 'fly(penguin)'
+  budget exhausted (deadline)
+  [3]
+
+A step budget is deterministic.  Exhaustion mid-enumeration surrenders the
+models found so far — a prefix of the full enumeration (here the least
+model {c}, found before the two stable models) — and exits 3:
+
+  $ olp models p5.olp --max-steps 10
+  1 model(s)
+  {c}
+  warning: enumeration truncated, budget exhausted (steps); the models above are a prefix of the full enumeration
+  [3]
+
+A sufficient budget completes with exit 0:
+
+  $ olp models p5.olp --max-steps 20
+  2 model(s)
+  {a, -b, c}
+  {-a, b, c}
+
+Exhaustion during the fixpoint itself has no sound partial answer:
+
+  $ olp least penguin.olp --max-steps 2
+  budget exhausted (steps)
+  [3]
+
+The REPL budgets each line separately and returns to the prompt:
+
+  $ printf ':stable\nfly(X)\n:quit\n' | olp repl penguin.olp --max-steps 5
+  budget exhausted (steps)
+  budget exhausted (steps)

@@ -18,5 +18,7 @@ let () =
       ("stress", Test_stress.suite);
       ("incremental", Test_incremental.suite);
       ("edb", Test_edb.suite);
-      ("magic", Test_magic.suite)
+      ("magic", Test_magic.suite);
+      ("budget", Test_budget.suite);
+      ("fuzz", Test_fuzz.suite)
     ]

@@ -109,7 +109,7 @@ let test_example7 () =
 let test_corollary1_even_loop () =
   let src = "p :- -q. q :- -p." in
   let g = B.ground_ov (rules src) in
-  let ordered_stables = Ordered.Stable.stable_models g in
+  let ordered_stables = Ordered.Budget.value (Ordered.Stable.stable_models g) in
   Alcotest.check testable_interp_set "stable models via OV"
     [ interp [ "p"; "-q" ]; interp [ "q"; "-p" ] ]
     ordered_stables;
@@ -119,8 +119,8 @@ let test_corollary1_even_loop () =
 let test_prop5d_ev_stables () =
   let src = "p :- -q. q :- -p." in
   Alcotest.check testable_interp_set "OV and EV stable models coincide"
-    (Ordered.Stable.stable_models (B.ground_ov (rules src)))
-    (Ordered.Stable.stable_models (B.ground_ev (rules src)))
+    (Ordered.Budget.value (Ordered.Stable.stable_models (B.ground_ov (rules src))))
+    (Ordered.Budget.value (Ordered.Stable.stable_models (B.ground_ev (rules src))))
 
 let suite =
   [ Alcotest.test_case "OV construction" `Quick test_ov_construction;

@@ -1,0 +1,232 @@
+(* Resource governance: deterministic fault injection, anytime prefix
+   guarantees, typed diagnostics, and exhaustion stickiness.
+
+   The CLI-level contract (--timeout 0 exits 3 on every subcommand, the
+   partial-models warning, exit codes 0/2/3) is exercised end-to-end in
+   the cram test [cli.t/run.t]. *)
+
+open Logic
+module B = Ordered.Budget
+module W = Workloads
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_trip_at () =
+  let b = B.with_trip_at ~step:3 () in
+  B.tick b;
+  B.tick b;
+  (match B.tick b with
+  | exception B.Exhausted B.Fault -> ()
+  | () -> Alcotest.fail "third tick must trip the fault"
+  | exception e -> raise e);
+  (* exactly once: the fault is disarmed, later ticks succeed and the
+     budget is not marked spent *)
+  B.tick b;
+  B.tick b;
+  Alcotest.(check int) "all five ticks counted" 5 (B.steps b);
+  Alcotest.(check bool) "fault is not sticky" true (B.exhausted b = None);
+  (* a first-step trip fires on the very first tick *)
+  let b1 = B.with_trip_at ~step:1 () in
+  match B.tick b1 with
+  | exception B.Exhausted B.Fault -> ()
+  | () -> Alcotest.fail "step-1 fault must trip on the first tick"
+
+let test_trip_at_mid_enumeration () =
+  (* the injected fault surfaces as an ordinary Partial result *)
+  let g = Ordered.Bridge.ground_ov (W.even_loops 2) in
+  match
+    Ordered.Stable.assumption_free_models ~budget:(B.with_trip_at ~step:8 ()) g
+  with
+  | B.Partial (_, B.Fault) -> ()
+  | B.Partial (_, r) ->
+    Alcotest.failf "wrong reason: %s" (B.reason_to_string r)
+  | B.Complete _ -> Alcotest.fail "fault must truncate the enumeration"
+
+(* ------------------------------------------------------------------ *)
+(* Sticky exhaustion                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_sticky () =
+  let b = B.make ~max_steps:2 () in
+  B.tick b;
+  B.tick b;
+  (match B.tick b with
+  | exception B.Exhausted B.Steps -> ()
+  | () -> Alcotest.fail "step budget must trip");
+  Alcotest.(check bool) "marked spent" true (B.exhausted b = Some B.Steps);
+  (* every later use re-raises: an exhausted budget cannot be reused *)
+  (match B.tick b with
+  | exception B.Exhausted B.Steps -> ()
+  | () -> Alcotest.fail "tick on a spent budget must re-raise");
+  match B.check b with
+  | exception B.Exhausted B.Steps -> ()
+  | () -> Alcotest.fail "check on a spent budget must re-raise"
+
+let test_cancel () =
+  let b = B.make () in
+  B.tick b;
+  B.cancel b;
+  match B.check b with
+  | exception B.Exhausted B.Cancelled -> ()
+  | () -> Alcotest.fail "cancellation must trip the next check"
+
+(* ------------------------------------------------------------------ *)
+(* Anytime prefix guarantee                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec is_prefix eq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> eq x y && is_prefix eq xs' ys'
+  | _ :: _, [] -> false
+
+let af_gop () = Ordered.Bridge.ground_ov (W.even_loops 3)
+
+(* total ticks of the unbudgeted run, measured with a fresh counter *)
+let full_run g =
+  let b = B.make () in
+  match Ordered.Stable.assumption_free_models ~budget:b g with
+  | B.Complete ms -> (ms, B.steps b)
+  | B.Partial _ -> Alcotest.fail "unlimited run cannot be partial"
+
+let check_prefix g full n =
+  match
+    Ordered.Stable.assumption_free_models ~budget:(B.make ~max_steps:n ()) g
+  with
+  | B.Complete ms ->
+    Alcotest.(check bool)
+      (Printf.sprintf "complete at %d steps equals full run" n)
+      true
+      (List.length ms = List.length full
+      && List.for_all2 Interp.equal ms full);
+    `Complete
+  | B.Partial (ms, B.Steps) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "partial at %d steps is a prefix" n)
+      true
+      (is_prefix Interp.equal ms full);
+    `Partial (List.length ms)
+  | B.Partial (_, r) ->
+    Alcotest.failf "unexpected reason %s" (B.reason_to_string r)
+
+let test_prefix_property () =
+  let g = af_gop () in
+  let full, total = full_run g in
+  Alcotest.(check bool) "workload branches" true (List.length full > 1);
+  let saw_nonempty_partial = ref false in
+  for n = 0 to total + 1 do
+    match check_prefix g full n with
+    | `Partial k when k > 0 -> saw_nonempty_partial := true
+    | _ -> ()
+  done;
+  Alcotest.(check bool)
+    "some step budget yields a nonempty strict prefix" true
+    !saw_nonempty_partial;
+  (* a budget at least as large as the full run completes *)
+  match check_prefix g full total with
+  | `Complete -> ()
+  | `Partial _ -> Alcotest.fail "budget = total ticks must complete"
+
+let test_prefix_property_random =
+  QCheck.Test.make ~count:60 ~name:"random step budgets yield prefixes"
+    QCheck.(pair (int_bound 3000) (int_range 1 4))
+    (fun (n, k) ->
+      let g = Ordered.Bridge.ground_ov (W.even_loops k) in
+      let full, _ = full_run g in
+      match
+        Ordered.Stable.assumption_free_models
+          ~budget:(B.make ~max_steps:n ())
+          g
+      with
+      | B.Complete ms ->
+        List.length ms = List.length full
+        && List.for_all2 Interp.equal ms full
+      | B.Partial (ms, B.Steps) -> is_prefix Interp.equal ms full
+      | B.Partial _ -> false)
+
+let test_zero_budgets () =
+  let g = af_gop () in
+  (match
+     Ordered.Stable.assumption_free_models ~budget:(B.make ~max_steps:0 ()) g
+   with
+  | B.Partial ([], B.Steps) -> ()
+  | _ -> Alcotest.fail "zero step budget must yield Partial ([], Steps)");
+  match
+    Ordered.Stable.assumption_free_models ~budget:(B.make ~timeout:0. ()) g
+  with
+  | B.Partial ([], B.Deadline) -> ()
+  | _ -> Alcotest.fail "zero timeout must yield Partial ([], Deadline)"
+
+(* ------------------------------------------------------------------ *)
+(* Boolean queries are not anytime                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_boolean_queries_raise () =
+  let g = af_gop () in
+  let l = Lang.Parser.parse_literal "p0" in
+  (match Ordered.Stable.cautious ~budget:(B.make ~max_steps:4 ()) g l with
+  | exception B.Exhausted B.Steps -> ()
+  | (_ : bool) -> Alcotest.fail "cautious under a tiny budget must raise");
+  match Ordered.Stable.brave ~budget:(B.make ~max_steps:4 ()) g l with
+  | exception B.Exhausted B.Steps -> ()
+  | (_ : bool) -> Alcotest.fail "brave under a tiny budget must raise"
+
+(* ------------------------------------------------------------------ *)
+(* Instance caps and typed diagnostics                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_instance_cap () =
+  let prog = W.islands 4 6 in
+  let comp = Ordered.Program.component_id_exn prog "main" in
+  match
+    Ordered.Gop.ground ~budget:(B.make ~max_instances:3 ()) prog comp
+  with
+  | exception B.Exhausted B.Instances -> ()
+  | (_ : Ordered.Gop.t) -> Alcotest.fail "instance cap must trip"
+
+let test_overflow_diagnostic () =
+  (* distinct from the budget: the max_instances cap raises a typed
+     diagnostic naming the offending source rule *)
+  let prog = W.islands 4 6 in
+  let comp = Ordered.Program.component_id_exn prog "main" in
+  match Ordered.Gop.ground ~max_instances:3 prog comp with
+  | exception
+      Ordered.Diag.Error
+        (Ordered.Diag.Grounding_overflow { rule; produced; cap = 3; _ }) ->
+    Alcotest.(check bool) "rule is named" true (String.length rule > 0);
+    Alcotest.(check bool) "count exceeds cap" true (produced > 3)
+  | _ -> Alcotest.fail "overflow must raise a typed Grounding_overflow"
+
+let test_vfix_trip () =
+  (* exhaustion inside the fixpoint engine propagates from run_incremental *)
+  let g = W.ground_at (W.chain 50) "main" in
+  match Ordered.Vfix.least_model ~budget:(B.make ~max_steps:5 ()) g with
+  | exception B.Exhausted B.Steps -> ()
+  | (_ : Interp.t) -> Alcotest.fail "fixpoint must trip the step budget"
+
+let test_datalog_trip () =
+  let e = Datalog.Engine.load_src "p :- -q. q :- -p. r." in
+  match Datalog.Engine.stable_models ~budget:(B.make ~max_steps:2 ()) e with
+  | exception B.Exhausted B.Steps -> ()
+  | (_ : Atom.Set.t list) ->
+    Alcotest.fail "datalog enumeration must trip the step budget"
+
+let suite =
+  [ Alcotest.test_case "with_trip_at trips exactly once" `Quick test_trip_at;
+    Alcotest.test_case "fault mid-enumeration" `Quick
+      test_trip_at_mid_enumeration;
+    Alcotest.test_case "exhaustion is sticky" `Quick test_sticky;
+    Alcotest.test_case "cooperative cancellation" `Quick test_cancel;
+    Alcotest.test_case "partial results are prefixes" `Quick
+      test_prefix_property;
+    QCheck_alcotest.to_alcotest test_prefix_property_random;
+    Alcotest.test_case "zero budgets" `Quick test_zero_budgets;
+    Alcotest.test_case "boolean queries raise" `Quick
+      test_boolean_queries_raise;
+    Alcotest.test_case "instance cap" `Quick test_instance_cap;
+    Alcotest.test_case "overflow diagnostic" `Quick test_overflow_diagnostic;
+    Alcotest.test_case "fixpoint trips" `Quick test_vfix_trip;
+    Alcotest.test_case "datalog enumeration trips" `Quick test_datalog_trip
+  ]

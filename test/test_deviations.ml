@@ -34,7 +34,7 @@ let test_prop4_converse_fails () =
   (* The intended (maximal) objects still agree — Corollary 1 survives. *)
   Alcotest.check testable_interp_set "stable models coincide anyway"
     (Datalog.Threeval.stable_models np)
-    (Ordered.Stable.stable_models gov)
+    (Ordered.Budget.value (Ordered.Stable.stable_models gov))
 
 (* ------------------------------------------------------------------ *)
 (* Theorem 2 / Definition 11, literal exception clause.

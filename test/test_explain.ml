@@ -116,7 +116,9 @@ let test_gop_max_instances () =
   let p = program p1_src in
   let c1 = Ordered.Program.component_id_exn p "c1" in
   (match Ordered.Gop.ground ~max_instances:3 p c1 with
-  | exception Invalid_argument _ -> ()
+  | exception
+      Ordered.Diag.Error (Ordered.Diag.Grounding_overflow { cap = 3; _ }) ->
+    ()
   | _ -> Alcotest.fail "budget must trigger");
   ignore (Ordered.Gop.ground ~max_instances:100 p c1)
 

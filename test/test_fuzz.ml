@@ -1,0 +1,103 @@
+(* Parser robustness fuzz: random byte strings and mutations of valid
+   programs must always come back as [Ok _] or [Error _] from
+   [Ordered.Program.parse] — no exception may escape.
+
+   The generator is a self-contained LCG so runs are reproducible and do
+   not consume the qcheck seed.  FUZZ_ITERS scales the string count (the
+   default keeps `dune runtest` fast; `make fuzz` raises it). *)
+
+let iters =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 200)
+  | None -> 200
+
+(* Numerical Recipes LCG *)
+let state = ref 0x2545F4914F6CDD1D
+
+let rand bound =
+  state := (!state * 1664525) + 1013904223;
+  (!state lsr 9) mod bound
+
+let corpus =
+  [ "component main { p. q :- p. }";
+    "component c2 { bird(penguin). fly(X) :- bird(X). }\n\
+     component c1 extends c2 { -fly(X) :- penguin(X). }";
+    "component a { p :- -q. q :- -p. } component b extends a { r. }";
+    "p(X, Y) :- e(X, Y), X > Y + 1. e(1, 2).";
+    "order a < b. component a { p. } component b { q. }";
+    "t(X) :- n(X), X mod 2 = 0. n(1). n(2)."
+  ]
+
+(* interesting bytes: structural tokens, comment starters, high bytes *)
+let spice = "{}()<>.,:-~+*/=!_ \n\t\"%|&0aZX@\x00\x7f\xc3\xa9"
+
+let random_string () =
+  let len = rand 80 in
+  String.init len (fun _ -> spice.[rand (String.length spice)])
+
+let mutate src =
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  if n = 0 then random_string ()
+  else begin
+    (match rand 4 with
+    | 0 ->
+      (* flip a byte *)
+      Bytes.set b (rand n) spice.[rand (String.length spice)]
+    | 1 ->
+      (* truncate *)
+      ()
+    | 2 ->
+      (* duplicate a chunk *)
+      ()
+    | _ ->
+      (* swap two bytes *)
+      let i = rand n and j = rand n in
+      let ci = Bytes.get b i in
+      Bytes.set b i (Bytes.get b j);
+      Bytes.set b j ci);
+    match rand 4 with
+    | 1 -> Bytes.sub_string b 0 (rand n)
+    | 2 ->
+      let i = rand n and l = rand (n - 1) + 1 in
+      let l = min l (n - i) in
+      Bytes.to_string b ^ Bytes.sub_string b i l
+    | _ -> Bytes.to_string b
+  end
+
+let inputs () =
+  List.init iters (fun i ->
+      if i mod 3 = 0 then random_string ()
+      else mutate (List.nth corpus (rand (List.length corpus))))
+
+let test_parse_total () =
+  let ok = ref 0 and err = ref 0 in
+  List.iter
+    (fun s ->
+      match Ordered.Program.parse s with
+      | Ok _ -> incr ok
+      | Error msg ->
+        incr err;
+        if String.length msg = 0 then
+          Alcotest.failf "empty error message for %S" s
+      | exception e ->
+        Alcotest.failf "parse raised %s on %S" (Printexc.to_string e) s)
+    (inputs ());
+  (* the corpus mutations must keep both outcomes reachable *)
+  Alcotest.(check bool)
+    (Printf.sprintf "both outcomes seen (ok=%d err=%d of %d)" !ok !err iters)
+    true
+    (!ok > 0 && !err > 0)
+
+let test_parse_valid_corpus () =
+  List.iter
+    (fun s ->
+      match Ordered.Program.parse s with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "corpus program rejected: %s" msg)
+    corpus
+
+let suite =
+  [ Alcotest.test_case "corpus parses" `Quick test_parse_valid_corpus;
+    Alcotest.test_case "parse never raises" `Quick test_parse_total
+  ]

@@ -34,8 +34,13 @@ let test_eval_term_arith () =
 
 let test_eval_term_errors () =
   (match B.eval_term (term "1 / 0") with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "division by zero should raise");
+  | exception Governor.Diag.Error (Governor.Diag.Eval_error { op = "/"; _ })
+    -> ()
+  | _ -> Alcotest.fail "division by zero should raise a typed Eval_error");
+  (match B.eval_term (term "5 mod 0") with
+  | exception Governor.Diag.Error (Governor.Diag.Eval_error { op = "mod"; _ })
+    -> ()
+  | _ -> Alcotest.fail "modulo by zero should raise a typed Eval_error");
   match B.eval_term (term "X + 1") with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "non-ground eval should raise"
@@ -243,7 +248,10 @@ let suite =
 let test_max_instances_guard () =
   let src = rules "t(X, Y, Z) :- n(X), n(Y), n(Z). n(1). n(2). n(3). n(4)." in
   (match G.naive ~max_instances:10 src with
-  | exception Invalid_argument _ -> ()
+  | exception
+      Governor.Diag.Error
+        (Governor.Diag.Grounding_overflow { cap = 10; produced; _ }) ->
+    Alcotest.(check bool) "produced exceeds cap" true (produced > 10)
   | _ -> Alcotest.fail "blow-up guard should trigger");
   (* a generous budget passes *)
   ignore (G.naive ~max_instances:100 src)

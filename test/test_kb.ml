@@ -77,7 +77,7 @@ let test_stable_and_explain () =
   let kb = Kb.create () in
   Kb.define_src kb "o" "a. -a.";
   Alcotest.(check int) "one stable model" 1
-    (List.length (Kb.stable_models kb ~obj:"o"));
+    (List.length (Ordered.Budget.value (Kb.stable_models kb ~obj:"o")));
   match Kb.explain kb ~obj:"o" (lit "a") with
   | Ordered.Explain.Unsupported { candidates; _ } ->
     Alcotest.(check int) "one candidate rule" 1 (List.length candidates)

@@ -279,7 +279,7 @@ let test_total_models_enumeration () =
      (a, -b) and (-a, -b). *)
   Alcotest.check testable_interp_set "total models"
     [ interp [ "a"; "-b" ]; interp [ "-a"; "-b" ] ]
-    (Ordered.Exhaustive.total_models g)
+    (Ordered.Budget.value (Ordered.Exhaustive.total_models g))
 
 let suite =
   [ Alcotest.test_case "poset closure" `Quick test_poset_closure;
@@ -327,7 +327,7 @@ let test_empty_program () =
     (Ordered.Model.is_model g Interp.empty);
   Alcotest.check testable_interp_set "one stable model: empty"
     [ Interp.empty ]
-    (Ordered.Stable.stable_models g)
+    (Ordered.Budget.value (Ordered.Stable.stable_models g))
 
 let test_gop_extra_constants () =
   let p = program "component main { p(X) :- q(X). q(a). }" in
@@ -378,14 +378,14 @@ let test_total_implies_exhaustive () =
         (Format.asprintf "%a exhaustive" Interp.pp m)
         true
         (Ordered.Exhaustive.is_exhaustive g m))
-    (Ordered.Exhaustive.total_models g)
+    (Ordered.Budget.value (Ordered.Exhaustive.total_models g))
 
 let test_nontotal_exhaustive_beside_total () =
   let p = program "component main { a :- b. -a :- b. }" in
   let g = ground_at p "main" in
   (* {a, -b} is total; {b} is exhaustive but not total *)
   Alcotest.(check bool) "a total model exists" true
-    (Ordered.Exhaustive.total_models g <> []);
+    (Ordered.Budget.value (Ordered.Exhaustive.total_models g) <> []);
   let b_only = interp [ "b" ] in
   Alcotest.(check bool) "{b} is a model" true (Ordered.Model.is_model g b_only);
   Alcotest.(check bool) "{b} not total" false
@@ -399,7 +399,7 @@ let prop_total_implies_exhaustive =
       let g = Ordered.Gop.ground p 0 in
       List.for_all
         (Ordered.Exhaustive.is_exhaustive g)
-        (Ordered.Exhaustive.total_models g))
+        (Ordered.Budget.value (Ordered.Exhaustive.total_models g)))
 
 let suite =
   suite

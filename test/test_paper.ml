@@ -81,7 +81,7 @@ let test_fig1_stable () =
   let g = ground_at p "c1" in
   Alcotest.check testable_interp_set "I1 is the unique stable model in c1"
     [ i1 ]
-    (Ordered.Stable.stable_models g)
+    (Ordered.Budget.value (Ordered.Stable.stable_models g))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 2: P2                                                        *)
@@ -116,7 +116,7 @@ let test_fig2_no_total_model () =
   let p = program p2_src in
   let g = ground_at p "c1" in
   Alcotest.check testable_interp_set "no total model in c1" []
-    (Ordered.Exhaustive.total_models g)
+    (Ordered.Budget.value (Ordered.Exhaustive.total_models g))
 
 let test_fig2_rules_defeat_each_other () =
   (* Example 2's commentary: the two rules about mimmo defeat each other. *)
@@ -217,7 +217,7 @@ let test_example4_p3_assumption_free () =
   let g = ground_at p "main" in
   Alcotest.check testable_interp_set "empty is the only assumption-free model"
     [ Interp.empty ]
-    (Ordered.Stable.assumption_free_models g)
+    (Ordered.Budget.value (Ordered.Stable.assumption_free_models g))
 
 (* ------------------------------------------------------------------ *)
 (* Example 4: program P4                                               *)
@@ -228,7 +228,7 @@ let test_example4_p4 () =
   let g = ground_at p "main" in
   Alcotest.check testable_interp_set "only assumption-free model is empty"
     [ Interp.empty ]
-    (Ordered.Stable.assumption_free_models g);
+    (Ordered.Budget.value (Ordered.Stable.assumption_free_models g));
   (* {-a, -b} is a model but is not assumption-free *)
   Alcotest.(check bool) "{-a, -b} is a model" true
     (Ordered.Model.is_model g (interp [ "-a"; "-b" ]));
@@ -244,7 +244,7 @@ let test_example4_p4_with_cwa () =
   let g = ground_at p "c1" in
   Alcotest.check testable_interp_set "unique assumption-free model"
     [ interp [ "-a"; "-b" ] ]
-    (Ordered.Stable.assumption_free_models g);
+    (Ordered.Budget.value (Ordered.Stable.assumption_free_models g));
   Alcotest.check testable_interp "and it is the least model"
     (interp [ "-a"; "-b" ])
     (Ordered.Vfix.least_model g)

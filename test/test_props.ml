@@ -187,8 +187,8 @@ let prop_stable_are_maximal_af =
     "Def 9: stable models are maximal assumption-free" (gen_ordered 3)
     (fun p ->
       let g = gop_of p in
-      let af = Ordered.Stable.assumption_free_models g in
-      let stable = Ordered.Stable.stable_models g in
+      let af = Ordered.Budget.value (Ordered.Stable.assumption_free_models g) in
+      let stable = Ordered.Budget.value (Ordered.Stable.stable_models g) in
       List.for_all (fun s -> Ordered.Model.is_assumption_free g s) stable
       && List.for_all
            (fun s ->
@@ -227,7 +227,7 @@ let prop_prop4_af_implies_founded =
         (fun m ->
           Datalog.Threeval.is_three_valued_model np m
           && Datalog.Threeval.is_founded np m)
-        (Ordered.Stable.assumption_free_models gov))
+        (Ordered.Budget.value (Ordered.Stable.assumption_free_models gov)))
 
 let prop_cor1_stable_coincide =
   qcheck ~count:40 ~print:print_rules "Cor 1: SZ stable = OV stable"
@@ -236,7 +236,7 @@ let prop_cor1_stable_coincide =
       let gov = Ordered.Bridge.ground_ov rs in
       interp_set_equal
         (Datalog.Threeval.stable_models np)
-        (Ordered.Stable.stable_models gov))
+        (Ordered.Budget.value (Ordered.Stable.stable_models gov)))
 
 let prop_prop5a_ev_models =
   qcheck ~count:40 ~print:print_rules "Prop 5(a): EV models = 3-valued models"
@@ -257,7 +257,7 @@ let prop_prop5b_af_ov_subset_ev =
       let gev = Ordered.Bridge.ground_ev rs in
       List.for_all
         (Ordered.Model.is_assumption_free gev)
-        (Ordered.Stable.assumption_free_models gov))
+        (Ordered.Budget.value (Ordered.Stable.assumption_free_models gov)))
 
 let prop_prop5c_af_ev_below_ov =
   qcheck ~count:25 ~print:print_rules
@@ -265,17 +265,17 @@ let prop_prop5c_af_ev_below_ov =
     (fun rs ->
       let gov = Ordered.Bridge.ground_ov rs in
       let gev = Ordered.Bridge.ground_ev rs in
-      let ov_af = Ordered.Stable.assumption_free_models gov in
+      let ov_af = Ordered.Budget.value (Ordered.Stable.assumption_free_models gov) in
       List.for_all
         (fun m -> List.exists (fun m' -> Interp.subset m m') ov_af)
-        (Ordered.Stable.assumption_free_models gev))
+        (Ordered.Budget.value (Ordered.Stable.assumption_free_models gev)))
 
 let prop_prop5d_stable_coincide =
   qcheck ~count:40 ~print:print_rules "Prop 5(d): OV stable = EV stable"
     gen_semineg (fun rs ->
       interp_set_equal
-        (Ordered.Stable.stable_models (Ordered.Bridge.ground_ov rs))
-        (Ordered.Stable.stable_models (Ordered.Bridge.ground_ev rs)))
+        (Ordered.Budget.value (Ordered.Stable.stable_models (Ordered.Bridge.ground_ov rs)))
+        (Ordered.Budget.value (Ordered.Stable.stable_models (Ordered.Bridge.ground_ev rs))))
 
 let prop_gl_stable_via_ov =
   qcheck ~count:40 ~print:print_rules
@@ -289,7 +289,7 @@ let prop_gl_stable_via_ov =
           (fun s -> Ordered.Bridge.interp_of_atom_set ~base s)
           (Datalog.Stable.models np)
       in
-      let ov = Ordered.Stable.stable_models gov in
+      let ov = Ordered.Budget.value (Ordered.Stable.stable_models gov) in
       List.for_all (fun m -> List.exists (Interp.equal m) ov) gl)
 
 (* ------------------------------------------------------------------ *)

@@ -17,7 +17,7 @@ let test_example5_stable_models () =
   Alcotest.check testable_interp_set
     "{a, -b, c} and {-a, b, c} are the stable models"
     [ interp [ "a"; "-b"; "c" ]; interp [ "-a"; "b"; "c" ] ]
-    (Ordered.Stable.stable_models g)
+    (Ordered.Budget.value (Ordered.Stable.stable_models g))
 
 let test_example5_assumption_free_non_stable () =
   let p = program p5_src in
@@ -45,7 +45,7 @@ let test_least_model_in_every_assumption_free () =
           Alcotest.(check bool)
             (Format.asprintf "%a <= %a" Interp.pp least Interp.pp m)
             true (Interp.subset least m))
-        (Ordered.Stable.assumption_free_models g))
+        (Ordered.Budget.value (Ordered.Stable.assumption_free_models g)))
     [ p5_src;
       "component main { a :- b. -a :- b. }";
       "component x { p. -q :- p. } component y extends x { q. }"
@@ -55,7 +55,7 @@ let test_stable_limit () =
   let p = program p5_src in
   let g = ground_at p "c1" in
   Alcotest.(check bool) "limit caps enumeration" true
-    (List.length (Ordered.Stable.assumption_free_models ~limit:1 g) = 1)
+    (List.length (Ordered.Budget.value (Ordered.Stable.assumption_free_models ~limit:1 g)) = 1)
 
 let test_stable_of_contradictory_facts () =
   (* Two contradictory facts in one component defeat each other: no stable
@@ -64,13 +64,13 @@ let test_stable_of_contradictory_facts () =
   let g = ground_at p "main" in
   Alcotest.check testable_interp_set "only q is stable"
     [ interp [ "q" ] ]
-    (Ordered.Stable.stable_models g);
+    (Ordered.Budget.value (Ordered.Stable.stable_models g));
   (* In split components the lower one wins. *)
   let p2 = program "component hi { p. q. } component lo extends hi { -p. }" in
   let g2 = ground_at p2 "lo" in
   Alcotest.check testable_interp_set "overruling decides"
     [ interp [ "-p"; "q" ] ]
-    (Ordered.Stable.stable_models g2)
+    (Ordered.Budget.value (Ordered.Stable.stable_models g2))
 
 let test_stable_models_are_assumption_free_models () =
   let p = program p5_src in
@@ -80,7 +80,7 @@ let test_stable_models_are_assumption_free_models () =
       Alcotest.(check bool) "stable => assumption-free" true
         (Ordered.Model.is_assumption_free g m);
       Alcotest.(check bool) "stable => model" true (Ordered.Model.is_model g m))
-    (Ordered.Stable.stable_models g)
+    (Ordered.Budget.value (Ordered.Stable.stable_models g))
 
 let test_cautious_brave () =
   let p = program p5_src in
