@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke examples doc clean fuzz
+.PHONY: all build test bench bench-micro bench-smoke examples doc clean fuzz
 
 all: build
 
@@ -8,7 +8,14 @@ build:
 test:
 	dune runtest
 
+# Enumeration benchmark (pruned search vs naive oracle): writes
+# BENCH_PR2.json with median wall times, search counters and the
+# naive/pruned node ratios.  See docs/PERFORMANCE.md.
 bench:
+	dune exec bench/enum.exe
+
+# Microbenchmarks of the core engines (bechamel).
+bench-micro:
 	dune exec bench/main.exe
 
 # Run every bench workload under a 2s wall-clock budget and emit JSON;

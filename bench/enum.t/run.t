@@ -1,0 +1,16 @@
+The enumeration benchmark emits well-formed JSON with the trajectory's
+sections (checked with the bundled validator — no jq dependency):
+
+  $ ../enum.exe --quick --out bench.json
+  wrote bench.json
+  $ ../json_check.exe bench.json bench mode workloads ratios summary
+  bench.json: valid JSON
+
+A missing key or mangled document is rejected:
+
+  $ ../json_check.exe bench.json no_such_key
+  bench.json: missing top-level key(s): no_such_key
+  [1]
+  $ echo '{"oops": ' > broken.json && ../json_check.exe broken.json
+  broken.json: invalid JSON at offset 10: unexpected end of input
+  [1]

@@ -250,20 +250,48 @@ let models_cmd =
     Arg.(value & opt (some int) None
          & info [ "limit" ] ~docv:"N" ~doc:"Stop after N models.")
   in
-  let run budget file comp depth relevant facts max_instances kind limit =
+  let search =
+    Arg.(value
+         & opt (enum [ ("pruned", `Pruned); ("naive", `Naive) ]) `Pruned
+         & info [ "search" ] ~docv:"SEARCH"
+             ~doc:"Enumeration engine: $(b,pruned) (branch-and-propagate, \
+                   default) or $(b,naive) (leaf-check oracle).  Same model \
+                   set, different enumeration order.")
+  in
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print search-effort counters (nodes, leaves, prunes, \
+                   forced, models) on stderr after the models.")
+  in
+  let run budget file comp depth relevant facts max_instances kind limit
+      search stats =
     governed budget @@ fun () ->
     let _, _, g =
       ground_view ~budget file comp depth relevant facts max_instances
     in
+    let counters = Ordered.Counters.create () in
     let result =
-      match kind with
-      | `Stable -> Ordered.Stable.stable_models ?limit ~budget g
-      | `Af -> Ordered.Stable.assumption_free_models ?limit ~budget g
-      | `Total -> Ordered.Exhaustive.total_models ?limit ~budget g
+      match kind, search with
+      | `Stable, `Pruned ->
+        Ordered.Stable.stable_models ?limit ~budget ~stats:counters g
+      | `Stable, `Naive ->
+        Ordered.Stable.Naive.stable_models ?limit ~budget ~stats:counters g
+      | `Af, `Pruned ->
+        Ordered.Stable.assumption_free_models ?limit ~budget ~stats:counters g
+      | `Af, `Naive ->
+        Ordered.Stable.Naive.assumption_free_models ?limit ~budget
+          ~stats:counters g
+      | `Total, `Pruned ->
+        Ordered.Exhaustive.total_models ?limit ~budget ~stats:counters g
+      | `Total, `Naive ->
+        Ordered.Exhaustive.Naive.total_models ?limit ~budget ~stats:counters g
     in
     let models = Ordered.Budget.value result in
     Format.printf "%d model(s)@." (List.length models);
     List.iter (fun m -> Format.printf "%a@." Logic.Interp.pp m) models;
+    if stats then
+      Format.eprintf "search: %a@." Ordered.Counters.pp counters;
     match result with
     | Ordered.Budget.Complete _ -> ()
     | Ordered.Budget.Partial (_, r) ->
@@ -275,7 +303,8 @@ let models_cmd =
   in
   Cmd.v (Cmd.info "models" ~doc:"Enumerate stable / assumption-free / total models.")
     Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
-          $ relevant_arg $ facts_arg $ max_instances_arg $ kind $ limit)
+          $ relevant_arg $ facts_arg $ max_instances_arg $ kind $ limit
+          $ search $ stats_flag)
 
 let query_cmd =
   let mode =

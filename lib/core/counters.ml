@@ -1,0 +1,4 @@
+(* Re-export so the public API surface is [Ordered.Counters]; the
+   implementation lives below the [ground]/[datalog] layers, which also
+   consume it. *)
+include Governor.Counters

@@ -1,0 +1,7 @@
+(** Search-effort counters — see {!Governor.Counters} for the full
+    documentation.  Re-exported here so users of the [Ordered] library
+    need not depend on [Governor] directly. *)
+
+include module type of struct
+  include Governor.Counters
+end

@@ -47,31 +47,112 @@ let extend ?base ?budget g interp =
       true);
   !best
 
-let total_models ?limit ?(budget = Budget.unlimited) (g : Gop.t) =
-  (* Anytime, like {!Stable.assumption_free_models}: a partial result is a
+(* Same fail-first ordering as the stable search: most-mentioned atoms
+   first, ties on the atom id, so the enumeration is deterministic. *)
+let order_atoms (g : Gop.t) atoms =
+  let occ = Array.make (Gop.n_atoms g) 0 in
+  Array.iter
+    (fun (r : Gop.grule) ->
+      occ.(r.head) <- occ.(r.head) + 1;
+      Array.iter (fun (a, _) -> occ.(a) <- occ.(a) + 1) r.body)
+    g.Gop.rules;
+  List.sort (fun a b -> compare (- occ.(a), a) (- occ.(b), b)) atoms
+
+let total_models ?limit ?(budget = Budget.unlimited) ?stats (g : Gop.t) =
+  (* Branch-and-propagate, like {!Stable.assumption_free_models}: a total
+     model is in particular a model, hence closed under [V] and a superset
+     of lfp(V), so the search seeds the assignment with the least fixpoint,
+     re-propagates after every decision, and prunes on conflict.  No
+     support pruning here — a total model may contain unsupported literals
+     (only condition (a) constrains them).  Anytime: a partial result is a
      prefix of the unbudgeted enumeration. *)
-  let atoms = Array.of_list g.Gop.active_base in
+  let stats = match stats with Some s -> s | None -> Counters.create () in
   let acc = ref [] in
   let count = ref 0 in
-  let full () =
-    match limit with
-    | Some l -> !count >= l
-    | None -> false
-  in
-  let rec go i m =
-    Budget.tick budget;
-    if not (full ()) then
-      if i >= Array.length atoms then begin
-        if Model.is_model g m then begin
-          incr count;
-          acc := m :: !acc
+  try
+    let seed = Vfix.lfp ~budget g in
+    let branch =
+      Array.of_list
+        (order_atoms g
+           (List.filter
+              (fun a -> not (Gop.Values.defined seed a))
+              (List.init (Gop.n_atoms g) Fun.id)))
+    in
+    let dec = Gop.Values.copy seed in
+    let full () =
+      match limit with
+      | Some l -> !count >= l
+      | None -> false
+    in
+    let rec node i =
+      Budget.tick budget;
+      stats.Counters.nodes <- stats.Counters.nodes + 1;
+      if not (full ()) then
+        match Vfix.propagate ~budget g dec with
+        | Error _ -> stats.prunes <- stats.prunes + 1
+        | Ok v -> (
+          let rec next j =
+            if j >= Array.length branch then None
+            else if Gop.Values.defined v branch.(j) then begin
+              if not (Gop.Values.defined dec branch.(j)) then
+                stats.forced <- stats.forced + 1;
+              next (j + 1)
+            end
+            else Some j
+          in
+          match next i with
+          | None ->
+            stats.leaves <- stats.leaves + 1;
+            if Model.is_model_v g v then begin
+              incr count;
+              stats.models <- stats.models + 1;
+              acc := Gop.Values.to_interp g v :: !acc
+            end
+          | Some j ->
+            let a = branch.(j) in
+            Gop.Values.set dec a true;
+            node (j + 1);
+            Gop.Values.unset dec a;
+            Gop.Values.set dec a false;
+            node (j + 1);
+            Gop.Values.unset dec a)
+    in
+    node 0;
+    Budget.Complete (List.rev !acc)
+  with Budget.Exhausted r -> Budget.Partial (List.rev !acc, r)
+
+(* The pre-propagation enumerator over complete assignments — the
+   differential-testing oracle for the pruned search above and the
+   baseline of the benchmark trajectory, not dead code. *)
+module Naive = struct
+  let total_models ?limit ?(budget = Budget.unlimited) ?stats (g : Gop.t) =
+    let stats = match stats with Some s -> s | None -> Counters.create () in
+    let atoms = Array.of_list g.Gop.active_base in
+    let acc = ref [] in
+    let count = ref 0 in
+    let full () =
+      match limit with
+      | Some l -> !count >= l
+      | None -> false
+    in
+    let rec go i m =
+      Budget.tick budget;
+      stats.Counters.nodes <- stats.Counters.nodes + 1;
+      if not (full ()) then
+        if i >= Array.length atoms then begin
+          stats.leaves <- stats.leaves + 1;
+          if Model.is_model g m then begin
+            incr count;
+            stats.models <- stats.models + 1;
+            acc := m :: !acc
+          end
         end
-      end
-      else begin
-        go (i + 1) (Interp.set m atoms.(i) true);
-        go (i + 1) (Interp.set m atoms.(i) false)
-      end
-  in
-  match go 0 Interp.empty with
-  | () -> Budget.Complete (List.rev !acc)
-  | exception Budget.Exhausted r -> Budget.Partial (List.rev !acc, r)
+        else begin
+          go (i + 1) (Interp.set m atoms.(i) true);
+          go (i + 1) (Interp.set m atoms.(i) false)
+        end
+    in
+    match go 0 Interp.empty with
+    | () -> Budget.Complete (List.rev !acc)
+    | exception Budget.Exhausted r -> Budget.Partial (List.rev !acc, r)
+end

@@ -34,7 +34,24 @@ val extend :
     when the budget runs out. *)
 
 val total_models :
-  ?limit:int -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t list Budget.anytime
-(** All total models over the active base (exhaustive enumeration);
-    anytime — a [Partial] result is a prefix of the unbudgeted
-    enumeration. *)
+  ?limit:int -> ?budget:Budget.t -> ?stats:Counters.t -> Gop.t ->
+  Logic.Interp.t list Budget.anytime
+(** All total models over the active base, by the branch-and-propagate
+    search (seeded with the least fixpoint of [V], conflict pruning via
+    {!Vfix.propagate}, fail-first atom order, true before false).  Models
+    come in {e search order} — first discovered first, deterministic —
+    so [?limit:k] is the first [k] of the unlimited enumeration and a
+    [Partial] result is a prefix of it.  [?stats] accumulates search
+    effort ({!Counters.t}). *)
+
+(** The pre-propagation enumerator over complete assignments of the active
+    base — the differential-testing oracle for {!val:total_models} (same
+    model set, same counts under [?limit], different order) and the
+    baseline of the benchmark trajectory. *)
+module Naive : sig
+  val total_models :
+    ?limit:int -> ?budget:Budget.t -> ?stats:Counters.t -> Gop.t ->
+    Logic.Interp.t list Budget.anytime
+  (** Models in the naive search order: atoms in active-base order, true
+      before false. *)
+end

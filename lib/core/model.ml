@@ -56,6 +56,7 @@ let violations g interp =
   let v, _extra = Gop.Values.of_interp g interp in
   check_conditions g v
 
+let is_model_v g v = check_conditions g v = []
 let is_model g interp = violations g interp = []
 
 (* Definition 8 says "all applied rules"; that makes Theorem 1(a) false
@@ -117,11 +118,13 @@ let enabled_fixpoint ?semantics (g : Gop.t) v =
   done;
   out
 
+let is_assumption_free_v ?semantics g v =
+  check_conditions g v = []
+  && Gop.Values.equal (enabled_fixpoint ?semantics g v) v
+
 let is_assumption_free ?semantics g interp =
   let v, extra = Gop.Values.of_interp g interp in
-  extra = []
-  && check_conditions g v = []
-  && Gop.Values.equal (enabled_fixpoint ?semantics g v) v
+  extra = [] && is_assumption_free_v ?semantics g v
 
 (* Definition 6, as a greatest fixpoint over subsets of M.  F(X) keeps the
    literals A of X such that every rule with head A is non-applicable,

@@ -18,6 +18,11 @@ val is_model : Gop.t -> Logic.Interp.t -> bool
 (** Definition 3.  Literals over atoms that occur in no ground rule are
     permitted (conditions (a)/(b) are vacuous for them). *)
 
+val is_model_v : Gop.t -> Gop.Values.t -> bool
+(** {!is_model} directly on an encoded assignment — the form used by the
+    enumeration engines, which keep their candidates encoded and only
+    convert accepted models to symbolic interpretations. *)
+
 val violations : Gop.t -> Logic.Interp.t -> string list
 (** Human-readable reasons why the interpretation fails Definition 3
     (empty iff {!is_model}). *)
@@ -40,6 +45,11 @@ val enabled_fixpoint :
 (** [T^inf_{C^e}(0)] (Lemma 2): the least fixpoint of the positive
     immediate-consequence operator over the enabled rules, treating
     literals as atomic. *)
+
+val is_assumption_free_v :
+  ?semantics:[ `Corrected | `Literal ] -> Gop.t -> Gop.Values.t -> bool
+(** {!is_assumption_free} directly on an encoded assignment (which, being
+    encoded, cannot mention atoms outside the ground program). *)
 
 val is_assumption_free :
   ?semantics:[ `Corrected | `Literal ] -> Gop.t -> Logic.Interp.t -> bool

@@ -8,30 +8,74 @@
     supporting rule), so the enumeration branches on head literals outside
     the least fixpoint — exponential in their number in the worst case.
 
+    {b Search.}  The default enumerator is a branch-and-propagate search:
+    after every branching decision it re-runs the incremental counting
+    engine ({!Vfix.propagate}) from the partial assignment, forcing the
+    implied values (which need not be branched on at all) and pruning the
+    subtree on a conflict — a derivation contradicting a decision, or a
+    decided literal whose every potential supporting rule has died — long
+    before a complete leaf.  Branching follows a fail-first heuristic
+    (most-mentioned atoms first).  {!Naive} keeps the pre-propagation
+    enumerator as a differential-testing oracle and benchmark baseline.
+
+    {b Enumeration order.}  All enumeration entry points ({!val:assumption_free_models},
+    {!val:stable_models}, their {!Naive} counterparts and
+    {!Exhaustive.total_models}) return models in {e search order} — first
+    discovered first, a deterministic function of the ground program
+    alone.  Consequently [?limit:k] returns exactly the first [k] elements
+    of the unlimited enumeration, and the first assumption-free model is
+    always the least model.  The pruned and naive searches order their
+    branches differently, so they enumerate the {e same set} of models in
+    {e different} orders; only the search order of the enumerator actually
+    used is guaranteed.
+
     {b Anytime semantics.}  The enumerations take a {!Budget.t} and return
     a {!Budget.anytime} value: [Complete models] when the search finished,
-    or [Partial (models, reason)] when the budget ran out first.  The
-    search order is deterministic, so the models of a [Partial] result are
-    a prefix of the unbudgeted enumeration (for {!stable_models}, the
-    maximal elements of such a prefix — each returned model is
-    assumption-free, but a later, larger model may have been missed).
-    Boolean queries ({!cautious}, {!brave}, {!is_stable}) are {e not}
-    anytime — a truncated enumeration could flip their answer — so they
-    raise [Budget.Exhausted] instead. *)
+    or [Partial (models, reason)] when the budget ran out first — whether
+    at a search node or in the middle of a propagation.  The search order
+    is deterministic, so the models of a [Partial] result are a prefix of
+    the unbudgeted enumeration (for {!val:stable_models}, the maximal
+    elements of such a prefix — each returned model is assumption-free,
+    but a later, larger model may have been missed).  Boolean queries
+    ({!cautious}, {!brave}, {!is_stable}) are {e not} anytime — a
+    truncated enumeration could flip their answer — so they raise
+    [Budget.Exhausted] instead.
+
+    [?stats] exposes the search effort ({!Counters.t}: nodes, leaves,
+    pruned subtrees, forced branches, models); the benchmark suite uses it
+    to track the pruned-vs-naive node ratio in [BENCH_PR2.json]. *)
 
 val assumption_free_models :
-  ?limit:int -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t list Budget.anytime
-(** All assumption-free models (at most [limit] if given), in a
-    deterministic order; a complete enumeration always contains the least
-    model. *)
+  ?limit:int -> ?budget:Budget.t -> ?stats:Counters.t -> Gop.t ->
+  Logic.Interp.t list Budget.anytime
+(** All assumption-free models (at most [limit] if given), in search
+    order; a complete enumeration always starts with the least model. *)
 
 val stable_models :
-  ?limit:int -> ?budget:Budget.t -> Gop.t -> Logic.Interp.t list Budget.anytime
-(** The maximal assumption-free models.  [limit] caps the underlying
-    assumption-free enumeration (so with a limit the result may miss
-    stable models but every returned model is assumption-free and maximal
-    among those enumerated); the same caveat applies to [Partial]
-    results. *)
+  ?limit:int -> ?budget:Budget.t -> ?stats:Counters.t -> Gop.t ->
+  Logic.Interp.t list Budget.anytime
+(** The maximal assumption-free models, in the search order of the
+    underlying assumption-free enumeration.  [limit] caps that underlying
+    enumeration (so with a limit the result may miss stable models but
+    every returned model is assumption-free and maximal among those
+    enumerated); the same caveat applies to [Partial] results. *)
+
+(** The pre-propagation enumerator: branch on every undecided head atom
+    and check assumption-freeness only at complete leaves.  Kept as the
+    differential-testing oracle for the pruned search — same model sets,
+    same counts under [?limit], vastly more search nodes — and as the
+    baseline of the benchmark trajectory. *)
+module Naive : sig
+  val assumption_free_models :
+    ?limit:int -> ?budget:Budget.t -> ?stats:Counters.t -> Gop.t ->
+    Logic.Interp.t list Budget.anytime
+  (** Same model set as {!val:Stable.assumption_free_models}, in the naive
+      search order (atom interning order, undefined/true/false). *)
+
+  val stable_models :
+    ?limit:int -> ?budget:Budget.t -> ?stats:Counters.t -> Gop.t ->
+    Logic.Interp.t list Budget.anytime
+end
 
 val is_stable : ?budget:Budget.t -> Gop.t -> Logic.Interp.t -> bool
 (** Assumption-free and not properly contained in another assumption-free

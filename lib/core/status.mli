@@ -11,6 +11,10 @@
     - {e defeated} if some non-blocked rule [r'] with [H(r') = -H(r)] has
       [C(r') <> C(r)] or [C(r') = C(r)]. *)
 
+val lit_value : Gop.Values.t -> int * bool -> Logic.Interp.value
+(** Truth value of an encoded body literal [(atom, polarity)] under an
+    encoded assignment. *)
+
 val applicable : Gop.t -> Gop.Values.t -> int -> bool
 val applied : Gop.t -> Gop.Values.t -> int -> bool
 val blocked : Gop.t -> Gop.Values.t -> int -> bool

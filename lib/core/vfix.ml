@@ -22,22 +22,49 @@ let lfp_naive ?(budget = Budget.unlimited) (g : Gop.t) =
   in
   go (Gop.Values.create g)
 
-(* Incremental counting engine.  Invariants:
-   - missing.(i): body literals of rule i not yet true;
-   - blocked.(i): some body literal of rule i is false;
+type conflict = { atom : int; derived : bool }
+
+(* Incremental counting engine, restartable from any consistent partial
+   assignment.  Invariants:
+   - missing.(i): body literals of rule i not (yet) true under v;
+   - blocked.(i): some body literal of rule i is false under v;
    - active_sup.(i): suppressors (overrulers + defeaters) of i not yet
      blocked;
    - a rule fires (derives its head) when missing = 0 and active_sup = 0.
-   Monotonicity (Lemma 1) makes all three evolve in one direction only. *)
-let run_incremental ?(budget = Budget.unlimited) (g : Gop.t) =
+   Monotonicity (Lemma 1) makes all three evolve in one direction only,
+   which is also why restarting from a seed is sound: the counters are
+   initialised by one scan of the program against the seed, and the queue
+   then processes only the newly derived literals.
+
+   A derivation that contradicts the seed (or lands on a [frozen]
+   undefined atom) is reported through [on_conflict], which must raise:
+   from the empty seed it is an internal invariant violation, from a
+   search's partial assignment it is an ordinary conflict that prunes the
+   subtree. *)
+let run ?(budget = Budget.unlimited) ~frozen ~on_conflict (g : Gop.t) seed =
   Budget.check budget;
   let nr = Gop.n_rules g in
-  let v = Gop.Values.create g in
-  let missing = Array.map (fun (r : Gop.grule) -> Array.length r.body) g.rules in
+  let v = Gop.Values.copy seed in
+  let missing = Array.make nr 0 in
   let blocked = Array.make nr false in
+  Array.iteri
+    (fun i (r : Gop.grule) ->
+      let m = ref 0 in
+      Array.iter
+        (fun l ->
+          match Status.lit_value v l with
+          | Logic.Interp.True -> ()
+          | Logic.Interp.Undefined -> incr m
+          | Logic.Interp.False ->
+            blocked.(i) <- true;
+            incr m)
+        r.body;
+      missing.(i) <- !m)
+    g.rules;
+  let count_active = List.fold_left (fun n j -> if blocked.(j) then n else n + 1) 0 in
   let active_sup =
     Array.init nr (fun i ->
-        List.length g.overrulers.(i) + List.length g.defeaters.(i))
+        count_active g.overrulers.(i) + count_active g.defeaters.(i))
   in
   let fired = Array.make nr false in
   let queue = Queue.create () in
@@ -46,20 +73,13 @@ let run_incremental ?(budget = Budget.unlimited) (g : Gop.t) =
   let derive a pol =
     match Gop.Values.value v a with
     | Logic.Interp.Undefined ->
-      Gop.Values.set v a pol;
-      Queue.add (a, pol) queue
-    | Logic.Interp.True ->
-      if not pol then
-        Diag.fail
-          (Diag.Internal_invariant
-             { where = "Vfix.run_incremental"; atom = a; existing = true;
-               derived = false })
-    | Logic.Interp.False ->
-      if pol then
-        Diag.fail
-          (Diag.Internal_invariant
-             { where = "Vfix.run_incremental"; atom = a; existing = false;
-               derived = true })
+      if frozen a then on_conflict { atom = a; derived = pol }
+      else begin
+        Gop.Values.set v a pol;
+        Queue.add (a, pol) queue
+      end
+    | Logic.Interp.True -> if not pol then on_conflict { atom = a; derived = pol }
+    | Logic.Interp.False -> if pol then on_conflict { atom = a; derived = pol }
   in
   let try_fire i =
     if (not fired.(i)) && missing.(i) = 0 && active_sup.(i) = 0 then begin
@@ -95,6 +115,26 @@ let run_incremental ?(budget = Budget.unlimited) (g : Gop.t) =
     List.iter block blk_rules
   done;
   (v, List.rev !fires)
+
+let no_frozen _ = false
+
+let run_incremental ?budget (g : Gop.t) =
+  run ?budget ~frozen:no_frozen
+    ~on_conflict:(fun { atom; derived } ->
+      Diag.fail
+        (Diag.Internal_invariant
+           { where = "Vfix.run_incremental"; atom; existing = not derived;
+             derived }))
+    g (Gop.Values.create g)
+
+exception Conflicted of conflict
+
+let propagate ?budget ?(frozen = no_frozen) (g : Gop.t) seed =
+  match
+    run ?budget ~frozen ~on_conflict:(fun c -> raise (Conflicted c)) g seed
+  with
+  | v, _fires -> Ok v
+  | exception Conflicted c -> Error c
 
 let lfp ?budget g = fst (run_incremental ?budget g)
 let trace ?budget g = snd (run_incremental ?budget g)

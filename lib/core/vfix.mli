@@ -34,6 +34,34 @@ val lfp_naive : ?budget:Budget.t -> Gop.t -> Gop.Values.t
 (** Least fixpoint by Kleene iteration of {!step}; [budget] is polled once
     per round. *)
 
+type conflict = {
+  atom : int;  (** atom whose derivation clashed with the seed *)
+  derived : bool;  (** polarity the engine tried to derive for it *)
+}
+
+val propagate :
+  ?budget:Budget.t ->
+  ?frozen:(int -> bool) ->
+  Gop.t ->
+  Gop.Values.t ->
+  (Gop.Values.t, conflict) result
+(** Restartable propagation: the least fixpoint of [V] {e above} a
+    non-empty seed.  The counters of the incremental engine are
+    initialised by one scan of the program against [seed] (which is not
+    modified), and propagation then proceeds exactly as from the empty
+    assignment — [budget] is ticked once per derivation processed.
+
+    Because [V] is monotone and every model is closed under [V], the
+    result is contained in every model of the program that extends the
+    seed; the branch-and-propagate searches ({!Stable}, {!Exhaustive})
+    call this after each decision to force implied values.
+
+    [Error conflict] signals that no such model exists: the engine derived
+    a literal contradicting the seed, or derived a value for an atom the
+    caller declared [frozen] (decided to be {e undefined} — any derivation
+    for it is a conflict).  [frozen] is only consulted for undefined
+    atoms and defaults to accepting none. *)
+
 val least_model :
   ?engine:[ `Incremental | `Naive ] -> ?budget:Budget.t -> Gop.t ->
   Logic.Interp.t

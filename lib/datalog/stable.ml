@@ -4,7 +4,10 @@ let is_stable (p : Nprog.t) (s : bool array) =
   let rules = Consequence.reduct p ~assumed_false:(fun a -> not s.(a)) in
   Consequence.lfp_rules p rules = s
 
-let enumerate ?limit ?(budget = Budget.unlimited) (p : Nprog.t) =
+let enumerate ?limit ?(budget = Budget.unlimited) ?stats (p : Nprog.t) =
+  let stats =
+    match stats with Some s -> s | None -> Governor.Counters.create ()
+  in
   let wf = Wellfounded.compute ~budget p in
   (* Branch atoms: atoms occurring under NAF and undefined in the
      well-founded model.  Any stable model agrees with the well-founded
@@ -30,6 +33,7 @@ let enumerate ?limit ?(budget = Budget.unlimited) (p : Nprog.t) =
     | None -> false
   in
   let check () =
+    stats.Governor.Counters.leaves <- stats.Governor.Counters.leaves + 1;
     let rules = Consequence.reduct p ~assumed_false:(fun a -> not guess.(a)) in
     let m = Consequence.lfp_rules p rules in
     (* Consistency: the guess must coincide with the least model on every
@@ -44,11 +48,13 @@ let enumerate ?limit ?(budget = Budget.unlimited) (p : Nprog.t) =
     in
     if consistent && is_stable p m then begin
       incr count;
+      stats.Governor.Counters.models <- stats.Governor.Counters.models + 1;
       found := m :: !found
     end
   in
   let rec go i =
     Budget.tick budget;
+    stats.Governor.Counters.nodes <- stats.Governor.Counters.nodes + 1;
     if not (full ()) then
       if i >= Array.length branch then check ()
       else begin
@@ -63,8 +69,8 @@ let enumerate ?limit ?(budget = Budget.unlimited) (p : Nprog.t) =
   go 0;
   List.rev !found
 
-let models ?limit ?budget p =
-  List.map (Nprog.decode_mask p) (enumerate ?limit ?budget p)
+let models ?limit ?budget ?stats p =
+  List.map (Nprog.decode_mask p) (enumerate ?limit ?budget ?stats p)
 
 let first p =
   match enumerate ~limit:1 p with

@@ -10,15 +10,22 @@ val is_stable : Nprog.t -> bool array -> bool
 (** Check the Gelfond–Lifschitz fixpoint condition for a candidate. *)
 
 val enumerate :
-  ?limit:int -> ?budget:Governor.Budget.t -> Nprog.t -> bool array list
+  ?limit:int -> ?budget:Governor.Budget.t -> ?stats:Governor.Counters.t ->
+  Nprog.t -> bool array list
 (** All stable models (at most [limit] if given), each as an atom mask, in
-    a deterministic order.  Exponential in the number of undefined
-    NAF-atoms; intended for programs whose ground residue after
-    well-founded simplification is small.  [budget] is ticked per search
-    node; exhaustion raises [Governor.Budget.Exhausted]. *)
+    {e search order}: first discovered first, branching on undefined
+    NAF-atoms in ascending atom order with false before true, so
+    [?limit:k] returns the first [k] of the unlimited enumeration (the
+    same order contract as the ordered-program enumerators in
+    [Ordered.Stable]).  Exponential in the number of undefined NAF-atoms;
+    intended for programs whose ground residue after well-founded
+    simplification is small.  [budget] is ticked per search node;
+    exhaustion raises [Governor.Budget.Exhausted].  [?stats] accumulates
+    search nodes, leaf checks and accepted models. *)
 
 val models :
-  ?limit:int -> ?budget:Governor.Budget.t -> Nprog.t -> Logic.Atom.Set.t list
+  ?limit:int -> ?budget:Governor.Budget.t -> ?stats:Governor.Counters.t ->
+  Nprog.t -> Logic.Atom.Set.t list
 (** {!enumerate}, decoded to atom sets. *)
 
 val first : Nprog.t -> Logic.Atom.Set.t option

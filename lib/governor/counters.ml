@@ -1,0 +1,28 @@
+type t = {
+  mutable nodes : int;
+  mutable leaves : int;
+  mutable prunes : int;
+  mutable forced : int;
+  mutable models : int;
+}
+
+let create () = { nodes = 0; leaves = 0; prunes = 0; forced = 0; models = 0 }
+
+let reset c =
+  c.nodes <- 0;
+  c.leaves <- 0;
+  c.prunes <- 0;
+  c.forced <- 0;
+  c.models <- 0
+
+let add ~into c =
+  into.nodes <- into.nodes + c.nodes;
+  into.leaves <- into.leaves + c.leaves;
+  into.prunes <- into.prunes + c.prunes;
+  into.forced <- into.forced + c.forced;
+  into.models <- into.models + c.models
+
+let pp ppf c =
+  Format.fprintf ppf
+    "%d nodes, %d leaves, %d pruned subtrees, %d forced branches, %d models"
+    c.nodes c.leaves c.prunes c.forced c.models

@@ -1,0 +1,35 @@
+(** Search-effort counters shared by the enumeration engines.
+
+    A search engine that accepts a [?stats] argument fills one of these in
+    as it runs (the counters are cumulative: pass a freshly {!create}d
+    record, or call {!reset}, to measure a single run).  The counters are
+    the currency of the benchmark trajectory ([BENCH_*.json]) and of the
+    differential tests comparing the pruned searches against their naive
+    oracles:
+
+    - [nodes]: search-tree nodes visited (branch points and leaves; one
+      budget tick is paid per node);
+    - [leaves]: complete assignments that reached the final model check;
+    - [prunes]: subtrees cut before reaching any leaf (propagation
+      conflict, lost support, or a failed consistency filter);
+    - [forced]: branch decisions avoided because propagation had already
+      fixed the atom's value;
+    - [models]: models emitted. *)
+
+type t = {
+  mutable nodes : int;
+  mutable leaves : int;
+  mutable prunes : int;
+  mutable forced : int;
+  mutable models : int;
+}
+
+val create : unit -> t
+(** All counters at zero. *)
+
+val reset : t -> unit
+
+val add : into:t -> t -> unit
+(** Accumulate [c] into [into] (used to total per-run counters). *)
+
+val pp : Format.formatter -> t -> unit

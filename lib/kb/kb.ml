@@ -152,7 +152,17 @@ let query ?budget kb ~obj l =
 let query_src ?budget kb ~obj src =
   query ?budget kb ~obj (Lang.Parser.parse_literal src)
 
-let stable_models ?limit ?budget kb ~obj =
-  Ordered.Stable.stable_models ?limit ?budget (gop ?budget kb ~obj)
+let stable_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
+  let g = gop ?budget kb ~obj in
+  match engine with
+  | `Pruned -> Ordered.Stable.stable_models ?limit ?budget ?stats g
+  | `Naive -> Ordered.Stable.Naive.stable_models ?limit ?budget ?stats g
+
+let assumption_free_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
+  let g = gop ?budget kb ~obj in
+  match engine with
+  | `Pruned -> Ordered.Stable.assumption_free_models ?limit ?budget ?stats g
+  | `Naive ->
+    Ordered.Stable.Naive.assumption_free_models ?limit ?budget ?stats g
 
 let explain kb ~obj l = Ordered.Explain.explain (gop kb ~obj) l

@@ -77,11 +77,28 @@ val least_model :
 val stable_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
+  ?engine:[ `Pruned | `Naive ] ->
+  ?stats:Ordered.Counters.t ->
   t ->
   obj:string ->
   Logic.Interp.t list Ordered.Budget.anytime
 (** Anytime, like {!Ordered.Stable.stable_models}: a [Partial] result
-    carries the stable models found before the budget ran out. *)
+    carries the stable models found before the budget ran out.
+    [engine] selects the branch-and-propagate search ([`Pruned], the
+    default) or the leaf-check oracle ([`Naive]) — same model set,
+    different enumeration order; [stats] accumulates search effort. *)
+
+val assumption_free_models :
+  ?limit:int ->
+  ?budget:Ordered.Budget.t ->
+  ?engine:[ `Pruned | `Naive ] ->
+  ?stats:Ordered.Counters.t ->
+  t ->
+  obj:string ->
+  Logic.Interp.t list Ordered.Budget.anytime
+(** All assumption-free models viewed from [obj] (the stable models are
+    their maximal elements); same [engine]/[stats]/anytime contract as
+    {!stable_models}. *)
 
 val explain : t -> obj:string -> Logic.Literal.t -> Ordered.Explain.t
 

@@ -55,16 +55,32 @@ Stable models (Example 5: two of them):
 
   $ olp models p5.olp --kind stable
   2 model(s)
-  {a, -b, c}
   {-a, b, c}
+  {a, -b, c}
 
 Assumption-free models include the least model {c}:
 
   $ olp models p5.olp --kind assumption-free
   3 model(s)
   {c}
+  {-a, b, c}
+  {a, -b, c}
+
+The naive oracle enumerates the same set in its own (leaf-check) order,
+and --stats exposes the search effort of either engine:
+
+  $ olp models p5.olp --kind assumption-free --search naive
+  3 model(s)
+  {c}
   {a, -b, c}
   {-a, b, c}
+
+  $ olp models p5.olp --kind assumption-free --stats 2>&1
+  3 model(s)
+  {c}
+  {-a, b, c}
+  {a, -b, c}
+  search: 7 nodes, 3 leaves, 2 pruned subtrees, 2 forced branches, 3 models
 
 The ground view, with component tags:
 
@@ -219,8 +235,8 @@ A sufficient budget completes with exit 0:
 
   $ olp models p5.olp --max-steps 20
   2 model(s)
-  {a, -b, c}
   {-a, b, c}
+  {a, -b, c}
 
 Exhaustion during the fixpoint itself has no sound partial answer:
 

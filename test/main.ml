@@ -12,6 +12,8 @@ let () =
       ("kb", Test_kb.suite);
       ("explain", Test_explain.suite);
       ("properties", Test_props.suite);
+      ("diff-stable", Test_diff_stable.suite);
+      ("golden", Test_golden.suite);
       ("deviations", Test_deviations.suite);
       ("query", Test_query.suite);
       ("analysis", Test_analysis.suite);

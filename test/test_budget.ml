@@ -146,6 +146,72 @@ let test_prefix_property_random =
       | B.Partial (ms, B.Steps) -> is_prefix Interp.equal ms full
       | B.Partial _ -> false)
 
+(* Sweep the injected fault over every tick position of the pruned
+   search's complete run.  Ticks happen at search nodes *and* inside
+   [Vfix.propagate]'s queue loop, so the sweep necessarily covers budgets
+   tripping mid-propagation; at every position the surviving models must
+   be a prefix of the full enumeration. *)
+let test_fault_sweep_pruned () =
+  let g = af_gop () in
+  let full, total = full_run g in
+  for n = 1 to total do
+    match
+      Ordered.Stable.assumption_free_models ~budget:(B.with_trip_at ~step:n ())
+        g
+    with
+    | B.Partial (ms, B.Fault) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fault at tick %d yields a prefix" n)
+        true
+        (is_prefix Interp.equal ms full)
+    | B.Partial (_, r) ->
+      Alcotest.failf "fault at tick %d: wrong reason %s" n
+        (B.reason_to_string r)
+    | B.Complete _ ->
+      Alcotest.failf "fault at tick %d <= total %d must truncate" n total
+  done
+
+let test_prefix_property_naive =
+  QCheck.Test.make ~count:40 ~name:"naive oracle: step budgets yield prefixes"
+    QCheck.(pair (int_bound 3000) (int_range 1 3))
+    (fun (n, k) ->
+      let g = Ordered.Bridge.ground_ov (W.even_loops k) in
+      let full =
+        match Ordered.Stable.Naive.assumption_free_models g with
+        | B.Complete ms -> ms
+        | B.Partial _ -> QCheck.Test.fail_report "unlimited run partial"
+      in
+      match
+        Ordered.Stable.Naive.assumption_free_models
+          ~budget:(B.make ~max_steps:n ())
+          g
+      with
+      | B.Complete ms ->
+        List.length ms = List.length full
+        && List.for_all2 Interp.equal ms full
+      | B.Partial (ms, B.Steps) -> is_prefix Interp.equal ms full
+      | B.Partial _ -> false)
+
+let test_prefix_property_total =
+  QCheck.Test.make ~count:40
+    ~name:"total models: step budgets yield prefixes"
+    QCheck.(pair (int_bound 3000) (int_range 1 3))
+    (fun (n, k) ->
+      let g = Ordered.Bridge.ground_ov (W.even_loops k) in
+      let full =
+        match Ordered.Exhaustive.total_models g with
+        | B.Complete ms -> ms
+        | B.Partial _ -> QCheck.Test.fail_report "unlimited run partial"
+      in
+      match
+        Ordered.Exhaustive.total_models ~budget:(B.make ~max_steps:n ()) g
+      with
+      | B.Complete ms ->
+        List.length ms = List.length full
+        && List.for_all2 Interp.equal ms full
+      | B.Partial (ms, B.Steps) -> is_prefix Interp.equal ms full
+      | B.Partial _ -> false)
+
 let test_zero_budgets () =
   let g = af_gop () in
   (match
@@ -222,6 +288,10 @@ let suite =
     Alcotest.test_case "partial results are prefixes" `Quick
       test_prefix_property;
     QCheck_alcotest.to_alcotest test_prefix_property_random;
+    Alcotest.test_case "fault sweep over every tick of the pruned search"
+      `Quick test_fault_sweep_pruned;
+    QCheck_alcotest.to_alcotest test_prefix_property_naive;
+    QCheck_alcotest.to_alcotest test_prefix_property_total;
     Alcotest.test_case "zero budgets" `Quick test_zero_budgets;
     Alcotest.test_case "boolean queries raise" `Quick
       test_boolean_queries_raise;

@@ -1,0 +1,154 @@
+(* Differential testing of the branch-and-propagate enumeration against
+   the leaf-check oracles ([Stable.Naive], [Exhaustive.Naive]) on random
+   programs:
+
+   - same assumption-free / stable / total model sets;
+   - same counts under [?limit] (assumption-free and total enumerate in
+     different orders but both return min(limit, total) models);
+   - each engine's [?limit:k] result is exactly the first k of its own
+     unlimited enumeration (the documented search-order contract);
+   - [stable_models ?limit] is the maximal subset of the same engine's
+     limited assumption-free enumeration;
+   - the pruned search only emits assumption-free models and starts with
+     the least model.
+
+   The generators cover random ordered programs (up to 3 components,
+   negative heads, overruling/defeating) and OV-transformed seminegative
+   programs (every atom branchable with both polarities — the
+   stable-branching regime the pruning is for). *)
+
+open Logic
+open Helpers
+module Gen = QCheck2.Gen
+module B = Ordered.Budget
+module S = Ordered.Stable
+module E = Ordered.Exhaustive
+
+let gop_of p = Ordered.Gop.ground p 0
+
+let af_pruned ?limit g = B.value (S.assumption_free_models ?limit g)
+let af_naive ?limit g = B.value (S.Naive.assumption_free_models ?limit g)
+let st_pruned ?limit g = B.value (S.stable_models ?limit g)
+let st_naive ?limit g = B.value (S.Naive.stable_models ?limit g)
+let tot_pruned ?limit g = B.value (E.total_models ?limit g)
+let tot_naive ?limit g = B.value (E.Naive.total_models ?limit g)
+
+let prop_af_sets =
+  qcheck ~count:400 ~print:print_program
+    "pruned = naive: assumption-free model sets"
+    (Test_props.gen_ordered 4)
+    (fun p ->
+      let g = gop_of p in
+      interp_set_equal (af_pruned g) (af_naive g))
+
+let prop_stable_sets =
+  qcheck ~count:250 ~print:print_program "pruned = naive: stable model sets"
+    (Test_props.gen_ordered 4)
+    (fun p ->
+      let g = gop_of p in
+      interp_set_equal (st_pruned g) (st_naive g))
+
+let prop_total_sets =
+  qcheck ~count:250 ~print:print_program "pruned = naive: total model sets"
+    (Test_props.gen_ordered 4)
+    (fun p ->
+      let g = gop_of p in
+      interp_set_equal (tot_pruned g) (tot_naive g))
+
+(* OV transform of a random seminegative program: the -A axioms make every
+   atom a head of both polarities, so the search genuinely branches three
+   ways everywhere. *)
+let gen_ov = Gen.list_size (Gen.int_range 1 6) (Test_props.gen_seminegative_rule 3)
+
+let prop_ov_sets =
+  qcheck ~count:200 ~print:print_rules
+    "pruned = naive on OV programs (assumption-free and stable)" gen_ov
+    (fun rs ->
+      let g = Ordered.Bridge.ground_ov rs in
+      interp_set_equal (af_pruned g) (af_naive g)
+      && interp_set_equal (st_pruned g) (st_naive g))
+
+let prop_limit_counts =
+  qcheck ~count:200
+    ~print:(fun (p, k) -> Printf.sprintf "%s limit=%d" (print_program p) k)
+    "pruned = naive: counts under ?limit"
+    Gen.(
+      let* p = Test_props.gen_ordered 4 in
+      let* k = int_bound 4 in
+      return (p, k))
+    (fun (p, k) ->
+      let g = gop_of p in
+      let total_af = List.length (af_naive g) in
+      let total_tot = List.length (tot_naive g) in
+      List.length (af_pruned ~limit:k g) = min k total_af
+      && List.length (af_naive ~limit:k g) = min k total_af
+      && List.length (tot_pruned ~limit:k g) = min k total_tot
+      && List.length (tot_naive ~limit:k g) = min k total_tot)
+
+let take k l = List.filteri (fun i _ -> i < k) l
+
+let prop_limit_prefix =
+  qcheck ~count:150
+    ~print:(fun (p, k) -> Printf.sprintf "%s limit=%d" (print_program p) k)
+    "?limit:k is the first k of each engine's own enumeration"
+    Gen.(
+      let* p = Test_props.gen_ordered 4 in
+      let* k = int_bound 4 in
+      return (p, k))
+    (fun (p, k) ->
+      let g = gop_of p in
+      let prefix_of enum =
+        let full = enum ?limit:None g in
+        let limited = enum ?limit:(Some k) g in
+        List.length limited = min k (List.length full)
+        && List.for_all2 Interp.equal limited (take (List.length limited) full)
+      in
+      prefix_of (fun ?limit g -> af_pruned ?limit g)
+      && prefix_of (fun ?limit g -> af_naive ?limit g)
+      && prefix_of (fun ?limit g -> tot_pruned ?limit g)
+      && prefix_of (fun ?limit g -> tot_naive ?limit g))
+
+let prop_stable_limit_consistent =
+  qcheck ~count:100
+    ~print:(fun (p, k) -> Printf.sprintf "%s limit=%d" (print_program p) k)
+    "stable ?limit = maximal of the same engine's limited enumeration"
+    Gen.(
+      let* p = Test_props.gen_ordered 4 in
+      let* k = int_bound 4 in
+      return (p, k))
+    (fun (p, k) ->
+      let g = gop_of p in
+      let maximal models =
+        List.filter
+          (fun m ->
+            not
+              (List.exists
+                 (fun m' -> (not (Interp.equal m m')) && Interp.subset m m')
+                 models))
+          models
+      in
+      interp_set_equal (st_pruned ~limit:k g) (maximal (af_pruned ~limit:k g))
+      && interp_set_equal (st_naive ~limit:k g) (maximal (af_naive ~limit:k g)))
+
+let prop_pruned_sound =
+  qcheck ~count:150 ~print:print_program
+    "pruned search emits assumption-free models, least model first"
+    (Test_props.gen_ordered 4)
+    (fun p ->
+      let g = gop_of p in
+      match af_pruned g with
+      | [] -> false (* the least model is always assumption-free *)
+      | first :: _ as ms ->
+        Interp.equal first (Ordered.Vfix.least_model g)
+        && List.for_all (Ordered.Model.is_assumption_free g) ms)
+
+let suite =
+  [ prop_af_sets;
+    prop_stable_sets;
+    prop_total_sets;
+    prop_ov_sets;
+    prop_limit_counts;
+    prop_limit_prefix;
+    prop_stable_limit_consistent;
+    prop_pruned_sound
+  ]
