@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-micro bench-smoke examples doc clean fuzz
+.PHONY: all build test bench bench-micro bench-smoke bench-serve \
+	serve-smoke examples doc clean fuzz
 
 all: build
 
@@ -10,9 +11,17 @@ test:
 
 # Enumeration benchmark (pruned search vs naive oracle): writes
 # BENCH_PR2.json with median wall times, search counters and the
-# naive/pruned node ratios.  See docs/PERFORMANCE.md.
+# naive/pruned node ratios, then fails if the scaled workload's node
+# ratio regresses below the floor (PR 2 baseline: 364.8).  See
+# docs/PERFORMANCE.md.
 bench:
-	dune exec bench/enum.exe
+	dune exec bench/enum.exe -- --min-ratio 300
+
+# Serving benchmark (socket server, repeated-query workload): writes
+# BENCH_PR3.json with requests/sec and session-cache hit rate at one
+# worker and at four.  See docs/SERVER.md.
+bench-serve:
+	dune exec bench/serve.exe
 
 # Microbenchmarks of the core engines (bechamel).
 bench-micro:
@@ -23,6 +32,12 @@ bench-micro:
 bench-smoke:
 	dune exec bench/smoke.exe
 
+# Boot the query server, make one round-trip, drain — all under a hard
+# 5-second deadline (build first so the clock only times the server).
+serve-smoke:
+	dune build bench/serve.exe
+	timeout 5 ./_build/default/bench/serve.exe --smoke
+
 examples:
 	@for e in quickstart penguin loan colors kb_versioning legal deductive_db paper_tour; do \
 	  echo "== examples/$$e =="; dune exec examples/$$e.exe; done
@@ -31,12 +46,13 @@ doc:  # requires odoc
 	dune build @doc
 
 # Re-run the whole suite under several qcheck seeds, then hammer the
-# parser fuzz suite with a larger input count.
+# parser and wire-protocol fuzz suites with a larger input count.
 fuzz:
 	@for i in 1 2 3 4 5 6 7 8; do \
 	  QCHECK_SEED=$$((i * 7919)) dune exec test/main.exe -- -e \
 	    | tail -1; done
 	FUZZ_ITERS=5000 dune exec test/main.exe -- test fuzz -e | tail -1
+	FUZZ_ITERS=20000 dune exec test/main.exe -- test proto -e | tail -1
 
 clean:
 	dune clean

@@ -10,7 +10,10 @@
    the trajectory tracks.
 
    Flags: --quick (small workloads and few repeats; used by the cram
-   well-formedness test), --out FILE (default BENCH_PR2.json). *)
+   well-formedness test), --out FILE (default BENCH_PR2.json),
+   --min-ratio R (exit 1 if the scaled workload's node ratio falls
+   below R — the trajectory's regression guard; the PR 2 baseline for
+   even-loops-6/af is 364.8). *)
 
 module B = Ordered.Budget
 module C = Ordered.Counters
@@ -104,6 +107,7 @@ let measure s engine =
 let () =
   let quick = ref false in
   let out = ref "BENCH_PR2.json" in
+  let min_ratio = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -111,6 +115,13 @@ let () =
       parse rest
     | "--out" :: file :: rest ->
       out := file;
+      parse rest
+    | "--min-ratio" :: r :: rest ->
+      (match float_of_string_opt r with
+      | Some f -> min_ratio := Some f
+      | None ->
+        Printf.eprintf "enum: --min-ratio expects a number, got %s\n" r;
+        exit 2);
       parse rest
     | arg :: _ ->
       Printf.eprintf "enum: unknown argument %s\n" arg;
@@ -170,4 +181,15 @@ let () =
     scaled naive pruned
     (float_of_int naive /. float_of_int (max 1 pruned));
   close_out oc;
-  Printf.printf "wrote %s\n" !out
+  Printf.printf "wrote %s\n" !out;
+  match !min_ratio with
+  | None -> ()
+  | Some floor ->
+    let got = float_of_int naive /. float_of_int (max 1 pruned) in
+    if got < floor then begin
+      Printf.eprintf
+        "enum: node ratio regression on %s: %.1f < required %.1f\n" scaled
+        got floor;
+      exit 1
+    end
+    else Printf.printf "node ratio %.1f >= %.1f: ok\n" got floor

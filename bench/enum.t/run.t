@@ -14,3 +14,15 @@ A missing key or mangled document is rejected:
   $ echo '{"oops": ' > broken.json && ../json_check.exe broken.json
   broken.json: invalid JSON at offset 10: unexpected end of input
   [1]
+
+The node-ratio regression guard: a reachable floor passes, an absurd
+one fails with a diagnostic (the real floor lives in the Makefile's
+bench target):
+
+  $ ../enum.exe --quick --out bench.json --min-ratio 1.0
+  wrote bench.json
+  node ratio 13.8 >= 1.0: ok
+  $ ../enum.exe --quick --out bench.json --min-ratio 1000000
+  wrote bench.json
+  enum: node ratio regression on even-loops-3/af: 13.8 < required 1000000.0
+  [1]

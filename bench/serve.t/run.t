@@ -1,0 +1,13 @@
+The serving benchmark boots a real daemon and emits well-formed JSON
+(checked with the bundled validator — no jq dependency):
+
+  $ ../serve.exe --quick --out bench3.json
+  wrote bench3.json
+  $ ../json_check.exe bench3.json bench mode runs summary
+  bench3.json: valid JSON
+
+The smoke mode is the boot / one round-trip / clean drain check that
+`make serve-smoke` runs under a deadline:
+
+  $ ../serve.exe --smoke
+  serve smoke: boot, round-trip, drain ok

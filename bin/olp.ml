@@ -409,11 +409,197 @@ let repl_cmd =
              budget each evaluated line; exhaustion returns to the prompt.")
     Term.(const run $ timeout_arg $ max_steps_arg $ file)
 
+(* ------------------------------------------------------------------ *)
+(* Query server: olp serve / olp call                                  *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Listen on (serve) or connect to (call) a Unix-domain \
+                 socket at $(i,PATH).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"PORT"
+           ~doc:"Listen on (serve) or connect to (call) TCP $(i,PORT); \
+                 for $(b,serve), port 0 picks an ephemeral port (see \
+                 $(b,--port-file)).")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"ADDR"
+           ~doc:"IP address for $(b,--port) (default 127.0.0.1).")
+
+let address_of socket port host =
+  match socket, port with
+  | Some path, None -> `Unix path
+  | None, Some port -> `Tcp (host, port)
+  | None, None ->
+    Printf.eprintf "specify --socket PATH or --port PORT\n";
+    exit exit_error
+  | Some _, Some _ ->
+    Printf.eprintf "--socket and --port are mutually exclusive\n";
+    exit exit_error
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 4
+         & info [ "workers" ] ~docv:"N" ~doc:"Worker threads (default 4).")
+  in
+  let queue =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Bounded request-queue capacity (default 64); a full \
+                   queue answers with a typed $(i,busy) error.")
+  in
+  let max_timeout =
+    Arg.(value & opt (some float) (Some 30.)
+         & info [ "max-timeout" ] ~docv:"SECS"
+             ~doc:"Server-side cap on per-request wall-clock budgets \
+                   (default 30; requests asking for more, or for \
+                   nothing, get this).  Negative disables the cap.")
+  in
+  let max_steps_cap =
+    Arg.(value & opt (some int) None
+         & info [ "max-steps-cap" ] ~docv:"N"
+             ~doc:"Server-side cap on per-request step budgets \
+                   (default: none).")
+  in
+  let port_file =
+    Arg.(value & opt (some string) None
+         & info [ "port-file" ] ~docv:"FILE"
+             ~doc:"Write the bound TCP port to $(i,FILE) once listening \
+                   (for $(b,--port 0)).")
+  in
+  let file =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Optional program loaded into the knowledge base before \
+                 serving.")
+  in
+  let run socket port host workers queue max_timeout max_steps_cap port_file
+      file =
+    let timeout_cap =
+      match max_timeout with
+      | Some s when s < 0. -> None
+      | cap -> cap
+    in
+    let caps = { Server.Engine.timeout = timeout_cap; steps = max_steps_cap } in
+    let config =
+      { Server.Daemon.address = address_of socket port host;
+        workers;
+        queue;
+        caps
+      }
+    in
+    let daemon =
+      try Server.Daemon.create config
+      with Unix.Unix_error (e, _, arg) ->
+        Printf.eprintf "olp serve: cannot listen (%s%s)\n"
+          (Unix.error_message e)
+          (if arg = "" then "" else ": " ^ arg);
+        exit exit_error
+    in
+    Server.Daemon.install_signal_handlers daemon;
+    (match file with
+    | None -> ()
+    | Some path -> (
+      let session = Server.Engine.session (Server.Daemon.engine daemon) in
+      try Kb.Session.load session (read_file path) with
+      | Invalid_argument msg ->
+        Printf.eprintf "%s: %s\n" path msg;
+        exit exit_error
+      | Lang.Lexer.Error (msg, pos) | Lang.Parser.Error (msg, pos) ->
+        Printf.eprintf "%s: error at %d:%d: %s\n" path pos.Lang.Token.line
+          pos.Lang.Token.col msg;
+        exit exit_error));
+    (match Server.Daemon.address daemon with
+    | `Unix path ->
+      Printf.printf "olp serve: listening on unix:%s (%d workers)\n%!" path
+        workers
+    | `Tcp (host, port) ->
+      Printf.printf "olp serve: listening on tcp:%s:%d (%d workers)\n%!" host
+        port workers;
+      (match port_file with
+      | None -> ()
+      | Some f ->
+        let oc = open_out f in
+        Printf.fprintf oc "%d\n" port;
+        close_out oc));
+    Server.Daemon.serve daemon
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the concurrent query server: a line-oriented JSON \
+             protocol over a Unix-domain or TCP socket, a bounded \
+             request queue and a fixed worker pool, per-request budgets \
+             clamped by server-side caps, a memoizing KB session cache, \
+             and graceful drain on SIGINT/SIGTERM or the $(i,shutdown) \
+             verb.  See docs/SERVER.md for the protocol.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue
+          $ max_timeout $ max_steps_cap $ port_file $ file)
+
+let call_cmd =
+  let retry =
+    Arg.(value & opt float 0.
+         & info [ "retry" ] ~docv:"SECS"
+             ~doc:"Keep retrying a refused connection for up to \
+                   $(i,SECS) seconds (rides out server startup).")
+  in
+  let requests =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"REQUEST"
+           ~doc:"Request lines, sent in order on one connection.  A \
+                 REQUEST starting with '{' is sent verbatim as a JSON \
+                 request; anything else is shorthand for \
+                 {\"op\": REQUEST} (e.g. $(b,stats), $(b,shutdown)).")
+  in
+  let run socket port host retry requests =
+    let address = address_of socket port host in
+    match Server.Client.connect ~retry address with
+    | Error msg ->
+      Printf.eprintf "olp call: cannot connect: %s\n" msg;
+      exit exit_error
+    | Ok client ->
+      (* exit with the worst status seen: error > partial > ok *)
+      let worst = ref 0 in
+      let note = function
+        | `Ok -> ()
+        | `Partial -> if !worst = 0 then worst := exit_partial
+        | `Error | `Unknown -> worst := exit_error
+      in
+      List.iter
+        (fun req ->
+          let line =
+            if String.length req > 0 && req.[0] = '{' then req
+            else
+              Server.Wire.to_string
+                (Server.Wire.Obj [ ("op", Server.Wire.String req) ])
+          in
+          match Server.Client.request_line client line with
+          | Ok response ->
+            print_endline (Server.Wire.to_string response);
+            note (Server.Wire.status_of_response response)
+          | Error msg ->
+            Printf.eprintf "olp call: %s\n" msg;
+            Server.Client.close client;
+            exit exit_error)
+        requests;
+      Server.Client.close client;
+      exit !worst
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Send request lines to a running $(b,olp serve) and print \
+             the response lines.  Exits 0 if every response is \
+             $(i,ok), 3 if any is $(i,partial) (a budget ran out), 2 on \
+             any $(i,error) response or connection failure.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ retry $ requests)
+
 let main =
   let doc = "ordered logic programming (Laenens, Sacca, Vermeir; SIGMOD 1990)" in
   Cmd.group (Cmd.info "olp" ~version:"1.0.0" ~doc)
     [ check_cmd; ground_cmd; least_cmd; models_cmd; query_cmd; prove_cmd; repl_cmd;
-      explain_cmd
+      explain_cmd; serve_cmd; call_cmd
     ]
 
 let () = exit (Cmd.eval main)

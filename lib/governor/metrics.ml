@@ -1,0 +1,43 @@
+(* Named counters behind one mutex.  The map is tiny (a dozen names), so
+   a sorted association list keeps snapshots allocation-light and already
+   ordered. *)
+
+type t = {
+  lock : Mutex.t;
+  mutable entries : (string * int) list;  (* sorted by name *)
+}
+
+let create () = { lock = Mutex.create (); entries = [] }
+
+let locked m f =
+  Mutex.lock m.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m.lock) f
+
+let rec update name f = function
+  | [] -> [ (name, f 0) ]
+  | (n, v) :: rest as l ->
+    let c = String.compare name n in
+    if c < 0 then (name, f 0) :: l
+    else if c = 0 then (n, f v) :: rest
+    else (n, v) :: update name f rest
+
+let add m name n =
+  if n < 0 then invalid_arg "Metrics.add: negative increment";
+  locked m (fun () -> m.entries <- update name (fun v -> v + n) m.entries)
+
+let incr m name = add m name 1
+
+let gauge_max m name level =
+  locked m (fun () -> m.entries <- update name (max level) m.entries)
+
+let get m name =
+  locked m (fun () ->
+      match List.assoc_opt name m.entries with Some v -> v | None -> 0)
+
+let snapshot m = locked m (fun () -> m.entries)
+
+let pp ppf m =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+    (fun ppf (n, v) -> Format.fprintf ppf "%s=%d" n v)
+    ppf (snapshot m)

@@ -1,0 +1,210 @@
+(* Memoizing sessions over a Store: structural-fingerprint keyed result
+   cache, flushed by the mutating operations.  See session.mli for the
+   contract. *)
+
+module B = Ordered.Budget
+
+type op =
+  | Least
+  | Models of {
+      kind : [ `Stable | `Af ];
+      limit : int option;
+      engine : [ `Pruned | `Naive ];
+    }
+  | Explained of string  (* printed literal *)
+
+type entry =
+  | E_interp of Logic.Interp.t
+  | E_models of Logic.Interp.t list
+  | E_explain of Ordered.Explain.t
+
+type counters = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  entries : int;
+}
+
+type t = {
+  store : Store.t;
+  results : (string * string * op, entry) Hashtbl.t;  (* fp, obj, op *)
+  gops : (string * string, Ordered.Gop.t) Hashtbl.t;  (* fp, obj *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create () =
+  { store = Store.create ();
+    results = Hashtbl.create 64;
+    gops = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    invalidations = 0
+  }
+
+let store t = t.store
+
+let counters t =
+  { hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.results
+  }
+
+(* The structural fingerprint: every object's name, parents and rules in
+   definition order.  '\x00'/'\x01' separators keep distinct structures
+   from serialising to the same string. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\x00';
+      List.iter
+        (fun p ->
+          Buffer.add_string buf p;
+          Buffer.add_char buf '\x01')
+        (Store.parents t.store name);
+      Buffer.add_char buf '\x00';
+      List.iter
+        (fun r ->
+          Buffer.add_string buf (Logic.Rule.to_string r);
+          Buffer.add_char buf '\x01')
+        (Store.rules t.store name);
+      Buffer.add_char buf '\x00')
+    (Store.objects t.store);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let flush t =
+  Hashtbl.reset t.results;
+  Hashtbl.reset t.gops;
+  t.invalidations <- t.invalidations + 1
+
+(* Run a mutating store operation; flush only if it succeeded (a raising
+   [define] etc. leaves the KB, hence the cache, unchanged). *)
+let mutating t f =
+  let r = f t.store in
+  flush t;
+  r
+
+let define t ?isa name rules =
+  mutating t (fun s -> Store.define s ?isa name rules)
+
+let define_src t ?isa name src =
+  mutating t (fun s -> Store.define_src s ?isa name src)
+
+let load t src = mutating t (fun s -> Store.load s src)
+let add_rule t ~obj r = mutating t (fun s -> Store.add_rule s ~obj r)
+
+let add_rule_src t ~obj src =
+  mutating t (fun s -> Store.add_rule_src s ~obj src)
+
+let add_fact t ~obj l = mutating t (fun s -> Store.add_fact s ~obj l)
+
+let remove_rule t ~obj r =
+  let removed = Store.remove_rule t.store ~obj r in
+  if removed then flush t;
+  removed
+
+let new_version t ?rules name =
+  mutating t (fun s -> Store.new_version s ?rules name)
+
+(* ------------------------------------------------------------------ *)
+(* Read-only views                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let objects t = Store.objects t.store
+let parents t name = Store.parents t.store name
+let rules t name = Store.rules t.store name
+let latest_version t name = Store.latest_version t.store name
+let versions t name = Store.versions t.store name
+
+(* ------------------------------------------------------------------ *)
+(* Memoized queries                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let gop ?budget t ~obj =
+  let key = (fingerprint t, obj) in
+  match Hashtbl.find_opt t.gops key with
+  | Some g ->
+    t.hits <- t.hits + 1;
+    g
+  | None ->
+    t.misses <- t.misses + 1;
+    let g = Store.gop ?budget t.store ~obj in
+    Hashtbl.replace t.gops key g;
+    g
+
+(* Look up (obj, op); on a miss run [compute], store the entry only when
+   [cache] says the result is complete. *)
+let lookup t ~obj op ~compute ~cache =
+  let key = (fingerprint t, obj, op) in
+  match Hashtbl.find_opt t.results key with
+  | Some e ->
+    t.hits <- t.hits + 1;
+    e
+  | None ->
+    t.misses <- t.misses + 1;
+    let e = compute () in
+    if cache e then Hashtbl.replace t.results key e;
+    e
+
+let least_model ?budget t ~obj =
+  match
+    lookup t ~obj Least
+      ~compute:(fun () -> E_interp (Store.least_model ?budget t.store ~obj))
+      ~cache:(fun _ -> true)
+  with
+  | E_interp i -> i
+  | _ -> assert false
+
+let query ?budget t ~obj l =
+  if not (Logic.Literal.is_ground l) then
+    invalid_arg "Kb.Session.query: literal must be ground";
+  Logic.Interp.value_lit (least_model ?budget t ~obj) l
+
+let query_src ?budget t ~obj src =
+  query ?budget t ~obj (Lang.Parser.parse_literal src)
+
+let models kind ?limit ?budget ?(engine = `Pruned) ?stats t ~obj =
+  let compute () =
+    let r =
+      match kind with
+      | `Stable -> Store.stable_models ?limit ?budget ~engine ?stats t.store ~obj
+      | `Af ->
+        Store.assumption_free_models ?limit ?budget ~engine ?stats t.store ~obj
+    in
+    (r, E_models (B.value r))
+  in
+  let op = Models { kind; limit; engine } in
+  let key = (fingerprint t, obj, op) in
+  match Hashtbl.find_opt t.results key with
+  | Some (E_models ms) ->
+    t.hits <- t.hits + 1;
+    B.Complete ms
+  | Some _ -> assert false
+  | None ->
+    t.misses <- t.misses + 1;
+    let r, e = compute () in
+    if B.is_complete r then Hashtbl.replace t.results key e;
+    r
+
+let stable_models ?limit ?budget ?engine ?stats t ~obj =
+  models `Stable ?limit ?budget ?engine ?stats t ~obj
+
+let assumption_free_models ?limit ?budget ?engine ?stats t ~obj =
+  models `Af ?limit ?budget ?engine ?stats t ~obj
+
+let explain t ~obj l =
+  match
+    lookup t ~obj (Explained (Logic.Literal.to_string l))
+      ~compute:(fun () -> E_explain (Store.explain t.store ~obj l))
+      ~cache:(fun _ -> true)
+  with
+  | E_explain e -> e
+  | _ -> assert false

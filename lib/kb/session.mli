@@ -1,0 +1,111 @@
+(** Memoizing knowledge-base sessions: a {!Store} plus a result cache.
+
+    A session wraps a knowledge base for the repeated-query workload of a
+    resident server: the ground program, least model, model enumerations
+    and explanations computed for one viewpoint are memoized, so asking
+    the same question against an unchanged KB skips grounding and solving
+    entirely.
+
+    {b Keying.}  Cache entries are keyed by a {e structural fingerprint}
+    of the knowledge base — a digest of every object's name, parents and
+    rules in definition order — together with the viewpoint object and
+    the operation (including its [limit]/[engine] parameters).  The
+    fingerprint is recomputed from the store on every lookup, so a hit is
+    only ever served for a KB whose rules and order are byte-identical to
+    the ones the entry was computed from.
+
+    {b Invalidation.}  The mutating operations ({!define}, {!define_src},
+    {!load}, {!add_rule}, {!add_rule_src}, {!add_fact}, {!remove_rule}
+    when it removes, {!new_version}) flush the cache and count one
+    invalidation; the next query is a guaranteed miss.  (The structural
+    key makes flushing a memory bound rather than a correctness
+    mechanism: a stale entry could never match a mutated KB.)
+
+    {b Budgets.}  A cache miss computes under the caller's budget exactly
+    like the underlying {!Store} call, and only {e complete} results are
+    stored: a [Partial] enumeration or a raised [Budget.Exhausted]
+    leaves the cache untouched, so a later, better-funded call recomputes
+    rather than serving a truncated answer.  A hit returns the cached
+    complete result without consuming budget.
+
+    Sessions are not thread-safe; the query server serializes access. *)
+
+type t
+
+val create : unit -> t
+
+val store : t -> Store.t
+(** The underlying knowledge base.  Mutating it directly bypasses
+    invalidation accounting; the structural fingerprint still prevents
+    stale hits. *)
+
+(** {1 Counters} *)
+
+type counters = {
+  hits : int;  (** lookups answered from the cache *)
+  misses : int;  (** lookups that had to compute *)
+  invalidations : int;  (** cache flushes by mutating operations *)
+  entries : int;  (** results currently cached (ground programs aside) *)
+}
+
+val counters : t -> counters
+
+val fingerprint : t -> string
+(** The current structural fingerprint (hex digest); equal fingerprints
+    mean structurally identical knowledge bases. *)
+
+(** {1 Mutating operations} (see {!Store} for semantics) *)
+
+val define : t -> ?isa:string list -> string -> Logic.Rule.t list -> unit
+val define_src : t -> ?isa:string list -> string -> string -> unit
+val load : t -> string -> unit
+val add_rule : t -> obj:string -> Logic.Rule.t -> unit
+val add_rule_src : t -> obj:string -> string -> unit
+val add_fact : t -> obj:string -> Logic.Literal.t -> unit
+val remove_rule : t -> obj:string -> Logic.Rule.t -> bool
+val new_version : t -> ?rules:Logic.Rule.t list -> string -> string
+
+(** {1 Read-only views} (never touch the cache) *)
+
+val objects : t -> string list
+val parents : t -> string -> string list
+val rules : t -> string -> Logic.Rule.t list
+val latest_version : t -> string -> string
+val versions : t -> string -> string list
+
+(** {1 Memoized queries} (see {!Store} for semantics) *)
+
+val gop : ?budget:Ordered.Budget.t -> t -> obj:string -> Ordered.Gop.t
+
+val least_model :
+  ?budget:Ordered.Budget.t -> t -> obj:string -> Logic.Interp.t
+
+val query :
+  ?budget:Ordered.Budget.t ->
+  t ->
+  obj:string ->
+  Logic.Literal.t ->
+  Logic.Interp.value
+
+val query_src :
+  ?budget:Ordered.Budget.t -> t -> obj:string -> string -> Logic.Interp.value
+
+val stable_models :
+  ?limit:int ->
+  ?budget:Ordered.Budget.t ->
+  ?engine:[ `Pruned | `Naive ] ->
+  ?stats:Ordered.Counters.t ->
+  t ->
+  obj:string ->
+  Logic.Interp.t list Ordered.Budget.anytime
+
+val assumption_free_models :
+  ?limit:int ->
+  ?budget:Ordered.Budget.t ->
+  ?engine:[ `Pruned | `Naive ] ->
+  ?stats:Ordered.Counters.t ->
+  t ->
+  obj:string ->
+  Logic.Interp.t list Ordered.Budget.anytime
+
+val explain : t -> obj:string -> Logic.Literal.t -> Ordered.Explain.t

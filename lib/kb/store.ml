@@ -1,0 +1,168 @@
+open Logic
+
+type obj = {
+  name : string;
+  mutable parents : string list;
+  mutable rules : Rule.t list;
+}
+
+type t = {
+  mutable objs : obj list;  (** reverse definition order *)
+  mutable latest : (string * string) list;  (** base object -> latest version *)
+  mutable version_count : (string * int) list;
+  mutable cache : (string * Ordered.Gop.t) list;  (** invalidated on change *)
+}
+
+let create () = { objs = []; latest = []; version_count = []; cache = [] }
+let invalidate kb = kb.cache <- []
+
+let find kb name = List.find_opt (fun o -> String.equal o.name name) kb.objs
+
+let find_exn kb name =
+  match find kb name with
+  | Some o -> o
+  | None -> invalid_arg (Printf.sprintf "Kb: unknown object %S" name)
+
+let define kb ?(isa = []) name rules =
+  if find kb name <> None then
+    invalid_arg (Printf.sprintf "Kb.define: duplicate object %S" name);
+  List.iter (fun p -> ignore (find_exn kb p)) isa;
+  kb.objs <- { name; parents = isa; rules } :: kb.objs;
+  invalidate kb
+
+let define_src kb ?isa name src =
+  define kb ?isa name (Lang.Parser.parse_rules src)
+
+let load kb src =
+  let ast = Lang.Parser.parse_file src in
+  let comps = Lang.Ast.components ast in
+  (* Definition order may reference later parents; insert objects first,
+     then wire parents. *)
+  List.iter
+    (fun (c : Lang.Ast.component) ->
+      if find kb c.name <> None then
+        invalid_arg (Printf.sprintf "Kb.load: duplicate object %S" c.name);
+      kb.objs <- { name = c.name; parents = []; rules = c.rules } :: kb.objs)
+    comps;
+  List.iter
+    (fun (lo, hi) ->
+      ignore (find_exn kb hi);
+      let o = find_exn kb lo in
+      if not (List.mem hi o.parents) then o.parents <- o.parents @ [ hi ])
+    (Lang.Ast.order_pairs ast);
+  invalidate kb
+
+let add_rule kb ~obj r =
+  let o = find_exn kb obj in
+  o.rules <- o.rules @ [ r ];
+  invalidate kb
+
+let add_rule_src kb ~obj src = add_rule kb ~obj (Lang.Parser.parse_rule src)
+let add_fact kb ~obj l = add_rule kb ~obj (Rule.fact l)
+
+let remove_rule kb ~obj r =
+  let o = find_exn kb obj in
+  let before = List.length o.rules in
+  o.rules <- List.filter (fun r' -> not (Rule.equal r r')) o.rules;
+  let removed = List.length o.rules < before in
+  if removed then invalidate kb;
+  removed
+
+let objects kb = List.rev_map (fun o -> o.name) kb.objs
+let parents kb name = (find_exn kb name).parents
+let rules kb name = (find_exn kb name).rules
+
+(* ------------------------------------------------------------------ *)
+(* Versioning                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let latest_version kb name =
+  ignore (find_exn kb name);
+  match List.assoc_opt name kb.latest with
+  | Some v -> v
+  | None -> name
+
+let new_version kb ?(rules = []) name =
+  ignore (find_exn kb name);
+  let count =
+    match List.assoc_opt name kb.version_count with
+    | Some c -> c
+    | None -> 1
+  in
+  let prev = latest_version kb name in
+  let vname = Printf.sprintf "%s@%d" name (count + 1) in
+  define kb ~isa:[ prev ] vname rules;
+  kb.version_count <-
+    (name, count + 1) :: List.remove_assoc name kb.version_count;
+  kb.latest <- (name, vname) :: List.remove_assoc name kb.latest;
+  vname
+
+let versions kb name =
+  ignore (find_exn kb name);
+  let count =
+    match List.assoc_opt name kb.version_count with
+    | Some c -> c
+    | None -> 1
+  in
+  name
+  :: List.filter_map
+       (fun i ->
+         let v = Printf.sprintf "%s@%d" name i in
+         if find kb v <> None then Some v else None)
+       (List.init (max 0 (count - 1)) (fun i -> i + 2))
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let to_program kb =
+  let comps =
+    List.rev_map (fun o -> (o.name, o.rules)) kb.objs
+  in
+  let pairs =
+    List.concat_map
+      (fun o -> List.map (fun p -> (o.name, p)) o.parents)
+      (List.rev kb.objs)
+  in
+  Ordered.Program.make_exn comps pairs
+
+let gop ?budget kb ~obj =
+  ignore (find_exn kb obj);
+  match List.assoc_opt obj kb.cache with
+  | Some g -> g
+  | None ->
+    let prog = to_program kb in
+    let g =
+      Ordered.Gop.ground ?budget prog
+        (Ordered.Program.component_id_exn prog obj)
+    in
+    kb.cache <- (obj, g) :: kb.cache;
+    g
+
+let to_source kb = Format.asprintf "%a" Ordered.Program.pp (to_program kb)
+
+let least_model ?budget kb ~obj =
+  Ordered.Vfix.least_model ?budget (gop ?budget kb ~obj)
+
+let query ?budget kb ~obj l =
+  if not (Literal.is_ground l) then
+    invalid_arg "Kb.query: literal must be ground";
+  Interp.value_lit (least_model ?budget kb ~obj) l
+
+let query_src ?budget kb ~obj src =
+  query ?budget kb ~obj (Lang.Parser.parse_literal src)
+
+let stable_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
+  let g = gop ?budget kb ~obj in
+  match engine with
+  | `Pruned -> Ordered.Stable.stable_models ?limit ?budget ?stats g
+  | `Naive -> Ordered.Stable.Naive.stable_models ?limit ?budget ?stats g
+
+let assumption_free_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
+  let g = gop ?budget kb ~obj in
+  match engine with
+  | `Pruned -> Ordered.Stable.assumption_free_models ?limit ?budget ?stats g
+  | `Naive ->
+    Ordered.Stable.Naive.assumption_free_models ?limit ?budget ?stats g
+
+let explain kb ~obj l = Ordered.Explain.explain (gop kb ~obj) l

@@ -1,0 +1,230 @@
+module M = Governor.Metrics
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+  workers : int;
+  queue : int;
+  caps : Engine.caps;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound : address;
+  engine : Engine.t;
+  pool : Pool.t;
+  stop_r : Unix.file_descr;  (* self-pipe: select wake-up for stop *)
+  stop_w : Unix.file_descr;
+  mutable stopping : bool;
+  lock : Mutex.t;  (* guards [stopping], [conns], [readers] *)
+  mutable conns : Unix.file_descr list;
+  mutable readers : Thread.t list;
+}
+
+let engine t = t.engine
+let address t = t.bound
+
+let sockaddr_of = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) ->
+    Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
+
+let create config =
+  let domain =
+    match config.address with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match config.address with
+  | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | `Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  (try Unix.bind fd (sockaddr_of config.address)
+   with e -> Unix.close fd; raise e);
+  Unix.listen fd 64;
+  let bound =
+    match config.address with
+    | `Unix _ as a -> a
+    | `Tcp (host, _) -> (
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, port) -> `Tcp (host, port)
+      | _ -> config.address)
+  in
+  let metrics = M.create () in
+  let pool = Pool.create ~workers:config.workers ~queue:config.queue in
+  let extra_stats () =
+    [ ("workers", Wire.Int config.workers);
+      ("queue_capacity", Wire.Int config.queue)
+    ]
+  in
+  let engine = Engine.create ~caps:config.caps ~metrics ~extra_stats () in
+  let stop_r, stop_w = Unix.pipe () in
+  Unix.set_nonblock stop_w;
+  { config;
+    listen_fd = fd;
+    bound;
+    engine;
+    pool;
+    stop_r;
+    stop_w;
+    stopping = false;
+    lock = Mutex.create ();
+    conns = [];
+    readers = []
+  }
+
+let stop t =
+  t.stopping <- true;
+  (* wake the accept loop; the pipe is non-blocking and one byte is
+     enough, so failures (full pipe, already closed) are harmless *)
+  try ignore (Unix.write t.stop_w (Bytes.of_string "x") 0 1 : int)
+  with Unix.Unix_error _ -> ()
+
+let install_signal_handlers t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection reader                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let sent = ref 0 in
+  while !sent < n do
+    sent := !sent + Unix.write fd b !sent (n - !sent)
+  done
+
+(* One response line; serialized per connection so concurrent workers
+   never interleave bytes of two responses. *)
+let send conn_lock fd response =
+  Mutex.lock conn_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn_lock)
+    (fun () ->
+      try write_all fd (Wire.to_string response ^ "\n")
+      with Unix.Unix_error _ -> () (* client went away; drop silently *))
+
+let handle_line t ~conn_lock fd line =
+  let reply = send conn_lock fd in
+  if t.stopping then
+    reply (Wire.error_response ~kind:"draining" "server shutting down")
+  else
+    match Wire.decode_request line with
+    | Error e ->
+      M.incr (Engine.metrics t.engine) "proto_errors";
+      reply (Wire.error_response ~kind:"proto" (Wire.error_to_string e))
+    | Ok ({ verb = Wire.Shutdown; _ } as req) ->
+      (* answered synchronously so the response is on the wire before the
+         drain begins *)
+      reply (Engine.handle t.engine req);
+      stop t
+    | Ok req ->
+      M.gauge_max (Engine.metrics t.engine) "queue_peak"
+        (Pool.queued t.pool + 1);
+      let job () = reply (Engine.handle t.engine req) in
+      if not (Pool.submit t.pool job) then begin
+        M.incr (Engine.metrics t.engine) "rejected";
+        reply (Wire.error_response ~kind:"busy" "request queue full")
+      end
+
+let reader t fd =
+  let conn_lock = Mutex.create () in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 65536 in
+  let discarding = ref false in
+  let max_len = Wire.default_max_len in
+  let flush_line line =
+    let line =
+      (* tolerate CRLF framing *)
+      let n = String.length line in
+      if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+    in
+    if String.trim line <> "" then handle_line t ~conn_lock fd line
+  in
+  let feed s =
+    String.iter
+      (fun c ->
+        if c = '\n' then begin
+          if !discarding then discarding := false
+          else flush_line (Buffer.contents buf);
+          Buffer.clear buf
+        end
+        else if !discarding then ()
+        else begin
+          Buffer.add_char buf c;
+          if Buffer.length buf > max_len then begin
+            (* typed error now, then skip the rest of this frame *)
+            send conn_lock fd
+              (Wire.error_response ~kind:"proto"
+                 (Wire.error_to_string
+                    (Wire.Oversized
+                       { length = Buffer.length buf; limit = max_len })));
+            M.incr (Engine.metrics t.engine) "proto_errors";
+            Buffer.clear buf;
+            discarding := true
+          end
+        end)
+      s
+  in
+  let rec loop () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      feed (Bytes.sub_string chunk 0 n);
+      loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.lock;
+  t.conns <- List.filter (fun c -> c != fd) t.conns;
+  Mutex.unlock t.lock
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and drain                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve t =
+  let rec accept_loop () =
+    if not t.stopping then begin
+      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | readable, _, _ ->
+        if List.mem t.listen_fd readable && not t.stopping then begin
+          (match Unix.accept t.listen_fd with
+          | fd, _ ->
+            M.incr (Engine.metrics t.engine) "connections";
+            Mutex.lock t.lock;
+            t.conns <- fd :: t.conns;
+            t.readers <- Thread.create (reader t) fd :: t.readers;
+            Mutex.unlock t.lock
+          | exception Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+        (* otherwise: woken by the stop pipe (or stop flag already set) *)
+    end
+  in
+  accept_loop ();
+  (* drain: stop listening, finish queued and in-flight work, then close
+     the surviving connections and collect the readers *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.bound with
+  | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+  | `Tcp _ -> ());
+  Pool.drain t.pool;
+  Mutex.lock t.lock;
+  let conns = t.conns and readers = t.readers in
+  t.readers <- [];
+  Mutex.unlock t.lock;
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join readers;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  try Unix.close t.stop_w with Unix.Unix_error _ -> ()

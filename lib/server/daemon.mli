@@ -1,0 +1,51 @@
+(** The socket server: accept loop, per-connection readers, worker pool,
+    graceful drain.
+
+    A daemon listens on a Unix-domain or TCP socket and speaks the
+    {!Wire} protocol: each accepted connection gets a reader thread that
+    frames lines, decodes requests and submits them to the bounded
+    {!Pool}; workers serve them through the shared {!Engine} and write
+    the response line back (one response per request; pipelined clients
+    should correlate by ["id"]).  Undecodable lines, oversized frames and
+    a full queue are answered with typed error responses on the spot —
+    a client connection is never dropped in response to bad input.
+
+    {b Drain.}  {!stop} (also triggered by the ["shutdown"] verb and by
+    SIGINT/SIGTERM once {!install_signal_handlers} ran) makes the accept
+    loop wind down: no new connections, queued and in-flight requests
+    complete and their responses are written, then connections are shut
+    down, the listener is closed (and a Unix socket path unlinked) and
+    {!serve} returns.  New requests arriving on live connections during
+    the drain are answered with a ["draining"] error. *)
+
+type address = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  address : address;
+      (** TCP port [0] picks an ephemeral port (see {!address}) *)
+  workers : int;
+  queue : int;  (** request-queue capacity *)
+  caps : Engine.caps;  (** per-request budget caps *)
+}
+
+type t
+
+val create : config -> t
+(** Bind and listen (raises [Unix.Unix_error] on failure, e.g. an
+    address already in use).  The engine starts with an empty KB. *)
+
+val address : t -> address
+(** The bound address — for TCP this resolves a requested port [0] to
+    the actual ephemeral port. *)
+
+val engine : t -> Engine.t
+
+val serve : t -> unit
+(** Run the accept loop until {!stop}; drains before returning. *)
+
+val stop : t -> unit
+(** Request shutdown (thread- and signal-safe, idempotent). *)
+
+val install_signal_handlers : t -> unit
+(** SIGINT/SIGTERM trigger {!stop}; SIGPIPE is ignored (a write to a
+    disconnected client becomes an error handled per-connection). *)

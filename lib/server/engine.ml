@@ -1,0 +1,175 @@
+module B = Ordered.Budget
+module M = Governor.Metrics
+
+type caps = { timeout : float option; steps : int option }
+
+let default_caps = { timeout = Some 30.; steps = None }
+
+type t = {
+  session : Kb.Session.t;
+  caps : caps;
+  metrics : M.t;
+  lock : Mutex.t;
+  extra_stats : unit -> (string * Wire.json) list;
+}
+
+let create ?(caps = default_caps) ?(metrics = M.create ())
+    ?(extra_stats = fun () -> []) () =
+  { session = Kb.Session.create ();
+    caps;
+    metrics;
+    lock = Mutex.create ();
+    extra_stats
+  }
+
+let session t = t.session
+let metrics t = t.metrics
+
+(* The effective limit is the minimum of what the request asks for and
+   the server cap; the cap applies even to requests that ask for
+   nothing. *)
+let clamp request cap =
+  match request, cap with
+  | Some r, Some c -> Some (min r c)
+  | Some r, None -> Some r
+  | None, c -> c
+
+let budget_of t (spec : Wire.budget_spec) =
+  let timeout =
+    clamp
+      (Option.map (fun ms -> float_of_int ms /. 1000.) spec.timeout_ms)
+      t.caps.timeout
+  in
+  let max_steps = clamp spec.max_steps t.caps.steps in
+  B.make ?timeout ?max_steps ()
+
+let value_to_string = function
+  | Logic.Interp.True -> "true"
+  | Logic.Interp.False -> "false"
+  | Logic.Interp.Undefined -> "undefined"
+
+let json_of_model m =
+  Wire.List
+    (List.map
+       (fun l -> Wire.String (Logic.Literal.to_string l))
+       (Logic.Interp.to_literals m))
+
+let kind_to_string = function
+  | `Stable -> "stable"
+  | `Af -> "assumption-free"
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let stats_response t ~id =
+  let c = Kb.Session.counters t.session in
+  let cache =
+    Wire.Obj
+      [ ("hits", Wire.Int c.hits);
+        ("misses", Wire.Int c.misses);
+        ("invalidations", Wire.Int c.invalidations);
+        ("entries", Wire.Int c.entries)
+      ]
+  in
+  let server =
+    Wire.Obj
+      (t.extra_stats ()
+      @ List.map (fun (k, v) -> (k, Wire.Int v)) (M.snapshot t.metrics))
+  in
+  Wire.ok ?id [ ("cache", cache); ("server", server) ]
+
+let serve t ~id req =
+  let session = t.session in
+  let budget = budget_of t req.Wire.budget in
+  match req.Wire.verb with
+  | Wire.Load { src } ->
+    Kb.Session.load session src;
+    Wire.ok ?id
+      [ ("objects",
+         Wire.List
+           (List.map (fun o -> Wire.String o) (Kb.Session.objects session)))
+      ]
+  | Wire.Define { name; isa; rules } ->
+    Kb.Session.define_src session ~isa name rules;
+    Wire.ok ?id [ ("object", Wire.String name) ]
+  | Wire.Add_rule { obj; rule } ->
+    Kb.Session.add_rule_src session ~obj rule;
+    Wire.ok ?id []
+  | Wire.Remove_rule { obj; rule } ->
+    let removed =
+      Kb.Session.remove_rule session ~obj (Lang.Parser.parse_rule rule)
+    in
+    Wire.ok ?id [ ("removed", Wire.Bool removed) ]
+  | Wire.New_version { name; rules } ->
+    let rules = Option.map Lang.Parser.parse_rules rules in
+    let version = Kb.Session.new_version session ?rules name in
+    Wire.ok ?id [ ("version", Wire.String version) ]
+  | Wire.Query { obj; lit } ->
+    let l = Lang.Parser.parse_literal lit in
+    let v = Kb.Session.query ~budget session ~obj l in
+    Wire.ok ?id [ ("value", Wire.String (value_to_string v)) ]
+  | Wire.Models { obj; kind; limit; engine } ->
+    let result =
+      match kind with
+      | `Stable ->
+        Kb.Session.stable_models ?limit ~budget ~engine session ~obj
+      | `Af ->
+        Kb.Session.assumption_free_models ?limit ~budget ~engine session ~obj
+    in
+    let ms = B.value result in
+    let fields =
+      [ ("kind", Wire.String (kind_to_string kind));
+        ("count", Wire.Int (List.length ms));
+        ("models", Wire.List (List.map json_of_model ms))
+      ]
+    in
+    (match result with
+    | B.Complete _ -> Wire.ok ?id fields
+    | B.Partial (_, reason) ->
+      Wire.partial ?id ~reason:(B.reason_to_string reason) fields)
+  | Wire.Explain { obj; lit } ->
+    let l = Lang.Parser.parse_literal lit in
+    let e = Kb.Session.explain session ~obj l in
+    Wire.ok ?id [ ("text", Wire.String (Ordered.Explain.to_string e)) ]
+  | Wire.Stats -> stats_response t ~id
+  | Wire.Shutdown -> Wire.ok ?id [ ("shutdown", Wire.Bool true) ]
+
+let handle t (req : Wire.request) =
+  let id = req.id in
+  let response =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        try serve t ~id req with
+        | B.Exhausted reason ->
+          (* no sound partial payload outside the enumerations *)
+          Wire.partial ?id ~reason:(B.reason_to_string reason) []
+        | Ordered.Diag.Error e ->
+          Wire.error_response ?id ~kind:"diag" (Ordered.Diag.to_string e)
+        | Invalid_argument msg | Failure msg ->
+          Wire.error_response ?id ~kind:"input" msg
+        | Lang.Lexer.Error (msg, pos) ->
+          Wire.error_response ?id ~kind:"input"
+            (Printf.sprintf "lexical error at %d:%d: %s" pos.line pos.col msg)
+        | Lang.Parser.Error (msg, pos) ->
+          Wire.error_response ?id ~kind:"input"
+            (Printf.sprintf "syntax error at %d:%d: %s" pos.line pos.col msg)
+        | e ->
+          (* the worker must survive anything *)
+          Wire.error_response ?id ~kind:"internal" (Printexc.to_string e))
+  in
+  M.incr t.metrics "served";
+  (match Wire.status_of_response response with
+  | `Ok -> M.incr t.metrics "ok"
+  | `Partial -> M.incr t.metrics "partials"
+  | `Error | `Unknown -> M.incr t.metrics "errors");
+  response
+
+let handle_line t line =
+  match Wire.decode_request line with
+  | Ok req -> handle t req
+  | Error e ->
+    M.incr t.metrics "proto_errors";
+    Wire.error_response ~kind:"proto" (Wire.error_to_string e)

@@ -1,0 +1,54 @@
+(** The request engine: one {!Kb.Session} behind a lock, serving decoded
+    {!Wire} requests.
+
+    The engine owns everything between the wire and the solver: budget
+    clamping, dispatch, response encoding, and the guarantee that {e no
+    exception escapes} — solver diagnostics, parse errors and budget
+    trips all come back as structured responses, so a worker thread can
+    run [handle] on anything the decoder accepted.
+
+    {b Budget clamping.}  A request may ask for ["timeout_ms"] and
+    ["max_steps"]; the server's {!caps} bound both (the effective limit
+    is the minimum of the request's and the cap, and the cap applies
+    even when the request asks for nothing).  A budget trip yields a
+    ["partial"] response: for [models] it carries the models found so
+    far (a sound prefix, per the enumeration-order contract); for
+    [query]/[explain]-style operations, which have no sound partial
+    answer, it carries only the machine-readable reason.
+
+    {b Concurrency.}  [handle] serializes KB access under one mutex, so
+    several workers may call it concurrently; the memoizing session makes
+    the common repeated-query case cheap.  The [stats] verb reports the
+    session's cache counters and a deterministic snapshot of the server
+    {!Governor.Metrics} registry. *)
+
+type caps = {
+  timeout : float option;
+      (** per-request wall-clock cap, seconds ([None] = unlimited) *)
+  steps : int option;  (** per-request step cap *)
+}
+
+val default_caps : caps
+(** 30-second timeout cap, unlimited steps. *)
+
+type t
+
+val create :
+  ?caps:caps ->
+  ?metrics:Governor.Metrics.t ->
+  ?extra_stats:(unit -> (string * Wire.json) list) ->
+  unit ->
+  t
+(** [extra_stats] is appended to the ["server"] object of the [stats]
+    response (the daemon injects worker/queue configuration). *)
+
+val session : t -> Kb.Session.t
+val metrics : t -> Governor.Metrics.t
+
+val handle : t -> Wire.request -> Wire.json
+(** Serve one request.  Never raises.  Updates the metrics counters
+    ["served"], ["ok"], ["partials"], ["errors"]. *)
+
+val handle_line : t -> string -> Wire.json
+(** Decode and serve one raw request line; decode failures become
+    ["proto"] error responses (counted as ["proto_errors"]). *)

@@ -1,0 +1,66 @@
+type t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable draining : bool;
+  mutable threads : Thread.t list;
+}
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.jobs && not t.draining do
+      Condition.wait t.nonempty t.lock
+    done;
+    match Queue.take_opt t.jobs with
+    | None ->
+      (* draining and empty: exit *)
+      Mutex.unlock t.lock;
+      ()
+    | Some job ->
+      Mutex.unlock t.lock;
+      (try job () with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let create ~workers ~queue =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  if queue < 1 then invalid_arg "Pool.create: queue must be >= 1";
+  let t =
+    { lock = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      capacity = queue;
+      draining = false;
+      threads = []
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t
+
+let submit t job =
+  Mutex.lock t.lock;
+  let accepted = (not t.draining) && Queue.length t.jobs < t.capacity in
+  if accepted then begin
+    Queue.add job t.jobs;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  accepted
+
+let queued t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.lock;
+  n
+
+let drain t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  Condition.broadcast t.nonempty;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.lock;
+  List.iter Thread.join threads

@@ -1,0 +1,27 @@
+(** A fixed pool of worker threads draining a bounded job queue.
+
+    Jobs are thunks; a job that raises is swallowed (workers never die —
+    the request engine is responsible for turning failures into error
+    responses before the job is submitted, so a raising job is a bug
+    contained rather than a crashed server).
+
+    {!submit} never blocks: when the queue is at capacity, or the pool is
+    draining, it returns [false] and the caller answers with a typed
+    ["busy"]/["draining"] error instead of holding the connection
+    hostage.  {!drain} implements graceful shutdown: stop accepting,
+    finish every queued and in-flight job, join the workers. *)
+
+type t
+
+val create : workers:int -> queue:int -> t
+(** [workers] threads (>= 1) over a queue of capacity [queue] (>= 1). *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a job; [false] if the queue is full or the pool draining. *)
+
+val queued : t -> int
+(** Jobs waiting (not yet picked up by a worker). *)
+
+val drain : t -> unit
+(** Stop accepting, run everything already queued to completion, join
+    the worker threads.  Idempotent. *)

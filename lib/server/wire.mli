@@ -1,0 +1,98 @@
+(** The query-server wire protocol: line-oriented JSON, hand-rolled.
+
+    One request per line, one response per line, both single JSON objects
+    (RFC 8259 grammar, UTF-8, no extensions; newlines never occur inside
+    an encoded document).  This module is pure — no sockets, no clocks —
+    so the codec is unit-testable and fuzzable in isolation: {!parse} and
+    {!decode_request} return typed errors and never raise, whatever the
+    input bytes.
+
+    Requests are objects with an ["op"] field selecting the {!verb},
+    verb-specific string fields, an optional integer ["id"] echoed back
+    in the response, and optional ["timeout_ms"]/["max_steps"] budget
+    fields (clamped server-side; see [docs/SERVER.md] for the grammar).
+    Responses carry a ["status"] of ["ok"], ["partial"] (a resource
+    budget ran out; any payload is a sound prefix) or ["error"] (with an
+    ["error"] object holding ["kind"] and ["message"]). *)
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+type error =
+  | Oversized of { length : int; limit : int }
+      (** input line longer than the frame limit *)
+  | Syntax of { offset : int; message : string }
+      (** malformed JSON (byte offset of the failure) *)
+  | Request of { message : string }
+      (** well-formed JSON that is not a valid request *)
+
+val error_to_string : error -> string
+(** One-line human-readable rendering (also sent back in error
+    responses). *)
+
+val default_max_len : int
+(** Default frame limit, 1 MiB. *)
+
+val parse : ?max_len:int -> string -> (json, error) result
+(** Parse one JSON document.  Never raises: syntax errors, oversized
+    input and over-deep nesting come back as [Error _]. *)
+
+val to_string : json -> string
+(** Encode on a single line (strings are escaped, so the result contains
+    no newline).  Non-finite floats encode as [null]. *)
+
+val member : string -> json -> json option
+(** Field lookup in an object ([None] on non-objects too). *)
+
+(** {1 Requests} *)
+
+type budget_spec = { timeout_ms : int option; max_steps : int option }
+
+type verb =
+  | Load of { src : string }
+  | Define of { name : string; isa : string list; rules : string }
+  | Add_rule of { obj : string; rule : string }
+  | Remove_rule of { obj : string; rule : string }
+  | New_version of { name : string; rules : string option }
+  | Query of { obj : string; lit : string }
+  | Models of {
+      obj : string;
+      kind : [ `Stable | `Af ];
+      limit : int option;
+      engine : [ `Pruned | `Naive ];
+    }
+  | Explain of { obj : string; lit : string }
+  | Stats
+  | Shutdown
+
+type request = { id : int option; budget : budget_spec; verb : verb }
+
+val decode_request : ?max_len:int -> string -> (request, error) result
+(** Parse and validate one request line.  Never raises. *)
+
+(** {1 Responses} *)
+
+val ok : ?id:int -> (string * json) list -> json
+(** [{"status": "ok", "id": id?, ...fields}]. *)
+
+val partial : ?id:int -> reason:string -> (string * json) list -> json
+(** [{"status": "partial", "id": id?, "reason": reason, ...fields}] — the
+    structured budget-trip response. *)
+
+val error_response : ?id:int -> kind:string -> string -> json
+(** [{"status": "error", "id": id?, "error": {"kind": kind, "message":
+    message}}].  Kinds in use: ["proto"] (undecodable request), ["input"]
+    (bad program text, unknown object, precondition), ["diag"] (a typed
+    {!Ordered.Diag} error), ["busy"] (request queue full), ["draining"]
+    (server shutting down), ["internal"]. *)
+
+val status_of_response : json -> [ `Ok | `Partial | `Error | `Unknown ]
+(** Classify a response line (used by [olp call] for its exit code). *)

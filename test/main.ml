@@ -22,5 +22,8 @@ let () =
       ("edb", Test_edb.suite);
       ("magic", Test_magic.suite);
       ("budget", Test_budget.suite);
-      ("fuzz", Test_fuzz.suite)
+      ("fuzz", Test_fuzz.suite);
+      ("proto", Test_proto.suite);
+      ("session", Test_session.suite);
+      ("server", Test_server.suite)
     ]

@@ -1,0 +1,64 @@
+The query server: a Unix-domain socket speaking line-oriented JSON,
+driven end to end with olp call.  Boot in the background (the socket
+path is relative — cram sandboxes nest deep enough to overflow
+sun_path otherwise):
+
+  $ olp serve --socket s.sock --workers 2 > server.log 2>&1 &
+
+Load a knowledge base over the wire (--retry rides out the boot):
+
+  $ olp call --socket s.sock --retry 5 '{"op":"load","src":"component top { fly(X) :- bird(X). bird(tweety). bird(penguin). } component bot extends top { -fly(penguin). }"}'
+  {"status":"ok","objects":["top","bot"]}
+
+Three-valued queries from the exception object's viewpoint:
+
+  $ olp call --socket s.sock '{"op":"query","obj":"bot","lit":"fly(tweety)"}' '{"op":"query","obj":"bot","lit":"fly(penguin)"}'
+  {"status":"ok","value":"true"}
+  {"status":"ok","value":"false"}
+
+Model enumeration, twice: the repeat is answered from the session
+cache (asserted through stats below) and is byte-identical:
+
+  $ olp call --socket s.sock '{"op":"models","obj":"bot","kind":"stable"}'
+  {"status":"ok","kind":"stable","count":1,"models":[["bird(penguin)","bird(tweety)","-fly(penguin)","fly(tweety)"]]}
+  $ olp call --socket s.sock '{"op":"models","obj":"bot","kind":"stable"}'
+  {"status":"ok","kind":"stable","count":1,"models":[["bird(penguin)","bird(tweety)","-fly(penguin)","fly(tweety)"]]}
+
+A request-level budget that trips comes back as a structured partial
+(exit code 3), not a dropped connection — the key is uncached, so the
+cache cannot answer it first:
+
+  $ olp call --socket s.sock '{"op":"models","obj":"bot","kind":"assumption-free","engine":"naive","max_steps":1}'
+  {"status":"partial","reason":"steps","kind":"assumption-free","count":0,"models":[]}
+  [3]
+
+Malformed JSON is a typed protocol error (exit code 2), and the
+connection keeps serving:
+
+  $ olp call --socket s.sock '{"bad"'
+  {"status":"error","error":{"kind":"proto","message":"invalid JSON at offset 6: expected ':'"}}
+  [2]
+
+Unknown objects are input errors, not protocol errors:
+
+  $ olp call --socket s.sock '{"op":"query","obj":"ghost","lit":"p"}'
+  {"status":"error","error":{"kind":"input","message":"Kb: unknown object \"ghost\""}}
+  [2]
+
+The stats verb exposes the cache counters (the models repeat above is
+the hit; load and the two distinct computations are the misses) and
+the server's deterministic metrics:
+
+  $ olp call --socket s.sock stats
+  {"status":"ok","cache":{"hits":2,"misses":4,"invalidations":1,"entries":2},"server":{"workers":2,"queue_capacity":64,"connections":8,"errors":1,"ok":5,"partials":1,"proto_errors":1,"queue_peak":1,"served":7}}
+
+Graceful shutdown over the wire: the server drains, exits and unlinks
+its socket; the background job ends cleanly:
+
+  $ olp call --socket s.sock shutdown
+  {"status":"ok","shutdown":true}
+  $ wait
+  $ cat server.log
+  olp serve: listening on unix:s.sock (2 workers)
+  $ test -e s.sock || echo socket removed
+  socket removed

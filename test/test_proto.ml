@@ -1,0 +1,224 @@
+(* The wire protocol codec (Server.Wire): encode/parse round-trips,
+   request decoding, and the robustness fuzz — random bytes, mutated
+   requests, truncated frames and oversized lines must come back as
+   typed errors, never as an escaping exception.
+
+   Like test_fuzz.ml, the fuzz inputs come from a self-contained LCG so
+   runs are reproducible and do not consume the qcheck seed; FUZZ_ITERS
+   scales the input count (raised by `make fuzz`). *)
+
+module W = Server.Wire
+
+let iters =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> 300)
+  | None -> 300
+
+let state = ref 0x2545F4914F6CDD1D
+
+let rand bound =
+  state := (!state * 1664525) + 1013904223;
+  (!state lsr 9) mod bound
+
+(* ------------------------------------------------------------------ *)
+(* Round-trips                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_json depth =
+  match if depth <= 0 then rand 5 else rand 7 with
+  | 0 -> W.Null
+  | 1 -> W.Bool (rand 2 = 0)
+  | 2 -> W.Int (rand 2_000_000 - 1_000_000)
+  | 3 -> W.String (gen_string ())
+  | 4 -> W.Float (float_of_int (rand 1_000_000) /. 64.)
+  | 5 -> W.List (List.init (rand 4) (fun _ -> gen_json (depth - 1)))
+  | _ ->
+    W.Obj
+      (List.mapi
+         (fun i v -> (Printf.sprintf "k%d_%s" i (gen_string ()), v))
+         (List.init (rand 4) (fun _ -> gen_json (depth - 1))))
+
+and gen_string () =
+  (* include every escaping regime: quotes, backslashes, control
+     characters, high bytes (valid UTF-8 fragments or not) *)
+  let spice = "ab\"\\\n\t\r\b\012{}[]:,\x01\x1f\xc3\xa9" in
+  String.init (rand 12) (fun _ -> spice.[rand (String.length spice)])
+
+let test_roundtrip () =
+  for _ = 1 to 500 do
+    let v = gen_json 4 in
+    let s = W.to_string v in
+    (match String.index_opt s '\n' with
+    | Some _ -> Alcotest.failf "encoded document contains a newline: %s" s
+    | None -> ());
+    match W.parse s with
+    | Ok v' ->
+      if v <> v' then
+        Alcotest.failf "round-trip changed the document: %s" s
+    | Error e ->
+      Alcotest.failf "encoder emitted unparsable JSON %s (%s)" s
+        (W.error_to_string e)
+  done
+
+let test_parse_values () =
+  let ok s v =
+    match W.parse s with
+    | Ok v' -> Alcotest.(check bool) s true (v = v')
+    | Error e -> Alcotest.failf "%s rejected: %s" s (W.error_to_string e)
+  in
+  ok "null" W.Null;
+  ok " [1, -2, 3.5e2] " (W.List [ W.Int 1; W.Int (-2); W.Float 350. ]);
+  ok {|{"a": "b\u00e9c", "d": [true, false]}|}
+    (W.Obj
+       [ ("a", W.String "b\xc3\xa9c");
+         ("d", W.List [ W.Bool true; W.Bool false ])
+       ]);
+  ok {|"\ud83d\ude00"|} (W.String "\xf0\x9f\x98\x80");
+  let err s =
+    match W.parse s with
+    | Ok _ -> Alcotest.failf "accepted malformed %S" s
+    | Error (W.Syntax _) -> ()
+    | Error e ->
+      Alcotest.failf "wrong error class for %S: %s" s (W.error_to_string e)
+  in
+  err "";
+  err "{";
+  err "[1,]";
+  err "{\"a\" 1}";
+  err "\"\\ud800\"" (* lone surrogate *);
+  err "01" (* leading zero then trailing garbage *);
+  err "truely";
+  err "\"unterminated";
+  err (String.make 400 '[' ^ String.make 400 ']') (* nesting bomb *)
+
+let test_oversized () =
+  let line = "\"" ^ String.make (W.default_max_len + 8) 'a' ^ "\"" in
+  (match W.parse line with
+  | Error (W.Oversized { limit; _ }) ->
+    Alcotest.(check int) "limit reported" W.default_max_len limit
+  | Ok _ | Error _ -> Alcotest.fail "oversized line not rejected as such");
+  match W.parse ~max_len:8 "{\"op\": \"stats\"}" with
+  | Ok _ -> Alcotest.fail "8-byte limit not enforced"
+  | Error (W.Oversized _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (W.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Request decoding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_decode_requests () =
+  (match W.decode_request {|{"op":"query","obj":"c1","lit":"p","id":7}|} with
+  | Ok { id = Some 7; verb = W.Query { obj = "c1"; lit = "p" }; _ } -> ()
+  | Ok _ -> Alcotest.fail "query decoded wrong"
+  | Error e -> Alcotest.failf "query rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request
+       {|{"op":"models","obj":"o","kind":"assumption-free","limit":2,
+          "engine":"naive","timeout_ms":50,"max_steps":100}|}
+   with
+  | Ok
+      { budget = { timeout_ms = Some 50; max_steps = Some 100 };
+        verb = W.Models { kind = `Af; limit = Some 2; engine = `Naive; _ };
+        _
+      } -> ()
+  | Ok _ -> Alcotest.fail "models decoded wrong"
+  | Error e -> Alcotest.failf "models rejected: %s" (W.error_to_string e));
+  let err s =
+    match W.decode_request s with
+    | Ok _ -> Alcotest.failf "accepted bad request %s" s
+    | Error (W.Request _) -> ()
+    | Error e ->
+      Alcotest.failf "wrong error class for %s: %s" s (W.error_to_string e)
+  in
+  err {|{"op":"teleport"}|};
+  err {|{"op":"query","obj":"c1"}|} (* missing lit *);
+  err {|{"op":"query","obj":3,"lit":"p"}|};
+  err {|{"op":"models","obj":"o","kind":"total?"}|};
+  err {|{"op":"models","obj":"o","limit":-1}|};
+  err {|{"op":"stats","id":"seven"}|};
+  err {|[1,2,3]|};
+  err {|"stats"|}
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: the decoder is total                                          *)
+(* ------------------------------------------------------------------ *)
+
+let corpus =
+  [ {|{"op":"load","src":"component main { p. q :- p. }"}|};
+    {|{"op":"define","name":"x","isa":["a","b"],"rules":"p :- q."}|};
+    {|{"op":"add_rule","obj":"x","rule":"p :- q."}|};
+    {|{"op":"remove_rule","obj":"x","rule":"p :- q."}|};
+    {|{"op":"new_version","name":"x"}|};
+    {|{"op":"query","obj":"c1","lit":"fly(penguin)","timeout_ms":100}|};
+    {|{"op":"models","obj":"c1","kind":"stable","limit":3,"engine":"pruned"}|};
+    {|{"op":"explain","obj":"c1","lit":"-fly(penguin)","id":12}|};
+    {|{"op":"stats"}|};
+    {|{"op":"shutdown"}|}
+  ]
+
+let spice = "{}[]\":,\\tf-0123456789.eEnu \n\x00\x7f\xc3\xa9op"
+
+let random_string () =
+  let len = rand 120 in
+  String.init len (fun _ -> spice.[rand (String.length spice)])
+
+let mutate src =
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  if n = 0 then random_string ()
+  else begin
+    (match rand 3 with
+    | 0 -> Bytes.set b (rand n) spice.[rand (String.length spice)]
+    | 1 ->
+      let i = rand n and j = rand n in
+      let ci = Bytes.get b i in
+      Bytes.set b i (Bytes.get b j);
+      Bytes.set b j ci
+    | _ -> ());
+    match rand 3 with
+    | 0 -> Bytes.sub_string b 0 (rand n) (* truncated frame *)
+    | 1 -> Bytes.to_string b ^ Bytes.sub_string b 0 (rand n)
+    | _ -> Bytes.to_string b
+  end
+
+let test_decode_total () =
+  let ok = ref 0 and err = ref 0 in
+  for i = 1 to iters do
+    let s =
+      if i mod 3 = 0 then random_string ()
+      else mutate (List.nth corpus (rand (List.length corpus)))
+    in
+    match W.decode_request s with
+    | Ok _ -> incr ok
+    | Error e ->
+      incr err;
+      if W.error_to_string e = "" then
+        Alcotest.failf "empty error message for %S" s
+    | exception e ->
+      Alcotest.failf "decode_request raised %s on %S" (Printexc.to_string e) s
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "both outcomes seen (ok=%d err=%d of %d)" !ok !err iters)
+    true
+    (!ok > 0 && !err > 0)
+
+let test_corpus_decodes () =
+  List.iter
+    (fun s ->
+      match W.decode_request s with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "corpus request rejected: %s: %s" s
+          (W.error_to_string e))
+    corpus
+
+let suite =
+  [ Alcotest.test_case "encode/parse round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "parse values and syntax errors" `Quick
+      test_parse_values;
+    Alcotest.test_case "oversized frames" `Quick test_oversized;
+    Alcotest.test_case "request decoding" `Quick test_decode_requests;
+    Alcotest.test_case "corpus decodes" `Quick test_corpus_decodes;
+    Alcotest.test_case "decoder never raises" `Quick test_decode_total
+  ]

@@ -1,0 +1,190 @@
+(* The socket server end to end, in process: a daemon on an ephemeral
+   TCP port, concurrent clients with per-request budgets (a tripped
+   request gets a structured partial while the others complete), typed
+   protocol errors on garbage, cache hits visible through [stats], and a
+   clean drain. *)
+
+module W = Server.Wire
+
+let str_member k j =
+  match W.member k j with Some (W.String s) -> Some s | _ -> None
+
+let int_member k j =
+  match W.member k j with Some (W.Int n) -> Some n | _ -> None
+
+let status j = Option.value ~default:"?" (str_member "status" j)
+
+(* Enough atoms that grounding alone outruns a 1-step budget. *)
+let src =
+  "component base { p(1). p(2). p(3). q(X) :- p(X), not r(X). \
+   r(X) :- p(X), not q(X). }\n\
+   component leaf extends base { -r(1). }"
+
+let with_daemon f =
+  let d =
+    Server.Daemon.create
+      { Server.Daemon.address = `Tcp ("127.0.0.1", 0);
+        workers = 4;
+        queue = 64;
+        caps = { Server.Engine.timeout = Some 10.; steps = None }
+      }
+  in
+  let server = Thread.create (fun () -> Server.Daemon.serve d) () in
+  let finally () =
+    Server.Daemon.stop d;
+    Thread.join server
+  in
+  Fun.protect ~finally (fun () -> f (Server.Daemon.address d))
+
+let connect_exn address =
+  match Server.Client.connect ~retry:5. address with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let request_exn c line =
+  match Server.Client.request_line c line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "request %s: %s" line e
+
+let load_src c =
+  let j =
+    request_exn c (W.to_string (W.Obj [ ("op", W.String "load");
+                                        ("src", W.String src) ]))
+  in
+  Alcotest.(check string) "load ok" "ok" (status j)
+
+let test_concurrent_budgets () =
+  with_daemon @@ fun address ->
+  let setup = connect_exn address in
+  load_src setup;
+  Server.Client.close setup;
+  (* Five concurrent clients: four well-funded (two distinct cached
+     keys), one with a 1-step budget on a key nobody else warms — it
+     must come back as a structured partial while the rest complete. *)
+  let results = Array.make 5 (Error "not run") in
+  let client i work =
+    Thread.create
+      (fun () ->
+        results.(i) <-
+          (match Server.Client.connect ~retry:5. address with
+          | Error _ as e -> e
+          | Ok c ->
+            let r =
+              try Ok (List.map (request_exn c) work)
+              with e -> Error (Printexc.to_string e)
+            in
+            Server.Client.close c;
+            r))
+      ()
+  in
+  let stable = {|{"op":"models","obj":"leaf","kind":"stable"}|} in
+  let query = {|{"op":"query","obj":"leaf","lit":"q(1)"}|} in
+  let tripped =
+    {|{"op":"models","obj":"leaf","kind":"assumption-free","engine":"naive","max_steps":1,"id":99}|}
+  in
+  let threads =
+    [ client 0 [ stable; query; stable ];
+      client 1 [ query; stable ];
+      client 2 [ stable; stable ];
+      client 3 [ query; query ];
+      client 4 [ tripped ]
+    ]
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Error e -> Alcotest.failf "client %d failed: %s" i e
+      | Ok responses ->
+        List.iter
+          (fun j ->
+            let expected = if i = 4 then "partial" else "ok" in
+            Alcotest.(check string)
+              (Printf.sprintf "client %d status" i)
+              expected (status j))
+          responses)
+    results;
+  (match results.(4) with
+  | Ok [ j ] ->
+    Alcotest.(check (option string)) "trip reason" (Some "steps")
+      (str_member "reason" j);
+    Alcotest.(check (option int)) "id echoed" (Some 99) (int_member "id" j)
+  | _ -> Alcotest.fail "tripped client: expected exactly one response");
+  (* the repeated stable-models key hit the cache at least once *)
+  let c = connect_exn address in
+  let stats = request_exn c {|{"op":"stats"}|} in
+  Server.Client.close c;
+  let cache = Option.get (W.member "cache" stats) in
+  let hits = Option.value ~default:0 (int_member "hits" cache) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cache hits > 0 (got %d)" hits)
+    true (hits > 0)
+
+let test_protocol_errors_inline () =
+  with_daemon @@ fun address ->
+  let c = connect_exn address in
+  load_src c;
+  let expect_error line =
+    let j = request_exn c line in
+    Alcotest.(check string) ("error for " ^ line) "error" (status j);
+    let kind =
+      Option.bind (W.member "error" j) (fun e -> str_member "kind" e)
+    in
+    Alcotest.(check (option string)) ("proto kind for " ^ line)
+      (Some "proto") kind
+  in
+  expect_error "this is not json";
+  expect_error {|{"op": "models"|};
+  expect_error {|{"op": "teleport"}|};
+  (* the connection survives bad input: a real request still works *)
+  let j = request_exn c {|{"op":"query","obj":"leaf","lit":"p(1)"}|} in
+  Alcotest.(check string) "still serving" "ok" (status j);
+  Alcotest.(check (option string)) "value" (Some "true") (str_member "value" j);
+  (* unknown object is an input error, not a protocol error *)
+  let j = request_exn c {|{"op":"query","obj":"ghost","lit":"p(1)"}|} in
+  Alcotest.(check string) "unknown object" "error" (status j);
+  Server.Client.close c
+
+let test_mutation_resets_cache () =
+  with_daemon @@ fun address ->
+  let c = connect_exn address in
+  load_src c;
+  let models = {|{"op":"models","obj":"leaf","kind":"stable"}|} in
+  ignore (request_exn c models);
+  ignore (request_exn c models);
+  let hits_of () =
+    let stats = request_exn c {|{"op":"stats"}|} in
+    let cache = Option.get (W.member "cache" stats) in
+    ( Option.value ~default:(-1) (int_member "hits" cache),
+      Option.value ~default:(-1) (int_member "misses" cache) )
+  in
+  let hits, misses = hits_of () in
+  Alcotest.(check int) "one hit before mutation" 1 hits;
+  let j =
+    request_exn c {|{"op":"add_rule","obj":"leaf","rule":"-r(2)."}|}
+  in
+  Alcotest.(check string) "add_rule ok" "ok" (status j);
+  ignore (request_exn c models);
+  let hits', misses' = hits_of () in
+  Alcotest.(check int) "mutation restores miss" (misses + 1) misses';
+  Alcotest.(check int) "no new hit" hits hits';
+  Server.Client.close c
+
+let test_shutdown_drains () =
+  with_daemon @@ fun address ->
+  let c = connect_exn address in
+  load_src c;
+  let j = request_exn c {|{"op":"shutdown"}|} in
+  Alcotest.(check string) "shutdown ok" "ok" (status j);
+  (* the daemon drains on its own; with_daemon's stop is then a no-op *)
+  Server.Client.close c
+
+let suite =
+  [ Alcotest.test_case "concurrent clients with budgets" `Quick
+      test_concurrent_budgets;
+    Alcotest.test_case "typed protocol errors inline" `Quick
+      test_protocol_errors_inline;
+    Alcotest.test_case "mutation resets the cache" `Quick
+      test_mutation_resets_cache;
+    Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains
+  ]

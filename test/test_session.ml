@@ -1,0 +1,164 @@
+(* The memoizing KB session (Kb.Session): hit-after-repeat, a miss after
+   every mutating operation, partial results staying out of the cache,
+   and the differential property — cached answers are identical to a
+   fresh uncached store on random ordered programs. *)
+
+open Logic
+open Helpers
+module KS = Kb.Session
+module B = Ordered.Budget
+
+let demo_src =
+  "component top { fly(X) :- bird(X). bird(tweety). bird(penguin). }\n\
+   component bot extends top { -fly(penguin). }"
+
+let session_with src =
+  let s = KS.create () in
+  KS.load s src;
+  s
+
+let check_counters name ~hits ~misses s =
+  let c = KS.counters s in
+  Alcotest.(check int) (name ^ ": hits") hits c.KS.hits;
+  Alcotest.(check int) (name ^ ": misses") misses c.KS.misses
+
+let test_hit_after_repeat () =
+  let s = session_with demo_src in
+  let once = B.value (KS.stable_models s ~obj:"bot") in
+  check_counters "first models call" ~hits:0 ~misses:1 s;
+  let again = B.value (KS.stable_models s ~obj:"bot") in
+  check_counters "repeat models call" ~hits:1 ~misses:1 s;
+  Alcotest.(check bool) "same models" true (interp_set_equal once again);
+  (* distinct parameters are distinct keys, not hits *)
+  ignore (KS.stable_models ~limit:1 s ~obj:"bot");
+  ignore (KS.stable_models ~engine:`Naive s ~obj:"bot");
+  ignore (KS.assumption_free_models s ~obj:"bot");
+  check_counters "other keys" ~hits:1 ~misses:4 s;
+  (* query and explain memoize too *)
+  ignore (KS.query_src s ~obj:"bot" "fly(penguin)");
+  ignore (KS.query_src s ~obj:"bot" "fly(tweety)");
+  check_counters "first queries (shared least model)" ~hits:2 ~misses:5 s;
+  ignore (KS.explain s ~obj:"bot" (lit "-fly(penguin)"));
+  ignore (KS.explain s ~obj:"bot" (lit "-fly(penguin)"));
+  check_counters "explain twice" ~hits:3 ~misses:6 s
+
+let test_miss_after_mutation () =
+  let s = session_with demo_src in
+  let prime () = ignore (B.value (KS.stable_models s ~obj:"bot")) in
+  let expect_invalidated name mutate =
+    prime ();
+    let before = KS.counters s in
+    mutate ();
+    let after = KS.counters s in
+    Alcotest.(check int)
+      (name ^ ": one invalidation")
+      (before.KS.invalidations + 1)
+      after.KS.invalidations;
+    Alcotest.(check int) (name ^ ": cache emptied") 0 after.KS.entries;
+    prime ();
+    Alcotest.(check int)
+      (name ^ ": recompute is a miss")
+      (after.KS.misses + 1)
+      (KS.counters s).KS.misses
+  in
+  expect_invalidated "define" (fun () ->
+      KS.define_src s ~isa:[ "bot" ] "extra" "p.");
+  expect_invalidated "add_rule" (fun () ->
+      KS.add_rule_src s ~obj:"extra" "q :- p.");
+  expect_invalidated "remove_rule" (fun () ->
+      Alcotest.(check bool)
+        "rule removed" true
+        (KS.remove_rule s ~obj:"extra" (rule "q :- p.")));
+  expect_invalidated "new_version" (fun () ->
+      ignore (KS.new_version s ~rules:[ rule "-p." ] "extra"));
+  (* removing an absent rule mutates nothing: still a hit afterwards *)
+  prime ();
+  let before = KS.counters s in
+  Alcotest.(check bool)
+    "absent rule not removed" false
+    (KS.remove_rule s ~obj:"extra" (rule "never :- here."));
+  prime ();
+  let after = KS.counters s in
+  Alcotest.(check int)
+    "no invalidation for a no-op remove" before.KS.invalidations
+    after.KS.invalidations;
+  Alcotest.(check int) "repeat is a hit" (before.KS.hits + 1) after.KS.hits
+
+let test_fingerprint_tracks_structure () =
+  let a = session_with demo_src in
+  let b = session_with demo_src in
+  Alcotest.(check string)
+    "identical KBs share a fingerprint" (KS.fingerprint a) (KS.fingerprint b);
+  KS.add_rule_src b ~obj:"bot" "swims(penguin).";
+  Alcotest.(check bool)
+    "mutation changes the fingerprint" false
+    (String.equal (KS.fingerprint a) (KS.fingerprint b))
+
+let test_partial_not_cached () =
+  let s = session_with demo_src in
+  (* a 1-step budget trips in grounding (raises) or in enumeration
+     (returns [Partial]); either way nothing may be cached *)
+  (match KS.stable_models ~budget:(B.make ~max_steps:1 ()) s ~obj:"bot" with
+  | B.Partial _ -> ()
+  | B.Complete _ -> Alcotest.fail "1-step budget did not trip"
+  | exception B.Exhausted _ -> ());
+  let c = KS.counters s in
+  Alcotest.(check int) "partial result not stored" 0 c.KS.entries;
+  (* a later, well-funded call recomputes and completes *)
+  match KS.stable_models s ~obj:"bot" with
+  | B.Complete ms ->
+    Alcotest.(check int) "full result" 1 (List.length ms);
+    Alcotest.(check int) "now cached" 1 (KS.counters s).KS.entries
+  | B.Partial _ -> Alcotest.fail "unlimited budget tripped"
+
+(* Differential: session answers (first call and cached repeat) agree
+   with a fresh uncached Kb on random ordered programs, across every
+   object, both model kinds and engines. *)
+let prop_cached_equals_uncached =
+  qcheck ~count:60 ~print:print_program
+    "session = fresh store on random KBs (and repeats hit)"
+    (Test_props.gen_ordered 4)
+    (fun p ->
+      let src = print_program p in
+      let s = KS.create () in
+      KS.load s src;
+      let fresh = Kb.create () in
+      Kb.load fresh src;
+      List.for_all
+        (fun obj ->
+          List.for_all
+            (fun engine ->
+              let of_store f = B.value (f ()) in
+              let st_kb =
+                of_store (fun () -> Kb.stable_models ~engine fresh ~obj)
+              and af_kb =
+                of_store (fun () ->
+                    Kb.assumption_free_models ~engine fresh ~obj)
+              in
+              let st1 = of_store (fun () -> KS.stable_models ~engine s ~obj) in
+              let before = (KS.counters s).KS.hits in
+              let st2 = of_store (fun () -> KS.stable_models ~engine s ~obj) in
+              let hit = (KS.counters s).KS.hits = before + 1 in
+              let af = of_store (fun () ->
+                  KS.assumption_free_models ~engine s ~obj)
+              in
+              hit
+              && interp_set_equal st1 st_kb
+              && interp_set_equal st2 st_kb
+              && interp_set_equal af af_kb
+              && Interp.equal
+                   (KS.least_model s ~obj)
+                   (Kb.least_model fresh ~obj))
+            [ `Pruned; `Naive ])
+        (KS.objects s))
+
+let suite =
+  [ Alcotest.test_case "hit after repeat" `Quick test_hit_after_repeat;
+    Alcotest.test_case "miss after each mutating op" `Quick
+      test_miss_after_mutation;
+    Alcotest.test_case "fingerprint tracks structure" `Quick
+      test_fingerprint_tracks_structure;
+    Alcotest.test_case "partial results are not cached" `Quick
+      test_partial_not_cached;
+    prop_cached_equals_uncached
+  ]
