@@ -1,5 +1,5 @@
 .PHONY: all build test bench bench-micro bench-smoke bench-serve \
-	serve-smoke examples doc clean fuzz
+	bench-persist crash-test serve-smoke examples doc clean fuzz
 
 all: build
 
@@ -22,6 +22,18 @@ bench:
 # worker and at four.  See docs/SERVER.md.
 bench-serve:
 	dune exec bench/serve.exe
+
+# Persistence benchmark (WAL write-path overhead vs in-memory, with and
+# without fsync, and recovery replay speed): writes BENCH_PR4.json.
+# See docs/PERSISTENCE.md.
+bench-persist:
+	dune exec bench/persist.exe
+
+# Crash recovery under exhaustive fault injection: tear the WAL at
+# every 16-byte write boundary of a mutation script and check that
+# recovery rebuilds exactly the acknowledged prefix.
+crash-test:
+	dune exec test/main.exe -- test crash -e
 
 # Microbenchmarks of the core engines (bechamel).
 bench-micro:
@@ -46,13 +58,15 @@ doc:  # requires odoc
 	dune build @doc
 
 # Re-run the whole suite under several qcheck seeds, then hammer the
-# parser and wire-protocol fuzz suites with a larger input count.
+# parser, wire-protocol and WAL-record fuzz suites with a larger input
+# count.
 fuzz:
 	@for i in 1 2 3 4 5 6 7 8; do \
 	  QCHECK_SEED=$$((i * 7919)) dune exec test/main.exe -- -e \
 	    | tail -1; done
 	FUZZ_ITERS=5000 dune exec test/main.exe -- test fuzz -e | tail -1
 	FUZZ_ITERS=20000 dune exec test/main.exe -- test proto -e | tail -1
+	FUZZ_ITERS=20000 dune exec test/main.exe -- test persist -e | tail -1
 
 clean:
 	dune clean

@@ -1,0 +1,8 @@
+The persistence benchmark measures WAL overhead on the write path and
+recovery replay speed, and emits well-formed JSON (checked with the
+bundled validator — no jq dependency):
+
+  $ ../persist.exe --quick --out bench4.json
+  wrote bench4.json
+  $ ../json_check.exe bench4.json bench mode write recovery summary
+  bench4.json: valid JSON

@@ -40,7 +40,8 @@ let with_daemon ~workers f =
       { Server.Daemon.address = `Tcp ("127.0.0.1", 0);
         workers;
         queue = 256;
-        caps = Server.Engine.default_caps
+        caps = Server.Engine.default_caps;
+        persist = None
       }
   in
   let server = Thread.create (fun () -> Server.Daemon.serve d) () in

@@ -442,6 +442,49 @@ let address_of socket port host =
     Printf.eprintf "--socket and --port are mutually exclusive\n";
     exit exit_error
 
+let data_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data-dir" ] ~docv:"DIR"
+           ~doc:"Durable KB: recover the knowledge base from $(i,DIR) at \
+                 startup (creating it if missing) and write-ahead-log \
+                 every mutation to it, so a restart — graceful or not — \
+                 resumes where the server left off.  See \
+                 docs/PERSISTENCE.md.")
+
+let no_fsync_arg =
+  Arg.(value & flag
+       & info [ "no-fsync" ]
+           ~doc:"Skip fsync on log appends and snapshots: faster, but an \
+                 OS crash (not a process crash) may lose the most recent \
+                 mutations.")
+
+let snapshot_every_arg =
+  Arg.(value & opt int 0
+       & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Write a snapshot and start a fresh log segment \
+                 automatically every $(i,N) mutations (default 0: only \
+                 on the $(i,snapshot) verb or $(b,olp compact)).")
+
+(* Shared by serve/recover/compact: describe what recovery found, and
+   whether the result is the full history or a sound prefix of it. *)
+let report_recovery ~prog ~dir (r : Persist.recovery) =
+  Printf.printf "%s: data dir %s (seq %d, replayed %d from base %d)\n%!"
+    prog dir r.seq r.replayed r.base;
+  if r.tmp_swept > 0 then
+    Printf.printf "%s: swept %d stale temp file(s)\n%!" prog r.tmp_swept;
+  if r.corrupt_snapshots > 0 then
+    Printf.eprintf "%s: warning: skipped %d corrupt snapshot(s)\n" prog
+      r.corrupt_snapshots;
+  (match r.torn with
+  | None -> ()
+  | Some t ->
+    Printf.eprintf
+      "%s: warning: truncated torn log tail (%s at offset %d of %s, %d \
+       byte(s) dropped); the recovered state is a sound prefix of the \
+       mutation history\n"
+      prog t.detail t.offset t.segment t.dropped);
+  if r.torn <> None || r.corrupt_snapshots > 0 then exit_partial else 0
+
 let serve_cmd =
   let workers =
     Arg.(value & opt int 4
@@ -478,28 +521,42 @@ let serve_cmd =
                  serving.")
   in
   let run socket port host workers queue max_timeout max_steps_cap port_file
-      file =
+      data_dir no_fsync snapshot_every file =
     let timeout_cap =
       match max_timeout with
       | Some s when s < 0. -> None
       | cap -> cap
     in
     let caps = { Server.Engine.timeout = timeout_cap; steps = max_steps_cap } in
+    let persist =
+      Option.map
+        (fun dir ->
+          { Persist.dir; fsync = not no_fsync; snapshot_every })
+        data_dir
+    in
     let config =
       { Server.Daemon.address = address_of socket port host;
         workers;
         queue;
-        caps
+        caps;
+        persist
       }
     in
     let daemon =
-      try Server.Daemon.create config
-      with Unix.Unix_error (e, _, arg) ->
+      try Server.Daemon.create config with
+      | Unix.Unix_error (e, _, arg) ->
         Printf.eprintf "olp serve: cannot listen (%s%s)\n"
           (Unix.error_message e)
           (if arg = "" then "" else ": " ^ arg);
         exit exit_error
+      | Ordered.Diag.Error e ->
+        Printf.eprintf "olp serve: %s\n" (Ordered.Diag.to_string e);
+        exit exit_error
     in
+    (match Server.Daemon.recovery daemon, data_dir with
+    | Some r, Some dir ->
+      ignore (report_recovery ~prog:"olp serve" ~dir r : int)
+    | _ -> ());
     Server.Daemon.install_signal_handlers daemon;
     (match file with
     | None -> ()
@@ -535,9 +592,11 @@ let serve_cmd =
              request queue and a fixed worker pool, per-request budgets \
              clamped by server-side caps, a memoizing KB session cache, \
              and graceful drain on SIGINT/SIGTERM or the $(i,shutdown) \
-             verb.  See docs/SERVER.md for the protocol.")
+             verb.  See docs/SERVER.md for the protocol and \
+             docs/PERSISTENCE.md for $(b,--data-dir).")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue
-          $ max_timeout $ max_steps_cap $ port_file $ file)
+          $ max_timeout $ max_steps_cap $ port_file $ data_dir_arg
+          $ no_fsync_arg $ snapshot_every_arg $ file)
 
 let call_cmd =
   let retry =
@@ -595,11 +654,67 @@ let call_cmd =
              any $(i,error) response or connection failure.")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ retry $ requests)
 
+(* ------------------------------------------------------------------ *)
+(* Offline maintenance: olp recover / olp compact                      *)
+(* ------------------------------------------------------------------ *)
+
+let data_dir_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+         ~doc:"Data directory of an $(b,olp serve --data-dir) instance \
+               (which must not be running).")
+
+let with_data_dir prog dir f =
+  match
+    Persist.open_dir { Persist.dir; fsync = true; snapshot_every = 0 }
+  with
+  | p, _, recovery ->
+    let status = report_recovery ~prog ~dir recovery in
+    let status = f p status in
+    Persist.close p;
+    exit status
+  | exception Ordered.Diag.Error e ->
+    Printf.eprintf "%s: %s\n" prog (Ordered.Diag.to_string e);
+    exit exit_error
+  | exception Unix.Unix_error (e, _, arg) ->
+    Printf.eprintf "%s: cannot open %s (%s%s)\n" prog dir
+      (Unix.error_message e)
+      (if arg = "" then "" else ": " ^ arg);
+    exit exit_error
+
+let recover_cmd =
+  let run dir =
+    with_data_dir "olp recover" dir @@ fun _p status -> status
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a data directory offline and report what was found: \
+             sweeps stale temp files, truncates a torn log tail, and \
+             verifies the store rebuilds.  Exits 0 when the full \
+             mutation history was recovered, 3 when a torn tail or \
+             corrupt snapshot forced recovery to a sound prefix, 2 when \
+             the directory is unrecoverable.")
+    Term.(const run $ data_dir_pos)
+
+let compact_cmd =
+  let run dir =
+    with_data_dir "olp compact" dir @@ fun p status ->
+    let seq, deleted = Persist.compact p in
+    Printf.printf "olp compact: snapshot at seq %d, deleted %d file(s)\n"
+      seq deleted;
+    status
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Recover a data directory offline, write a fresh snapshot \
+             and delete the log segments and snapshots it makes \
+             obsolete.  Exit codes as for $(b,olp recover).")
+    Term.(const run $ data_dir_pos)
+
 let main =
   let doc = "ordered logic programming (Laenens, Sacca, Vermeir; SIGMOD 1990)" in
-  Cmd.group (Cmd.info "olp" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "olp" ~version:Server.Wire.package_version ~doc)
     [ check_cmd; ground_cmd; least_cmd; models_cmd; query_cmd; prove_cmd; repl_cmd;
-      explain_cmd; serve_cmd; call_cmd
+      explain_cmd; serve_cmd; call_cmd; recover_cmd; compact_cmd
     ]
 
 let () = exit (Cmd.eval main)

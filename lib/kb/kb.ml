@@ -11,3 +11,8 @@ include Store
 (** Memoizing sessions (structural-fingerprint result cache with
     hit/miss/invalidation counters); see {!Session}. *)
 module Session = Session
+
+(** The raw store layer as a named module (its API is also spliced
+    directly onto [Kb] by the [include] above); persistence code names
+    mutation and dump types as [Kb.Store.t] paths. *)
+module Store = Store

@@ -32,18 +32,23 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
+  mutable on_mutation : (Store.mutation -> unit) option;
 }
 
-let create () =
-  { store = Store.create ();
+let of_store store =
+  { store;
     results = Hashtbl.create 64;
     gops = Hashtbl.create 16;
     hits = 0;
     misses = 0;
-    invalidations = 0
+    invalidations = 0;
+    on_mutation = None
   }
 
+let create () = of_store (Store.create ())
+
 let store t = t.store
+let on_mutation t f = t.on_mutation <- Some f
 
 let counters t =
   { hits = t.hits;
@@ -85,34 +90,48 @@ let flush t =
   Hashtbl.reset t.gops;
   t.invalidations <- t.invalidations + 1
 
-(* Run a mutating store operation; flush only if it succeeded (a raising
-   [define] etc. leaves the KB, hence the cache, unchanged). *)
-let mutating t f =
+(* Run a mutating store operation; notify the observer (the write-ahead
+   log, when persistence is wired) and flush only if it succeeded — a
+   raising [define] etc. leaves the KB, the log and the cache unchanged.
+   The observer runs {e before} the flush, so a logged mutation is
+   durable before any cache state reflects it. *)
+let mutating t m f =
   let r = f t.store in
+  (match t.on_mutation with Some notify -> notify m | None -> ());
   flush t;
   r
 
-let define t ?isa name rules =
-  mutating t (fun s -> Store.define s ?isa name rules)
+let define t ?(isa = []) name rules =
+  mutating t
+    (Store.Define { name; isa; rules })
+    (fun s -> Store.define s ~isa name rules)
 
 let define_src t ?isa name src =
-  mutating t (fun s -> Store.define_src s ?isa name src)
+  define t ?isa name (Lang.Parser.parse_rules src)
 
-let load t src = mutating t (fun s -> Store.load s src)
-let add_rule t ~obj r = mutating t (fun s -> Store.add_rule s ~obj r)
+let load t src = mutating t (Store.Load { src }) (fun s -> Store.load s src)
 
-let add_rule_src t ~obj src =
-  mutating t (fun s -> Store.add_rule_src s ~obj src)
+let add_rule t ~obj r =
+  mutating t (Store.Add_rule { obj; rule = r }) (fun s ->
+      Store.add_rule s ~obj r)
 
-let add_fact t ~obj l = mutating t (fun s -> Store.add_fact s ~obj l)
+let add_rule_src t ~obj src = add_rule t ~obj (Lang.Parser.parse_rule src)
+let add_fact t ~obj l = add_rule t ~obj (Logic.Rule.fact l)
 
 let remove_rule t ~obj r =
   let removed = Store.remove_rule t.store ~obj r in
-  if removed then flush t;
+  if removed then begin
+    (match t.on_mutation with
+    | Some notify -> notify (Store.Remove_rule { obj; rule = r })
+    | None -> ());
+    flush t
+  end;
   removed
 
 let new_version t ?rules name =
-  mutating t (fun s -> Store.new_version s ?rules name)
+  mutating t
+    (Store.New_version { name; rules })
+    (fun s -> Store.new_version s ?rules name)
 
 (* ------------------------------------------------------------------ *)
 (* Read-only views                                                     *)

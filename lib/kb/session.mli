@@ -34,10 +34,26 @@ type t
 
 val create : unit -> t
 
+val of_store : Store.t -> t
+(** Wrap an existing knowledge base (e.g. one rebuilt by crash recovery)
+    in a fresh session; the cache starts empty. *)
+
 val store : t -> Store.t
 (** The underlying knowledge base.  Mutating it directly bypasses
-    invalidation accounting; the structural fingerprint still prevents
-    stale hits. *)
+    invalidation accounting and the {!on_mutation} observer; the
+    structural fingerprint still prevents stale hits. *)
+
+val on_mutation : t -> (Store.mutation -> unit) -> unit
+(** Register the mutation observer (one slot; a second call replaces the
+    first).  After a mutating operation succeeds on the store — and
+    {e before} the result cache is flushed — the observer is called with
+    the reified {!Store.mutation}; the persistence subsystem uses this to
+    append to its write-ahead log, so a mutation is durable before any
+    cache state reflects it.  An observer that raises propagates to the
+    caller: the in-memory store has mutated but the cache was not
+    flushed, which is safe (stale entries cannot match the mutated
+    fingerprint) but leaves the log behind the store — callers treat
+    that as a fatal storage error. *)
 
 (** {1 Counters} *)
 

@@ -73,6 +73,33 @@ let parents kb name = (find_exn kb name).parents
 let rules kb name = (find_exn kb name).rules
 
 (* ------------------------------------------------------------------ *)
+(* Dumps                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type dump = {
+  dump_objs : (string * string list * Rule.t list) list;
+  dump_latest : (string * string) list;
+  dump_counts : (string * int) list;
+}
+
+let dump kb =
+  { dump_objs =
+      List.rev_map (fun o -> (o.name, o.parents, o.rules)) kb.objs;
+    dump_latest = kb.latest;
+    dump_counts = kb.version_count
+  }
+
+let of_dump d =
+  { objs =
+      List.rev_map
+        (fun (name, parents, rules) -> { name; parents; rules })
+        d.dump_objs;
+    latest = d.dump_latest;
+    version_count = d.dump_counts;
+    cache = []
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Versioning                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -110,6 +137,43 @@ let versions kb name =
          let v = Printf.sprintf "%s@%d" name i in
          if find kb v <> None then Some v else None)
        (List.init (max 0 (count - 1)) (fun i -> i + 2))
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type mutation =
+  | Define of { name : string; isa : string list; rules : Rule.t list }
+  | Add_rule of { obj : string; rule : Rule.t }
+  | Remove_rule of { obj : string; rule : Rule.t }
+  | New_version of { name : string; rules : Rule.t list option }
+  | Load of { src : string }
+
+let apply kb = function
+  | Define { name; isa; rules } -> define kb ~isa name rules
+  | Add_rule { obj; rule } -> add_rule kb ~obj rule
+  | Remove_rule { obj; rule } -> ignore (remove_rule kb ~obj rule : bool)
+  | New_version { name; rules } -> ignore (new_version kb ?rules name : string)
+  | Load { src } -> load kb src
+
+let pp_mutation ppf =
+  let rules ppf rs =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+      Rule.pp ppf rs
+  in
+  function
+  | Define { name; isa; rules = rs } ->
+    Format.fprintf ppf "define %s isa [%s] { %a }" name
+      (String.concat ", " isa) rules rs
+  | Add_rule { obj; rule } -> Format.fprintf ppf "add_rule %s %a" obj Rule.pp rule
+  | Remove_rule { obj; rule } ->
+    Format.fprintf ppf "remove_rule %s %a" obj Rule.pp rule
+  | New_version { name; rules = None } ->
+    Format.fprintf ppf "new_version %s" name
+  | New_version { name; rules = Some rs } ->
+    Format.fprintf ppf "new_version %s { %a }" name rules rs
+  | Load { src } -> Format.fprintf ppf "load %d byte(s)" (String.length src)
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)

@@ -41,6 +41,49 @@ val objects : t -> string list
 val parents : t -> string -> string list
 val rules : t -> string -> Logic.Rule.t list
 
+(** {1 Mutations}
+
+    The store's mutation vocabulary, reified: every state change a KB can
+    undergo is one of these values, and {!apply} replays one with exactly
+    the semantics of the corresponding function above.  The persistence
+    subsystem ({!Persist}) serialises this type into its write-ahead log,
+    and crash recovery is [List.iter (apply kb)] over the decoded
+    records — so determinism matters: replaying a recorded sequence
+    against the recorded starting state reproduces the store (including
+    generated version names, which depend only on the version
+    counters). *)
+
+type mutation =
+  | Define of { name : string; isa : string list; rules : Logic.Rule.t list }
+  | Add_rule of { obj : string; rule : Logic.Rule.t }
+  | Remove_rule of { obj : string; rule : Logic.Rule.t }
+  | New_version of { name : string; rules : Logic.Rule.t list option }
+  | Load of { src : string }
+
+val apply : t -> mutation -> unit
+(** Replay one mutation ({!Remove_rule} of an absent rule and the result
+    of {!New_version} are ignored).  Raises exactly what the underlying
+    operation would. *)
+
+val pp_mutation : Format.formatter -> mutation -> unit
+
+(** {1 Dumps}
+
+    A [dump] is the full serialisable state of a store — objects with
+    parents and rules in definition order, plus the versioning maps that
+    {!to_source} loses.  [of_dump (dump kb)] is observationally equal to
+    [kb] (caches aside), which is what snapshots are made of. *)
+
+type dump = {
+  dump_objs : (string * string list * Logic.Rule.t list) list;
+      (** (name, parents, rules) in definition order *)
+  dump_latest : (string * string) list;  (** base object -> latest version *)
+  dump_counts : (string * int) list;  (** base object -> version count *)
+}
+
+val dump : t -> dump
+val of_dump : dump -> t
+
 (** {1 Versioning} *)
 
 val new_version : t -> ?rules:Logic.Rule.t list -> string -> string

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, reflected, as in zip/gzip/Ethernet), hand-rolled
+    so the write-ahead log has an end-to-end integrity check without any
+    external dependency.  A 32-bit CRC detects all single- and double-bit
+    errors and all burst errors up to 32 bits in a record — the
+    corruption modes a torn or bit-rotted log tail actually exhibits. *)
+
+val string : string -> int
+(** [string s] is the CRC-32 of [s], in [0, 0xFFFF_FFFF]. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** CRC-32 of a substring, without copying. *)

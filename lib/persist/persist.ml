@@ -1,0 +1,286 @@
+(* Data-directory orchestration over Wal and Record; see persist.mli for
+   the layout, the snapshot/WAL ordering invariant and the recovery
+   contract. *)
+
+module Metrics = Governor.Metrics
+module Crc32 = Crc32
+module Record = Record
+module Wal = Wal
+
+type config = { dir : string; fsync : bool; snapshot_every : int }
+
+type torn = {
+  segment : string;
+  offset : int;
+  dropped : int;
+  detail : string;
+}
+
+type recovery = {
+  base : int;
+  seq : int;
+  replayed : int;
+  torn : torn option;
+  corrupt_snapshots : int;
+  tmp_swept : int;
+}
+
+type t = {
+  config : config;
+  store : Kb.Store.t;
+  metrics : Metrics.t option;
+  mutable wal : Wal.t;
+  mutable base : int;  (** base of the active segment *)
+  mutable seq : int;  (** mutations logged so far *)
+  report : recovery;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Naming and small helpers                                            *)
+(* ------------------------------------------------------------------ *)
+
+let wal_name base = Printf.sprintf "wal-%012d.log" base
+let snap_name seq = Printf.sprintf "snapshot-%012d.snap" seq
+
+let parse_num ~prefix ~suffix name =
+  let pl = String.length prefix and sl = String.length suffix in
+  let n = String.length name in
+  if
+    n > pl + sl
+    && String.sub name 0 pl = prefix
+    && String.sub name (n - sl) sl = suffix
+    && String.for_all
+         (fun c -> c >= '0' && c <= '9')
+         (String.sub name pl (n - pl - sl))
+  then int_of_string_opt (String.sub name pl (n - pl - sl))
+  else None
+
+let snap_seq = parse_num ~prefix:"snapshot-" ~suffix:".snap"
+let wal_base = parse_num ~prefix:"wal-" ~suffix:".log"
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> Filename.dirname dir && not (Sys.file_exists dir)
+  then begin
+    mkdirs (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let count metrics name n =
+  match metrics with Some m -> Metrics.add m name n | None -> ()
+
+let bump metrics name = count metrics name 1
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let open_dir ?metrics config =
+  mkdirs config.dir;
+  let entries = Sys.readdir config.dir in
+  let tmp_swept = ref 0 in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then begin
+        (try Sys.remove (Filename.concat config.dir name)
+         with Sys_error _ -> ());
+        incr tmp_swept
+      end)
+    entries;
+  let snaps =
+    Array.to_list entries
+    |> List.filter_map snap_seq
+    |> List.sort (fun a b -> compare b a)
+  in
+  let wals = Array.to_list entries |> List.filter_map wal_base in
+  let corrupt = ref 0 in
+  (* newest snapshot whose CRC (and name/seq agreement) checks out *)
+  let rec pick = function
+    | [] -> None
+    | s :: rest -> (
+      let path = Filename.concat config.dir (snap_name s) in
+      match read_whole path with
+      | exception Sys_error _ ->
+        incr corrupt;
+        pick rest
+      | img -> (
+        match Record.decode_snapshot img with
+        | Ok (seq, dump) when seq = s -> Some (seq, dump)
+        | Ok _ | Error _ ->
+          incr corrupt;
+          pick rest))
+  in
+  let base, store =
+    match pick snaps with
+    | Some (s, dump) -> (s, Kb.Store.of_dump dump)
+    | None ->
+      if (snaps <> [] || wals <> []) && not (List.mem 0 wals) then
+        Governor.Diag.invalid ~where:"Persist.open_dir"
+          (Printf.sprintf
+             "data directory %S has no valid snapshot and its log does \
+              not reach back to sequence 0"
+             config.dir)
+      else (0, Kb.Store.create ())
+  in
+  let seq = ref base in
+  let replayed = ref 0 in
+  let torn = ref None in
+  let truncated ~path ~offset ~size detail =
+    Wal.truncate ~path offset;
+    torn :=
+      Some
+        { segment = Filename.basename path; offset; dropped = size - offset;
+          detail }
+  in
+  (* replay segments in base order; each clean segment of n records names
+     its successor (base + n), so the chain is deterministic *)
+  let rec chain cur =
+    let path = Filename.concat config.dir (wal_name cur) in
+    if not (Sys.file_exists path) then
+      (Wal.create ~fsync:config.fsync ~base:cur path, cur)
+    else
+      match Wal.read ~path ~expect_base:cur with
+      | Error detail ->
+        (* unusable header: every record <= cur is already in the store,
+           but anything the file held is unreadable — report it torn and
+           rewrite the segment *)
+        let size =
+          try (Unix.stat path).st_size with Unix.Unix_error _ -> 0
+        in
+        torn :=
+          Some { segment = Filename.basename path; offset = 0;
+                 dropped = size; detail };
+        (Wal.create ~fsync:config.fsync ~base:cur path, cur)
+      | Ok rep -> (
+        let rec apply = function
+          | [] -> None
+          | (off, m) :: rest -> (
+            match Kb.Store.apply store m with
+            | () ->
+              incr seq;
+              incr replayed;
+              apply rest
+            | exception e -> Some (off, Printexc.to_string e))
+        in
+        match apply rep.mutations with
+        | Some (off, detail) ->
+          truncated ~path ~offset:off ~size:rep.size detail;
+          (Wal.open_append ~path, cur)
+        | None -> (
+          match rep.torn with
+          | Some detail ->
+            truncated ~path ~offset:rep.good_end ~size:rep.size detail;
+            (Wal.open_append ~path, cur)
+          | None ->
+            let n = List.length rep.mutations in
+            let next = Filename.concat config.dir (wal_name (cur + n)) in
+            if n > 0 && Sys.file_exists next then chain (cur + n)
+            else (Wal.open_append ~path, cur)))
+  in
+  let wal, active_base = chain base in
+  (* after a truncation, files past the recovered point are from a lost
+     timeline — a later recovery must not chain into them *)
+  if !torn <> None then
+    Array.iter
+      (fun name ->
+        let stale =
+          match wal_base name with
+          | Some b -> b > active_base
+          | None -> (
+            match snap_seq name with Some s -> s > !seq | None -> false)
+        in
+        if stale then
+          try Sys.remove (Filename.concat config.dir name)
+          with Sys_error _ -> ())
+      entries;
+  let report =
+    { base; seq = !seq; replayed = !replayed; torn = !torn;
+      corrupt_snapshots = !corrupt; tmp_swept = !tmp_swept }
+  in
+  (match metrics with
+  | Some m ->
+    Metrics.add m "recovery_base" report.base;
+    Metrics.add m "recovery_replayed" report.replayed;
+    Metrics.add m "recovery_truncated_bytes"
+      (match report.torn with Some t -> t.dropped | None -> 0);
+    Metrics.add m "recovery_corrupt_snapshots" report.corrupt_snapshots;
+    Metrics.add m "persist_tmp_swept" report.tmp_swept
+  | None -> ());
+  let t =
+    { config; store; metrics; wal; base = active_base; seq = !seq; report }
+  in
+  (t, store, report)
+
+(* ------------------------------------------------------------------ *)
+(* Appending and snapshots                                             *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot ?budget t =
+  let seq = t.seq in
+  let image = Record.encode_snapshot ~seq (Kb.Store.dump t.store) in
+  let final = Filename.concat t.config.dir (snap_name seq) in
+  let tmp = final ^ ".tmp" in
+  (* ordering matters for crash safety: the fresh segment must be on
+     disk before the snapshot becomes visible, so that snapshot-<S>
+     present always implies wal-<S> present (see persist.mli) *)
+  Wal.write_file ?budget ~fsync:t.config.fsync ~path:tmp image;
+  let wal_path = Filename.concat t.config.dir (wal_name seq) in
+  let fresh =
+    Wal.create ?budget ~fsync:t.config.fsync ~base:seq wal_path
+  in
+  Wal.close t.wal;
+  t.wal <- fresh;
+  t.base <- seq;
+  Sys.rename tmp final;
+  if t.config.fsync then begin
+    fsync_dir t.config.dir;
+    count t.metrics "persist_fsyncs" 3
+  end;
+  bump t.metrics "persist_snapshots";
+  seq
+
+let append ?budget t m =
+  let payload = Record.encode_mutation m in
+  let n = Wal.append ?budget ~fsync:t.config.fsync t.wal payload in
+  t.seq <- t.seq + 1;
+  bump t.metrics "persist_records";
+  count t.metrics "persist_bytes" n;
+  if t.config.fsync then bump t.metrics "persist_fsyncs";
+  if t.config.snapshot_every > 0 && t.seq - t.base >= t.config.snapshot_every
+  then ignore (snapshot ?budget t : int)
+
+let compact t =
+  let s = snapshot t in
+  let deleted = ref 0 in
+  Array.iter
+    (fun name ->
+      let stale =
+        Filename.check_suffix name ".tmp"
+        ||
+        match wal_base name with
+        | Some b -> b < s
+        | None -> (
+          match snap_seq name with Some x -> x < s | None -> false)
+      in
+      if stale then
+        match Sys.remove (Filename.concat t.config.dir name) with
+        | () -> incr deleted
+        | exception Sys_error _ -> ())
+    (Sys.readdir t.config.dir);
+  (s, !deleted)
+
+let seq t = t.seq
+let recovery t = t.report
+let close t = Wal.close t.wal

@@ -1,0 +1,97 @@
+(** Durable knowledge bases: a write-ahead log of {!Kb.Store.mutation}s
+    plus periodic snapshots in one data directory, and the recovery
+    procedure that rebuilds a store from them.
+
+    {b Layout.}  A data directory holds:
+
+    - [wal-<base>.log] — a {!Wal} segment with the mutations numbered
+      [base + 1], [base + 2], ...; the newest segment is the one appends
+      go to.
+    - [snapshot-<seq>.snap] — a full {!Kb.Store.dump} covering the first
+      [seq] mutations, written via a [.tmp] file and an atomic rename so
+      a snapshot file, once visible, is always complete (a torn one is
+      detected by its CRC and skipped).
+
+    {b Invariant.}  When [snapshot-<S>.snap] exists, every mutation
+    numbered above [S] lives in [wal-<S>.log] (or a later segment): the
+    fresh segment is created and synced {e before} the snapshot is
+    renamed into place, so recovery from the newest valid snapshot never
+    needs bytes from before that snapshot.
+
+    {b Recovery} ({!open_dir}) sweeps leftover [.tmp] files, loads the
+    newest CRC-valid snapshot (skipping corrupt ones), then replays WAL
+    segments in base order.  A torn final record — the signature of a
+    crash mid-append — is truncated away with a warning in the
+    {!recovery} report, never an error: the store comes back as a sound
+    prefix of the mutation history.  Only a directory whose snapshot
+    chain is entirely corrupt {e and} whose log does not reach back to
+    sequence 0 is unrecoverable ({!Diag.Error}).
+
+    One process must own a data directory at a time; nothing enforces
+    this (no lock file), matching the single-daemon deployment the
+    server targets. *)
+
+module Crc32 = Crc32
+module Record = Record
+module Wal = Wal
+
+type config = {
+  dir : string;  (** the data directory (created if missing) *)
+  fsync : bool;
+      (** flush every append and snapshot to stable storage before
+          acknowledging ([true] for durability; [false] trades crash
+          safety of the tail for speed) *)
+  snapshot_every : int;
+      (** write a snapshot automatically once this many mutations
+          accumulate past the last one; [0] disables automatic
+          snapshots *)
+}
+
+type torn = {
+  segment : string;  (** basename of the segment that was cut *)
+  offset : int;  (** file offset the segment was truncated to *)
+  dropped : int;  (** bytes discarded *)
+  detail : string;  (** what was wrong with them *)
+}
+
+type recovery = {
+  base : int;  (** sequence number the starting snapshot covered *)
+  seq : int;  (** sequence number after replay — mutations recovered *)
+  replayed : int;  (** WAL records applied ([seq - base]) *)
+  torn : torn option;  (** set when a torn tail was truncated away *)
+  corrupt_snapshots : int;  (** snapshot files skipped for bad CRC *)
+  tmp_swept : int;  (** leftover [.tmp] files deleted *)
+}
+
+type t
+
+val open_dir : ?metrics:Governor.Metrics.t -> config -> t * Kb.Store.t * recovery
+(** Recover (or initialise) a data directory and open it for appending.
+    The returned store reflects every recoverable mutation; keep
+    mutating it {e through} {!append} (or a {!Kb.Session} whose
+    [on_mutation] observer calls {!append}) so log and store stay in
+    step.  [metrics] receives the [persist_*] / [recovery_*] counters.
+    Raises {!Diag.Error} when the directory exists but cannot be
+    recovered. *)
+
+val append : ?budget:Governor.Budget.t -> t -> Kb.Store.mutation -> unit
+(** Log one mutation (which the caller has already applied to the
+    store).  Triggers an automatic {!snapshot} when [snapshot_every] is
+    reached.  [budget] is fault injection for tests, as in {!Wal}. *)
+
+val snapshot : ?budget:Governor.Budget.t -> t -> int
+(** Write a snapshot at the current sequence number and start a fresh
+    WAL segment; returns the sequence number covered.  Old files are
+    kept (see {!compact}). *)
+
+val compact : t -> int * int
+(** {!snapshot}, then delete every segment and snapshot made obsolete by
+    it (and stray [.tmp] files).  Returns [(seq, files_deleted)]. *)
+
+val seq : t -> int
+(** Mutations logged so far (recovered + appended). *)
+
+val recovery : t -> recovery
+(** The report from the {!open_dir} that produced this handle. *)
+
+val close : t -> unit

@@ -1,0 +1,305 @@
+(* Binary codecs for WAL records and snapshots; see record.mli for the
+   grammar.  Encoders build strings in a Buffer; decoders walk a string
+   with explicit bounds checks and report failures as [Error], never as
+   an exception. *)
+
+let max_payload = 16 * 1024 * 1024
+
+(* ------------------------------------------------------------------ *)
+(* Primitive writers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 buf n = Buffer.add_char buf (Char.chr (n land 0xFF))
+
+let put_u32 buf n =
+  if n < 0 || n > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Record: u32 out of range (%d)" n);
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let put_u64 buf n =
+  if n < 0 then invalid_arg "Record: u64 out of range";
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xFF))
+  done
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_list buf put items =
+  put_u32 buf (List.length items);
+  List.iter (put buf) items
+
+(* ------------------------------------------------------------------ *)
+(* Primitive readers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+type reader = { src : string; mutable pos : int; stop : int }
+
+let need r n =
+  if r.stop - r.pos < n then
+    corrupt "truncated record (need %d byte(s) at offset %d)" n r.pos
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  need r 4;
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code r.src.[r.pos + i]
+  done;
+  r.pos <- r.pos + 4;
+  !v
+
+let get_u64 r =
+  need r 8;
+  let v = ref 0 in
+  for i = 7 downto 0 do
+    let b = Char.code r.src.[r.pos + i] in
+    if i = 7 && b > 0x3F then corrupt "u64 out of native int range";
+    v := (!v lsl 8) lor b
+  done;
+  r.pos <- r.pos + 8;
+  !v
+
+let get_str r =
+  let n = get_u32 r in
+  if n > max_payload then corrupt "implausible string length %d" n;
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_list r get =
+  let n = get_u32 r in
+  if n > max_payload then corrupt "implausible list count %d" n;
+  List.init n (fun _ -> get r)
+
+let get_rule r =
+  let s = get_str r in
+  match Lang.Parser.parse_rule s with
+  | rule -> rule
+  | exception (Lang.Lexer.Error (m, _) | Lang.Parser.Error (m, _)) ->
+    corrupt "unparsable rule %S: %s" s m
+  | exception (Invalid_argument m | Failure m) ->
+    corrupt "unparsable rule %S: %s" s m
+
+let finished r what =
+  if r.pos <> r.stop then
+    corrupt "%d trailing byte(s) after %s" (r.stop - r.pos) what
+
+(* ------------------------------------------------------------------ *)
+(* Mutation payloads                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let put_rule buf rule = put_str buf (Logic.Rule.to_string rule)
+
+let encode_mutation m =
+  let buf = Buffer.create 128 in
+  (match (m : Kb.Store.mutation) with
+  | Define { name; isa; rules } ->
+    put_u8 buf 0x01;
+    put_str buf name;
+    put_list buf put_str isa;
+    put_list buf put_rule rules
+  | Add_rule { obj; rule } ->
+    put_u8 buf 0x02;
+    put_str buf obj;
+    put_rule buf rule
+  | Remove_rule { obj; rule } ->
+    put_u8 buf 0x03;
+    put_str buf obj;
+    put_rule buf rule
+  | New_version { name; rules } ->
+    put_u8 buf 0x04;
+    put_str buf name;
+    (match rules with
+    | None -> put_u8 buf 0
+    | Some rs ->
+      put_u8 buf 1;
+      put_list buf put_rule rs)
+  | Load { src } ->
+    put_u8 buf 0x05;
+    put_str buf src);
+  Buffer.contents buf
+
+let decode_mutation s =
+  let r = { src = s; pos = 0; stop = String.length s } in
+  match
+    let m : Kb.Store.mutation =
+      match get_u8 r with
+      | 0x01 ->
+        let name = get_str r in
+        let isa = get_list r get_str in
+        let rules = get_list r get_rule in
+        Define { name; isa; rules }
+      | 0x02 ->
+        let obj = get_str r in
+        Add_rule { obj; rule = get_rule r }
+      | 0x03 ->
+        let obj = get_str r in
+        Remove_rule { obj; rule = get_rule r }
+      | 0x04 ->
+        let name = get_str r in
+        let rules =
+          match get_u8 r with
+          | 0 -> None
+          | 1 -> Some (get_list r get_rule)
+          | b -> corrupt "bad option tag 0x%02x" b
+        in
+        New_version { name; rules }
+      | 0x05 -> Load { src = get_str r }
+      | tag -> corrupt "unknown record tag 0x%02x" tag
+    in
+    finished r "mutation";
+    m
+  with
+  | m -> Ok m
+  | exception Corrupt msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let frame payload =
+  let buf = Buffer.create (String.length payload + 8) in
+  put_u32 buf (String.length payload);
+  put_u32 buf (Crc32.string payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+type unframed =
+  | Frame of { payload : string; next : int }
+  | End
+  | Torn of string
+
+let read_u32_at s pos =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let unframe s ~pos =
+  let n = String.length s in
+  if pos = n then End
+  else if n - pos < 8 then
+    Torn (Printf.sprintf "short frame header (%d byte(s))" (n - pos))
+  else begin
+    let len = read_u32_at s pos in
+    let crc = read_u32_at s (pos + 4) in
+    if len > max_payload then
+      Torn (Printf.sprintf "implausible payload length %d" len)
+    else if n - pos - 8 < len then
+      Torn
+        (Printf.sprintf "short payload (%d of %d byte(s))" (n - pos - 8) len)
+    else if Crc32.sub s ~pos:(pos + 8) ~len <> crc then
+      Torn "CRC mismatch"
+    else Frame { payload = String.sub s (pos + 8) len; next = pos + 8 + len }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* WAL header                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let wal_magic = "OLPWAL1\n"
+let wal_header_len = String.length wal_magic + 8
+
+let wal_header ~base =
+  let buf = Buffer.create wal_header_len in
+  Buffer.add_string buf wal_magic;
+  put_u64 buf base;
+  Buffer.contents buf
+
+let decode_wal_header s =
+  if String.length s < wal_header_len then Error "short WAL header"
+  else if String.sub s 0 (String.length wal_magic) <> wal_magic then
+    Error "bad WAL magic"
+  else
+    let r = { src = s; pos = String.length wal_magic; stop = wal_header_len } in
+    match get_u64 r with
+    | base -> Ok base
+    | exception Corrupt msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_magic = "OLPSNAP1"
+
+let encode_snapshot ~seq (d : Kb.Store.dump) =
+  let buf = Buffer.create 1024 in
+  put_u64 buf seq;
+  put_list buf
+    (fun buf (name, parents, rules) ->
+      put_str buf name;
+      put_list buf put_str parents;
+      put_list buf put_rule rules)
+    d.dump_objs;
+  put_list buf
+    (fun buf (base, latest) ->
+      put_str buf base;
+      put_str buf latest)
+    d.dump_latest;
+  put_list buf
+    (fun buf (base, count) ->
+      put_str buf base;
+      put_u32 buf count)
+    d.dump_counts;
+  let payload = Buffer.contents buf in
+  let out = Buffer.create (String.length payload + 16) in
+  Buffer.add_string out snapshot_magic;
+  put_u32 out (String.length payload);
+  put_u32 out (Crc32.string payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let decode_snapshot s =
+  let m = String.length snapshot_magic in
+  if String.length s < m || String.sub s 0 m <> snapshot_magic then
+    Error "bad snapshot magic"
+  else
+    match unframe s ~pos:m with
+    | End -> Error "empty snapshot"
+    | Torn msg -> Error msg
+    | Frame { payload; next } ->
+      if next <> String.length s then
+        Error "trailing bytes after snapshot payload"
+      else
+        let r = { src = payload; pos = 0; stop = String.length payload } in
+        (match
+           let seq = get_u64 r in
+           let dump_objs =
+             get_list r (fun r ->
+                 let name = get_str r in
+                 let parents = get_list r get_str in
+                 let rules = get_list r get_rule in
+                 (name, parents, rules))
+           in
+           let dump_latest =
+             get_list r (fun r ->
+                 let base = get_str r in
+                 let latest = get_str r in
+                 (base, latest))
+           in
+           let dump_counts =
+             get_list r (fun r ->
+                 let base = get_str r in
+                 let count = get_u32 r in
+                 (base, count))
+           in
+           finished r "snapshot";
+           (seq, { Kb.Store.dump_objs; dump_latest; dump_counts })
+         with
+        | v -> Ok v
+        | exception Corrupt msg -> Error msg)

@@ -1,0 +1,72 @@
+(** The durable record codec: hand-rolled binary encodings for WAL
+    records and snapshots, in the same spirit as the wire codec
+    ({!Server.Wire}) — pure, total on the decode side, and fuzzable
+    without touching a file descriptor.
+
+    {b Grammar} (all integers little-endian; [str] is a [u32] length
+    followed by that many bytes; [list x] is a [u32] count followed by
+    that many [x]):
+
+    {v
+    frame     = u32 payload_len | u32 crc32(payload) | payload
+    payload   = 0x01 | str name | list str isa   | list str rules   define
+              | 0x02 | str obj  | str rule                          add_rule
+              | 0x03 | str obj  | str rule                          remove_rule
+              | 0x04 | str name | u8 has_rules | list str rules     new_version
+              | 0x05 | str src                                      load
+    wal file  = "OLPWAL1\n" | u64 base_seq | frame*
+    snapshot  = "OLPSNAP1" | u32 len | u32 crc32 | u64 seq
+              | list (str name | list str parents | list str rules)
+              | list (str base | str latest)
+              | list (str base | u32 count)
+    v}
+
+    Rules and literals travel as surface syntax ({!Logic.Rule.to_string}),
+    which the printers guarantee re-parses to an equal rule; the decoder
+    re-parses them, so a decoded mutation is ready to {!Kb.Store.apply}.
+    Decoders never raise: a short buffer, a CRC mismatch, an unknown tag,
+    an implausible length or an unparsable rule all come back as
+    [Error]. *)
+
+val max_payload : int
+(** Sanity cap on a single record payload (16 MiB) — a corrupt length
+    field cannot make the decoder allocate unboundedly. *)
+
+(** {1 Mutation payloads} *)
+
+val encode_mutation : Kb.Store.mutation -> string
+val decode_mutation : string -> (Kb.Store.mutation, string) result
+
+(** {1 Record framing} *)
+
+val frame : string -> string
+(** Wrap a payload in the length/CRC frame. *)
+
+type unframed =
+  | Frame of { payload : string; next : int }
+      (** a whole, CRC-valid frame; [next] is the offset just past it *)
+  | End  (** clean end of input exactly at [pos] *)
+  | Torn of string  (** anything else: short header, short payload, CRC
+                        mismatch, implausible length (the detail says
+                        which) *)
+
+val unframe : string -> pos:int -> unframed
+
+(** {1 WAL file header} *)
+
+val wal_magic : string
+val wal_header_len : int
+
+val wal_header : base:int -> string
+val decode_wal_header : string -> (int, string) result
+(** The base sequence number, from the first {!wal_header_len} bytes. *)
+
+(** {1 Snapshots} *)
+
+val snapshot_magic : string
+
+val encode_snapshot : seq:int -> Kb.Store.dump -> string
+(** The whole snapshot file image (magic, frame, payload). *)
+
+val decode_snapshot : string -> (int * Kb.Store.dump, string) result
+(** [(seq, dump)] from a whole snapshot file image. *)

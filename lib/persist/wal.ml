@@ -1,0 +1,107 @@
+(* WAL segment I/O; see wal.mli.  All writes funnel through
+   [write_chunked], which ticks the fault-injection budget before every
+   Unix.write so a test can tear the file at any chunk boundary. *)
+
+module B = Governor.Budget
+
+type t = { fd : Unix.file_descr; path : string }
+
+let write_chunked ?budget fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  (* small chunks only under fault injection: every tick is a potential
+     crash point, and the sweep wants byte-level granularity without a
+     syscall storm on the production path *)
+  let chunk = match budget with None -> 65536 | Some _ -> 16 in
+  let off = ref 0 in
+  while !off < n do
+    (match budget with Some bu -> B.tick bu | None -> ());
+    let written = Unix.write fd b !off (min chunk (n - !off)) in
+    off := !off + written
+  done
+
+let create ?budget ~fsync ~base path =
+  let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let t = { fd; path } in
+  (try write_chunked ?budget fd (Record.wal_header ~base)
+   with e -> Unix.close fd; raise e);
+  if fsync then Unix.fsync fd;
+  t
+
+let open_append ~path =
+  let fd = Unix.openfile path [ O_WRONLY; O_APPEND ] 0o644 in
+  { fd; path }
+
+let append ?budget ~fsync t payload =
+  let framed = Record.frame payload in
+  write_chunked ?budget t.fd framed;
+  if fsync then Unix.fsync t.fd;
+  String.length framed
+
+let fsync t = Unix.fsync t.fd
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_file ?budget ~fsync ~path image =
+  let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_chunked ?budget fd image;
+      if fsync then Unix.fsync fd)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type replay = {
+  mutations : (int * Kb.Store.mutation) list;
+  good_end : int;
+  size : int;
+  torn : string option;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read ~path ~expect_base =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+    if String.length s < Record.wal_header_len then Error "short WAL header"
+    else
+      match Record.decode_wal_header s with
+      | Error _ as e -> e
+      | Ok base when base <> expect_base ->
+        Error
+          (Printf.sprintf "WAL header base %d does not match segment name %d"
+             base expect_base)
+      | Ok _ ->
+        let size = String.length s in
+        let rec go pos acc =
+          match Record.unframe s ~pos with
+          | Record.End ->
+            { mutations = List.rev acc; good_end = pos; size; torn = None }
+          | Record.Torn detail ->
+            { mutations = List.rev acc; good_end = pos; size;
+              torn = Some detail }
+          | Record.Frame { payload; next } -> (
+            match Record.decode_mutation payload with
+            | Ok m -> go next ((pos, m) :: acc)
+            | Error detail ->
+              (* CRC-valid but undecodable: treat as torn here — the
+                 bytes are not something this codec ever wrote *)
+              { mutations = List.rev acc; good_end = pos; size;
+                torn = Some detail })
+        in
+        Ok (go Record.wal_header_len []))
+
+let truncate ~path off =
+  let fd = Unix.openfile path [ O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.ftruncate fd off;
+      Unix.fsync fd)

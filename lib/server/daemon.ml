@@ -7,6 +7,7 @@ type config = {
   workers : int;
   queue : int;
   caps : Engine.caps;
+  persist : Persist.config option;
 }
 
 type t = {
@@ -14,6 +15,7 @@ type t = {
   listen_fd : Unix.file_descr;
   bound : address;
   engine : Engine.t;
+  persist : (Persist.t * Persist.recovery) option;
   pool : Pool.t;
   stop_r : Unix.file_descr;  (* self-pipe: select wake-up for stop *)
   stop_w : Unix.file_descr;
@@ -25,6 +27,7 @@ type t = {
 
 let engine t = t.engine
 let address t = t.bound
+let recovery t = Option.map snd t.persist
 
 let sockaddr_of = function
   | `Unix path -> Unix.ADDR_UNIX path
@@ -57,13 +60,34 @@ let create config =
       ("queue_capacity", Wire.Int config.queue)
     ]
   in
-  let engine = Engine.create ~caps:config.caps ~metrics ~extra_stats () in
+  let persist, session, persistence =
+    match config.persist with
+    | None -> (None, None, None)
+    | Some pc ->
+      let p, store, recovery =
+        try Persist.open_dir ~metrics pc
+        with e -> Unix.close fd; raise e
+      in
+      let session = Kb.Session.of_store store in
+      Kb.Session.on_mutation session (fun m -> Persist.append p m);
+      ( Some (p, recovery),
+        Some session,
+        Some
+          { Engine.snapshot = (fun () -> Persist.snapshot p);
+            seq = (fun () -> Persist.seq p)
+          } )
+  in
+  let engine =
+    Engine.create ~caps:config.caps ~metrics ~extra_stats ?session
+      ?persistence ()
+  in
   let stop_r, stop_w = Unix.pipe () in
   Unix.set_nonblock stop_w;
   { config;
     listen_fd = fd;
     bound;
     engine;
+    persist;
     pool;
     stop_r;
     stop_w;
@@ -226,5 +250,7 @@ let serve t =
       try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     conns;
   List.iter Thread.join readers;
+  (* all workers and readers are gone; no appends can race the close *)
+  (match t.persist with Some (p, _) -> Persist.close p | None -> ());
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   try Unix.close t.stop_w with Unix.Unix_error _ -> ()

@@ -26,19 +26,29 @@ type config = {
   workers : int;
   queue : int;  (** request-queue capacity *)
   caps : Engine.caps;  (** per-request budget caps *)
+  persist : Persist.config option;
+      (** durable KB: recover the store from this data directory at
+          startup and log every mutation to it ([None] = in-memory
+          only; see [docs/PERSISTENCE.md]) *)
 }
 
 type t
 
 val create : config -> t
 (** Bind and listen (raises [Unix.Unix_error] on failure, e.g. an
-    address already in use).  The engine starts with an empty KB. *)
+    address already in use).  With [persist] set, the KB is recovered
+    from the data directory (raises {!Governor.Diag.Error} when that is
+    impossible) and every mutation is logged before its response is
+    sent; otherwise the engine starts with an empty in-memory KB. *)
 
 val address : t -> address
 (** The bound address — for TCP this resolves a requested port [0] to
     the actual ephemeral port. *)
 
 val engine : t -> Engine.t
+
+val recovery : t -> Persist.recovery option
+(** The recovery report from startup, when [persist] was set. *)
 
 val serve : t -> unit
 (** Run the accept loop until {!stop}; drains before returning. *)

@@ -5,22 +5,23 @@ type caps = { timeout : float option; steps : int option }
 
 let default_caps = { timeout = Some 30.; steps = None }
 
+type persistence = { snapshot : unit -> int; seq : unit -> int }
+
 type t = {
   session : Kb.Session.t;
   caps : caps;
   metrics : M.t;
   lock : Mutex.t;
   extra_stats : unit -> (string * Wire.json) list;
+  persistence : persistence option;
 }
 
 let create ?(caps = default_caps) ?(metrics = M.create ())
-    ?(extra_stats = fun () -> []) () =
-  { session = Kb.Session.create ();
-    caps;
-    metrics;
-    lock = Mutex.create ();
-    extra_stats
-  }
+    ?(extra_stats = fun () -> []) ?session ?persistence () =
+  let session =
+    match session with Some s -> s | None -> Kb.Session.create ()
+  in
+  { session; caps; metrics; lock = Mutex.create (); extra_stats; persistence }
 
 let session t = t.session
 let metrics t = t.metrics
@@ -75,9 +76,17 @@ let stats_response t ~id =
   let server =
     Wire.Obj
       (t.extra_stats ()
+      @ (match t.persistence with
+        | Some p -> [ ("persist_seq", Wire.Int (p.seq ())) ]
+        | None -> [])
       @ List.map (fun (k, v) -> (k, Wire.Int v)) (M.snapshot t.metrics))
   in
-  Wire.ok ?id [ ("cache", cache); ("server", server) ]
+  Wire.ok ?id
+    [ ("version", Wire.String Wire.package_version);
+      ("protocol", Wire.Int Wire.protocol_revision);
+      ("cache", cache);
+      ("server", server)
+    ]
 
 let serve t ~id req =
   let session = t.session in
@@ -133,6 +142,19 @@ let serve t ~id req =
     let e = Kb.Session.explain session ~obj l in
     Wire.ok ?id [ ("text", Wire.String (Ordered.Explain.to_string e)) ]
   | Wire.Stats -> stats_response t ~id
+  | Wire.Version ->
+    Wire.ok ?id
+      [ ("version", Wire.String Wire.package_version);
+        ("protocol", Wire.Int Wire.protocol_revision)
+      ]
+  | Wire.Snapshot -> (
+    match t.persistence with
+    | None ->
+      Wire.error_response ?id ~kind:"input"
+        "server has no data directory (start with --data-dir)"
+    | Some p ->
+      let seq = p.snapshot () in
+      Wire.ok ?id [ ("snapshot", Wire.Int seq) ])
   | Wire.Shutdown -> Wire.ok ?id [ ("shutdown", Wire.Bool true) ]
 
 let handle t (req : Wire.request) =

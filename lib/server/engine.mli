@@ -33,14 +33,30 @@ val default_caps : caps
 
 type t
 
+type persistence = {
+  snapshot : unit -> int;
+      (** force a durable snapshot; returns the sequence number covered *)
+  seq : unit -> int;  (** mutations logged so far *)
+}
+(** The engine's view of the persistence layer — two closures, so
+    [Server] needs no dependency on [Persist]; the daemon wires them to
+    {!Persist.snapshot}/{!Persist.seq} under the engine lock. *)
+
 val create :
   ?caps:caps ->
   ?metrics:Governor.Metrics.t ->
   ?extra_stats:(unit -> (string * Wire.json) list) ->
+  ?session:Kb.Session.t ->
+  ?persistence:persistence ->
   unit ->
   t
 (** [extra_stats] is appended to the ["server"] object of the [stats]
-    response (the daemon injects worker/queue configuration). *)
+    response (the daemon injects worker/queue configuration).
+    [session] supplies a pre-built session (the daemon passes one whose
+    store was recovered from disk); the default is a fresh empty one.
+    With [persistence] wired, the [snapshot] verb works and [stats]
+    reports ["persist_seq"]; without it the verb is an ["input"]
+    error. *)
 
 val session : t -> Kb.Session.t
 val metrics : t -> Governor.Metrics.t

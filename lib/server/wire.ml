@@ -316,9 +316,14 @@ type verb =
     }
   | Explain of { obj : string; lit : string }
   | Stats
+  | Version
+  | Snapshot
   | Shutdown
 
 type request = { id : int option; budget : budget_spec; verb : verb }
+
+let package_version = "1.1.0"
+let protocol_revision = 2
 
 exception Bad_request of string
 
@@ -384,6 +389,8 @@ let decode_verb o = function
       { obj = str_field o "obj"; kind; limit = opt_nat_field o "limit"; engine }
   | "explain" -> Explain { obj = str_field o "obj"; lit = str_field o "lit" }
   | "stats" -> Stats
+  | "version" -> Version
+  | "snapshot" -> Snapshot
   | "shutdown" -> Shutdown
   | op -> reject "unknown op %S" op
 

@@ -71,9 +71,19 @@ type verb =
     }
   | Explain of { obj : string; lit : string }
   | Stats
+  | Version  (** package version and protocol revision *)
+  | Snapshot  (** force a durable snapshot (needs a data directory) *)
   | Shutdown
 
 type request = { id : int option; budget : budget_spec; verb : verb }
+
+val package_version : string
+(** The released package version (also [olp --version]). *)
+
+val protocol_revision : int
+(** Bumped whenever the request/response grammar gains or changes a
+    verb or field; reported by the [version] and [stats] verbs so
+    clients can detect what they are talking to. *)
 
 val decode_request : ?max_len:int -> string -> (request, error) result
 (** Parse and validate one request line.  Never raises. *)

@@ -25,5 +25,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("proto", Test_proto.suite);
       ("session", Test_session.suite);
-      ("server", Test_server.suite)
+      ("server", Test_server.suite);
+      ("persist", Test_persist.suite);
+      ("crash", Test_crash.suite)
     ]

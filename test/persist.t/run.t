@@ -1,0 +1,121 @@
+The durable KB: every mutation is write-ahead-logged to --data-dir
+before it is acknowledged, snapshots bound replay, and recovery — on
+restart or offline with olp recover — rebuilds the exact store.  See
+docs/PERSISTENCE.md for the format and the guarantees.
+
+Boot on a fresh data directory (created on demand):
+
+  $ olp serve --socket s.sock --data-dir data > server.log 2>&1 &
+  $ SERVER=$!
+
+Load a knowledge base and mutate it over the wire:
+
+  $ olp call --socket s.sock --retry 5 '{"op":"load","src":"component top { fly(X) :- bird(X). bird(tweety). bird(penguin). } component bot extends top { -fly(penguin). }"}'
+  {"status":"ok","objects":["top","bot"]}
+  $ olp call --socket s.sock '{"op":"add_rule","obj":"bot","rule":"swims(penguin)."}'
+  {"status":"ok"}
+
+The version verb reports the package and protocol revision:
+
+  $ olp call --socket s.sock version
+  {"status":"ok","version":"1.1.0","protocol":2}
+
+Kill the server without the shutdown verb (SIGTERM, as an init system
+would); the drain closes the log cleanly:
+
+  $ kill $SERVER
+  $ wait $SERVER
+  $ cat server.log
+  olp serve: data dir data (seq 0, replayed 0 from base 0)
+  olp serve: listening on unix:s.sock (4 workers)
+
+The directory holds one log segment rooted at sequence 0:
+
+  $ ls data
+  wal-000000000000.log
+
+Offline recovery finds the full mutation history (exit 0):
+
+  $ olp recover data
+  olp recover: data dir data (seq 2, replayed 2 from base 0)
+
+Restart on the same directory: the knowledge base comes back without
+reloading anything —
+
+  $ olp serve --socket s.sock --data-dir data > server2.log 2>&1 &
+  $ SERVER=$!
+  $ olp call --socket s.sock --retry 5 '{"op":"query","obj":"bot","lit":"fly(tweety)"}' '{"op":"query","obj":"bot","lit":"fly(penguin)"}' '{"op":"query","obj":"bot","lit":"swims(penguin)"}'
+  {"status":"ok","value":"true"}
+  {"status":"ok","value":"false"}
+  {"status":"ok","value":"true"}
+  $ cat server2.log
+  olp serve: data dir data (seq 2, replayed 2 from base 0)
+  olp serve: listening on unix:s.sock (4 workers)
+
+— and stats exposes the recovery and persistence counters next to the
+cache and server metrics:
+
+  $ olp call --socket s.sock stats
+  {"status":"ok","version":"1.1.0","protocol":2,"cache":{"hits":2,"misses":1,"invalidations":0,"entries":1},"server":{"workers":4,"queue_capacity":64,"persist_seq":2,"connections":2,"ok":3,"persist_tmp_swept":0,"queue_peak":1,"recovery_base":0,"recovery_corrupt_snapshots":0,"recovery_replayed":2,"recovery_truncated_bytes":0,"served":3}}
+
+The snapshot verb writes a snapshot at the current sequence and rolls
+the log onto a fresh segment:
+
+  $ olp call --socket s.sock snapshot
+  {"status":"ok","snapshot":2}
+  $ ls data
+  snapshot-000000000002.snap
+  wal-000000000000.log
+  wal-000000000002.log
+
+Mutate once more past the snapshot, then shut down gracefully:
+
+  $ olp call --socket s.sock '{"op":"add_rule","obj":"top","rule":"bird(robin)."}'
+  {"status":"ok"}
+  $ olp call --socket s.sock shutdown
+  {"status":"ok","shutdown":true}
+  $ wait $SERVER
+
+Compaction recovers (snapshot 2 plus one replayed record), sweeps the
+stale temp file we plant, writes a fresh snapshot and deletes
+everything it supersedes:
+
+  $ touch data/snapshot-000000000099.snap.tmp
+  $ olp compact data
+  olp compact: data dir data (seq 3, replayed 1 from base 2)
+  olp compact: swept 1 stale temp file(s)
+  olp compact: snapshot at seq 3, deleted 3 file(s)
+  $ ls data
+  snapshot-000000000003.snap
+  wal-000000000003.log
+
+A torn tail — here literally half a record appended to the live
+segment — is truncated to the last whole record: a warning, exit 3,
+and the recovered state is a sound prefix:
+
+  $ printf 'partial record' >> data/wal-000000000003.log
+  $ olp recover data
+  olp recover: data dir data (seq 3, replayed 0 from base 3)
+  olp recover: warning: truncated torn log tail (implausible payload length 1953653104 at offset 16 of wal-000000000003.log, 14 byte(s) dropped); the recovered state is a sound prefix of the mutation history
+  [3]
+
+Recovery converges: a second pass finds nothing left to repair —
+
+  $ olp recover data
+  olp recover: data dir data (seq 3, replayed 0 from base 3)
+
+— and the repaired directory still serves the full knowledge base:
+
+  $ olp serve --socket s.sock --data-dir data > server3.log 2>&1 &
+  $ olp call --socket s.sock --retry 5 '{"op":"query","obj":"top","lit":"fly(robin)"}' shutdown
+  {"status":"ok","value":"true"}
+  {"status":"ok","shutdown":true}
+  $ wait
+
+A directory whose log does not reach back to its snapshot is
+unrecoverable, and says so with exit 2:
+
+  $ mkdir bad && touch bad/wal-000000000005.log
+  $ olp recover bad
+  olp recover: Persist.open_dir: data directory "bad" has no valid snapshot and its log does not reach back to sequence 0
+  [2]

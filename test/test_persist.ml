@@ -1,0 +1,430 @@
+(* The durable record codec and data-directory lifecycle (Persist): the
+   CRC-32 check vector, mutation and snapshot round-trips, the corruption
+   fuzz (random bytes and bit-flipped frames come back as typed results,
+   never as an escaping exception), torn-tail WAL reads, recovery
+   chaining across segments and corrupt snapshots, and the differential
+   property — replaying a WAL reproduces the in-memory store exactly.
+
+   Like test_proto.ml, fuzz inputs come from a self-contained LCG so runs
+   are reproducible; FUZZ_ITERS scales the input count (raised by
+   `make fuzz`). *)
+
+module P = Persist
+module R = Persist.Record
+module Wal = Persist.Wal
+module Store = Kb.Store
+
+let iters =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> 300)
+  | None -> 300
+
+let state = ref 0x6C078965
+let rand bound =
+  state := (!state * 1664525) + 1013904223;
+  (!state lsr 9) mod bound
+
+(* ------------------------------------------------------------------ *)
+(* Scratch directories                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { st_kind = S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "olp-persist-%d-%d" (Unix.getpid ()) !n)
+    in
+    rm_rf d;
+    d
+
+(* Canonical printable form of a store's full state; two stores are
+   considered equal when these agree (rules compare by surface syntax,
+   which the printers guarantee re-parses to an equal rule). *)
+let repr store =
+  let d = Store.dump store in
+  let rules rs = String.concat "; " (List.map Logic.Rule.to_string rs) in
+  String.concat "\n"
+    (List.map
+       (fun (name, parents, rs) ->
+         Printf.sprintf "%s isa [%s] {%s}" name
+           (String.concat "," parents)
+           (rules rs))
+       d.Store.dump_objs
+    @ List.map (fun (a, b) -> a ^ " latest " ^ b) d.Store.dump_latest
+    @ List.map (fun (a, c) -> Printf.sprintf "%s count %d" a c)
+        d.Store.dump_counts)
+
+let config ?(fsync = false) ?(snapshot_every = 0) dir =
+  { P.dir; fsync; snapshot_every }
+
+(* ------------------------------------------------------------------ *)
+(* The codec                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc () =
+  (* the standard CRC-32/ISO-HDLC check value *)
+  Alcotest.(check int) "check vector" 0xCBF43926 (P.Crc32.string "123456789");
+  Alcotest.(check int) "empty string" 0 (P.Crc32.string "");
+  Alcotest.(check int) "sub agrees with string" 0xCBF43926
+    (P.Crc32.sub "xx123456789yy" ~pos:2 ~len:9)
+
+let sample_mutations : Store.mutation list =
+  [ Store.Define
+      { name = "bird";
+        isa = [];
+        rules = Helpers.rules "fly(X) :- bird(X). bird(tweety)."
+      };
+    Store.Define
+      { name = "penguin";
+        isa = [ "bird" ];
+        rules = [ Helpers.rule "-fly(penguin)." ]
+      };
+    Store.Add_rule { obj = "bird"; rule = Helpers.rule "bird(sparrow)." };
+    Store.Remove_rule { obj = "bird"; rule = Helpers.rule "bird(sparrow)." };
+    Store.New_version { name = "penguin"; rules = None };
+    Store.New_version
+      { name = "bird"; rules = Some (Helpers.rules "heavy(ostrich).") };
+    Store.Load { src = "component extra { t(1). u(X) :- t(X). }" }
+  ]
+
+let mutation_repr m = Format.asprintf "%a" Store.pp_mutation m
+
+let test_mutation_roundtrip () =
+  List.iter
+    (fun m ->
+      let e = R.encode_mutation m in
+      match R.decode_mutation e with
+      | Error msg -> Alcotest.failf "decode failed (%s): %s" msg (mutation_repr m)
+      | Ok m' ->
+        Alcotest.(check string) "mutation survives the codec"
+          (mutation_repr m) (mutation_repr m');
+        Alcotest.(check string) "re-encode is stable" e (R.encode_mutation m'))
+    sample_mutations
+
+let test_frame_roundtrip () =
+  (* several records end to end, walked with unframe *)
+  let payloads = List.map R.encode_mutation sample_mutations in
+  let blob = String.concat "" (List.map R.frame payloads) in
+  let rec walk pos acc =
+    match R.unframe blob ~pos with
+    | R.End -> List.rev acc
+    | R.Frame { payload; next } -> walk next (payload :: acc)
+    | R.Torn d -> Alcotest.failf "unexpected torn frame: %s" d
+  in
+  Alcotest.(check (list string)) "frames walk back" payloads (walk 0 [])
+
+let random_mutation () =
+  List.nth sample_mutations (rand (List.length sample_mutations))
+
+let test_corruption_fuzz () =
+  for _ = 1 to iters do
+    (* arbitrary bytes must yield typed results, never an exception *)
+    let junk = String.init (rand 96) (fun _ -> Char.chr (rand 256)) in
+    (match R.decode_mutation junk with Ok _ | Error _ -> ());
+    (match R.decode_snapshot junk with Ok _ | Error _ -> ());
+    (match R.unframe junk ~pos:0 with R.Frame _ | R.End | R.Torn _ -> ());
+    (match R.decode_wal_header junk with Ok _ | Error _ -> ());
+    (* a single flipped bit in a valid frame must be rejected *)
+    let payload = R.encode_mutation (random_mutation ()) in
+    let b = Bytes.of_string (R.frame payload) in
+    let i = rand (Bytes.length b) in
+    Bytes.set b i
+      (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl rand 8)));
+    match R.unframe (Bytes.to_string b) ~pos:0 with
+    | R.Torn _ -> ()
+    | R.End -> Alcotest.fail "flipped frame read as clean end"
+    | R.Frame { payload = p; _ } ->
+      if p = payload then Alcotest.fail "bit flip went undetected"
+  done
+
+let test_snapshot_roundtrip () =
+  let store = Store.create () in
+  List.iter (Store.apply store) sample_mutations;
+  let d = Store.dump store in
+  let img = R.encode_snapshot ~seq:42 d in
+  (match R.decode_snapshot img with
+  | Error msg -> Alcotest.failf "snapshot decode failed: %s" msg
+  | Ok (seq, d') ->
+    Alcotest.(check int) "seq survives" 42 seq;
+    Alcotest.(check string) "dump survives" (repr store)
+      (repr (Store.of_dump d')));
+  (* flip one payload byte: the CRC must catch it *)
+  let b = Bytes.of_string img in
+  let i = 16 + rand (Bytes.length b - 16) in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+  match R.decode_snapshot (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted snapshot decoded"
+
+(* ------------------------------------------------------------------ *)
+(* WAL files                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_torn_tail () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "wal-000000000000.log" in
+  let w = Wal.create ~fsync:false ~base:0 path in
+  let ms = [ List.nth sample_mutations 0; List.nth sample_mutations 2;
+             List.nth sample_mutations 6 ] in
+  List.iter
+    (fun m -> ignore (Wal.append ~fsync:false w (R.encode_mutation m) : int))
+    ms;
+  Wal.close w;
+  (* a crash mid-append: half a frame of garbage on the end *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x40\x00\x00\x00\xde\xad";
+  close_out oc;
+  (match Wal.read ~path ~expect_base:0 with
+  | Error msg -> Alcotest.failf "read failed: %s" msg
+  | Ok rep ->
+    Alcotest.(check int) "valid prefix survives" 3
+      (List.length rep.Wal.mutations);
+    Alcotest.(check bool) "tail reported torn" true (rep.Wal.torn <> None);
+    Alcotest.(check bool) "good_end before size" true
+      (rep.Wal.good_end < rep.Wal.size);
+    Wal.truncate ~path rep.Wal.good_end);
+  (match Wal.read ~path ~expect_base:0 with
+  | Error msg -> Alcotest.failf "re-read failed: %s" msg
+  | Ok rep ->
+    Alcotest.(check bool) "clean after truncate" true (rep.Wal.torn = None);
+    Alcotest.(check int) "records intact" 3 (List.length rep.Wal.mutations);
+    Alcotest.(check int) "file ends at good_end" rep.Wal.size rep.Wal.good_end);
+  (* a header whose base contradicts the segment name is an error *)
+  (match Wal.read ~path ~expect_base:7 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "base mismatch accepted");
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Data-directory lifecycle                                            *)
+(* ------------------------------------------------------------------ *)
+
+let apply_and_log p store m =
+  Store.apply store m;
+  P.append p m
+
+let test_reopen_matches () =
+  let dir = fresh_dir () in
+  let p, store, r0 = P.open_dir (config dir) in
+  Alcotest.(check int) "fresh dir starts empty" 0 r0.P.seq;
+  List.iter (apply_and_log p store) sample_mutations;
+  let before = repr store in
+  P.close p;
+  let p2, store2, r = P.open_dir (config dir) in
+  Alcotest.(check string) "replay reproduces the store" before (repr store2);
+  Alcotest.(check int) "all records replayed"
+    (List.length sample_mutations) r.P.replayed;
+  Alcotest.(check bool) "no torn tail" true (r.P.torn = None);
+  P.close p2;
+  rm_rf dir
+
+let test_snapshot_and_chain () =
+  let dir = fresh_dir () in
+  let p, store, _ = P.open_dir (config dir) in
+  List.iter (apply_and_log p store)
+    [ List.nth sample_mutations 0; List.nth sample_mutations 1 ];
+  let s = P.snapshot p in
+  Alcotest.(check int) "snapshot covers both" 2 s;
+  List.iter (apply_and_log p store) [ List.nth sample_mutations 2 ];
+  let before = repr store in
+  P.close p;
+  (* normal path: resume from the snapshot, replay only the tail *)
+  let p2, store2, r = P.open_dir (config dir) in
+  Alcotest.(check string) "snapshot + tail" before (repr store2);
+  Alcotest.(check int) "base is the snapshot" 2 r.P.base;
+  Alcotest.(check int) "one record past it" 1 r.P.replayed;
+  P.close p2;
+  (* corrupt the snapshot: recovery must fall back to the full log
+     chain (wal-0 then wal-2), counting the skipped snapshot *)
+  let snap = Filename.concat dir "snapshot-000000000002.snap" in
+  let img = In_channel.with_open_bin snap In_channel.input_all in
+  let b = Bytes.of_string img in
+  Bytes.set b (Bytes.length b - 1)
+    (Char.chr (Char.code (Bytes.get b (Bytes.length b - 1)) lxor 1));
+  Out_channel.with_open_bin snap (fun oc ->
+      Out_channel.output_bytes oc b);
+  let metrics = Governor.Metrics.create () in
+  let p3, store3, r = P.open_dir ~metrics (config dir) in
+  Alcotest.(check string) "chained from sequence 0" before (repr store3);
+  Alcotest.(check int) "base fell back" 0 r.P.base;
+  Alcotest.(check int) "full replay" 3 r.P.replayed;
+  Alcotest.(check int) "corrupt snapshot counted" 1 r.P.corrupt_snapshots;
+  Alcotest.(check int) "metrics agree" 1
+    (Governor.Metrics.get metrics "recovery_corrupt_snapshots");
+  P.close p3;
+  rm_rf dir
+
+let test_tmp_sweep () =
+  let dir = fresh_dir () in
+  let p, store, _ = P.open_dir (config dir) in
+  apply_and_log p store (List.nth sample_mutations 0);
+  P.close p;
+  let stale = Filename.concat dir "snapshot-000000000099.snap.tmp" in
+  Out_channel.with_open_bin stale (fun oc ->
+      Out_channel.output_string oc "half a snapshot");
+  let metrics = Governor.Metrics.create () in
+  let p2, _, r = P.open_dir ~metrics (config dir) in
+  Alcotest.(check int) "stale temp file swept" 1 r.P.tmp_swept;
+  Alcotest.(check bool) "file gone" false (Sys.file_exists stale);
+  Alcotest.(check int) "metrics agree" 1
+    (Governor.Metrics.get metrics "persist_tmp_swept");
+  P.close p2;
+  rm_rf dir
+
+let test_auto_snapshot_and_compact () =
+  let dir = fresh_dir () in
+  let p, store, _ = P.open_dir (config ~snapshot_every:3 dir) in
+  let ms =
+    [ List.nth sample_mutations 0; List.nth sample_mutations 1;
+      List.nth sample_mutations 2; List.nth sample_mutations 4;
+      List.nth sample_mutations 5; List.nth sample_mutations 6;
+      Store.Add_rule { obj = "extra"; rule = Helpers.rule "t(2)." }
+    ]
+  in
+  List.iter (apply_and_log p store) ms;
+  Alcotest.(check bool) "auto snapshot at 3" true
+    (Sys.file_exists (Filename.concat dir "snapshot-000000000003.snap"));
+  Alcotest.(check bool) "auto snapshot at 6" true
+    (Sys.file_exists (Filename.concat dir "snapshot-000000000006.snap"));
+  let before = repr store in
+  P.close p;
+  let p2, store2, r = P.open_dir (config dir) in
+  Alcotest.(check string) "state intact" before (repr store2);
+  Alcotest.(check int) "resumed from the newest snapshot" 6 r.P.base;
+  Alcotest.(check int) "tail of one" 1 r.P.replayed;
+  let seq, deleted = P.compact p2 in
+  Alcotest.(check int) "compaction snapshots the head" 7 seq;
+  Alcotest.(check bool) "something was deleted" true (deleted > 0);
+  Alcotest.(check (list string)) "only the live pair remains"
+    [ "snapshot-000000000007.snap"; "wal-000000000007.log" ]
+    (List.sort compare (Array.to_list (Sys.readdir dir)));
+  P.close p2;
+  let p3, store3, _ = P.open_dir (config dir) in
+  Alcotest.(check string) "state survives compaction" before (repr store3);
+  P.close p3;
+  rm_rf dir
+
+let test_unrecoverable () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  (* a corrupt snapshot and no log reaching back to 0: nothing sound *)
+  Out_channel.with_open_bin
+    (Filename.concat dir "snapshot-000000000005.snap")
+    (fun oc -> Out_channel.output_string oc "not a snapshot");
+  (match P.open_dir (config dir) with
+  | _ -> Alcotest.fail "unrecoverable directory opened"
+  | exception Ordered.Diag.Error (Ordered.Diag.Invalid_input _) -> ());
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Differential: WAL replay ≡ direct application                       *)
+(* ------------------------------------------------------------------ *)
+
+let rule_pool =
+  [| "p(a)."; "p(b)."; "q(X) :- p(X)."; "-p(c)."; "r(a,b).";
+     "-q(X) :- r(X,b)."; "s(f(a))."; "t(X) :- s(X), not p(X)."
+  |]
+
+let any_rule () = Helpers.rule rule_pool.(rand (Array.length rule_pool))
+
+(* Generate a mutation valid for [store]'s current state (fresh names
+   from a counter; parents and targets drawn from live objects). *)
+let gen_mutation =
+  let fresh = ref 0 in
+  fun store ->
+    let objs = Store.objects store in
+    let bases =
+      List.filter (fun o -> not (String.contains o '@')) objs
+    in
+    let pick xs = List.nth xs (rand (List.length xs)) in
+    match (if objs = [] then 0 else rand 10) with
+    | 0 | 1 ->
+      incr fresh;
+      let isa = if objs <> [] && rand 2 = 0 then [ pick objs ] else [] in
+      Store.Define
+        { name = Printf.sprintf "g%d" !fresh;
+          isa;
+          rules = List.init (rand 3) (fun _ -> any_rule ())
+        }
+    | 2 | 3 | 4 | 5 -> Store.Add_rule { obj = pick objs; rule = any_rule () }
+    | 6 | 7 ->
+      (* often absent — a logged no-op is still a legal record *)
+      Store.Remove_rule { obj = pick objs; rule = any_rule () }
+    | 8 when bases <> [] ->
+      Store.New_version
+        { name = pick bases;
+          rules = (if rand 2 = 0 then None else Some [ any_rule () ])
+        }
+    | _ ->
+      incr fresh;
+      Store.Load
+        { src =
+            Printf.sprintf "component l%d { w(%d). v(X) :- w(X). }" !fresh
+              (rand 10)
+        }
+
+let test_differential_replay () =
+  let rounds = max 3 (iters / 100) in
+  for round = 1 to rounds do
+    let dir = fresh_dir () in
+    let snapshot_every = if rand 2 = 0 then 0 else 4 in
+    let p, store, _ = P.open_dir (config ~snapshot_every dir) in
+    let mirror = Store.create () in
+    for _ = 1 to 40 do
+      let m = gen_mutation store in
+      Store.apply store m;
+      Store.apply mirror m;
+      P.append p m
+    done;
+    if rand 2 = 0 then ignore (P.snapshot p : int);
+    let before = repr store in
+    Alcotest.(check string)
+      (Printf.sprintf "round %d: mirror agrees" round)
+      before (repr mirror);
+    P.close p;
+    let p2, store2, r = P.open_dir (config dir) in
+    Alcotest.(check string)
+      (Printf.sprintf "round %d: replay(wal) = store" round)
+      before (repr store2);
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: sequence intact" round)
+      40 r.P.seq;
+    P.close p2;
+    rm_rf dir
+  done
+
+let suite =
+  [ Alcotest.test_case "crc32 check vector" `Quick test_crc;
+    Alcotest.test_case "mutation codec round-trip" `Quick
+      test_mutation_roundtrip;
+    Alcotest.test_case "frame walk round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "corruption fuzz never raises" `Quick
+      test_corruption_fuzz;
+    Alcotest.test_case "snapshot codec round-trip" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "torn WAL tail read and truncate" `Quick
+      test_wal_torn_tail;
+    Alcotest.test_case "reopen replays the log" `Quick test_reopen_matches;
+    Alcotest.test_case "snapshot resume and corrupt fallback" `Quick
+      test_snapshot_and_chain;
+    Alcotest.test_case "stale temp files swept" `Quick test_tmp_sweep;
+    Alcotest.test_case "auto snapshot and compaction" `Quick
+      test_auto_snapshot_and_compact;
+    Alcotest.test_case "unrecoverable directory is typed" `Quick
+      test_unrecoverable;
+    Alcotest.test_case "differential: replay equals store" `Quick
+      test_differential_replay
+  ]

@@ -26,7 +26,8 @@ let with_daemon f =
       { Server.Daemon.address = `Tcp ("127.0.0.1", 0);
         workers = 4;
         queue = 64;
-        caps = { Server.Engine.timeout = Some 10.; steps = None }
+        caps = { Server.Engine.timeout = Some 10.; steps = None };
+        persist = None
       }
   in
   let server = Thread.create (fun () -> Server.Daemon.serve d) () in
@@ -170,6 +171,50 @@ let test_mutation_resets_cache () =
   Alcotest.(check int) "no new hit" hits hits';
   Server.Client.close c
 
+let test_oversized_frame_multichunk () =
+  with_daemon @@ fun address ->
+  let port = match address with `Tcp (_, p) -> p | `Unix _ -> assert false in
+  (* a raw socket, so the frame can be dribbled in many small writes:
+     the reader's discard state machine must emit exactly one oversized
+     error for the whole frame, then serve the next line normally *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd in
+  let write_all s =
+    let b = Bytes.of_string s in
+    let sent = ref 0 in
+    while !sent < Bytes.length b do
+      sent := !sent + Unix.write fd b !sent (Bytes.length b - !sent)
+    done
+  in
+  (* 1.5 MiB against the 1 MiB limit, in 64 KiB chunks — the limit is
+     crossed mid-stream, several reads after the frame began *)
+  let chunk = String.make 65536 'a' in
+  for _ = 1 to 24 do
+    write_all chunk
+  done;
+  write_all "\n";
+  write_all "{\"op\":\"version\"}\n";
+  let first =
+    match W.parse (input_line ic) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "unparsable response: %s" (W.error_to_string e)
+  in
+  Alcotest.(check string) "oversized frame is an error" "error" (status first);
+  Alcotest.(check (option string)) "and a proto error" (Some "proto")
+    (Option.bind (W.member "error" first) (str_member "kind"));
+  let second =
+    match W.parse (input_line ic) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "unparsable response: %s" (W.error_to_string e)
+  in
+  (* exactly one error for the oversized frame: the next response line
+     answers the next request *)
+  Alcotest.(check string) "connection still serves" "ok" (status second);
+  Alcotest.(check bool) "version reported" true
+    (str_member "version" second <> None);
+  Unix.close fd
+
 let test_shutdown_drains () =
   with_daemon @@ fun address ->
   let c = connect_exn address in
@@ -186,5 +231,7 @@ let suite =
       test_protocol_errors_inline;
     Alcotest.test_case "mutation resets the cache" `Quick
       test_mutation_resets_cache;
+    Alcotest.test_case "oversized frame across read chunks" `Quick
+      test_oversized_frame_multichunk;
     Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains
   ]
