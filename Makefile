@@ -1,5 +1,6 @@
 .PHONY: all build test bench bench-micro bench-smoke bench-serve \
-	bench-persist crash-test serve-smoke examples doc clean fuzz
+	bench-persist bench-replica crash-test serve-smoke examples doc \
+	clean fuzz
 
 all: build
 
@@ -29,11 +30,19 @@ bench-serve:
 bench-persist:
 	dune exec bench/persist.exe
 
+# Replication benchmark (log-shipping throughput, replica read QPS vs
+# primary, catch-up after a burst): writes BENCH_PR5.json.  See
+# docs/REPLICATION.md.
+bench-replica:
+	dune exec bench/replica.exe
+
 # Crash recovery under exhaustive fault injection: tear the WAL at
 # every 16-byte write boundary of a mutation script and check that
-# recovery rebuilds exactly the acknowledged prefix.
+# recovery rebuilds exactly the acknowledged prefix — locally, and on
+# a replica killed at every append boundary mid-catch-up.
 crash-test:
 	dune exec test/main.exe -- test crash -e
+	dune exec test/main.exe -- test replica -e
 
 # Microbenchmarks of the core engines (bechamel).
 bench-micro:
@@ -58,8 +67,8 @@ doc:  # requires odoc
 	dune build @doc
 
 # Re-run the whole suite under several qcheck seeds, then hammer the
-# parser, wire-protocol and WAL-record fuzz suites with a larger input
-# count.
+# parser, wire-protocol, WAL-record and replication fuzz suites with a
+# larger input count.
 fuzz:
 	@for i in 1 2 3 4 5 6 7 8; do \
 	  QCHECK_SEED=$$((i * 7919)) dune exec test/main.exe -- -e \
@@ -67,6 +76,7 @@ fuzz:
 	FUZZ_ITERS=5000 dune exec test/main.exe -- test fuzz -e | tail -1
 	FUZZ_ITERS=20000 dune exec test/main.exe -- test proto -e | tail -1
 	FUZZ_ITERS=20000 dune exec test/main.exe -- test persist -e | tail -1
+	FUZZ_ITERS=2000 dune exec test/main.exe -- test replica -e | tail -1
 
 clean:
 	dune clean

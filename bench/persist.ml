@@ -1,9 +1,11 @@
 (* Persistence benchmark: what durability costs on the write path and
    what recovery costs at boot.  Emits BENCH_PR4.json — mutations per
    second for the same apply loop in memory, write-ahead-logged without
-   fsync, and write-ahead-logged with fsync (the overhead columns are
-   the ratios against in-memory), plus recovery wall-clock against log
-   length, with and without a snapshot bounding the replay.
+   fsync, write-ahead-logged with fsync, and fsynced through the group
+   committer with concurrent writers sharing the flushes (the overhead
+   columns are the ratios against in-memory), plus recovery wall-clock
+   against log length, with and without a snapshot bounding the
+   replay.
 
    Flags: --quick (small counts; used by the cram well-formedness
    test), --out FILE (default BENCH_PR4.json). *)
@@ -70,7 +72,7 @@ let write_memory n =
 
 let write_wal ~fsync n =
   let dir = fresh_dir () in
-  let p, store, _ = P.open_dir { P.dir; fsync; snapshot_every = 0 } in
+  let p, store, _ = P.open_dir { P.dir; fsync; snapshot_every = 0; group_commit_ms = 0 } in
   let m0 = define in
   Store.apply store m0;
   P.append p m0;
@@ -86,6 +88,42 @@ let write_wal ~fsync n =
   P.close p;
   rm_rf dir;
   elapsed
+
+(* the group-commit shape: [threads] writers each appending and then
+   waiting for durability, sharing fsyncs through the committer thread.
+   Store/append stay serialized under a mutex (the engine lock's role);
+   only the durability waits overlap. *)
+let write_group ~threads n =
+  let dir = fresh_dir () in
+  let p, store, _ =
+    P.open_dir { P.dir; fsync = true; snapshot_every = 0; group_commit_ms = 2 }
+  in
+  let lock = Mutex.create () in
+  let m0 = define in
+  Store.apply store m0;
+  P.append p m0;
+  P.wait_durable p;
+  let per_thread = n / threads in
+  let writer t () =
+    for i = 1 to per_thread do
+      let m = mutation ((t * per_thread) + i) in
+      Mutex.lock lock;
+      Store.apply store m;
+      P.append p m;
+      Mutex.unlock lock;
+      P.wait_durable p
+    done
+  in
+  let elapsed =
+    time (fun () ->
+        let ts = List.init threads (fun t -> Thread.create (writer t) ()) in
+        List.iter Thread.join ts)
+  in
+  if P.seq p <> (threads * per_thread) + 1 then
+    die "group run logged %d of %d" (P.seq p) ((threads * per_thread) + 1);
+  P.close p;
+  rm_rf dir;
+  (threads * per_thread, elapsed)
 
 let write_run ~mode ~baseline n elapsed =
   { mode;
@@ -107,7 +145,7 @@ type recovery_run = {
    cold open_dir *)
 let recovery ~snapshotted n =
   let dir = fresh_dir () in
-  let p, store, _ = P.open_dir { P.dir; fsync = false; snapshot_every = 0 } in
+  let p, store, _ = P.open_dir { P.dir; fsync = false; snapshot_every = 0; group_commit_ms = 0 } in
   let log m =
     Store.apply store m;
     P.append p m
@@ -128,7 +166,7 @@ let recovery ~snapshotted n =
   let replayed = ref 0 in
   let elapsed =
     time (fun () ->
-        let p, _, r = P.open_dir { P.dir; fsync = false; snapshot_every = 0 } in
+        let p, _, r = P.open_dir { P.dir; fsync = false; snapshot_every = 0; group_commit_ms = 0 } in
         replayed := r.P.replayed;
         P.close p)
   in
@@ -160,11 +198,13 @@ let () =
   let n_fsync = if !quick then 50 else 500 in
   let mem = write_memory n in
   let baseline = mem /. float_of_int n in
+  let group_n, group_elapsed = write_group ~threads:16 (4 * n_fsync) in
   let writes =
     [ write_run ~mode:"in-memory" ~baseline n mem;
       write_run ~mode:"wal" ~baseline n (write_wal ~fsync:false n);
       write_run ~mode:"wal+fsync" ~baseline n_fsync
-        (write_wal ~fsync:true n_fsync)
+        (write_wal ~fsync:true n_fsync);
+      write_run ~mode:"wal+group-commit" ~baseline group_n group_elapsed
     ]
   in
   let recoveries =
@@ -202,8 +242,12 @@ let () =
   p
     "  ],\n\
     \  \"summary\": {\"wal_overhead\": %.2f, \"fsync_overhead\": %.2f, \
+     \"group_commit_overhead\": %.2f, \"group_commit_speedup\": %.2f, \
      \"replay_records_per_sec\": %.1f}\n\
      }\n"
-    (find "wal").overhead (find "wal+fsync").overhead replay_best;
+    (find "wal").overhead (find "wal+fsync").overhead
+    (find "wal+group-commit").overhead
+    ((find "wal+fsync").overhead /. (find "wal+group-commit").overhead)
+    replay_best;
   close_out oc;
   Printf.printf "wrote %s\n" !out

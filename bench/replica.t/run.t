@@ -1,0 +1,8 @@
+The replication benchmark boots a primary and a replica in process,
+ships the log between them, and emits well-formed JSON (checked with
+the bundled validator — no jq dependency):
+
+  $ ../replica.exe --quick --out bench5.json
+  wrote bench5.json
+  $ ../json_check.exe bench5.json bench mode ship reads summary
+  bench5.json: valid JSON

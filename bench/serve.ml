@@ -41,7 +41,8 @@ let with_daemon ~workers f =
         workers;
         queue = 256;
         caps = Server.Engine.default_caps;
-        persist = None
+        persist = None;
+        replicate_on = None
       }
   in
   let server = Thread.create (fun () -> Server.Daemon.serve d) () in

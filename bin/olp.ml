@@ -465,6 +465,32 @@ let snapshot_every_arg =
                  automatically every $(i,N) mutations (default 0: only \
                  on the $(i,snapshot) verb or $(b,olp compact)).")
 
+let group_commit_arg =
+  Arg.(value & opt int 0
+       & info [ "group-commit-ms" ] ~docv:"N"
+           ~doc:"Batch log fsyncs: mutations acknowledged within an \
+                 $(i,N)-millisecond window share one fsync, so \
+                 concurrent writers pay the disk-flush latency once \
+                 between them (default 0: one fsync per mutation).  No \
+                 effect with $(b,--no-fsync).")
+
+(* ADDR grammar shared by --replicate-on / --replica-of: HOST:PORT is
+   TCP, a bare number is a local TCP port, anything else a Unix socket
+   path. *)
+let parse_addr s =
+  let is_digits x = x <> "" && String.for_all (fun c -> c >= '0' && c <= '9') x in
+  match String.rindex_opt s ':' with
+  | Some i ->
+    let host = String.sub s 0 i
+    and port = String.sub s (i + 1) (String.length s - i - 1) in
+    if host <> "" && is_digits port then `Tcp (host, int_of_string port)
+    else `Unix s
+  | None -> if is_digits s then `Tcp ("127.0.0.1", int_of_string s) else `Unix s
+
+let addr_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
 (* Shared by serve/recover/compact: describe what recovery found, and
    whether the result is the full history or a sound prefix of it. *)
 let report_recovery ~prog ~dir (r : Persist.recovery) =
@@ -483,6 +509,13 @@ let report_recovery ~prog ~dir (r : Persist.recovery) =
        byte(s) dropped); the recovered state is a sound prefix of the \
        mutation history\n"
       prog t.detail t.offset t.segment t.dropped);
+  (match r.cut with
+  | None -> ()
+  | Some c ->
+    (* a requested rewind, not damage: report on stdout, exit 0 *)
+    Printf.printf
+      "%s: %s (truncated %s at offset %d, %d byte(s) dropped)\n%!"
+      prog c.detail c.segment c.offset c.dropped);
   if r.torn <> None || r.corrupt_snapshots > 0 then exit_partial else 0
 
 let serve_cmd =
@@ -520,8 +553,51 @@ let serve_cmd =
            ~doc:"Optional program loaded into the knowledge base before \
                  serving.")
   in
+  let replicate_on =
+    Arg.(value & opt (some string) None
+         & info [ "replicate-on" ] ~docv:"ADDR"
+             ~doc:"Accept replicas on a second listener at $(i,ADDR) \
+                   ($(i,HOST:PORT), a bare TCP port, or a Unix socket \
+                   path) and ship the write-ahead log to them.  Requires \
+                   $(b,--data-dir).  See docs/REPLICATION.md.")
+  in
+  let replica_of =
+    Arg.(value & opt (some string) None
+         & info [ "replica-of" ] ~docv:"ADDR"
+             ~doc:"Run as a read-only replica of the primary whose \
+                   replication listener is at $(i,ADDR): bootstrap or \
+                   tail its log into $(b,--data-dir), serve reads, and \
+                   reject writes with a typed $(i,read_only) error.  \
+                   $(b,olp promote) (or SIGUSR1) detaches and starts \
+                   accepting writes.  See docs/REPLICATION.md.")
+  in
   let run socket port host workers queue max_timeout max_steps_cap port_file
-      data_dir no_fsync snapshot_every file =
+      data_dir no_fsync snapshot_every group_commit_ms replicate_on
+      replica_of file =
+    let usage msg =
+      Printf.eprintf "olp serve: %s\n" msg;
+      exit exit_error
+    in
+    (match replica_of, data_dir with
+    | Some _, None ->
+      usage "--replica-of requires --data-dir (the replica keeps its own \
+             durable copy of the history)"
+    | _ -> ());
+    (match replica_of, file with
+    | Some _, Some _ ->
+      usage "--replica-of cannot load FILE: a replica's content comes \
+             from the primary"
+    | _ -> ());
+    (match replica_of, replicate_on with
+    | Some _, Some _ ->
+      usage "--replica-of and --replicate-on cannot be combined (chained \
+             replicas are not supported yet)"
+    | _ -> ());
+    (match replicate_on, data_dir with
+    | Some _, None ->
+      usage "--replicate-on requires --data-dir (replicas are shipped \
+             the write-ahead log)"
+    | _ -> ());
     let timeout_cap =
       match max_timeout with
       | Some s when s < 0. -> None
@@ -531,7 +607,8 @@ let serve_cmd =
     let persist =
       Option.map
         (fun dir ->
-          { Persist.dir; fsync = not no_fsync; snapshot_every })
+          { Persist.dir; fsync = not no_fsync; snapshot_every;
+            group_commit_ms })
         data_dir
     in
     let config =
@@ -539,7 +616,8 @@ let serve_cmd =
         workers;
         queue;
         caps;
-        persist
+        persist;
+        replicate_on = Option.map parse_addr replicate_on
       }
     in
     let daemon =
@@ -583,6 +661,62 @@ let serve_cmd =
         let oc = open_out f in
         Printf.fprintf oc "%d\n" port;
         close_out oc));
+    let engine = Server.Daemon.engine daemon in
+    (match Server.Daemon.replication_address daemon with
+    | None -> ()
+    | Some addr ->
+      Server.Engine.set_replication engine
+        { Server.Engine.role = (fun () -> "primary");
+          primary = (fun () -> None);
+          details =
+            (fun () ->
+              [ ("listener", Server.Wire.String (addr_to_string addr)) ]);
+          promote =
+            (fun () -> Error "this server is already a primary")
+        };
+      Printf.printf "olp serve: accepting replicas on %s\n%!"
+        (addr_to_string addr));
+    (match replica_of with
+    | None -> ()
+    | Some addr ->
+      let primary = parse_addr addr in
+      let persist =
+        match Server.Daemon.persist_handle daemon with
+        | Some p -> p
+        | None -> assert false  (* --replica-of implies --data-dir *)
+      in
+      let link =
+        Replica.Link.create
+          ~metrics:(Server.Engine.metrics engine)
+          ~engine
+          ~session:(Server.Engine.session engine)
+          ~persist
+          { (Replica.Link.default_config primary) with
+            log = (fun msg -> Printf.printf "olp serve: %s\n%!" msg)
+          }
+      in
+      Server.Engine.set_replication engine
+        { Server.Engine.role =
+            (fun () -> (Replica.Link.status link).Replica.Link.role);
+          primary =
+            (fun () -> Some (Replica.Link.status link).Replica.Link.primary);
+          details =
+            (fun () ->
+              let s = Replica.Link.status link in
+              [ ("primary", Server.Wire.String s.Replica.Link.primary);
+                ("last_applied", Server.Wire.Int s.Replica.Link.last_applied);
+                ("primary_seq", Server.Wire.Int s.Replica.Link.primary_seq);
+                ("lag", Server.Wire.Int s.Replica.Link.lag);
+                ("connected", Server.Wire.Bool s.Replica.Link.connected)
+              ]);
+          promote = (fun () -> Replica.Link.promote link)
+        };
+      Server.Daemon.on_drain daemon (fun () -> Replica.Link.stop link);
+      Sys.set_signal Sys.sigusr1
+        (Sys.Signal_handle (fun _ -> Replica.Link.request_promote link));
+      Printf.printf "olp serve: replicating from %s\n%!"
+        (addr_to_string primary);
+      Replica.Link.start link);
     Server.Daemon.serve daemon
   in
   Cmd.v
@@ -592,11 +726,14 @@ let serve_cmd =
              request queue and a fixed worker pool, per-request budgets \
              clamped by server-side caps, a memoizing KB session cache, \
              and graceful drain on SIGINT/SIGTERM or the $(i,shutdown) \
-             verb.  See docs/SERVER.md for the protocol and \
-             docs/PERSISTENCE.md for $(b,--data-dir).")
+             verb.  See docs/SERVER.md for the protocol, \
+             docs/PERSISTENCE.md for $(b,--data-dir) and \
+             docs/REPLICATION.md for $(b,--replicate-on) / \
+             $(b,--replica-of).")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue
           $ max_timeout $ max_steps_cap $ port_file $ data_dir_arg
-          $ no_fsync_arg $ snapshot_every_arg $ file)
+          $ no_fsync_arg $ snapshot_every_arg $ group_commit_arg
+          $ replicate_on $ replica_of $ file)
 
 let call_cmd =
   let retry =
@@ -654,6 +791,45 @@ let call_cmd =
              any $(i,error) response or connection failure.")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ retry $ requests)
 
+let promote_cmd =
+  let retry =
+    Arg.(value & opt float 0.
+         & info [ "retry" ] ~docv:"SECS"
+             ~doc:"Keep retrying a refused connection for up to \
+                   $(i,SECS) seconds.")
+  in
+  let run socket port host retry =
+    let address = address_of socket port host in
+    match Server.Client.connect ~retry address with
+    | Error msg ->
+      Printf.eprintf "olp promote: cannot connect: %s\n" msg;
+      exit exit_error
+    | Ok client -> (
+      let reply =
+        Server.Client.request client
+          (Server.Wire.Obj [ ("op", Server.Wire.String "promote") ])
+      in
+      Server.Client.close client;
+      match reply with
+      | Error msg ->
+        Printf.eprintf "olp promote: %s\n" msg;
+        exit exit_error
+      | Ok response ->
+        print_endline (Server.Wire.to_string response);
+        (match Server.Wire.status_of_response response with
+        | `Ok -> exit 0
+        | `Partial -> exit exit_partial
+        | `Error | `Unknown -> exit exit_error))
+  in
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:"Tell a running replica ($(b,olp serve --replica-of)) to \
+             detach from its primary and become a standalone primary \
+             that accepts writes.  Equivalent to sending the replica \
+             SIGUSR1.  Exits 2 if the server is not a replica (or is \
+             already promoted).")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ retry)
+
 (* ------------------------------------------------------------------ *)
 (* Offline maintenance: olp recover / olp compact                      *)
 (* ------------------------------------------------------------------ *)
@@ -663,9 +839,10 @@ let data_dir_pos =
          ~doc:"Data directory of an $(b,olp serve --data-dir) instance \
                (which must not be running).")
 
-let with_data_dir prog dir f =
+let with_data_dir ?stop_at prog dir f =
   match
-    Persist.open_dir { Persist.dir; fsync = true; snapshot_every = 0 }
+    Persist.open_dir ?stop_at
+      { Persist.dir; fsync = true; snapshot_every = 0; group_commit_ms = 0 }
   with
   | p, _, recovery ->
     let status = report_recovery ~prog ~dir recovery in
@@ -682,18 +859,35 @@ let with_data_dir prog dir f =
     exit exit_error
 
 let recover_cmd =
-  let run dir =
-    with_data_dir "olp recover" dir @@ fun _p status -> status
+  let to_seq =
+    Arg.(value & opt (some int) None
+         & info [ "to-seq" ] ~docv:"N"
+             ~doc:"Point-in-time recovery: rewind the directory to the \
+                   state just after mutation $(i,N), permanently \
+                   discarding everything later.  Exits 3 (with the full \
+                   history kept) if the history does not reach $(i,N).")
+  in
+  let run dir to_seq =
+    with_data_dir ?stop_at:to_seq "olp recover" dir @@ fun p status ->
+    match to_seq with
+    | Some n when Persist.seq p < n ->
+      Printf.eprintf
+        "olp recover: warning: requested sequence %d but the history ends \
+         at %d\n"
+        n (Persist.seq p);
+      if status = 0 then exit_partial else status
+    | _ -> status
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Recover a data directory offline and report what was found: \
              sweeps stale temp files, truncates a torn log tail, and \
-             verifies the store rebuilds.  Exits 0 when the full \
-             mutation history was recovered, 3 when a torn tail or \
-             corrupt snapshot forced recovery to a sound prefix, 2 when \
-             the directory is unrecoverable.")
-    Term.(const run $ data_dir_pos)
+             verifies the store rebuilds.  $(b,--to-seq) rewinds to an \
+             earlier point in the history.  Exits 0 when the full \
+             mutation history (or the requested prefix) was recovered, \
+             3 when a torn tail or corrupt snapshot forced recovery to a \
+             sound prefix, 2 when the directory is unrecoverable.")
+    Term.(const run $ data_dir_pos $ to_seq)
 
 let compact_cmd =
   let run dir =
@@ -714,7 +908,7 @@ let main =
   let doc = "ordered logic programming (Laenens, Sacca, Vermeir; SIGMOD 1990)" in
   Cmd.group (Cmd.info "olp" ~version:Server.Wire.package_version ~doc)
     [ check_cmd; ground_cmd; least_cmd; models_cmd; query_cmd; prove_cmd; repl_cmd;
-      explain_cmd; serve_cmd; call_cmd; recover_cmd; compact_cmd
+      explain_cmd; serve_cmd; call_cmd; promote_cmd; recover_cmd; compact_cmd
     ]
 
 let () = exit (Cmd.eval main)

@@ -14,6 +14,7 @@ type error =
       derived : bool;
     }
   | Invalid_input of { where : string; detail : string }
+  | Read_only of { primary : string }
 
 exception Error of error
 
@@ -37,6 +38,11 @@ let to_string = function
        derivation was attempted (please report this)"
       where atom (polarity existing) (polarity derived)
   | Invalid_input { where; detail } -> Printf.sprintf "%s: %s" where detail
+  | Read_only { primary } ->
+    Printf.sprintf
+      "knowledge base is read-only: this server replicates from %s; send \
+       writes to the primary"
+      primary
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -17,7 +17,10 @@
     - {!Internal_invariant} — an "impossible" internal state was reached
       (e.g. an inconsistent derivation in the monotone fixpoint engine);
       carries the atom id and the two polarities involved.
-    - {!Invalid_input} — a caller-facing precondition failed. *)
+    - {!Invalid_input} — a caller-facing precondition failed.
+    - {!Read_only} — a mutation reached a KB that only follows a
+      replication stream; carries the primary's printable address so the
+      caller can redirect the write. *)
 
 type error =
   | Grounding_overflow of {
@@ -35,6 +38,8 @@ type error =
       derived : bool;  (** polarity the engine attempted to derive *)
     }
   | Invalid_input of { where : string; detail : string }
+  | Read_only of { primary : string }
+      (** the write must go to [primary] (a printable address) *)
 
 exception Error of error
 

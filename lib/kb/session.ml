@@ -133,6 +133,13 @@ let new_version t ?rules name =
     (Store.New_version { name; rules })
     (fun s -> Store.new_version s ?rules name)
 
+(* Replication replay: apply a shipped mutation through the same
+   observer-then-flush path the named operations use, so the replica's
+   own WAL and cache stay in lockstep with its store. *)
+let apply t m = mutating t m (fun s -> Store.apply s m)
+
+let invalidate t = flush t
+
 (* ------------------------------------------------------------------ *)
 (* Read-only views                                                     *)
 (* ------------------------------------------------------------------ *)

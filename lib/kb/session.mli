@@ -81,6 +81,18 @@ val add_fact : t -> obj:string -> Logic.Literal.t -> unit
 val remove_rule : t -> obj:string -> Logic.Rule.t -> bool
 val new_version : t -> ?rules:Logic.Rule.t list -> string -> string
 
+val apply : t -> Store.mutation -> unit
+(** Replay one reified mutation ({!Store.apply}) through the session:
+    the {!on_mutation} observer fires and the cache is flushed exactly
+    as if the corresponding named operation had been called.  This is
+    the replication apply path — a replica feeds shipped WAL records
+    here so its own log and cache track its store. *)
+
+val invalidate : t -> unit
+(** Flush the result cache unconditionally (counted as one
+    invalidation).  Used after out-of-band store changes such as a
+    snapshot {!Store.restore} during replication bootstrap. *)
+
 (** {1 Read-only views} (never touch the cache) *)
 
 val objects : t -> string list

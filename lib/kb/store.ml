@@ -99,6 +99,13 @@ let of_dump d =
     cache = []
   }
 
+let restore kb d =
+  let fresh = of_dump d in
+  kb.objs <- fresh.objs;
+  kb.latest <- fresh.latest;
+  kb.version_count <- fresh.version_count;
+  kb.cache <- []
+
 (* ------------------------------------------------------------------ *)
 (* Versioning                                                          *)
 (* ------------------------------------------------------------------ *)

@@ -84,6 +84,11 @@ type dump = {
 val dump : t -> dump
 val of_dump : dump -> t
 
+val restore : t -> dump -> unit
+(** Replace the store's entire state with [dump] in place, keeping the
+    identity of [t] (every alias sees the new state; caches are
+    dropped).  Replication uses this for snapshot bootstrap. *)
+
 (** {1 Versioning} *)
 
 val new_version : t -> ?rules:Logic.Rule.t list -> string -> string

@@ -7,7 +7,12 @@ module Crc32 = Crc32
 module Record = Record
 module Wal = Wal
 
-type config = { dir : string; fsync : bool; snapshot_every : int }
+type config = {
+  dir : string;
+  fsync : bool;
+  snapshot_every : int;
+  group_commit_ms : int;
+}
 
 type torn = {
   segment : string;
@@ -21,6 +26,7 @@ type recovery = {
   seq : int;
   replayed : int;
   torn : torn option;
+  cut : torn option;
   corrupt_snapshots : int;
   tmp_swept : int;
 }
@@ -32,6 +38,7 @@ type t = {
   mutable wal : Wal.t;
   mutable base : int;  (** base of the active segment *)
   mutable seq : int;  (** mutations logged so far *)
+  group : Wal.Group.group option;
   report : recovery;
 }
 
@@ -87,7 +94,7 @@ let bump metrics name = count metrics name 1
 (* Recovery                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let open_dir ?metrics config =
+let open_dir ?metrics ?stop_at config =
   mkdirs config.dir;
   let entries = Sys.readdir config.dir in
   let tmp_swept = ref 0 in
@@ -103,6 +110,13 @@ let open_dir ?metrics config =
     Array.to_list entries
     |> List.filter_map snap_seq
     |> List.sort (fun a b -> compare b a)
+  in
+  (* point-in-time recovery must start from a snapshot at or below the
+     target; newer ones are not corrupt, just unusable for this replay *)
+  let usable_snaps =
+    match stop_at with
+    | None -> snaps
+    | Some n -> List.filter (fun s -> s <= n) snaps
   in
   let wals = Array.to_list entries |> List.filter_map wal_base in
   let corrupt = ref 0 in
@@ -123,26 +137,47 @@ let open_dir ?metrics config =
           pick rest))
   in
   let base, store =
-    match pick snaps with
+    match pick usable_snaps with
     | Some (s, dump) -> (s, Kb.Store.of_dump dump)
     | None ->
       if (snaps <> [] || wals <> []) && not (List.mem 0 wals) then
         Governor.Diag.invalid ~where:"Persist.open_dir"
-          (Printf.sprintf
-             "data directory %S has no valid snapshot and its log does \
-              not reach back to sequence 0"
-             config.dir)
+          (match stop_at with
+          | Some n ->
+            Printf.sprintf
+              "data directory %S cannot be rewound to sequence %d: no \
+               valid snapshot at or below it and the log does not reach \
+               back to sequence 0"
+              config.dir n
+          | None ->
+            Printf.sprintf
+              "data directory %S has no valid snapshot and its log does \
+               not reach back to sequence 0"
+              config.dir)
       else (0, Kb.Store.create ())
   in
   let seq = ref base in
   let replayed = ref 0 in
   let torn = ref None in
+  let cut = ref None in
   let truncated ~path ~offset ~size detail =
     Wal.truncate ~path offset;
     torn :=
       Some
         { segment = Filename.basename path; offset; dropped = size - offset;
           detail }
+  in
+  (* deliberate truncation at the --to-seq target: same mechanics as a
+     torn tail, reported separately so callers can tell intent from
+     damage *)
+  let cut_at ~path ~offset ~size target =
+    Wal.truncate ~path offset;
+    cut :=
+      Some
+        { segment = Filename.basename path; offset; dropped = size - offset;
+          detail =
+            Printf.sprintf "history cut at sequence %d on request" target
+        }
   in
   (* replay segments in base order; each clean segment of n records names
      its successor (base + n), so the chain is deterministic *)
@@ -165,20 +200,26 @@ let open_dir ?metrics config =
         (Wal.create ~fsync:config.fsync ~base:cur path, cur)
       | Ok rep -> (
         let rec apply = function
-          | [] -> None
+          | [] -> `Done
           | (off, m) :: rest -> (
-            match Kb.Store.apply store m with
-            | () ->
-              incr seq;
-              incr replayed;
-              apply rest
-            | exception e -> Some (off, Printexc.to_string e))
+            match stop_at with
+            | Some n when !seq >= n -> `Cut off
+            | _ -> (
+              match Kb.Store.apply store m with
+              | () ->
+                incr seq;
+                incr replayed;
+                apply rest
+              | exception e -> `Fail (off, Printexc.to_string e)))
         in
         match apply rep.mutations with
-        | Some (off, detail) ->
+        | `Cut off ->
+          cut_at ~path ~offset:off ~size:rep.size (Option.get stop_at);
+          (Wal.open_append ~path, cur)
+        | `Fail (off, detail) ->
           truncated ~path ~offset:off ~size:rep.size detail;
           (Wal.open_append ~path, cur)
-        | None -> (
+        | `Done -> (
           match rep.torn with
           | Some detail ->
             truncated ~path ~offset:rep.good_end ~size:rep.size detail;
@@ -190,9 +231,10 @@ let open_dir ?metrics config =
             else (Wal.open_append ~path, cur)))
   in
   let wal, active_base = chain base in
-  (* after a truncation, files past the recovered point are from a lost
-     timeline — a later recovery must not chain into them *)
-  if !torn <> None then
+  (* after a truncation — accidental or requested — files past the
+     recovered point are from a lost timeline; a later recovery must not
+     chain into them *)
+  if !torn <> None || !cut <> None then
     Array.iter
       (fun name ->
         let stale =
@@ -206,7 +248,7 @@ let open_dir ?metrics config =
           with Sys_error _ -> ())
       entries;
   let report =
-    { base; seq = !seq; replayed = !replayed; torn = !torn;
+    { base; seq = !seq; replayed = !replayed; torn = !torn; cut = !cut;
       corrupt_snapshots = !corrupt; tmp_swept = !tmp_swept }
   in
   (match metrics with
@@ -218,8 +260,17 @@ let open_dir ?metrics config =
     Metrics.add m "recovery_corrupt_snapshots" report.corrupt_snapshots;
     Metrics.add m "persist_tmp_swept" report.tmp_swept
   | None -> ());
+  let group =
+    if config.fsync && config.group_commit_ms > 0 then
+      Some
+        (Wal.Group.create ~window_ms:config.group_commit_ms
+           ~on_fsync:(fun () -> bump metrics "persist_fsyncs")
+           wal)
+    else None
+  in
   let t =
-    { config; store; metrics; wal; base = active_base; seq = !seq; report }
+    { config; store; metrics; wal; base = active_base; seq = !seq; group;
+      report }
   in
   (t, store, report)
 
@@ -228,6 +279,8 @@ let open_dir ?metrics config =
 (* ------------------------------------------------------------------ *)
 
 let snapshot ?budget t =
+  (* a pending group commit still points at the old segment *)
+  (match t.group with Some g -> Wal.Group.flush g | None -> ());
   let seq = t.seq in
   let image = Record.encode_snapshot ~seq (Kb.Store.dump t.store) in
   let final = Filename.concat t.config.dir (snap_name seq) in
@@ -243,6 +296,7 @@ let snapshot ?budget t =
   Wal.close t.wal;
   t.wal <- fresh;
   t.base <- seq;
+  (match t.group with Some g -> Wal.Group.attach g fresh | None -> ());
   Sys.rename tmp final;
   if t.config.fsync then begin
     fsync_dir t.config.dir;
@@ -253,13 +307,26 @@ let snapshot ?budget t =
 
 let append ?budget t m =
   let payload = Record.encode_mutation m in
-  let n = Wal.append ?budget ~fsync:t.config.fsync t.wal payload in
-  t.seq <- t.seq + 1;
-  bump t.metrics "persist_records";
-  count t.metrics "persist_bytes" n;
-  if t.config.fsync then bump t.metrics "persist_fsyncs";
+  (match t.group with
+  | Some g ->
+    (* group commit: write now, let the committer batch the fsync;
+       callers that need durability block in [wait_durable] *)
+    let n = Wal.append ?budget ~fsync:false t.wal payload in
+    t.seq <- t.seq + 1;
+    Wal.Group.wrote g ~seq:t.seq;
+    bump t.metrics "persist_records";
+    count t.metrics "persist_bytes" n
+  | None ->
+    let n = Wal.append ?budget ~fsync:t.config.fsync t.wal payload in
+    t.seq <- t.seq + 1;
+    bump t.metrics "persist_records";
+    count t.metrics "persist_bytes" n;
+    if t.config.fsync then bump t.metrics "persist_fsyncs");
   if t.config.snapshot_every > 0 && t.seq - t.base >= t.config.snapshot_every
   then ignore (snapshot ?budget t : int)
+
+let wait_durable t =
+  match t.group with Some g -> Wal.Group.wait g | None -> ()
 
 let compact t =
   let s = snapshot t in
@@ -281,6 +348,96 @@ let compact t =
     (Sys.readdir t.config.dir);
   (s, !deleted)
 
+(* ------------------------------------------------------------------ *)
+(* Replication support                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tail t ~from ~max =
+  if from >= t.seq then Ok ("", 0)
+  else begin
+    let bases =
+      Sys.readdir t.config.dir |> Array.to_list |> List.filter_map wal_base
+      |> List.sort compare
+    in
+    (* the newest segment whose base is at or below [from]: its records
+       [from + 1 ..] are exactly where the tail starts *)
+    let start =
+      List.fold_left (fun acc b -> if b <= from then Some b else acc) None
+        bases
+    in
+    match start with
+    | None ->
+      Error (`Too_old (match bases with b :: _ -> b | [] -> t.base))
+    | Some b0 ->
+      let buf = Buffer.create 4096 in
+      let took = ref 0 in
+      (* ship the raw framed bytes untouched: the replica re-frames
+         nothing, so CRCs are verified end to end *)
+      let rec seg b =
+        if !took >= max then ()
+        else
+          match read_whole (Filename.concat t.config.dir (wal_name b)) with
+          | exception Sys_error _ -> ()
+          | s -> (
+            match Record.decode_wal_header s with
+            | Ok base when base = b ->
+              let idx = ref b in
+              let pos = ref Record.wal_header_len in
+              let stop = ref false in
+              while not !stop do
+                match Record.unframe s ~pos:!pos with
+                | Record.End | Record.Torn _ -> stop := true
+                | Record.Frame { payload = _; next } ->
+                  incr idx;
+                  if !idx > from && !idx <= t.seq && !took < max then begin
+                    Buffer.add_substring buf s !pos (next - !pos);
+                    incr took
+                  end;
+                  pos := next;
+                  if !took >= max || !idx >= t.seq then stop := true
+              done;
+              if
+                !took < max && !idx < t.seq
+                && Sys.file_exists
+                     (Filename.concat t.config.dir (wal_name !idx))
+              then seg !idx
+            | Ok _ | Error _ -> ())
+      in
+      if max > 0 then seg b0;
+      Ok (Buffer.contents buf, !took)
+  end
+
+let snapshot_image t =
+  (t.seq, Record.encode_snapshot ~seq:t.seq (Kb.Store.dump t.store))
+
+let install_snapshot t ~seq dump =
+  (match t.group with Some g -> Wal.Group.flush g | None -> ());
+  let final = Filename.concat t.config.dir (snap_name seq) in
+  let tmp = final ^ ".tmp" in
+  Wal.write_file ~fsync:t.config.fsync ~path:tmp
+    (Record.encode_snapshot ~seq dump);
+  let wal_path = Filename.concat t.config.dir (wal_name seq) in
+  let fresh = Wal.create ~fsync:t.config.fsync ~base:seq wal_path in
+  Wal.close t.wal;
+  t.wal <- fresh;
+  (match t.group with Some g -> Wal.Group.attach g fresh | None -> ());
+  Sys.rename tmp final;
+  if t.config.fsync then fsync_dir t.config.dir;
+  (* everything else in the directory is from the replaced timeline *)
+  Array.iter
+    (fun name ->
+      if name <> snap_name seq && name <> wal_name seq then
+        try Sys.remove (Filename.concat t.config.dir name)
+        with Sys_error _ -> ())
+    (Sys.readdir t.config.dir);
+  Kb.Store.restore t.store dump;
+  t.base <- seq;
+  t.seq <- seq;
+  bump t.metrics "persist_snapshots"
+
 let seq t = t.seq
 let recovery t = t.report
-let close t = Wal.close t.wal
+
+let close t =
+  (match t.group with Some g -> Wal.Group.stop g | None -> ());
+  Wal.close t.wal

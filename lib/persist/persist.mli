@@ -45,6 +45,12 @@ type config = {
       (** write a snapshot automatically once this many mutations
           accumulate past the last one; [0] disables automatic
           snapshots *)
+  group_commit_ms : int;
+      (** batch fsyncs: appends within this window share one fsync via a
+          background committer ({!Wal.Group}), and durability is reached
+          in {!wait_durable} rather than inside {!append}.  [0] keeps
+          the synchronous fsync-per-append path; ignored when [fsync]
+          is [false]. *)
 }
 
 type torn = {
@@ -59,20 +65,31 @@ type recovery = {
   seq : int;  (** sequence number after replay — mutations recovered *)
   replayed : int;  (** WAL records applied ([seq - base]) *)
   torn : torn option;  (** set when a torn tail was truncated away *)
+  cut : torn option;
+      (** set when replay stopped at a requested [stop_at] sequence and
+          the history past it was truncated away (point-in-time
+          recovery) — deliberate, unlike [torn] *)
   corrupt_snapshots : int;  (** snapshot files skipped for bad CRC *)
   tmp_swept : int;  (** leftover [.tmp] files deleted *)
 }
 
 type t
 
-val open_dir : ?metrics:Governor.Metrics.t -> config -> t * Kb.Store.t * recovery
+val open_dir :
+  ?metrics:Governor.Metrics.t -> ?stop_at:int -> config ->
+  t * Kb.Store.t * recovery
 (** Recover (or initialise) a data directory and open it for appending.
     The returned store reflects every recoverable mutation; keep
     mutating it {e through} {!append} (or a {!Kb.Session} whose
     [on_mutation] observer calls {!append}) so log and store stay in
     step.  [metrics] receives the [persist_*] / [recovery_*] counters.
-    Raises {!Diag.Error} when the directory exists but cannot be
-    recovered. *)
+    [stop_at] is point-in-time recovery: replay halts after that many
+    mutations, the log past it is truncated away (reported in
+    [recovery.cut]) and files from the abandoned suffix are deleted, so
+    the directory reopens stably at the rewound state.  Raises
+    {!Diag.Error} when the directory exists but cannot be recovered
+    (including a [stop_at] below every snapshot when the log does not
+    reach sequence 0). *)
 
 val append : ?budget:Governor.Budget.t -> t -> Kb.Store.mutation -> unit
 (** Log one mutation (which the caller has already applied to the
@@ -88,6 +105,39 @@ val compact : t -> int * int
 (** {!snapshot}, then delete every segment and snapshot made obsolete by
     it (and stray [.tmp] files).  Returns [(seq, files_deleted)]. *)
 
+val wait_durable : t -> unit
+(** Block until every {!append} issued so far is on stable storage.
+    Immediate without group commit (appends were synchronous) — with it,
+    this is where a writer pays the (shared) fsync latency. *)
+
+(** {1 Replication support}
+
+    A primary serves its log and state to replicas through these; they
+    read the same on-disk segments recovery does, so what ships is
+    exactly what a local crash recovery would replay. *)
+
+val tail :
+  t -> from:int -> max:int ->
+  (string * int, [ `Too_old of int ]) result
+(** [tail t ~from ~max] returns up to [max] raw framed WAL records
+    numbered [from + 1 ...], concatenated byte-for-byte as they sit on
+    disk (the receiver walks them with {!Record.unframe}, CRCs intact),
+    with the count taken.  [Ok ("", 0)] when the log has nothing past
+    [from].  [Error (`Too_old base)] when compaction has dropped the
+    requested range — the oldest retained segment starts at [base];
+    fetch a snapshot instead. *)
+
+val snapshot_image : t -> int * string
+(** The current state as [(seq, image)] where [image] is a
+    {!Record.encode_snapshot} encoding — what a replica bootstraps
+    from. *)
+
+val install_snapshot : t -> seq:int -> Kb.Store.dump -> unit
+(** Replace the store {e and} the data directory with a snapshot: the
+    image is written durably, a fresh WAL segment starts at [seq],
+    every file from the old timeline is deleted, and the live store is
+    {!Kb.Store.restore}d in place.  The replica bootstrap path. *)
+
 val seq : t -> int
 (** Mutations logged so far (recovered + appended). *)
 
@@ -95,3 +145,5 @@ val recovery : t -> recovery
 (** The report from the {!open_dir} that produced this handle. *)
 
 val close : t -> unit
+(** Flush (stopping the group committer if any) and close the active
+    segment. *)

@@ -105,3 +105,124 @@ let truncate ~path off =
     (fun () ->
       Unix.ftruncate fd off;
       Unix.fsync fd)
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Group = struct
+  type group = {
+    window : float;  (* seconds the committer waits to gather appends *)
+    on_fsync : unit -> unit;
+    lock : Mutex.t;
+    work : Condition.t;  (* appends behind durability exist *)
+    done_ : Condition.t;  (* durable advanced *)
+    mutable wal : t;
+    mutable written : int;  (* highest seq appended to the file *)
+    mutable durable : int;  (* highest seq known flushed *)
+    mutable waiters : int;  (* threads blocked in [wait] *)
+    mutable stopped : bool;
+    mutable committer : Thread.t option;
+  }
+
+  (* Flush the active segment and publish the new durability horizon.
+     Caller holds [lock]; the fsync itself runs under the lock so a
+     concurrent [attach] cannot swap the segment out from under it. *)
+  let sync g =
+    let target = g.written in
+    (try Unix.fsync g.wal.fd with Unix.Unix_error _ -> ());
+    g.on_fsync ();
+    if target > g.durable then g.durable <- target;
+    Condition.broadcast g.done_
+
+  let run g =
+    Mutex.lock g.lock;
+    while not g.stopped do
+      while g.written <= g.durable && not g.stopped do
+        Condition.wait g.work g.lock
+      done;
+      if not g.stopped then begin
+        (* Gather appends for up to the window so they share one fsync —
+           but flush the moment a writer blocks on durability.  The
+           window bounds added latency for fire-and-forget appends; a
+           blocked writer must never idle out a window the disk does not
+           need.  Batching under concurrent waiters still happens: every
+           append that lands while an fsync is in flight shares the
+           next one. *)
+        if g.waiters = 0 then begin
+          let deadline = Unix.gettimeofday () +. g.window in
+          let slice = g.window /. 4. in
+          while
+            g.waiters = 0 && (not g.stopped)
+            && Unix.gettimeofday () < deadline
+          do
+            (* sleep outside the lock so appends can land in the window *)
+            Mutex.unlock g.lock;
+            Thread.delay slice;
+            Mutex.lock g.lock
+          done
+        end;
+        if not g.stopped then sync g
+      end
+    done;
+    Mutex.unlock g.lock
+
+  let create ~window_ms ?(on_fsync = fun () -> ()) wal =
+    let g =
+      { window = float_of_int window_ms /. 1000.;
+        on_fsync;
+        lock = Mutex.create ();
+        work = Condition.create ();
+        done_ = Condition.create ();
+        wal;
+        written = 0;
+        durable = 0;
+        waiters = 0;
+        stopped = false;
+        committer = None
+      }
+    in
+    g.committer <- Some (Thread.create run g);
+    g
+
+  let attach g wal =
+    Mutex.lock g.lock;
+    g.wal <- wal;
+    Mutex.unlock g.lock
+
+  let wrote g ~seq =
+    Mutex.lock g.lock;
+    if seq > g.written then g.written <- seq;
+    Condition.signal g.work;
+    Mutex.unlock g.lock
+
+  let wait g =
+    Mutex.lock g.lock;
+    let target = g.written in
+    g.waiters <- g.waiters + 1;
+    while g.durable < target && not g.stopped do
+      Condition.wait g.done_ g.lock
+    done;
+    g.waiters <- g.waiters - 1;
+    Mutex.unlock g.lock
+
+  let flush g =
+    Mutex.lock g.lock;
+    if g.written > g.durable then sync g;
+    Mutex.unlock g.lock
+
+  let stop g =
+    Mutex.lock g.lock;
+    if not g.stopped then begin
+      if g.written > g.durable then sync g;
+      g.stopped <- true;
+      Condition.broadcast g.work;
+      Condition.broadcast g.done_
+    end;
+    Mutex.unlock g.lock;
+    match g.committer with
+    | Some th ->
+      g.committer <- None;
+      Thread.join th
+    | None -> ()
+end

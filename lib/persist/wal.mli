@@ -58,3 +58,44 @@ val read : path:string -> expect_base:int -> (replay, string) result
 
 val truncate : path:string -> int -> unit
 (** Cut a file at an offset (recovery dropping a torn tail). *)
+
+(** {1 Group commit}
+
+    A background committer that batches fsyncs: appenders write records
+    with [fsync:false], report the sequence number they reached with
+    {!Group.wrote}, and block in {!Group.wait} until the committer has
+    flushed past it.  After noticing work the committer gathers appends
+    for up to the configured window — but flushes immediately once a
+    writer blocks on durability, so the window bounds added latency
+    without taxing a fast disk; concurrent waiters still share fsyncs
+    because appends landing during an in-flight flush ride the next
+    one. *)
+
+module Group : sig
+  type group
+
+  val create : window_ms:int -> ?on_fsync:(unit -> unit) -> t -> group
+  (** Start the committer over the given active segment.  [on_fsync]
+      runs (with the group lock held) after each flush — metrics
+      accounting. *)
+
+  val attach : group -> t -> unit
+  (** Point the committer at a new active segment after a rotation.
+      Call {!flush} first: durability of the old segment is the
+      caller's responsibility. *)
+
+  val wrote : group -> seq:int -> unit
+  (** Record that the log now contains everything up to [seq] and wake
+      the committer. *)
+
+  val wait : group -> unit
+  (** Block until everything {!wrote} so far is durable (returns
+      immediately once {!stop} has run). *)
+
+  val flush : group -> unit
+  (** Synchronously flush pending appends on the caller's thread (used
+      before segment rotation and on close). *)
+
+  val stop : group -> unit
+  (** Final flush, then terminate and join the committer.  Idempotent. *)
+end

@@ -1,0 +1,326 @@
+(* The replica side of log shipping: a pull loop that keeps a local
+   durable KB in lockstep with a primary.  See link.mli for the
+   life-cycle and locking contract. *)
+
+module Client = Server.Client
+module Engine = Server.Engine
+module M = Governor.Metrics
+
+type config = {
+  primary : Server.Daemon.address;
+  poll_interval : float;
+  batch : int;
+  connect_retry : float;
+  log : string -> unit;
+}
+
+let default_config primary =
+  { primary;
+    poll_interval = 0.05;
+    batch = 512;
+    connect_retry = 0.5;
+    log = (fun _ -> ())
+  }
+
+let address_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type conn = { client : Client.t; mutable greeted : bool }
+
+type t = {
+  config : config;
+  engine : Engine.t;
+  session : Kb.Session.t;
+  persist : Persist.t;
+  metrics : M.t option;
+  lock : Mutex.t;  (* guards [conn] and the status fields *)
+  wake_r : Unix.file_descr;  (* self-pipe: interrupts the poll sleep *)
+  wake_w : Unix.file_descr;
+  mutable conn : conn option;
+  mutable promoted : bool;
+  mutable promote_requested : bool;
+  mutable stopping : bool;
+  mutable closed : bool;
+  mutable connected : bool;
+  mutable primary_seq : int;
+  mutable last_error : string option;
+  mutable bootstraps : int;
+  mutable thread : Thread.t option;
+}
+
+type status = {
+  role : string;
+  primary : string;
+  connected : bool;
+  last_applied : int;
+  primary_seq : int;
+  lag : int;
+  bootstraps : int;
+  last_error : string option;
+}
+
+let create ?metrics ~engine ~session ~persist config =
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_w;
+  { config;
+    engine;
+    session;
+    persist;
+    metrics;
+    lock = Mutex.create ();
+    wake_r;
+    wake_w;
+    conn = None;
+    promoted = false;
+    promote_requested = false;
+    stopping = false;
+    closed = false;
+    connected = false;
+    primary_seq = 0;
+    last_error = None;
+    bootstraps = 0;
+    thread = None
+  }
+
+let bump t name n =
+  match t.metrics with Some m -> M.add m name n | None -> ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let drop t =
+  locked t (fun () ->
+      (match t.conn with Some c -> Client.close c.client | None -> ());
+      t.conn <- None;
+      t.connected <- false)
+
+let disconnect t = drop t
+
+(* ------------------------------------------------------------------ *)
+(* One protocol step                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Map a refusal of a handshake-ish request to a step result.  A
+   ["proto"] refusal means the primary's decoder does not know the verb
+   at all — an old server — so it gets the typed mismatch message
+   instead of a bare decode failure. *)
+let refused t (r : Protocol.refusal) =
+  drop t;
+  match r.kind with
+  | "handshake" | "input" | "read_only" -> `Fatal r.message
+  | "proto" ->
+    `Fatal
+      "primary does not speak the replication protocol (protocol revision \
+       mismatch — upgrade the primary)"
+  | _ -> `Retry r.message
+
+let bootstrap t c =
+  match Client.request c.client Protocol.fetch_snapshot with
+  | Error msg ->
+    drop t;
+    `Retry ("snapshot fetch failed: " ^ msg)
+  | Ok reply -> (
+    match Protocol.decode_snapshot reply with
+    | Ok (seq, dump) ->
+      (* replace store and data directory atomically with respect to
+         request workers; the session cache is stale afterwards *)
+      Engine.exclusively t.engine (fun () ->
+          Persist.install_snapshot t.persist ~seq dump;
+          Kb.Session.invalidate t.session);
+      locked t (fun () ->
+          t.bootstraps <- t.bootstraps + 1;
+          if seq > t.primary_seq then t.primary_seq <- seq);
+      bump t "repl_bootstraps" 1;
+      t.config.log
+        (Printf.sprintf "replication: bootstrapped from snapshot at seq %d"
+           seq);
+      `Ready
+    | Error (`Refused r) -> refused t r
+    | Error (`Garbled msg) ->
+      drop t;
+      `Retry ("garbled snapshot reply: " ^ msg))
+
+let greet t c =
+  let seq = Persist.seq t.persist in
+  match Client.request c.client (Protocol.hello ~seq) with
+  | Error msg ->
+    drop t;
+    `Retry ("handshake failed: " ^ msg)
+  | Ok reply -> (
+    match Protocol.decode_hello reply with
+    | Ok h -> (
+      c.greeted <- true;
+      locked t (fun () ->
+          t.connected <- true;
+          t.primary_seq <- h.seq;
+          t.last_error <- None);
+      match h.action with `Tail -> `Ready | `Snapshot -> bootstrap t c)
+    | Error (`Refused r) -> refused t r
+    | Error (`Garbled msg) ->
+      drop t;
+      `Retry ("garbled handshake reply: " ^ msg))
+
+let pull t c =
+  let from = Persist.seq t.persist in
+  match Client.request c.client (Protocol.pull ~from ~max:t.config.batch) with
+  | Error msg ->
+    drop t;
+    `Retry ("pull failed: " ^ msg)
+  | Ok reply -> (
+    match Protocol.decode_pull reply with
+    | Ok (seq, mutations) -> (
+      locked t (fun () -> t.primary_seq <- seq);
+      match mutations with
+      | [] -> `Idle
+      | ms ->
+        (* replay under the engine lock so readers never observe a
+           half-applied batch; the session's on_mutation observer logs
+           each record to the replica's own WAL as it applies *)
+        Engine.exclusively t.engine (fun () ->
+            List.iter (fun m -> Kb.Session.apply t.session m) ms);
+        let n = List.length ms in
+        bump t "repl_applied" n;
+        `Applied n)
+    | Error (`Refused r) when r.kind = "behind" ->
+      (* our position was compacted away under us *)
+      bootstrap t c
+    | Error (`Refused r) -> refused t r
+    | Error (`Garbled msg) ->
+      drop t;
+      `Retry ("garbled pull reply: " ^ msg))
+
+let step t =
+  if t.stopping || t.promoted then `Stopped
+  else
+    match t.conn with
+    | None -> (
+      match
+        Client.connect ~retry:t.config.connect_retry t.config.primary
+      with
+      | Error msg ->
+        locked t (fun () -> t.connected <- false);
+        `Retry
+          (Printf.sprintf "cannot reach primary at %s: %s"
+             (address_to_string t.config.primary)
+             msg)
+      | Ok client ->
+        let c = { client; greeted = false } in
+        locked t (fun () -> t.conn <- Some c);
+        greet t c)
+    | Some c when not c.greeted -> greet t c
+    | Some c -> pull t c
+
+(* ------------------------------------------------------------------ *)
+(* Promotion, status                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let promote t =
+  let result, conn =
+    locked t (fun () ->
+        if t.promoted then
+          (Error "already promoted: this server is a standalone primary",
+           None)
+        else begin
+          t.promoted <- true;
+          t.promote_requested <- false;
+          let c = t.conn in
+          t.conn <- None;
+          t.connected <- false;
+          (Ok "primary", c)
+        end)
+  in
+  (match conn with Some c -> Client.close c.client | None -> ());
+  (match result with
+  | Ok _ ->
+    t.config.log "promoted: replication stopped, now a standalone primary"
+  | Error _ -> ());
+  result
+
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.of_string "x") 0 1 : int)
+  with Unix.Unix_error _ -> ()
+
+(* Safe to call from a signal handler: a flag and a pipe write. *)
+let request_promote t =
+  t.promote_requested <- true;
+  wake t
+
+let status t =
+  locked t (fun () ->
+      let last_applied = Persist.seq t.persist in
+      { role = (if t.promoted then "primary" else "replica");
+        primary = address_to_string t.config.primary;
+        connected = t.connected;
+        last_applied;
+        primary_seq = t.primary_seq;
+        lag = max 0 (t.primary_seq - last_applied);
+        bootstraps = t.bootstraps;
+        last_error = t.last_error
+      })
+
+(* ------------------------------------------------------------------ *)
+(* The background loop                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sleep t dt =
+  match Unix.select [ t.wake_r ] [] [] dt with
+  | readable, _, _ when List.mem t.wake_r readable ->
+    let b = Bytes.create 16 in
+    (try ignore (Unix.read t.wake_r b 0 16 : int)
+     with Unix.Unix_error _ -> ())
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ()
+
+let rec run t =
+  if t.stopping then ()
+  else if t.promote_requested && not t.promoted then begin
+    ignore (promote t : (string, string) result);
+    run t
+  end
+  else
+    match (try step t with e -> `Crashed (Printexc.to_string e)) with
+    | `Stopped -> ()
+    | `Ready | `Applied _ -> run t  (* more may be waiting: no sleep *)
+    | `Idle ->
+      sleep t t.config.poll_interval;
+      run t
+    | `Retry msg ->
+      locked t (fun () ->
+          if t.last_error <> Some msg then begin
+            t.config.log ("replication: " ^ msg);
+            t.last_error <- Some msg
+          end);
+      sleep t t.config.poll_interval;
+      run t
+    | `Fatal msg | `Crashed msg ->
+      (* stop following; keep serving reads at the last applied state *)
+      locked t (fun () -> t.last_error <- Some msg);
+      t.config.log ("replication halted: " ^ msg)
+
+let start t =
+  match t.thread with
+  | Some _ -> ()
+  | None -> t.thread <- Some (Thread.create run t)
+
+let stop t =
+  if not t.closed then begin
+    locked t (fun () ->
+        t.stopping <- true;
+        (* break a request the loop may be blocked in *)
+        match t.conn with Some c -> Client.shutdown c.client | None -> ());
+    wake t;
+    (match t.thread with
+    | Some th ->
+      t.thread <- None;
+      Thread.join th
+    | None -> ());
+    locked t (fun () ->
+        (match t.conn with Some c -> Client.close c.client | None -> ());
+        t.conn <- None;
+        t.connected <- false);
+    t.closed <- true;
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  end

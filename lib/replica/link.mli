@@ -1,0 +1,108 @@
+(** The replica side of log shipping: a pull loop over a {!Client}
+    connection that keeps a local durable KB in lockstep with a primary.
+
+    A link owns the replica's relationship to its primary: it connects,
+    handshakes ({!Protocol.hello}) announcing the local {!Persist.seq},
+    then either tails the primary's log with [pull] requests — applying
+    each shipped mutation through {!Kb.Session.apply} under the engine
+    lock, so the replica's own WAL and result cache track its store — or
+    bootstraps from a snapshot when the primary has compacted past the
+    replica's position.  An empty pull is the heartbeat; the loop sleeps
+    [poll_interval] between them.
+
+    {b Faults.}  Connection errors and garbled replies drop the
+    connection and retry forever (logged once per distinct message);
+    typed refusals are policy: ["behind"] triggers a snapshot bootstrap,
+    ["handshake"] (protocol mismatch, diverged history) and ["proto"]
+    (a primary too old to know the verbs) halt replication — the replica
+    keeps serving reads at its last applied state.
+
+    {b Promotion} ({!promote}, or {!request_promote} from a signal
+    handler) flips the role to ["primary"] and severs the stream; the
+    engine's write gate reads the role through {!status}, so writes are
+    accepted from that point on.
+
+    {b Locking.}  The link applies mutations inside
+    {!Server.Engine.exclusively}; nothing here takes the link's own lock
+    while holding the engine's, so the engine-side closures (which run
+    under the engine lock and call {!status}/{!promote}) cannot
+    deadlock. *)
+
+type t
+
+type config = {
+  primary : Server.Daemon.address;
+  poll_interval : float;  (** seconds between heartbeat pulls *)
+  batch : int;  (** records per pull request *)
+  connect_retry : float;
+      (** seconds to retry one connection attempt before backing off to
+          the poll cadence (also bounds how long {!stop} can block) *)
+  log : string -> unit;  (** one-line progress/diagnostic sink *)
+}
+
+val default_config : Server.Daemon.address -> config
+(** 50 ms poll, batch 512, 0.5 s connect retry, silent log. *)
+
+val create :
+  ?metrics:Governor.Metrics.t ->
+  engine:Server.Engine.t ->
+  session:Kb.Session.t ->
+  persist:Persist.t ->
+  config ->
+  t
+(** Wire a link over the replica's engine, session and open data
+    directory (the session's [on_mutation] observer must already append
+    to [persist] — the daemon sets that up).  [metrics] receives
+    [repl_applied]/[repl_bootstraps]. *)
+
+val step :
+  t ->
+  [ `Applied of int  (** a pull shipped and applied this many records *)
+  | `Ready  (** progress without records: connected, greeted, or
+                bootstrapped — call again *)
+  | `Idle  (** in sync; nothing to do until the primary moves *)
+  | `Retry of string  (** transient failure; connection dropped *)
+  | `Fatal of string  (** replication cannot continue (mismatch,
+                          divergence); reads keep working *)
+  | `Stopped  (** the link was stopped or promoted *) ]
+(** One protocol step — connect, greet, pull or bootstrap, whichever is
+    next.  The background loop is [step] in a loop; tests drive it
+    directly for deterministic schedules.  Exceptions from the apply
+    path (e.g. fault-injection budgets) propagate. *)
+
+val run : t -> unit
+(** The loop {!start} spawns: steps until stopped, promoted or fatal,
+    sleeping [poll_interval] when idle. *)
+
+val start : t -> unit
+(** Spawn {!run} in a background thread (idempotent). *)
+
+val stop : t -> unit
+(** Stop the loop, interrupt a blocked request, join the thread and
+    close the connection.  Idempotent; safe without {!start}. *)
+
+val disconnect : t -> unit
+(** Drop the current connection (the loop reconnects on its next step).
+    Fault-injection surface for tests. *)
+
+val promote : t -> (string, string) result
+(** Leave the stream and become a standalone primary: [Ok "primary"]
+    once; [Error] if already promoted.  Callable from the engine's
+    promote closure (under the engine lock). *)
+
+val request_promote : t -> unit
+(** Async-signal-safe promotion request: sets a flag and wakes the
+    loop, which calls {!promote}.  The SIGUSR1 handler. *)
+
+type status = {
+  role : string;  (** ["replica"], or ["primary"] after promotion *)
+  primary : string;  (** printable address of the configured primary *)
+  connected : bool;
+  last_applied : int;  (** the local {!Persist.seq} *)
+  primary_seq : int;  (** the primary's seq at last contact *)
+  lag : int;  (** [max 0 (primary_seq - last_applied)] *)
+  bootstraps : int;  (** snapshot bootstraps performed *)
+  last_error : string option;
+}
+
+val status : t -> status

@@ -1,0 +1,55 @@
+(** The replica's half of the replication protocol: builders for the
+    [hello]/[pull]/[fetch_snapshot] requests and decoders for their
+    replies.  Pure — no sockets — so the codec round-trips are testable
+    without a server.
+
+    Decoders distinguish a {e refusal} (the primary answered with a
+    typed error — policy lives in {!Link}, e.g. a ["behind"] refusal
+    triggers a snapshot bootstrap) from a {e garbled} reply (the bytes
+    are not the protocol — the peer is the wrong kind of server or the
+    stream is corrupt). *)
+
+type refusal = { kind : string; message : string }
+(** A typed error response: the wire error [kind] and its message. *)
+
+(** {1 Requests} *)
+
+val hello : seq:int -> Server.Wire.json
+(** Handshake announcing our last applied sequence number and our
+    {!Server.Wire.protocol_revision}. *)
+
+val pull : from:int -> max:int -> Server.Wire.json
+(** Ask for up to [max] records after [from].  An empty pull doubles as
+    a heartbeat. *)
+
+val fetch_snapshot : Server.Wire.json
+
+(** {1 Replies} *)
+
+type hello_reply = {
+  role : string;  (** the primary's current role *)
+  seq : int;  (** the primary's sequence number *)
+  action : [ `Tail | `Snapshot ];
+      (** what the primary tells us to do: tail the log, or bootstrap
+          from a snapshot because our position was compacted away *)
+}
+
+val decode_hello :
+  Server.Wire.json ->
+  (hello_reply, [ `Refused of refusal | `Garbled of string ]) result
+
+val decode_pull :
+  Server.Wire.json ->
+  ( int * Kb.Store.mutation list,
+    [ `Refused of refusal | `Garbled of string ] )
+  result
+(** [(primary_seq, mutations)] — the shipped records decoded through the
+    same {!Persist.Record} walk crash recovery uses (CRCs verified end
+    to end; a count mismatch or torn frame is [`Garbled]). *)
+
+val decode_snapshot :
+  Server.Wire.json ->
+  ( int * Kb.Store.dump,
+    [ `Refused of refusal | `Garbled of string ] )
+  result
+(** [(seq, dump)] from a bootstrap image. *)

@@ -77,4 +77,7 @@ let request_line t line =
 
 let request t j = request_line t (Wire.to_string j)
 
+let shutdown t =
+  try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -17,4 +17,10 @@ val request_line : t -> string -> (Wire.json, string) result
 val request : t -> Wire.json -> (Wire.json, string) result
 (** Encode and send a request object. *)
 
+val shutdown : t -> unit
+(** Shut both directions of the socket down without closing the
+    descriptor: a thread blocked in {!request} sees end-of-file and
+    returns an error.  The replication link's stop path uses this to
+    interrupt an in-flight poll from another thread. *)
+
 val close : t -> unit

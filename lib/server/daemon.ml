@@ -8,12 +8,14 @@ type config = {
   queue : int;
   caps : Engine.caps;
   persist : Persist.config option;
+  replicate_on : address option;
 }
 
 type t = {
   config : config;
   listen_fd : Unix.file_descr;
   bound : address;
+  repl : (Unix.file_descr * address) option;  (* replication listener *)
   engine : Engine.t;
   persist : (Persist.t * Persist.recovery) option;
   pool : Pool.t;
@@ -23,35 +25,52 @@ type t = {
   lock : Mutex.t;  (* guards [stopping], [conns], [readers] *)
   mutable conns : Unix.file_descr list;
   mutable readers : Thread.t list;
+  mutable on_drain : (unit -> unit) option;
 }
 
 let engine t = t.engine
 let address t = t.bound
 let recovery t = Option.map snd t.persist
+let persist_handle t = Option.map fst t.persist
+let replication_address t = Option.map snd t.repl
+let on_drain t f = t.on_drain <- Some f
 
 let sockaddr_of = function
   | `Unix path -> Unix.ADDR_UNIX path
   | `Tcp (host, port) ->
     Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
 
-let create config =
+let listen address =
   let domain =
-    match config.address with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
+    match address with `Unix _ -> Unix.PF_UNIX | `Tcp _ -> Unix.PF_INET
   in
   let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
-  (match config.address with
+  (match address with
   | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
   | `Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
-  (try Unix.bind fd (sockaddr_of config.address)
-   with e -> Unix.close fd; raise e);
+  (try Unix.bind fd (sockaddr_of address) with e -> Unix.close fd; raise e);
   Unix.listen fd 64;
   let bound =
-    match config.address with
+    match address with
     | `Unix _ as a -> a
     | `Tcp (host, _) -> (
       match Unix.getsockname fd with
       | Unix.ADDR_INET (_, port) -> `Tcp (host, port)
-      | _ -> config.address)
+      | _ -> address)
+  in
+  (fd, bound)
+
+let create config =
+  let fd, bound = listen config.address in
+  let repl =
+    match config.replicate_on with
+    | None -> None
+    | Some a -> (
+      try Some (listen a) with e -> Unix.close fd; raise e)
+  in
+  let close_listeners () =
+    Unix.close fd;
+    match repl with Some (rfd, _) -> Unix.close rfd | None -> ()
   in
   let metrics = M.create () in
   let pool = Pool.create ~workers:config.workers ~queue:config.queue in
@@ -66,7 +85,7 @@ let create config =
     | Some pc ->
       let p, store, recovery =
         try Persist.open_dir ~metrics pc
-        with e -> Unix.close fd; raise e
+        with e -> close_listeners (); raise e
       in
       let session = Kb.Session.of_store store in
       Kb.Session.on_mutation session (fun m -> Persist.append p m);
@@ -74,7 +93,14 @@ let create config =
         Some session,
         Some
           { Engine.snapshot = (fun () -> Persist.snapshot p);
-            seq = (fun () -> Persist.seq p)
+            seq = (fun () -> Persist.seq p);
+            wait_durable = (fun () -> Persist.wait_durable p);
+            tail =
+              (fun ~from ~max ->
+                match Persist.tail p ~from ~max with
+                | Ok _ as ok -> ok
+                | Error (`Too_old base) -> Error base);
+            snapshot_image = (fun () -> Persist.snapshot_image p)
           } )
   in
   let engine =
@@ -86,6 +112,7 @@ let create config =
   { config;
     listen_fd = fd;
     bound;
+    repl;
     engine;
     persist;
     pool;
@@ -94,7 +121,8 @@ let create config =
     stopping = false;
     lock = Mutex.create ();
     conns = [];
-    readers = []
+    readers = [];
+    on_drain = None
   }
 
 let stop t =
@@ -214,20 +242,30 @@ let reader t fd =
 (* ------------------------------------------------------------------ *)
 
 let serve t =
+  let listeners =
+    t.listen_fd :: (match t.repl with Some (fd, _) -> [ fd ] | None -> [])
+  in
+  let accept_on fd =
+    match Unix.accept fd with
+    | conn, _ ->
+      M.incr (Engine.metrics t.engine) "connections";
+      Mutex.lock t.lock;
+      t.conns <- conn :: t.conns;
+      t.readers <- Thread.create (reader t) conn :: t.readers;
+      Mutex.unlock t.lock
+    | exception Unix.Unix_error _ -> ()
+  in
   let rec accept_loop () =
     if not t.stopping then begin
-      match Unix.select [ t.listen_fd; t.stop_r ] [] [] (-1.) with
+      match Unix.select (t.stop_r :: listeners) [] [] (-1.) with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
       | readable, _, _ ->
-        if List.mem t.listen_fd readable && not t.stopping then begin
-          (match Unix.accept t.listen_fd with
-          | fd, _ ->
-            M.incr (Engine.metrics t.engine) "connections";
-            Mutex.lock t.lock;
-            t.conns <- fd :: t.conns;
-            t.readers <- Thread.create (reader t) fd :: t.readers;
-            Mutex.unlock t.lock
-          | exception Unix.Unix_error _ -> ());
+        if not t.stopping then begin
+          (* both listeners feed the same engine: replicas speak the
+             ordinary wire protocol, just on their own address *)
+          List.iter
+            (fun fd -> if List.mem fd readable then accept_on fd)
+            listeners;
           accept_loop ()
         end
         (* otherwise: woken by the stop pipe (or stop flag already set) *)
@@ -240,6 +278,13 @@ let serve t =
   (match t.bound with
   | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
   | `Tcp _ -> ());
+  (match t.repl with
+  | Some (fd, bound) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (match bound with
+    | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+    | `Tcp _ -> ())
+  | None -> ());
   Pool.drain t.pool;
   Mutex.lock t.lock;
   let conns = t.conns and readers = t.readers in
@@ -250,6 +295,10 @@ let serve t =
       try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     conns;
   List.iter Thread.join readers;
+  (* the drain hook runs after the workers and readers are gone but
+     before the WAL closes — bin stops the replication link here so its
+     last append cannot race the close *)
+  (match t.on_drain with Some f -> (try f () with _ -> ()) | None -> ());
   (* all workers and readers are gone; no appends can race the close *)
   (match t.persist with Some (p, _) -> Persist.close p | None -> ());
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());

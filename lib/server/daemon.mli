@@ -30,6 +30,11 @@ type config = {
       (** durable KB: recover the store from this data directory at
           startup and log every mutation to it ([None] = in-memory
           only; see [docs/PERSISTENCE.md]) *)
+  replicate_on : address option;
+      (** also listen on this address for replicas ([hello]/[pull]/
+          [fetch_snapshot] traffic; same wire protocol, dedicated
+          address so replica and client traffic can be segregated);
+          requires [persist] — the log is what ships *)
 }
 
 type t
@@ -49,6 +54,20 @@ val engine : t -> Engine.t
 
 val recovery : t -> Persist.recovery option
 (** The recovery report from startup, when [persist] was set. *)
+
+val persist_handle : t -> Persist.t option
+(** The open persistence handle ([bin] builds the replication link's
+    apply path on it).  Appending outside the engine lock races the
+    workers — use {!Engine.exclusively}. *)
+
+val replication_address : t -> address option
+(** The bound replication listener (with an ephemeral TCP port
+    resolved), when [replicate_on] was set. *)
+
+val on_drain : t -> (unit -> unit) -> unit
+(** Register a hook that {!serve} runs while draining, after every
+    worker and reader has finished but before the data directory
+    closes — the replication link is stopped here. *)
 
 val serve : t -> unit
 (** Run the accept loop until {!stop}; drains before returning. *)

@@ -5,7 +5,20 @@ type caps = { timeout : float option; steps : int option }
 
 let default_caps = { timeout = Some 30.; steps = None }
 
-type persistence = { snapshot : unit -> int; seq : unit -> int }
+type persistence = {
+  snapshot : unit -> int;
+  seq : unit -> int;
+  wait_durable : unit -> unit;
+  tail : from:int -> max:int -> (string * int, int) result;
+  snapshot_image : unit -> int * string;
+}
+
+type replication = {
+  role : unit -> string;
+  primary : unit -> string option;
+  details : unit -> (string * Wire.json) list;
+  promote : unit -> (string, string) result;
+}
 
 type t = {
   session : Kb.Session.t;
@@ -14,6 +27,7 @@ type t = {
   lock : Mutex.t;
   extra_stats : unit -> (string * Wire.json) list;
   persistence : persistence option;
+  mutable replication : replication option;
 }
 
 let create ?(caps = default_caps) ?(metrics = M.create ())
@@ -21,10 +35,16 @@ let create ?(caps = default_caps) ?(metrics = M.create ())
   let session =
     match session with Some s -> s | None -> Kb.Session.create ()
   in
-  { session; caps; metrics; lock = Mutex.create (); extra_stats; persistence }
+  { session; caps; metrics; lock = Mutex.create (); extra_stats; persistence;
+    replication = None }
 
 let session t = t.session
 let metrics t = t.metrics
+let set_replication t r = t.replication <- Some r
+
+let exclusively t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* The effective limit is the minimum of what the request asks for and
    the server cap; the cap applies even to requests that ask for
@@ -59,6 +79,15 @@ let kind_to_string = function
   | `Stable -> "stable"
   | `Af -> "assumption-free"
 
+let is_write = function
+  | Wire.Load _ | Wire.Define _ | Wire.Add_rule _ | Wire.Remove_rule _
+  | Wire.New_version _ ->
+    true
+  | Wire.Query _ | Wire.Models _ | Wire.Explain _ | Wire.Stats
+  | Wire.Version | Wire.Snapshot | Wire.Shutdown | Wire.Hello _
+  | Wire.Pull _ | Wire.Fetch_snapshot | Wire.Promote ->
+    false
+
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -82,15 +111,29 @@ let stats_response t ~id =
       @ List.map (fun (k, v) -> (k, Wire.Int v)) (M.snapshot t.metrics))
   in
   Wire.ok ?id
-    [ ("version", Wire.String Wire.package_version);
-      ("protocol", Wire.Int Wire.protocol_revision);
-      ("cache", cache);
-      ("server", server)
-    ]
+    ([ ("version", Wire.String Wire.package_version);
+       ("protocol", Wire.Int Wire.protocol_revision);
+       ("cache", cache)
+     ]
+    @ (match t.replication with
+      | Some r ->
+        (* fixed field order — the stats line is a cram-pinned contract *)
+        [ ("replication",
+           Wire.Obj (("role", Wire.String (r.role ())) :: r.details ()))
+        ]
+      | None -> [])
+    @ [ ("server", server) ])
 
 let serve t ~id req =
   let session = t.session in
   let budget = budget_of t req.Wire.budget in
+  (* a replica's KB is owned by the replication stream: local writes
+     would fork its history, so they bounce with a redirect *)
+  (match t.replication with
+  | Some r when is_write req.Wire.verb && r.role () = "replica" ->
+    let primary = Option.value ~default:"unknown" (r.primary ()) in
+    Governor.Diag.fail (Governor.Diag.Read_only { primary })
+  | _ -> ());
   match req.Wire.verb with
   | Wire.Load { src } ->
     Kb.Session.load session src;
@@ -156,6 +199,107 @@ let serve t ~id req =
       let seq = p.snapshot () in
       Wire.ok ?id [ ("snapshot", Wire.Int seq) ])
   | Wire.Shutdown -> Wire.ok ?id [ ("shutdown", Wire.Bool true) ]
+  | Wire.Hello { seq; protocol } -> (
+    match t.persistence with
+    | None ->
+      Wire.error_response ?id ~kind:"input"
+        "replication requires a data directory (start the primary with \
+         --data-dir)"
+    | Some p ->
+      if protocol <> Wire.protocol_revision then
+        Wire.error_response ?id ~kind:"handshake"
+          (Printf.sprintf
+             "protocol revision mismatch: this server speaks %d, the \
+              replica speaks %d — upgrade so both ends match"
+             Wire.protocol_revision protocol)
+      else begin
+        let cur = p.seq () in
+        if seq > cur then
+          Wire.error_response ?id ~kind:"handshake"
+            (Printf.sprintf
+               "replica is ahead of this primary (replica at sequence %d, \
+                primary at %d): diverged history — re-seed the replica \
+                from an empty data directory"
+               seq cur)
+        else begin
+          let action =
+            match p.tail ~from:seq ~max:0 with
+            | Ok _ -> "tail"
+            | Error _ -> "snapshot"
+          in
+          M.incr t.metrics "repl_hellos";
+          let role =
+            match t.replication with
+            | Some r -> r.role ()
+            | None -> "primary"
+          in
+          Wire.ok ?id
+            [ ("role", Wire.String role);
+              ("protocol", Wire.Int Wire.protocol_revision);
+              ("seq", Wire.Int cur);
+              ("action", Wire.String action)
+            ]
+        end
+      end)
+  | Wire.Pull { from_seq; max } -> (
+    match t.persistence with
+    | None ->
+      Wire.error_response ?id ~kind:"input"
+        "replication requires a data directory (start the primary with \
+         --data-dir)"
+    | Some p ->
+      let cur = p.seq () in
+      if from_seq > cur then
+        Wire.error_response ?id ~kind:"handshake"
+          (Printf.sprintf
+             "pull from sequence %d but this primary is at %d: diverged \
+              history — re-seed the replica from an empty data directory"
+             from_seq cur)
+      else begin
+        let max = min 4096 (Option.value ~default:512 max) in
+        match p.tail ~from:from_seq ~max with
+        | Ok (bytes, n) ->
+          if n > 0 then M.add t.metrics "repl_records_shipped" n;
+          Wire.ok ?id
+            [ ("seq", Wire.Int cur);
+              ("from", Wire.Int from_seq);
+              ("count", Wire.Int n);
+              ("records", Wire.String (Hex.encode bytes))
+            ]
+        | Error oldest ->
+          Wire.error_response ?id ~kind:"behind"
+            (Printf.sprintf
+               "records from sequence %d were compacted away (the log now \
+                starts at %d); fetch a snapshot"
+               from_seq oldest)
+      end)
+  | Wire.Fetch_snapshot -> (
+    match t.persistence with
+    | None ->
+      Wire.error_response ?id ~kind:"input"
+        "replication requires a data directory (start the primary with \
+         --data-dir)"
+    | Some p ->
+      let seq, image = p.snapshot_image () in
+      M.incr t.metrics "repl_snapshots_served";
+      Wire.ok ?id
+        [ ("seq", Wire.Int seq);
+          ("snapshot", Wire.String (Hex.encode image))
+        ])
+  | Wire.Promote -> (
+    match t.replication with
+    | None ->
+      Wire.error_response ?id ~kind:"input"
+        "this server is not a replica (start with --replica-of)"
+    | Some r -> (
+      match r.promote () with
+      | Ok role ->
+        Wire.ok ?id
+          (("role", Wire.String role)
+          :: (match t.persistence with
+             | Some p -> [ ("seq", Wire.Int (p.seq ())) ]
+             | None -> []))
+      | Error msg -> Wire.error_response ?id ~kind:"input" msg))
 
 let handle t (req : Wire.request) =
   let id = req.id in
@@ -168,6 +312,8 @@ let handle t (req : Wire.request) =
         | B.Exhausted reason ->
           (* no sound partial payload outside the enumerations *)
           Wire.partial ?id ~reason:(B.reason_to_string reason) []
+        | Ordered.Diag.Error (Ordered.Diag.Read_only _ as e) ->
+          Wire.error_response ?id ~kind:"read_only" (Ordered.Diag.to_string e)
         | Ordered.Diag.Error e ->
           Wire.error_response ?id ~kind:"diag" (Ordered.Diag.to_string e)
         | Invalid_argument msg | Failure msg ->
@@ -182,6 +328,15 @@ let handle t (req : Wire.request) =
           (* the worker must survive anything *)
           Wire.error_response ?id ~kind:"internal" (Printexc.to_string e))
   in
+  (* durability is paid outside the engine lock, so concurrent writers
+     pile into the same group-commit window instead of serializing
+     their fsyncs *)
+  (match t.persistence with
+  | Some p when is_write req.verb -> (
+    match Wire.status_of_response response with
+    | `Ok -> p.wait_durable ()
+    | `Partial | `Error | `Unknown -> ())
+  | _ -> ());
   M.incr t.metrics "served";
   (match Wire.status_of_response response with
   | `Ok -> M.incr t.metrics "ok"

@@ -37,10 +37,36 @@ type persistence = {
   snapshot : unit -> int;
       (** force a durable snapshot; returns the sequence number covered *)
   seq : unit -> int;  (** mutations logged so far *)
+  wait_durable : unit -> unit;
+      (** block until every logged mutation is on stable storage (the
+          group-commit rendezvous; a no-op without group commit) *)
+  tail : from:int -> max:int -> (string * int, int) result;
+      (** raw framed WAL records after [from] ([Error oldest] when
+          compacted away; see {!Persist.tail}) *)
+  snapshot_image : unit -> int * string;
+      (** current state as a snapshot encoding, for replica bootstrap *)
 }
-(** The engine's view of the persistence layer — two closures, so
-    [Server] needs no dependency on [Persist]; the daemon wires them to
-    {!Persist.snapshot}/{!Persist.seq} under the engine lock. *)
+(** The engine's view of the persistence layer — closures, so [Server]
+    needs no dependency on [Persist]; the daemon wires them to the
+    corresponding {!Persist} operations under the engine lock. *)
+
+type replication = {
+  role : unit -> string;  (** ["primary"] or ["replica"] *)
+  primary : unit -> string option;
+      (** printable address of the primary (for the [Read_only]
+          redirect); [None] on a primary *)
+  details : unit -> (string * Wire.json) list;
+      (** role-specific [stats] fields, in a fixed, deterministic
+          order *)
+  promote : unit -> (string, string) result;
+      (** leave the replication stream and accept writes; [Ok role]
+          with the new role, [Error] with a reason *)
+}
+(** The engine's view of the replication layer, injected by [bin] after
+    the daemon is up ({!set_replication}).  With it set, write verbs on
+    a ["replica"] role bounce with a typed [Read_only] diagnostic
+    (["read_only"] error kind on the wire), [stats] gains a
+    ["replication"] object, and the [promote] verb works. *)
 
 val create :
   ?caps:caps ->
@@ -60,6 +86,16 @@ val create :
 
 val session : t -> Kb.Session.t
 val metrics : t -> Governor.Metrics.t
+
+val set_replication : t -> replication -> unit
+(** Install the replication hooks (one slot; a second call replaces the
+    first). *)
+
+val exclusively : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the engine's KB lock — the replication apply path
+    uses this to replay shipped mutations without racing the request
+    workers.  Do not call {!handle} (or anything that re-locks) from
+    inside [f]. *)
 
 val handle : t -> Wire.request -> Wire.json
 (** Serve one request.  Never raises.  Updates the metrics counters

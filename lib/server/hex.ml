@@ -1,0 +1,46 @@
+(* Lowercase hex transport encoding for binary payloads carried inside
+   JSON strings (replication ships raw WAL frames this way); see
+   hex.mli. *)
+
+let digits = "0123456789abcdef"
+
+let encode s =
+  let n = String.length s in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code s.[i] in
+    Bytes.set out (2 * i) digits.[c lsr 4];
+    Bytes.set out ((2 * i) + 1) digits.[c land 0xF]
+  done;
+  Bytes.unsafe_to_string out
+
+let nibble = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "odd-length hex string"
+  else begin
+    let out = Bytes.create (n / 2) in
+    let bad = ref None in
+    let i = ref 0 in
+    while !bad = None && !i < n / 2 do
+      let hi = nibble s.[2 * !i] and lo = nibble s.[(2 * !i) + 1] in
+      if hi < 0 || lo < 0 then
+        bad :=
+          Some
+            (Printf.sprintf "invalid hex character %C at offset %d"
+               (if hi < 0 then s.[2 * !i] else s.[(2 * !i) + 1])
+               (if hi < 0 then 2 * !i else (2 * !i) + 1))
+      else begin
+        Bytes.set out !i (Char.chr ((hi lsl 4) lor lo));
+        incr i
+      end
+    done;
+    match !bad with
+    | Some msg -> Error msg
+    | None -> Ok (Bytes.unsafe_to_string out)
+  end

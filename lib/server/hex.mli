@@ -1,0 +1,11 @@
+(** Hex transport encoding: binary record images travel inside JSON
+    strings (the wire codec carries no raw bytes), so replication ships
+    WAL frames and snapshot images hex-encoded.  Encoding is lowercase;
+    decoding accepts either case and never raises. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex of [s] (length doubles). *)
+
+val decode : string -> (string, string) result
+(** Inverse of {!encode}; [Error] on odd length or a non-hex
+    character. *)

@@ -319,11 +319,15 @@ type verb =
   | Version
   | Snapshot
   | Shutdown
+  | Hello of { seq : int; protocol : int }
+  | Pull of { from_seq : int; max : int option }
+  | Fetch_snapshot
+  | Promote
 
 type request = { id : int option; budget : budget_spec; verb : verb }
 
-let package_version = "1.1.0"
-let protocol_revision = 2
+let package_version = "1.2.0"
+let protocol_revision = 3
 
 exception Bad_request of string
 
@@ -346,6 +350,11 @@ let opt_nat_field o name =
   | Some (Int i) when i >= 0 -> Some i
   | Some Null | None -> None
   | Some _ -> reject "field %S must be a non-negative integer" name
+
+let nat_field o name =
+  match opt_nat_field o name with
+  | Some i -> i
+  | None -> reject "missing field %S" name
 
 let str_list_field o name =
   match member name o with
@@ -392,6 +401,11 @@ let decode_verb o = function
   | "version" -> Version
   | "snapshot" -> Snapshot
   | "shutdown" -> Shutdown
+  | "hello" ->
+    Hello { seq = nat_field o "seq"; protocol = nat_field o "protocol" }
+  | "pull" -> Pull { from_seq = nat_field o "from"; max = opt_nat_field o "max" }
+  | "fetch_snapshot" -> Fetch_snapshot
+  | "promote" -> Promote
   | op -> reject "unknown op %S" op
 
 let decode_request ?max_len line =

@@ -74,6 +74,14 @@ type verb =
   | Version  (** package version and protocol revision *)
   | Snapshot  (** force a durable snapshot (needs a data directory) *)
   | Shutdown
+  | Hello of { seq : int; protocol : int }
+      (** replication handshake: the replica announces its last applied
+          sequence number and its {!protocol_revision} *)
+  | Pull of { from_seq : int; max : int option }
+      (** ship WAL records after [from_seq] (at most [max]); an empty
+          pull doubles as a heartbeat *)
+  | Fetch_snapshot  (** bootstrap: fetch a full snapshot image *)
+  | Promote  (** turn this replica into a standalone primary *)
 
 type request = { id : int option; budget : budget_spec; verb : verb }
 
@@ -101,8 +109,12 @@ val error_response : ?id:int -> kind:string -> string -> json
 (** [{"status": "error", "id": id?, "error": {"kind": kind, "message":
     message}}].  Kinds in use: ["proto"] (undecodable request), ["input"]
     (bad program text, unknown object, precondition), ["diag"] (a typed
-    {!Ordered.Diag} error), ["busy"] (request queue full), ["draining"]
-    (server shutting down), ["internal"]. *)
+    {!Ordered.Diag} error), ["read_only"] (a write reached a replica; the
+    message names the primary), ["handshake"] (replication handshake
+    refused: protocol mismatch or diverged history), ["behind"] (the
+    requested WAL tail was compacted away; fetch a snapshot), ["busy"]
+    (request queue full), ["draining"] (server shutting down),
+    ["internal"]. *)
 
 val status_of_response : json -> [ `Ok | `Partial | `Error | `Unknown ]
 (** Classify a response line (used by [olp call] for its exit code). *)

@@ -27,5 +27,6 @@ let () =
       ("session", Test_session.suite);
       ("server", Test_server.suite);
       ("persist", Test_persist.suite);
+      ("replica", Test_replica.suite);
       ("crash", Test_crash.suite)
     ]

@@ -1,0 +1,117 @@
+Log-shipping replication end to end: a primary that accepts replicas
+on a second listener, a replica that bootstraps and tails the
+primary's write-ahead log into its own data directory, read-only
+serving with a typed redirect, failover by promotion, and offline
+recovery of the replica's directory.  See docs/REPLICATION.md.
+
+The flags police their prerequisites:
+
+  $ olp serve --socket x.sock --replica-of rep.sock
+  olp serve: --replica-of requires --data-dir (the replica keeps its own durable copy of the history)
+  [2]
+  $ olp serve --socket x.sock --data-dir xd --replicate-on rep.sock --replica-of rep.sock
+  olp serve: --replica-of and --replicate-on cannot be combined (chained replicas are not supported yet)
+  [2]
+
+Start a primary that accepts replicas on a second Unix socket, and
+give it some knowledge:
+
+  $ olp serve --socket prim.sock --data-dir pd --replicate-on rep.sock > primary.log 2>&1 &
+  $ PRIMARY=$!
+  $ olp call --socket prim.sock --retry 5 '{"op":"load","src":"component top { fly(X) :- bird(X). bird(tweety). bird(penguin). } component bot extends top { -fly(penguin). }"}'
+  {"status":"ok","objects":["top","bot"]}
+  $ olp call --socket prim.sock '{"op":"add_rule","obj":"bot","rule":"swims(penguin)."}'
+  {"status":"ok"}
+  $ head -3 primary.log
+  olp serve: data dir pd (seq 0, replayed 0 from base 0)
+  olp serve: listening on unix:prim.sock (4 workers)
+  olp serve: accepting replicas on unix:rep.sock
+
+The primary's stats name its role and the replication listener:
+
+  $ olp call --socket prim.sock stats | grep -o '"replication":{[^}]*}'
+  "replication":{"role":"primary","listener":"unix:rep.sock"}
+
+Start a replica pointed at the replication listener.  It catches up
+(two mutations behind) and then reports zero lag:
+
+  $ olp serve --socket repl.sock --data-dir rd --replica-of rep.sock > replica.log 2>&1 &
+  $ REPLICA=$!
+  $ for i in $(seq 1 150); do
+  >   if olp call --socket repl.sock --retry 5 stats | grep -q '"lag":0,"connected":true'; then break; fi
+  >   sleep 0.1
+  > done
+  $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}'
+  "replication":{"role":"replica","primary":"unix:rep.sock","last_applied":2,"primary_seq":2,"lag":0,"connected":true}
+  $ head -3 replica.log
+  olp serve: data dir rd (seq 0, replayed 0 from base 0)
+  olp serve: listening on unix:repl.sock (4 workers)
+  olp serve: replicating from unix:rep.sock
+
+The replica answers queries from its own copy of the knowledge base —
+the same answers the primary gives:
+
+  $ olp call --socket prim.sock '{"op":"query","obj":"bot","lit":"fly(penguin)"}' '{"op":"query","obj":"bot","lit":"swims(penguin)"}'
+  {"status":"ok","value":"false"}
+  {"status":"ok","value":"true"}
+  $ olp call --socket repl.sock '{"op":"query","obj":"bot","lit":"fly(penguin)"}' '{"op":"query","obj":"bot","lit":"swims(penguin)"}'
+  {"status":"ok","value":"false"}
+  {"status":"ok","value":"true"}
+
+Writes on the replica bounce with a typed redirect to the primary:
+
+  $ olp call --socket repl.sock '{"op":"add_rule","obj":"top","rule":"bird(emu)."}'
+  {"status":"error","error":{"kind":"read_only","message":"knowledge base is read-only: this server replicates from unix:rep.sock; send writes to the primary"}}
+  [2]
+
+New writes on the primary flow to the replica:
+
+  $ olp call --socket prim.sock '{"op":"add_rule","obj":"top","rule":"bird(robin)."}'
+  {"status":"ok"}
+  $ for i in $(seq 1 150); do
+  >   if olp call --socket repl.sock stats | grep -q '"last_applied":3'; then break; fi
+  >   sleep 0.1
+  > done
+  $ olp call --socket repl.sock '{"op":"query","obj":"bot","lit":"fly(robin)"}'
+  {"status":"ok","value":"true"}
+
+Kill the primary (SIGTERM, as an init system would).  The replica
+keeps serving reads at its last applied state and reports the lost
+connection:
+
+  $ kill $PRIMARY
+  $ wait $PRIMARY
+  $ for i in $(seq 1 150); do
+  >   if olp call --socket repl.sock stats | grep -q '"connected":false'; then break; fi
+  >   sleep 0.1
+  > done
+  $ olp call --socket repl.sock '{"op":"query","obj":"bot","lit":"fly(robin)"}'
+  {"status":"ok","value":"true"}
+
+Promote the replica: it detaches from the dead primary and starts
+accepting writes:
+
+  $ olp promote --socket repl.sock
+  {"status":"ok","role":"primary","seq":3}
+  $ grep -c 'promoted: replication stopped' replica.log
+  1
+  $ olp call --socket repl.sock '{"op":"add_rule","obj":"top","rule":"bird(emu)."}' '{"op":"query","obj":"bot","lit":"fly(emu)"}'
+  {"status":"ok"}
+  {"status":"ok","value":"true"}
+  $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}'
+  "replication":{"role":"primary","primary":"unix:rep.sock","last_applied":4,"primary_seq":3,"lag":0,"connected":false}
+
+A second promotion has nothing to do:
+
+  $ olp promote --socket repl.sock
+  {"status":"error","error":{"kind":"input","message":"already promoted: this server is a standalone primary"}}
+  [2]
+
+Shut the promoted server down; its data directory holds the full
+history — the three replicated mutations plus its own write:
+
+  $ olp call --socket repl.sock shutdown
+  {"status":"ok","shutdown":true}
+  $ wait $REPLICA
+  $ olp recover rd
+  olp recover: data dir rd (seq 4, replayed 4 from base 0)

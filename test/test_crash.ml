@@ -52,7 +52,7 @@ let expected =
   in
   Array.of_list (initial :: after)
 
-let config dir = { P.dir; fsync = false; snapshot_every = 0 }
+let config dir = { P.dir; fsync = false; snapshot_every = 0; group_commit_ms = 0 }
 
 (* One simulated run: fault injected at tick [k].  Returns how many
    appends completed and whether the fault actually fired. *)

@@ -131,11 +131,36 @@ let test_decode_requests () =
     | Error e ->
       Alcotest.failf "wrong error class for %s: %s" s (W.error_to_string e)
   in
+  (* the replication verbs *)
+  (match W.decode_request {|{"op":"hello","seq":12,"protocol":3}|} with
+  | Ok { verb = W.Hello { seq = 12; protocol = 3 }; _ } -> ()
+  | Ok _ -> Alcotest.fail "hello decoded wrong"
+  | Error e -> Alcotest.failf "hello rejected: %s" (W.error_to_string e));
+  (match W.decode_request {|{"op":"pull","from":7,"max":64}|} with
+  | Ok { verb = W.Pull { from_seq = 7; max = Some 64 }; _ } -> ()
+  | Ok _ -> Alcotest.fail "pull decoded wrong"
+  | Error e -> Alcotest.failf "pull rejected: %s" (W.error_to_string e));
+  (match W.decode_request {|{"op":"pull","from":0}|} with
+  | Ok { verb = W.Pull { from_seq = 0; max = None }; _ } -> ()
+  | Ok _ -> Alcotest.fail "pull without max decoded wrong"
+  | Error e -> Alcotest.failf "pull rejected: %s" (W.error_to_string e));
+  (match W.decode_request {|{"op":"fetch_snapshot"}|} with
+  | Ok { verb = W.Fetch_snapshot; _ } -> ()
+  | Ok _ -> Alcotest.fail "fetch_snapshot decoded wrong"
+  | Error e ->
+    Alcotest.failf "fetch_snapshot rejected: %s" (W.error_to_string e));
+  (match W.decode_request {|{"op":"promote","id":3}|} with
+  | Ok { id = Some 3; verb = W.Promote; _ } -> ()
+  | Ok _ -> Alcotest.fail "promote decoded wrong"
+  | Error e -> Alcotest.failf "promote rejected: %s" (W.error_to_string e));
   err {|{"op":"teleport"}|};
   err {|{"op":"query","obj":"c1"}|} (* missing lit *);
   err {|{"op":"query","obj":3,"lit":"p"}|};
   err {|{"op":"models","obj":"o","kind":"total?"}|};
   err {|{"op":"models","obj":"o","limit":-1}|};
+  err {|{"op":"hello","seq":3}|} (* missing protocol *);
+  err {|{"op":"hello","seq":-1,"protocol":3}|};
+  err {|{"op":"pull"}|} (* missing from *);
   err {|{"op":"stats","id":"seven"}|};
   err {|[1,2,3]|};
   err {|"stats"|}
@@ -154,6 +179,10 @@ let corpus =
     {|{"op":"models","obj":"c1","kind":"stable","limit":3,"engine":"pruned"}|};
     {|{"op":"explain","obj":"c1","lit":"-fly(penguin)","id":12}|};
     {|{"op":"stats"}|};
+    {|{"op":"hello","seq":4,"protocol":3}|};
+    {|{"op":"pull","from":4,"max":128}|};
+    {|{"op":"fetch_snapshot"}|};
+    {|{"op":"promote"}|};
     {|{"op":"shutdown"}|}
   ]
 

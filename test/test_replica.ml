@@ -1,0 +1,382 @@
+(* Log-shipping replication, in process: the engine-level protocol
+   policy (read-only gating, handshake refusals, promote), then the two
+   correctness properties from the PR contract —
+
+   - differential: a replica driven through a random schedule of
+     mutations, disconnects, restarts, partial catch-ups and primary
+     compactions ends byte-identical to the primary once it drains;
+   - kill sweep: a fault-injection budget kills the replica's WAL append
+     at every chunk boundary in turn; recovery of the replica's own
+     directory always lands on a sound prefix of the primary's history,
+     and a budget-free link then converges to full equality.
+
+   The primary is a real [Server.Daemon] on ephemeral TCP ports; the
+   replica is the same harness `olp serve --replica-of` wires, driven
+   step by step ([Link.step]) for deterministic schedules. *)
+
+module P = Persist
+module W = Server.Wire
+module B = Governor.Budget
+module Engine = Server.Engine
+module Daemon = Server.Daemon
+module Link = Replica.Link
+module Store = Kb.Store
+
+let iters =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> 300)
+  | None -> 300
+
+let state = ref 0x51A9C4D3
+
+let rand bound =
+  state := (!state * 1664525) + 1013904223;
+  (!state lsr 9) mod bound
+
+let config dir = { P.dir; fsync = false; snapshot_every = 0; group_commit_ms = 0 }
+
+let str_member k j =
+  match W.member k j with Some (W.String s) -> Some s | _ -> None
+
+let status j = Option.value ~default:"?" (str_member "status" j)
+
+let error_kind j =
+  match W.member "error" j with
+  | Some e -> Option.value ~default:"?" (str_member "kind" e)
+  | None -> "?"
+
+let error_message j =
+  match W.member "error" j with
+  | Some e -> Option.value ~default:"" (str_member "message" e)
+  | None -> ""
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level protocol policy (no sockets)                           *)
+(* ------------------------------------------------------------------ *)
+
+let stub_replication ?(role = "replica") () =
+  { Engine.role = (fun () -> role);
+    primary = (fun () -> Some "unix:prim.sock");
+    details = (fun () -> [ ("primary", W.String "unix:prim.sock") ]);
+    promote = (fun () -> Ok "primary")
+  }
+
+let test_read_only_gate () =
+  let engine = Engine.create () in
+  Engine.set_replication engine (stub_replication ());
+  let j =
+    Engine.handle_line engine {|{"op":"add_rule","obj":"x","rule":"p."}|}
+  in
+  Alcotest.(check string) "write refused" "error" (status j);
+  Alcotest.(check string) "typed read_only" "read_only" (error_kind j);
+  Alcotest.(check bool) "redirect names the primary" true
+    (contains ~needle:"unix:prim.sock" (error_message j));
+  (* reads still serve, and stats reports the role *)
+  let j = Engine.handle_line engine {|{"op":"stats"}|} in
+  Alcotest.(check string) "stats ok on a replica" "ok" (status j);
+  (match W.member "replication" j with
+  | Some r ->
+    Alcotest.(check (option string)) "role surfaced" (Some "replica")
+      (str_member "role" r)
+  | None -> Alcotest.fail "stats lacks the replication object");
+  (* a primary role does not gate writes *)
+  Engine.set_replication engine (stub_replication ~role:"primary" ());
+  let j =
+    Engine.handle_line engine
+      {|{"op":"define","name":"x","isa":[],"rules":"p."}|}
+  in
+  Alcotest.(check string) "primary accepts writes" "ok" (status j)
+
+let test_promote_verb () =
+  let engine = Engine.create () in
+  let j = Engine.handle_line engine {|{"op":"promote"}|} in
+  Alcotest.(check string) "promote off a non-replica" "error" (status j);
+  Alcotest.(check string) "typed as input" "input" (error_kind j);
+  Engine.set_replication engine (stub_replication ());
+  let j = Engine.handle_line engine {|{"op":"promote"}|} in
+  Alcotest.(check string) "promote on a replica" "ok" (status j);
+  Alcotest.(check (option string)) "new role reported" (Some "primary")
+    (str_member "role" j)
+
+let with_persistence f =
+  let dir = Test_persist.fresh_dir () in
+  let p, store, _ = P.open_dir (config dir) in
+  let session = Kb.Session.of_store store in
+  Kb.Session.on_mutation session (fun m -> P.append p m);
+  let engine =
+    Engine.create ~session
+      ~persistence:
+        { Engine.snapshot = (fun () -> P.snapshot p);
+          seq = (fun () -> P.seq p);
+          wait_durable = (fun () -> P.wait_durable p);
+          tail =
+            (fun ~from ~max ->
+              match P.tail p ~from ~max with
+              | Ok _ as ok -> ok
+              | Error (`Too_old base) -> Error base);
+          snapshot_image = (fun () -> P.snapshot_image p)
+        }
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      P.close p;
+      Test_persist.rm_rf dir)
+    (fun () -> f engine session)
+
+let test_handshake () =
+  with_persistence @@ fun engine session ->
+  Kb.Session.load session "component c { p. q :- p. }";
+  (* a replica speaking an older protocol revision is refused, typed *)
+  let j =
+    Engine.handle_line engine {|{"op":"hello","seq":0,"protocol":2}|}
+  in
+  Alcotest.(check string) "revision mismatch refused" "error" (status j);
+  Alcotest.(check string) "typed handshake error" "handshake" (error_kind j);
+  Alcotest.(check bool) "message names both revisions" true
+    (contains ~needle:"revision" (error_message j));
+  (* a replica ahead of the primary has a diverged history *)
+  let j =
+    Engine.handle_line engine {|{"op":"hello","seq":99,"protocol":3}|}
+  in
+  Alcotest.(check string) "diverged replica refused" "handshake"
+    (error_kind j);
+  (* the good case tells the replica to tail *)
+  let j =
+    Engine.handle_line engine {|{"op":"hello","seq":0,"protocol":3}|}
+  in
+  Alcotest.(check string) "hello ok" "ok" (status j);
+  Alcotest.(check (option string)) "action is tail" (Some "tail")
+    (str_member "action" j);
+  (* replication verbs without a data directory are input errors *)
+  let bare = Engine.create () in
+  let j = Engine.handle_line bare {|{"op":"hello","seq":0,"protocol":3}|} in
+  Alcotest.(check string) "hello without persistence" "input" (error_kind j)
+
+(* ------------------------------------------------------------------ *)
+(* A real primary and a step-driven replica                            *)
+(* ------------------------------------------------------------------ *)
+
+let with_primary f =
+  let dir = Test_persist.fresh_dir () in
+  let d =
+    Daemon.create
+      { Daemon.address = `Tcp ("127.0.0.1", 0);
+        workers = 2;
+        queue = 64;
+        caps = { Engine.timeout = Some 10.; steps = None };
+        persist = Some (config dir);
+        replicate_on = Some (`Tcp ("127.0.0.1", 0))
+      }
+  in
+  let server = Thread.create (fun () -> Daemon.serve d) () in
+  let finally () =
+    Daemon.stop d;
+    Thread.join server;
+    Test_persist.rm_rf dir
+  in
+  Fun.protect ~finally (fun () ->
+      f d (Option.get (Daemon.replication_address d)))
+
+type node = {
+  dir : string;
+  persist : P.t;
+  store : Store.t;
+  link : Link.t;
+  budget : B.t option ref;  (* armed by the kill sweep *)
+}
+
+let make_node ~primary dir =
+  let p, store, _ = P.open_dir (config dir) in
+  let session = Kb.Session.of_store store in
+  let budget = ref None in
+  Kb.Session.on_mutation session (fun m -> P.append ?budget:!budget p m);
+  let engine = Engine.create ~session () in
+  let link =
+    Link.create ~engine ~session ~persist:p
+      { (Link.default_config primary) with connect_retry = 5. }
+  in
+  { dir; persist = p; store; link; budget }
+
+let dispose n =
+  Link.stop n.link;
+  P.close n.persist
+
+let step_once label link =
+  match Link.step link with
+  | (`Applied _ | `Ready | `Idle) as r -> r
+  | `Retry msg -> Alcotest.failf "%s: transient failure: %s" label msg
+  | `Fatal msg -> Alcotest.failf "%s: replication halted: %s" label msg
+  | `Stopped -> Alcotest.failf "%s: link stopped" label
+
+let catch_up label link =
+  let rec go fuel =
+    if fuel = 0 then Alcotest.failf "%s: catch-up did not converge" label
+    else
+      match step_once label link with
+      | `Applied _ | `Ready -> go (fuel - 1)
+      | `Idle -> ()
+  in
+  go 10_000
+
+(* The primary's write path without the socket round-trip: apply through
+   the engine's session under its lock, exactly as [Engine.handle] does,
+   and mirror the mutation for the expected-state comparison. *)
+let mutate_primary d mirror m =
+  Store.apply mirror m;
+  let engine = Daemon.engine d in
+  Engine.exclusively engine (fun () ->
+      Kb.Session.apply (Engine.session engine) m)
+
+let test_differential () =
+  with_primary @@ fun d repl_addr ->
+  let mirror = Store.create () in
+  let pp = Option.get (Daemon.persist_handle d) in
+  let node = ref (make_node ~primary:repl_addr (Test_persist.fresh_dir ())) in
+  let steps = max 60 (iters / 4) in
+  for _ = 1 to steps do
+    match rand 12 with
+    | 0 -> Link.disconnect !node.link
+    | 1 ->
+      (* replica restart: reopen the same directory and resume *)
+      let dir = !node.dir in
+      dispose !node;
+      node := make_node ~primary:repl_addr dir
+    | 2 ->
+      (* primary compaction: forces a snapshot bootstrap on any replica
+         whose position falls behind the retained log *)
+      Engine.exclusively (Daemon.engine d) (fun () ->
+          ignore (P.compact pp : int * int))
+    | 3 | 4 ->
+      (* partial catch-up: a few protocol steps, wherever they land *)
+      for _ = 1 to 1 + rand 3 do
+        ignore (step_once "partial" !node.link : [ `Applied of int | `Ready | `Idle ])
+      done
+    | _ -> mutate_primary d mirror (Test_persist.gen_mutation mirror)
+  done;
+  catch_up "final drain" !node.link;
+  Alcotest.(check string) "replica state equals primary state"
+    (Test_persist.repr mirror)
+    (Test_persist.repr !node.store);
+  Alcotest.(check int) "sequence numbers agree" (P.seq pp)
+    (P.seq !node.persist);
+  let status = Link.status !node.link in
+  Alcotest.(check int) "no lag after drain" 0 status.Link.lag;
+  (* the replica's own WAL is the full story: a cold restart of the
+     replica directory reproduces the state without the primary *)
+  let dir = !node.dir in
+  dispose !node;
+  let p2, store2, _ = P.open_dir (config dir) in
+  Alcotest.(check string) "replica state is durable"
+    (Test_persist.repr mirror) (Test_persist.repr store2);
+  P.close p2;
+  Test_persist.rm_rf dir
+
+let test_promotion () =
+  with_primary @@ fun d repl_addr ->
+  let mirror = Store.create () in
+  for _ = 1 to 5 do
+    mutate_primary d mirror (Test_persist.gen_mutation mirror)
+  done;
+  let node = make_node ~primary:repl_addr (Test_persist.fresh_dir ()) in
+  catch_up "before promotion" node.link;
+  (match Link.promote node.link with
+  | Ok role -> Alcotest.(check string) "promoted" "primary" role
+  | Error e -> Alcotest.failf "promotion refused: %s" e);
+  (match Link.promote node.link with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "second promotion accepted");
+  Alcotest.(check string) "role flipped" "primary"
+    (Link.status node.link).Link.role;
+  (match Link.step node.link with
+  | `Stopped -> ()
+  | _ -> Alcotest.fail "promoted link still stepping");
+  (* the promoted store keeps its history and accepts divergence *)
+  Alcotest.(check string) "state carried across promotion"
+    (Test_persist.repr mirror) (Test_persist.repr node.store);
+  let dir = node.dir in
+  dispose node;
+  Test_persist.rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Kill sweep: die at every WAL chunk boundary during apply            *)
+(* ------------------------------------------------------------------ *)
+
+let test_kill_sweep () =
+  with_primary @@ fun d repl_addr ->
+  let script = Test_persist.sample_mutations in
+  let mirror = Store.create () in
+  List.iter (fun m -> mutate_primary d mirror m) script;
+  let full = Test_persist.repr mirror in
+  (* expected.(i) = state after the first i primary mutations *)
+  let expected =
+    let s = Store.create () in
+    let initial = Test_persist.repr s in
+    let after =
+      List.map
+        (fun m ->
+          Store.apply s m;
+          Test_persist.repr s)
+        script
+    in
+    Array.of_list (initial :: after)
+  in
+  let k = ref 1 in
+  let fired = ref true in
+  while !fired do
+    let dir = Test_persist.fresh_dir () in
+    let node = make_node ~primary:repl_addr dir in
+    node.budget := Some (B.with_trip_at ~step:!k ());
+    let tripped =
+      try
+        catch_up "sweep" node.link;
+        false
+      with B.Exhausted B.Fault -> true
+    in
+    fired := tripped;
+    dispose node;
+    (* the replica's directory recovers to a sound prefix of the
+       primary's history — never junk, never beyond the kill point *)
+    let p2, store2, r2 = P.open_dir (config dir) in
+    Alcotest.(check bool)
+      (Printf.sprintf "trip at %d: prefix length sane" !k)
+      true
+      (r2.P.seq >= 0 && r2.P.seq <= List.length script);
+    Alcotest.(check string)
+      (Printf.sprintf "trip at %d: recovered prefix" !k)
+      expected.(r2.P.seq)
+      (Test_persist.repr store2);
+    P.close p2;
+    (* a budget-free link resumes from the prefix and converges *)
+    let node2 = make_node ~primary:repl_addr dir in
+    catch_up "after recovery" node2.link;
+    Alcotest.(check string)
+      (Printf.sprintf "trip at %d: converges to the primary" !k)
+      full
+      (Test_persist.repr node2.store);
+    dispose node2;
+    Test_persist.rm_rf dir;
+    if tripped then incr k
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "swept %d kill points" !k)
+    true (!k > 5)
+
+let suite =
+  [ Alcotest.test_case "read-only gate and stats role" `Quick
+      test_read_only_gate;
+    Alcotest.test_case "promote verb" `Quick test_promote_verb;
+    Alcotest.test_case "handshake refusals are typed" `Quick test_handshake;
+    Alcotest.test_case "differential: replica equals primary" `Quick
+      test_differential;
+    Alcotest.test_case "promotion detaches and keeps state" `Quick
+      test_promotion;
+    Alcotest.test_case "kill sweep at every append boundary" `Quick
+      test_kill_sweep
+  ]

@@ -27,7 +27,8 @@ let with_daemon f =
         workers = 4;
         queue = 64;
         caps = { Server.Engine.timeout = Some 10.; steps = None };
-        persist = None
+        persist = None;
+        replicate_on = None
       }
   in
   let server = Thread.create (fun () -> Server.Daemon.serve d) () in
