@@ -1,6 +1,6 @@
 .PHONY: all build test bench bench-micro bench-smoke bench-serve \
-	bench-persist bench-replica crash-test serve-smoke examples doc \
-	clean fuzz
+	bench-persist bench-replica bench-cluster crash-test chaos \
+	serve-smoke examples doc clean fuzz
 
 all: build
 
@@ -36,13 +36,32 @@ bench-persist:
 bench-replica:
 	dune exec bench/replica.exe
 
+# Cluster benchmark (sync vs async commit latency/throughput,
+# aggregate read QPS over a 1-primary/2-replica chain, failover time
+# to the first successful write): writes BENCH_PR6.json.  See
+# docs/REPLICATION.md.
+bench-cluster:
+	dune exec bench/cluster.exe
+
 # Crash recovery under exhaustive fault injection: tear the WAL at
-# every 16-byte write boundary of a mutation script and check that
-# recovery rebuilds exactly the acknowledged prefix — locally, and on
-# a replica killed at every append boundary mid-catch-up.
+# every write boundary of a mutation script and check that recovery
+# rebuilds exactly the acknowledged prefix — locally, and on a replica
+# killed at every append boundary mid-catch-up; the replica suite also
+# sweeps epoch fencing at every protocol boundary (a revived stale
+# primary is refused everywhere).
 crash-test:
 	dune exec test/main.exe -- test crash -e
 	dune exec test/main.exe -- test replica -e
+
+# The aggregate fault sweep: crash/kill recovery, the fencing and
+# failover suites at a larger differential-schedule count, and the
+# wire-protocol/WAL-record fuzzers — the one target to run before
+# trusting a failover story.
+chaos: crash-test
+	FUZZ_ITERS=2000 dune exec test/main.exe -- test replica -e | tail -1
+	FUZZ_ITERS=20000 dune exec test/main.exe -- test proto -e | tail -1
+	FUZZ_ITERS=20000 dune exec test/main.exe -- test persist -e | tail -1
+	dune build @replica @cluster
 
 # Microbenchmarks of the core engines (bechamel).
 bench-micro:

@@ -1,0 +1,9 @@
+The cluster benchmark boots a 1-primary / 2-replica chain in process,
+measures synchronous versus asynchronous commit, aggregate chain
+reads and failover-to-first-write, and emits well-formed JSON
+(checked with the bundled validator — no jq dependency):
+
+  $ ../cluster.exe --quick --out bench6.json
+  wrote bench6.json
+  $ ../json_check.exe bench6.json bench mode commit chain_reads failover summary
+  bench6.json: valid JSON

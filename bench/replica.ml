@@ -69,7 +69,8 @@ let daemon ~dir ~replicate_on =
       caps = Server.Engine.default_caps;
       persist =
         Some { P.dir; fsync = false; snapshot_every = 0; group_commit_ms = 0 };
-      replicate_on
+      replicate_on;
+      sync = None
     }
 
 (* apply a mutation on the primary the way a worker would: under the

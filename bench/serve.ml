@@ -42,7 +42,8 @@ let with_daemon ~workers f =
         queue = 256;
         caps = Server.Engine.default_caps;
         persist = None;
-        replicate_on = None
+        replicate_on = None;
+        sync = None
       }
   in
   let server = Thread.create (fun () -> Server.Daemon.serve d) () in

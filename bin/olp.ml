@@ -474,28 +474,18 @@ let group_commit_arg =
                  between them (default 0: one fsync per mutation).  No \
                  effect with $(b,--no-fsync).")
 
-(* ADDR grammar shared by --replicate-on / --replica-of: HOST:PORT is
-   TCP, a bare number is a local TCP port, anything else a Unix socket
-   path. *)
-let parse_addr s =
-  let is_digits x = x <> "" && String.for_all (fun c -> c >= '0' && c <= '9') x in
-  match String.rindex_opt s ':' with
-  | Some i ->
-    let host = String.sub s 0 i
-    and port = String.sub s (i + 1) (String.length s - i - 1) in
-    if host <> "" && is_digits port then `Tcp (host, int_of_string port)
-    else `Unix s
-  | None -> if is_digits s then `Tcp ("127.0.0.1", int_of_string s) else `Unix s
-
-let addr_to_string = function
-  | `Unix path -> "unix:" ^ path
-  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+(* ADDR grammar shared by --replicate-on / --replica-of / --seeds:
+   HOST:PORT is TCP, a bare number is a local TCP port, anything else a
+   Unix socket path.  The grammar lives next to the address type. *)
+let parse_addr = Server.Daemon.parse_address
+let addr_to_string = Server.Daemon.address_to_string
 
 (* Shared by serve/recover/compact: describe what recovery found, and
    whether the result is the full history or a sound prefix of it. *)
 let report_recovery ~prog ~dir (r : Persist.recovery) =
-  Printf.printf "%s: data dir %s (seq %d, replayed %d from base %d)\n%!"
-    prog dir r.seq r.replayed r.base;
+  Printf.printf "%s: data dir %s (seq %d, replayed %d from base %d%s)\n%!"
+    prog dir r.seq r.replayed r.base
+    (if r.epoch > 0 then Printf.sprintf ", epoch %d" r.epoch else "");
   if r.tmp_swept > 0 then
     Printf.printf "%s: swept %d stale temp file(s)\n%!" prog r.tmp_swept;
   if r.corrupt_snapshots > 0 then
@@ -569,11 +559,30 @@ let serve_cmd =
                    tail its log into $(b,--data-dir), serve reads, and \
                    reject writes with a typed $(i,read_only) error.  \
                    $(b,olp promote) (or SIGUSR1) detaches and starts \
-                   accepting writes.  See docs/REPLICATION.md.")
+                   accepting writes.  Combine with $(b,--replicate-on) \
+                   to re-serve this replica's log to replicas of its \
+                   own (a chained topology).  See docs/REPLICATION.md.")
+  in
+  let sync_replicas =
+    Arg.(value & opt int 0
+         & info [ "sync-replicas" ] ~docv:"N"
+             ~doc:"Synchronous commit: hold each write's acknowledgement \
+                   until $(i,N) replicas have confirmed the mutation is \
+                   on their stable storage (default 0: acknowledge after \
+                   the local fsync only).  Requires $(b,--replicate-on).")
+  in
+  let sync_timeout =
+    Arg.(value & opt int 5000
+         & info [ "sync-timeout-ms" ] ~docv:"MS"
+             ~doc:"With $(b,--sync-replicas), stop waiting for \
+                   confirmations after $(i,MS) milliseconds and answer \
+                   with a typed $(i,sync_timeout) error instead — the \
+                   mutation is applied and locally durable, only its \
+                   replication guarantee is degraded (default 5000).")
   in
   let run socket port host workers queue max_timeout max_steps_cap port_file
       data_dir no_fsync snapshot_every group_commit_ms replicate_on
-      replica_of file =
+      replica_of sync_replicas sync_timeout file =
     let usage msg =
       Printf.eprintf "olp serve: %s\n" msg;
       exit exit_error
@@ -588,15 +597,17 @@ let serve_cmd =
       usage "--replica-of cannot load FILE: a replica's content comes \
              from the primary"
     | _ -> ());
-    (match replica_of, replicate_on with
-    | Some _, Some _ ->
-      usage "--replica-of and --replicate-on cannot be combined (chained \
-             replicas are not supported yet)"
-    | _ -> ());
     (match replicate_on, data_dir with
     | Some _, None ->
       usage "--replicate-on requires --data-dir (replicas are shipped \
              the write-ahead log)"
+    | _ -> ());
+    if sync_replicas < 0 then usage "--sync-replicas cannot be negative";
+    if sync_timeout <= 0 then usage "--sync-timeout-ms must be positive";
+    (match sync_replicas, replicate_on with
+    | n, None when n > 0 ->
+      usage "--sync-replicas requires --replicate-on (confirmations \
+             arrive on the replication listener)"
     | _ -> ());
     let timeout_cap =
       match max_timeout with
@@ -617,7 +628,14 @@ let serve_cmd =
         queue;
         caps;
         persist;
-        replicate_on = Option.map parse_addr replicate_on
+        replicate_on = Option.map parse_addr replicate_on;
+        sync =
+          (if sync_replicas > 0 then
+             Some
+               { Server.Engine.replicas = sync_replicas;
+                 timeout_ms = sync_timeout
+               }
+           else None)
       }
     in
     let daemon =
@@ -662,22 +680,35 @@ let serve_cmd =
         Printf.fprintf oc "%d\n" port;
         close_out oc));
     let engine = Server.Daemon.engine daemon in
-    (match Server.Daemon.replication_address daemon with
-    | None -> ()
-    | Some addr ->
-      Server.Engine.set_replication engine
-        { Server.Engine.role = (fun () -> "primary");
-          primary = (fun () -> None);
-          details =
-            (fun () ->
-              [ ("listener", Server.Wire.String (addr_to_string addr)) ]);
-          promote =
-            (fun () -> Error "this server is already a primary")
-        };
-      Printf.printf "olp serve: accepting replicas on %s\n%!"
-        (addr_to_string addr));
+    (* when this server also re-serves its log (a primary, or a chained
+       replica), the listener rides along in the replication details *)
+    let listener_detail =
+      match Server.Daemon.replication_address daemon with
+      | None -> []
+      | Some addr ->
+        Printf.printf "olp serve: accepting replicas on %s\n%!"
+          (addr_to_string addr);
+        [ ("listener", Server.Wire.String (addr_to_string addr)) ]
+    in
     (match replica_of with
-    | None -> ()
+    | None ->
+      if listener_detail <> [] then begin
+        let epoch () =
+          match Server.Daemon.persist_handle daemon with
+          | Some p -> Persist.epoch p
+          | None -> 0
+        in
+        Server.Engine.set_replication engine
+          { Server.Engine.role = (fun () -> "primary");
+            primary = (fun () -> None);
+            details =
+              (fun () ->
+                listener_detail
+                @ [ ("epoch", Server.Wire.Int (epoch ())) ]);
+            promote =
+              (fun () -> Error "this server is already a primary")
+          }
+      end
     | Some addr ->
       let primary = parse_addr addr in
       let persist =
@@ -704,11 +735,15 @@ let serve_cmd =
             (fun () ->
               let s = Replica.Link.status link in
               [ ("primary", Server.Wire.String s.Replica.Link.primary);
+                ("epoch", Server.Wire.Int s.Replica.Link.epoch);
                 ("last_applied", Server.Wire.Int s.Replica.Link.last_applied);
                 ("primary_seq", Server.Wire.Int s.Replica.Link.primary_seq);
                 ("lag", Server.Wire.Int s.Replica.Link.lag);
-                ("connected", Server.Wire.Bool s.Replica.Link.connected)
-              ]);
+                ("connected", Server.Wire.Bool s.Replica.Link.connected);
+                ("connect_attempts",
+                 Server.Wire.Int s.Replica.Link.connect_attempts)
+              ]
+              @ listener_detail);
           promote = (fun () -> Replica.Link.promote link)
         };
       Server.Daemon.on_drain daemon (fun () -> Replica.Link.stop link);
@@ -733,7 +768,7 @@ let serve_cmd =
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue
           $ max_timeout $ max_steps_cap $ port_file $ data_dir_arg
           $ no_fsync_arg $ snapshot_every_arg $ group_commit_arg
-          $ replicate_on $ replica_of $ file)
+          $ replicate_on $ replica_of $ sync_replicas $ sync_timeout $ file)
 
 let call_cmd =
   let retry =
@@ -742,6 +777,17 @@ let call_cmd =
              ~doc:"Keep retrying a refused connection for up to \
                    $(i,SECS) seconds (rides out server startup).")
   in
+  let seeds =
+    Arg.(value & opt (some string) None
+         & info [ "seeds" ] ~docv:"ADDR,ADDR,..."
+             ~doc:"Replica-set mode: a comma-separated list of server \
+                   addresses (primary and replicas, in the \
+                   $(b,--replicate-on) ADDR grammar).  Writes are routed \
+                   to the primary (following $(i,read_only)/$(i,fenced) \
+                   redirects), reads round-robin over the set, and \
+                   $(b,--retry) rides out a failover in progress.  \
+                   Replaces $(b,--socket)/$(b,--port).")
+  in
   let requests =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"REQUEST"
            ~doc:"Request lines, sent in order on one connection.  A \
@@ -749,39 +795,65 @@ let call_cmd =
                  request; anything else is shorthand for \
                  {\"op\": REQUEST} (e.g. $(b,stats), $(b,shutdown)).")
   in
-  let run socket port host retry requests =
-    let address = address_of socket port host in
-    match Server.Client.connect ~retry address with
-    | Error msg ->
-      Printf.eprintf "olp call: cannot connect: %s\n" msg;
-      exit exit_error
-    | Ok client ->
-      (* exit with the worst status seen: error > partial > ok *)
-      let worst = ref 0 in
-      let note = function
-        | `Ok -> ()
-        | `Partial -> if !worst = 0 then worst := exit_partial
-        | `Error | `Unknown -> worst := exit_error
+  let run socket port host retry seeds requests =
+    (* exit with the worst status seen: error > partial > ok *)
+    let worst = ref 0 in
+    let note = function
+      | `Ok -> ()
+      | `Partial -> if !worst = 0 then worst := exit_partial
+      | `Error | `Unknown -> worst := exit_error
+    in
+    let line_of req =
+      if String.length req > 0 && req.[0] = '{' then req
+      else
+        Server.Wire.to_string
+          (Server.Wire.Obj [ ("op", Server.Wire.String req) ])
+    in
+    match seeds with
+    | Some list ->
+      let addrs =
+        String.split_on_char ',' list
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map (fun s -> parse_addr (String.trim s))
       in
+      if addrs = [] then begin
+        Printf.eprintf "olp call: --seeds needs at least one address\n";
+        exit exit_error
+      end;
+      let rset = Server.Rset.create addrs in
       List.iter
         (fun req ->
-          let line =
-            if String.length req > 0 && req.[0] = '{' then req
-            else
-              Server.Wire.to_string
-                (Server.Wire.Obj [ ("op", Server.Wire.String req) ])
-          in
-          match Server.Client.request_line client line with
+          match Server.Rset.request_line ~retry rset (line_of req) with
           | Ok response ->
             print_endline (Server.Wire.to_string response);
             note (Server.Wire.status_of_response response)
           | Error msg ->
             Printf.eprintf "olp call: %s\n" msg;
-            Server.Client.close client;
+            Server.Rset.close rset;
             exit exit_error)
         requests;
-      Server.Client.close client;
+      Server.Rset.close rset;
       exit !worst
+    | None ->
+      let address = address_of socket port host in
+      (match Server.Client.connect ~retry address with
+      | Error msg ->
+        Printf.eprintf "olp call: cannot connect: %s\n" msg;
+        exit exit_error
+      | Ok client ->
+        List.iter
+          (fun req ->
+            match Server.Client.request_line client (line_of req) with
+            | Ok response ->
+              print_endline (Server.Wire.to_string response);
+              note (Server.Wire.status_of_response response)
+            | Error msg ->
+              Printf.eprintf "olp call: %s\n" msg;
+              Server.Client.close client;
+              exit exit_error)
+          requests;
+        Server.Client.close client;
+        exit !worst)
   in
   Cmd.v
     (Cmd.info "call"
@@ -789,7 +861,8 @@ let call_cmd =
              the response lines.  Exits 0 if every response is \
              $(i,ok), 3 if any is $(i,partial) (a budget ran out), 2 on \
              any $(i,error) response or connection failure.")
-    Term.(const run $ socket_arg $ port_arg $ host_arg $ retry $ requests)
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ retry $ seeds
+          $ requests)
 
 let promote_cmd =
   let retry =

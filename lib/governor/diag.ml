@@ -15,6 +15,12 @@ type error =
     }
   | Invalid_input of { where : string; detail : string }
   | Read_only of { primary : string }
+  | Sync_timeout of {
+      seq : int;
+      required : int;
+      confirmed : int;
+      timeout_ms : int;
+    }
 
 exception Error of error
 
@@ -43,6 +49,11 @@ let to_string = function
       "knowledge base is read-only: this server replicates from %s; send \
        writes to the primary"
       primary
+  | Sync_timeout { seq; required; confirmed; timeout_ms } ->
+    Printf.sprintf
+      "synchronous commit timed out: mutation %d is durable locally but \
+       only %d of the %d required replica(s) confirmed it within %d ms"
+      seq confirmed required timeout_ms
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -20,7 +20,10 @@
     - {!Invalid_input} — a caller-facing precondition failed.
     - {!Read_only} — a mutation reached a KB that only follows a
       replication stream; carries the primary's printable address so the
-      caller can redirect the write. *)
+      caller can redirect the write.
+    - {!Sync_timeout} — synchronous commit could not gather the required
+      replica confirmations in time; the mutation {e is} durable locally
+      (and applied), only its replication guarantee is degraded. *)
 
 type error =
   | Grounding_overflow of {
@@ -40,6 +43,12 @@ type error =
   | Invalid_input of { where : string; detail : string }
   | Read_only of { primary : string }
       (** the write must go to [primary] (a printable address) *)
+  | Sync_timeout of {
+      seq : int;  (** the mutation's WAL sequence number *)
+      required : int;  (** replicas that had to confirm *)
+      confirmed : int;  (** replicas that did confirm in time *)
+      timeout_ms : int;
+    }
 
 exception Error of error
 

@@ -24,6 +24,7 @@ type torn = {
 type recovery = {
   base : int;
   seq : int;
+  epoch : int;
   replayed : int;
   torn : torn option;
   cut : torn option;
@@ -38,6 +39,7 @@ type t = {
   mutable wal : Wal.t;
   mutable base : int;  (** base of the active segment *)
   mutable seq : int;  (** mutations logged so far *)
+  mutable epoch : int;  (** replication epoch (fencing term) *)
   group : Wal.Group.group option;
   report : recovery;
 }
@@ -131,14 +133,21 @@ let open_dir ?metrics ?stop_at config =
         pick rest
       | img -> (
         match Record.decode_snapshot img with
-        | Ok (seq, dump) when seq = s -> Some (seq, dump)
+        | Ok (seq, epoch, dump) when seq = s -> Some (seq, epoch, dump)
         | Ok _ | Error _ ->
           incr corrupt;
           pick rest))
   in
+  (* the recovered epoch is the highest term seen anywhere in the
+     directory — a crash between "start fresh segment at epoch e+1" and
+     "rename the epoch-e+1 snapshot into place" must still come back as
+     epoch e+1, or a revived primary could shed its fencing *)
+  let epoch = ref 0 in
   let base, store =
     match pick usable_snaps with
-    | Some (s, dump) -> (s, Kb.Store.of_dump dump)
+    | Some (s, ep, dump) ->
+      epoch := ep;
+      (s, Kb.Store.of_dump dump)
     | None ->
       if (snaps <> [] || wals <> []) && not (List.mem 0 wals) then
         Governor.Diag.invalid ~where:"Persist.open_dir"
@@ -184,7 +193,7 @@ let open_dir ?metrics ?stop_at config =
   let rec chain cur =
     let path = Filename.concat config.dir (wal_name cur) in
     if not (Sys.file_exists path) then
-      (Wal.create ~fsync:config.fsync ~base:cur path, cur)
+      (Wal.create ~fsync:config.fsync ~base:cur ~epoch:!epoch path, cur)
     else
       match Wal.read ~path ~expect_base:cur with
       | Error detail ->
@@ -197,8 +206,9 @@ let open_dir ?metrics ?stop_at config =
         torn :=
           Some { segment = Filename.basename path; offset = 0;
                  dropped = size; detail };
-        (Wal.create ~fsync:config.fsync ~base:cur path, cur)
+        (Wal.create ~fsync:config.fsync ~base:cur ~epoch:!epoch path, cur)
       | Ok rep -> (
+        if rep.Wal.epoch > !epoch then epoch := rep.Wal.epoch;
         let rec apply = function
           | [] -> `Done
           | (off, m) :: rest -> (
@@ -248,8 +258,8 @@ let open_dir ?metrics ?stop_at config =
           with Sys_error _ -> ())
       entries;
   let report =
-    { base; seq = !seq; replayed = !replayed; torn = !torn; cut = !cut;
-      corrupt_snapshots = !corrupt; tmp_swept = !tmp_swept }
+    { base; seq = !seq; epoch = !epoch; replayed = !replayed; torn = !torn;
+      cut = !cut; corrupt_snapshots = !corrupt; tmp_swept = !tmp_swept }
   in
   (match metrics with
   | Some m ->
@@ -269,8 +279,8 @@ let open_dir ?metrics ?stop_at config =
     else None
   in
   let t =
-    { config; store; metrics; wal; base = active_base; seq = !seq; group;
-      report }
+    { config; store; metrics; wal; base = active_base; seq = !seq;
+      epoch = !epoch; group; report }
   in
   (t, store, report)
 
@@ -282,7 +292,9 @@ let snapshot ?budget t =
   (* a pending group commit still points at the old segment *)
   (match t.group with Some g -> Wal.Group.flush g | None -> ());
   let seq = t.seq in
-  let image = Record.encode_snapshot ~seq (Kb.Store.dump t.store) in
+  let image =
+    Record.encode_snapshot ~seq ~epoch:t.epoch (Kb.Store.dump t.store)
+  in
   let final = Filename.concat t.config.dir (snap_name seq) in
   let tmp = final ^ ".tmp" in
   (* ordering matters for crash safety: the fresh segment must be on
@@ -291,7 +303,8 @@ let snapshot ?budget t =
   Wal.write_file ?budget ~fsync:t.config.fsync ~path:tmp image;
   let wal_path = Filename.concat t.config.dir (wal_name seq) in
   let fresh =
-    Wal.create ?budget ~fsync:t.config.fsync ~base:seq wal_path
+    Wal.create ?budget ~fsync:t.config.fsync ~base:seq ~epoch:t.epoch
+      wal_path
   in
   Wal.close t.wal;
   t.wal <- fresh;
@@ -380,9 +393,9 @@ let tail t ~from ~max =
           | exception Sys_error _ -> ()
           | s -> (
             match Record.decode_wal_header s with
-            | Ok base when base = b ->
+            | Ok h when h.Record.wal_base = b ->
               let idx = ref b in
-              let pos = ref Record.wal_header_len in
+              let pos = ref h.Record.wal_head_len in
               let stop = ref false in
               while not !stop do
                 match Record.unframe s ~pos:!pos with
@@ -408,16 +421,21 @@ let tail t ~from ~max =
   end
 
 let snapshot_image t =
-  (t.seq, Record.encode_snapshot ~seq:t.seq (Kb.Store.dump t.store))
+  ( t.seq,
+    Record.encode_snapshot ~seq:t.seq ~epoch:t.epoch (Kb.Store.dump t.store)
+  )
 
-let install_snapshot t ~seq dump =
+let install_snapshot t ~seq ~epoch dump =
   (match t.group with Some g -> Wal.Group.flush g | None -> ());
+  if epoch > t.epoch then t.epoch <- epoch;
   let final = Filename.concat t.config.dir (snap_name seq) in
   let tmp = final ^ ".tmp" in
   Wal.write_file ~fsync:t.config.fsync ~path:tmp
-    (Record.encode_snapshot ~seq dump);
+    (Record.encode_snapshot ~seq ~epoch:t.epoch dump);
   let wal_path = Filename.concat t.config.dir (wal_name seq) in
-  let fresh = Wal.create ~fsync:t.config.fsync ~base:seq wal_path in
+  let fresh =
+    Wal.create ~fsync:t.config.fsync ~base:seq ~epoch:t.epoch wal_path
+  in
   Wal.close t.wal;
   t.wal <- fresh;
   (match t.group with Some g -> Wal.Group.attach g fresh | None -> ());
@@ -436,7 +454,22 @@ let install_snapshot t ~seq dump =
   bump t.metrics "persist_snapshots"
 
 let seq t = t.seq
+let epoch t = t.epoch
 let recovery t = t.report
+
+(* Epoch changes persist through [snapshot]: the fresh segment's header
+   carries the new term, and the snapshot that lands next to it does
+   too, so the term survives any crash after this returns. *)
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  ignore (snapshot t : int);
+  t.epoch
+
+let adopt_epoch t epoch =
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    ignore (snapshot t : int)
+  end
 
 let close t =
   (match t.group with Some g -> Wal.Group.stop g | None -> ());

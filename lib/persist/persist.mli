@@ -63,6 +63,9 @@ type torn = {
 type recovery = {
   base : int;  (** sequence number the starting snapshot covered *)
   seq : int;  (** sequence number after replay — mutations recovered *)
+  epoch : int;
+      (** replication epoch: the highest term found in any snapshot or
+          segment header (0 for directories that predate fencing) *)
   replayed : int;  (** WAL records applied ([seq - base]) *)
   torn : torn option;  (** set when a torn tail was truncated away *)
   cut : torn option;
@@ -132,14 +135,33 @@ val snapshot_image : t -> int * string
     {!Record.encode_snapshot} encoding — what a replica bootstraps
     from. *)
 
-val install_snapshot : t -> seq:int -> Kb.Store.dump -> unit
+val install_snapshot : t -> seq:int -> epoch:int -> Kb.Store.dump -> unit
 (** Replace the store {e and} the data directory with a snapshot: the
     image is written durably, a fresh WAL segment starts at [seq],
     every file from the old timeline is deleted, and the live store is
-    {!Kb.Store.restore}d in place.  The replica bootstrap path. *)
+    {!Kb.Store.restore}d in place.  The replica bootstrap path.
+    [epoch] raises the local term if greater (never lowers it). *)
 
 val seq : t -> int
 (** Mutations logged so far (recovered + appended). *)
+
+(** {1 Epoch fencing}
+
+    The epoch is a monotonically increasing term stamped into every
+    snapshot and segment header.  Promotion bumps it; replication
+    carries it on the wire so a deposed primary (lower term) can be
+    refused.  Both mutators persist the new term immediately via
+    {!snapshot}, so a crash cannot roll an epoch back. *)
+
+val epoch : t -> int
+(** The current replication epoch. *)
+
+val bump_epoch : t -> int
+(** Increment the epoch durably (promotion); returns the new term. *)
+
+val adopt_epoch : t -> int -> unit
+(** Raise the local epoch to a term learned from upstream; durable.
+    A term at or below the current one is a no-op. *)
 
 val recovery : t -> recovery
 (** The report from the {!open_dir} that produced this handle. *)

@@ -212,34 +212,57 @@ let unframe s ~pos =
 (* WAL header                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let wal_magic = "OLPWAL1\n"
-let wal_header_len = String.length wal_magic + 8
+(* Version 1 headers carry only the base sequence; version 2 adds the
+   replication epoch.  Writers emit v2; readers accept both (v1 files
+   predate fencing and implicitly belong to epoch 0). *)
+let wal_magic_v1 = "OLPWAL1\n"
+let wal_magic = "OLPWAL2\n"
+let wal_header_len = String.length wal_magic + 16
 
-let wal_header ~base =
+type wal_head = { wal_base : int; wal_epoch : int; wal_head_len : int }
+
+let wal_header ~base ~epoch =
   let buf = Buffer.create wal_header_len in
   Buffer.add_string buf wal_magic;
   put_u64 buf base;
+  put_u64 buf epoch;
   Buffer.contents buf
 
 let decode_wal_header s =
-  if String.length s < wal_header_len then Error "short WAL header"
-  else if String.sub s 0 (String.length wal_magic) <> wal_magic then
-    Error "bad WAL magic"
+  let ml = String.length wal_magic in
+  if String.length s < ml then Error "short WAL header"
   else
-    let r = { src = s; pos = String.length wal_magic; stop = wal_header_len } in
-    match get_u64 r with
-    | base -> Ok base
-    | exception Corrupt msg -> Error msg
+    let magic = String.sub s 0 ml in
+    let fields ~epoch ~len =
+      if String.length s < len then Error "short WAL header"
+      else
+        let r = { src = s; pos = ml; stop = len } in
+        match
+          let base = get_u64 r in
+          let ep = if epoch then get_u64 r else 0 in
+          (base, ep)
+        with
+        | base, ep ->
+          Ok { wal_base = base; wal_epoch = ep; wal_head_len = len }
+        | exception Corrupt msg -> Error msg
+    in
+    if magic = wal_magic then fields ~epoch:true ~len:(ml + 16)
+    else if magic = wal_magic_v1 then fields ~epoch:false ~len:(ml + 8)
+    else Error "bad WAL magic"
 
 (* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let snapshot_magic = "OLPSNAP1"
+(* Same versioning story as the WAL header: v2 snapshots carry the
+   epoch after the sequence number; v1 decodes as epoch 0. *)
+let snapshot_magic_v1 = "OLPSNAP1"
+let snapshot_magic = "OLPSNAP2"
 
-let encode_snapshot ~seq (d : Kb.Store.dump) =
+let encode_snapshot ~seq ~epoch (d : Kb.Store.dump) =
   let buf = Buffer.create 1024 in
   put_u64 buf seq;
+  put_u64 buf epoch;
   put_list buf
     (fun buf (name, parents, rules) ->
       put_str buf name;
@@ -266,9 +289,17 @@ let encode_snapshot ~seq (d : Kb.Store.dump) =
 
 let decode_snapshot s =
   let m = String.length snapshot_magic in
-  if String.length s < m || String.sub s 0 m <> snapshot_magic then
-    Error "bad snapshot magic"
-  else
+  let versioned =
+    if String.length s < m then None
+    else
+      match String.sub s 0 m with
+      | v when v = snapshot_magic -> Some true
+      | v when v = snapshot_magic_v1 -> Some false
+      | _ -> None
+  in
+  match versioned with
+  | None -> Error "bad snapshot magic"
+  | Some has_epoch -> (
     match unframe s ~pos:m with
     | End -> Error "empty snapshot"
     | Torn msg -> Error msg
@@ -279,6 +310,7 @@ let decode_snapshot s =
         let r = { src = payload; pos = 0; stop = String.length payload } in
         (match
            let seq = get_u64 r in
+           let epoch = if has_epoch then get_u64 r else 0 in
            let dump_objs =
              get_list r (fun r ->
                  let name = get_str r in
@@ -299,7 +331,7 @@ let decode_snapshot s =
                  (base, count))
            in
            finished r "snapshot";
-           (seq, { Kb.Store.dump_objs; dump_latest; dump_counts })
+           (seq, epoch, { Kb.Store.dump_objs; dump_latest; dump_counts })
          with
         | v -> Ok v
-        | exception Corrupt msg -> Error msg)
+        | exception Corrupt msg -> Error msg))

@@ -14,12 +14,17 @@
               | 0x03 | str obj  | str rule                          remove_rule
               | 0x04 | str name | u8 has_rules | list str rules     new_version
               | 0x05 | str src                                      load
-    wal file  = "OLPWAL1\n" | u64 base_seq | frame*
-    snapshot  = "OLPSNAP1" | u32 len | u32 crc32 | u64 seq
+    wal file  = "OLPWAL2\n" | u64 base_seq | u64 epoch | frame*
+    snapshot  = "OLPSNAP2" | u32 len | u32 crc32 | u64 seq | u64 epoch
               | list (str name | list str parents | list str rules)
               | list (str base | str latest)
               | list (str base | u32 count)
     v}
+
+    Version-1 files ("OLPWAL1\n" / "OLPSNAP1"), written before the
+    replication epoch existed, omit the [u64 epoch] field; decoders
+    accept them and report epoch 0, so a pre-fencing data directory
+    upgrades in place on its first snapshot.
 
     Rules and literals travel as surface syntax ({!Logic.Rule.to_string}),
     which the printers guarantee re-parses to an equal rule; the decoder
@@ -55,18 +60,33 @@ val unframe : string -> pos:int -> unframed
 (** {1 WAL file header} *)
 
 val wal_magic : string
-val wal_header_len : int
+(** The version-2 magic writers emit. *)
 
-val wal_header : base:int -> string
-val decode_wal_header : string -> (int, string) result
-(** The base sequence number, from the first {!wal_header_len} bytes. *)
+val wal_magic_v1 : string
+
+val wal_header_len : int
+(** Length of a version-2 header (the longest form). *)
+
+type wal_head = {
+  wal_base : int;  (** base sequence number from the header *)
+  wal_epoch : int;  (** replication epoch (0 for version-1 files) *)
+  wal_head_len : int;  (** bytes the header occupies in this file *)
+}
+
+val wal_header : base:int -> epoch:int -> string
+val decode_wal_header : string -> (wal_head, string) result
+(** Decode a v2 or v1 header from the front of a file image. *)
 
 (** {1 Snapshots} *)
 
 val snapshot_magic : string
+(** The version-2 magic writers emit. *)
 
-val encode_snapshot : seq:int -> Kb.Store.dump -> string
+val snapshot_magic_v1 : string
+
+val encode_snapshot : seq:int -> epoch:int -> Kb.Store.dump -> string
 (** The whole snapshot file image (magic, frame, payload). *)
 
-val decode_snapshot : string -> (int * Kb.Store.dump, string) result
-(** [(seq, dump)] from a whole snapshot file image. *)
+val decode_snapshot : string -> (int * int * Kb.Store.dump, string) result
+(** [(seq, epoch, dump)] from a whole snapshot file image (v2 or v1;
+    the latter reports epoch 0). *)

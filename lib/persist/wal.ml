@@ -20,10 +20,10 @@ let write_chunked ?budget fd s =
     off := !off + written
   done
 
-let create ?budget ~fsync ~base path =
+let create ?budget ~fsync ~base ~epoch path =
   let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
   let t = { fd; path } in
-  (try write_chunked ?budget fd (Record.wal_header ~base)
+  (try write_chunked ?budget fd (Record.wal_header ~base ~epoch)
    with e -> Unix.close fd; raise e);
   if fsync then Unix.fsync fd;
   t
@@ -58,6 +58,7 @@ type replay = {
   good_end : int;
   size : int;
   torn : string option;
+  epoch : int;
 }
 
 let read_file path =
@@ -70,33 +71,33 @@ let read ~path ~expect_base =
   match read_file path with
   | exception Sys_error msg -> Error msg
   | s -> (
-    if String.length s < Record.wal_header_len then Error "short WAL header"
-    else
-      match Record.decode_wal_header s with
-      | Error _ as e -> e
-      | Ok base when base <> expect_base ->
-        Error
-          (Printf.sprintf "WAL header base %d does not match segment name %d"
-             base expect_base)
-      | Ok _ ->
-        let size = String.length s in
-        let rec go pos acc =
-          match Record.unframe s ~pos with
-          | Record.End ->
-            { mutations = List.rev acc; good_end = pos; size; torn = None }
-          | Record.Torn detail ->
+    match Record.decode_wal_header s with
+    | Error _ as e -> e
+    | Ok h when h.Record.wal_base <> expect_base ->
+      Error
+        (Printf.sprintf "WAL header base %d does not match segment name %d"
+           h.Record.wal_base expect_base)
+    | Ok h ->
+      let size = String.length s in
+      let epoch = h.Record.wal_epoch in
+      let rec go pos acc =
+        match Record.unframe s ~pos with
+        | Record.End ->
+          { mutations = List.rev acc; good_end = pos; size; torn = None;
+            epoch }
+        | Record.Torn detail ->
+          { mutations = List.rev acc; good_end = pos; size;
+            torn = Some detail; epoch }
+        | Record.Frame { payload; next } -> (
+          match Record.decode_mutation payload with
+          | Ok m -> go next ((pos, m) :: acc)
+          | Error detail ->
+            (* CRC-valid but undecodable: treat as torn here — the
+               bytes are not something this codec ever wrote *)
             { mutations = List.rev acc; good_end = pos; size;
-              torn = Some detail }
-          | Record.Frame { payload; next } -> (
-            match Record.decode_mutation payload with
-            | Ok m -> go next ((pos, m) :: acc)
-            | Error detail ->
-              (* CRC-valid but undecodable: treat as torn here — the
-                 bytes are not something this codec ever wrote *)
-              { mutations = List.rev acc; good_end = pos; size;
-                torn = Some detail })
-        in
-        Ok (go Record.wal_header_len []))
+              torn = Some detail; epoch })
+      in
+      Ok (go h.Record.wal_head_len []))
 
 let truncate ~path off =
   let fd = Unix.openfile path [ O_WRONLY ] 0o644 in

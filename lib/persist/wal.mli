@@ -16,9 +16,9 @@
 type t
 
 val create : ?budget:Governor.Budget.t -> fsync:bool -> base:int ->
-  string -> t
-(** [create ~fsync ~base path] creates (or truncates) a segment and
-    writes its header. *)
+  epoch:int -> string -> t
+(** [create ~fsync ~base ~epoch path] creates (or truncates) a segment
+    and writes its header (base sequence and replication epoch). *)
 
 val open_append : path:string -> t
 (** Open an existing segment for appending (no validation — recovery has
@@ -47,6 +47,7 @@ type replay = {
   size : int;  (** file size as read *)
   torn : string option;
       (** why the bytes in [good_end, size) were given up on *)
+  epoch : int;  (** replication epoch from the segment header *)
 }
 
 val read : path:string -> expect_base:int -> (replay, string) result

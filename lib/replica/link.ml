@@ -5,12 +5,14 @@
 module Client = Server.Client
 module Engine = Server.Engine
 module M = Governor.Metrics
+module Backoff = Governor.Backoff
 
 type config = {
   primary : Server.Daemon.address;
   poll_interval : float;
   batch : int;
-  connect_retry : float;
+  retry_base : float;
+  retry_cap : float;
   log : string -> unit;
 }
 
@@ -18,13 +20,22 @@ let default_config primary =
   { primary;
     poll_interval = 0.05;
     batch = 512;
-    connect_retry = 0.5;
+    retry_base = 0.05;
+    retry_cap = 1.0;
     log = (fun _ -> ())
   }
 
-let address_to_string = function
-  | `Unix path -> "unix:" ^ path
-  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+let address_to_string = Server.Daemon.address_to_string
+
+(* Instance ids distinguish replicas in the primary's ack ledger; a
+   process-wide counter keeps links created in the same microsecond (a
+   test spinning up a cluster) distinct. *)
+let rid_counter = ref 0
+
+let gen_rid () =
+  incr rid_counter;
+  Printf.sprintf "r%d-%d-%06x" (Unix.getpid ()) !rid_counter
+    (int_of_float (Unix.gettimeofday () *. 1e6) land 0xFFFFFF)
 
 type conn = { client : Client.t; mutable greeted : bool }
 
@@ -34,6 +45,8 @@ type t = {
   session : Kb.Session.t;
   persist : Persist.t;
   metrics : M.t option;
+  rid : string;
+  backoff : Backoff.t;
   lock : Mutex.t;  (* guards [conn] and the status fields *)
   wake_r : Unix.file_descr;  (* self-pipe: interrupts the poll sleep *)
   wake_w : Unix.file_descr;
@@ -44,6 +57,7 @@ type t = {
   mutable closed : bool;
   mutable connected : bool;
   mutable primary_seq : int;
+  mutable connect_attempts : int;
   mutable last_error : string option;
   mutable bootstraps : int;
   mutable thread : Thread.t option;
@@ -56,7 +70,9 @@ type status = {
   last_applied : int;
   primary_seq : int;
   lag : int;
+  epoch : int;
   bootstraps : int;
+  connect_attempts : int;
   last_error : string option;
 }
 
@@ -68,6 +84,14 @@ let create ?metrics ~engine ~session ~persist config =
     session;
     persist;
     metrics;
+    rid = gen_rid ();
+    backoff =
+      (* distinct seeds per primary address de-correlate replicas of
+         different servers; the per-process rid counter de-correlates
+         siblings *)
+      Backoff.make ~base:config.retry_base ~cap:config.retry_cap
+        ~seed:(Hashtbl.hash (address_to_string config.primary, !rid_counter))
+        ();
     lock = Mutex.create ();
     wake_r;
     wake_w;
@@ -78,6 +102,7 @@ let create ?metrics ~engine ~session ~persist config =
     closed = false;
     connected = false;
     primary_seq = 0;
+    connect_attempts = 0;
     last_error = None;
     bootstraps = 0;
     thread = None
@@ -105,10 +130,19 @@ let disconnect t = drop t
 (* Map a refusal of a handshake-ish request to a step result.  A
    ["proto"] refusal means the primary's decoder does not know the verb
    at all — an old server — so it gets the typed mismatch message
-   instead of a bare decode failure. *)
+   instead of a bare decode failure.  A ["fenced"] refusal is read
+   through its epoch: a server {e ahead} of us witnessed a promotion we
+   have not — reconnect and re-handshake to adopt the term; a server
+   {e behind} us was deposed — following it could fork history, so
+   replication halts. *)
 let refused t (r : Protocol.refusal) =
   drop t;
   match r.kind with
+  | "fenced" -> (
+    match r.epoch with
+    | Some theirs when theirs > Persist.epoch t.persist ->
+      `Retry ("re-handshaking after a promotion upstream: " ^ r.message)
+    | _ -> `Fatal r.message)
   | "handshake" | "input" | "read_only" -> `Fatal r.message
   | "proto" ->
     `Fatal
@@ -116,18 +150,42 @@ let refused t (r : Protocol.refusal) =
        mismatch — upgrade the primary)"
   | _ -> `Retry r.message
 
+(* The hello reply carries the primary's fencing term: adopt a higher
+   one durably (a promotion happened somewhere upstream); refuse a
+   lower one — that primary was deposed and must not be followed. *)
+let reconcile_epoch t ~theirs =
+  let mine = Persist.epoch t.persist in
+  if theirs < mine then begin
+    drop t;
+    Error
+      (Printf.sprintf
+         "fenced: primary is at epoch %d but we have seen epoch %d — it \
+          was deposed by a promotion and must not be followed"
+         theirs mine)
+  end
+  else begin
+    if theirs > mine then begin
+      Engine.exclusively t.engine (fun () ->
+          Persist.adopt_epoch t.persist theirs);
+      t.config.log
+        (Printf.sprintf "replication: adopted epoch %d from primary" theirs)
+    end;
+    Ok ()
+  end
+
 let bootstrap t c =
-  match Client.request c.client Protocol.fetch_snapshot with
+  let epoch = Persist.epoch t.persist in
+  match Client.request c.client (Protocol.fetch_snapshot ~epoch) with
   | Error msg ->
     drop t;
     `Retry ("snapshot fetch failed: " ^ msg)
   | Ok reply -> (
     match Protocol.decode_snapshot reply with
-    | Ok (seq, dump) ->
+    | Ok (seq, snap_epoch, dump) ->
       (* replace store and data directory atomically with respect to
          request workers; the session cache is stale afterwards *)
       Engine.exclusively t.engine (fun () ->
-          Persist.install_snapshot t.persist ~seq dump;
+          Persist.install_snapshot t.persist ~seq ~epoch:snap_epoch dump;
           Kb.Session.invalidate t.session);
       locked t (fun () ->
           t.bootstraps <- t.bootstraps + 1;
@@ -144,19 +202,24 @@ let bootstrap t c =
 
 let greet t c =
   let seq = Persist.seq t.persist in
-  match Client.request c.client (Protocol.hello ~seq) with
+  let epoch = Persist.epoch t.persist in
+  match Client.request c.client (Protocol.hello ~seq ~epoch ~rid:t.rid) with
   | Error msg ->
     drop t;
     `Retry ("handshake failed: " ^ msg)
   | Ok reply -> (
     match Protocol.decode_hello reply with
     | Ok h -> (
-      c.greeted <- true;
-      locked t (fun () ->
-          t.connected <- true;
-          t.primary_seq <- h.seq;
-          t.last_error <- None);
-      match h.action with `Tail -> `Ready | `Snapshot -> bootstrap t c)
+      match reconcile_epoch t ~theirs:h.epoch with
+      | Error msg -> `Fatal msg
+      | Ok () -> (
+        c.greeted <- true;
+        Backoff.reset t.backoff;
+        locked t (fun () ->
+            t.connected <- true;
+            t.primary_seq <- h.seq;
+            t.last_error <- None);
+        match h.action with `Tail -> `Ready | `Snapshot -> bootstrap t c))
     | Error (`Refused r) -> refused t r
     | Error (`Garbled msg) ->
       drop t;
@@ -164,13 +227,22 @@ let greet t c =
 
 let pull t c =
   let from = Persist.seq t.persist in
-  match Client.request c.client (Protocol.pull ~from ~max:t.config.batch) with
+  let epoch = Persist.epoch t.persist in
+  (* [from] doubles as the durable horizon: the previous batch's
+     [wait_durable] ran before this pull, so every local sequence up to
+     it is on stable storage — the confirmation the primary's
+     synchronous commit is waiting for *)
+  match
+    Client.request c.client
+      (Protocol.pull ~from ~max:t.config.batch ~epoch ~rid:t.rid
+         ~durable:from)
+  with
   | Error msg ->
     drop t;
     `Retry ("pull failed: " ^ msg)
   | Ok reply -> (
     match Protocol.decode_pull reply with
-    | Ok (seq, mutations) -> (
+    | Ok (seq, _epoch, mutations) -> (
       locked t (fun () -> t.primary_seq <- seq);
       match mutations with
       | [] -> `Idle
@@ -180,6 +252,10 @@ let pull t c =
            each record to the replica's own WAL as it applies *)
         Engine.exclusively t.engine (fun () ->
             List.iter (fun m -> Kb.Session.apply t.session m) ms);
+        (* settle the batch on stable storage before confirming it —
+           the next pull's [durable] field must not promise more than
+           fsync delivered *)
+        Persist.wait_durable t.persist;
         let n = List.length ms in
         bump t "repl_applied" n;
         `Applied n)
@@ -196,9 +272,8 @@ let step t =
   else
     match t.conn with
     | None -> (
-      match
-        Client.connect ~retry:t.config.connect_retry t.config.primary
-      with
+      t.connect_attempts <- t.connect_attempts + 1;
+      match Client.connect ~retry:t.config.retry_base t.config.primary with
       | Error msg ->
         locked t (fun () -> t.connected <- false);
         `Retry
@@ -216,6 +291,10 @@ let step t =
 (* Promotion, status                                                   *)
 (* ------------------------------------------------------------------ *)
 
+(* Caller must hold the engine lock (the engine's promote closure does;
+   the run loop's self-promotion path takes it) — that is what makes
+   promotion atomic with respect to an in-flight apply batch, and what
+   lets [bump_epoch] snapshot without racing the workers. *)
 let promote t =
   let result, conn =
     locked t (fun () ->
@@ -234,7 +313,12 @@ let promote t =
   (match conn with Some c -> Client.close c.client | None -> ());
   (match result with
   | Ok _ ->
-    t.config.log "promoted: replication stopped, now a standalone primary"
+    let epoch = Persist.bump_epoch t.persist in
+    t.config.log
+      (Printf.sprintf
+         "promoted: replication stopped, now a standalone primary at epoch \
+          %d"
+         epoch)
   | Error _ -> ());
   result
 
@@ -256,7 +340,9 @@ let status t =
         last_applied;
         primary_seq = t.primary_seq;
         lag = max 0 (t.primary_seq - last_applied);
+        epoch = Persist.epoch t.persist;
         bootstraps = t.bootstraps;
+        connect_attempts = t.connect_attempts;
         last_error = t.last_error
       })
 
@@ -276,7 +362,11 @@ let sleep t dt =
 let rec run t =
   if t.stopping then ()
   else if t.promote_requested && not t.promoted then begin
-    ignore (promote t : (string, string) result);
+    (* under the engine lock so the promotion cannot land while a
+       worker-visible apply is mid-batch (lock order engine → link) *)
+    ignore
+      (Engine.exclusively t.engine (fun () -> promote t)
+        : (string, string) result);
     run t
   end
   else
@@ -292,7 +382,7 @@ let rec run t =
             t.config.log ("replication: " ^ msg);
             t.last_error <- Some msg
           end);
-      sleep t t.config.poll_interval;
+      sleep t (Backoff.next t.backoff);
       run t
     | `Fatal msg | `Crashed msg ->
       (* stop following; keep serving reads at the last applied state *)

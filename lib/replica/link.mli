@@ -2,25 +2,41 @@
     connection that keeps a local durable KB in lockstep with a primary.
 
     A link owns the replica's relationship to its primary: it connects,
-    handshakes ({!Protocol.hello}) announcing the local {!Persist.seq},
-    then either tails the primary's log with [pull] requests — applying
-    each shipped mutation through {!Kb.Session.apply} under the engine
-    lock, so the replica's own WAL and result cache track its store — or
-    bootstraps from a snapshot when the primary has compacted past the
-    replica's position.  An empty pull is the heartbeat; the loop sleeps
-    [poll_interval] between them.
+    handshakes ({!Protocol.hello}) announcing the local {!Persist.seq}
+    and epoch, then either tails the primary's log with [pull] requests
+    — applying each shipped mutation through {!Kb.Session.apply} under
+    the engine lock, so the replica's own WAL and result cache track its
+    store — or bootstraps from a snapshot when the primary has compacted
+    past the replica's position.  An empty pull is the heartbeat; the
+    loop sleeps [poll_interval] between them.
+
+    {b Epochs.}  Every request carries the replica's fencing term.  A
+    primary that replies with a {e higher} epoch is legitimate — the
+    link adopts the term durably ({!Persist.adopt_epoch}) and keeps
+    tailing; a primary with a {e lower} epoch has been deposed by a
+    promotion this replica already witnessed, so the link refuses to
+    follow it (fatal, like the server-side ["fenced"] refusal).  After
+    each applied batch the link waits for local durability and reports
+    the stable-storage horizon on its next pull — the confirmation
+    synchronous commit on the primary waits for.
 
     {b Faults.}  Connection errors and garbled replies drop the
-    connection and retry forever (logged once per distinct message);
-    typed refusals are policy: ["behind"] triggers a snapshot bootstrap,
-    ["handshake"] (protocol mismatch, diverged history) and ["proto"]
-    (a primary too old to know the verbs) halt replication — the replica
-    keeps serving reads at its last applied state.
+    connection and retry forever under a jittered exponential backoff
+    ({!Governor.Backoff}; reset on a successful handshake, logged once
+    per distinct message); typed refusals are policy: ["behind"]
+    triggers a snapshot bootstrap, ["fenced"], ["handshake"] (protocol
+    mismatch, diverged history) and ["proto"] (a primary too old to know
+    the verbs) halt replication — the replica keeps serving reads at its
+    last applied state.
 
     {b Promotion} ({!promote}, or {!request_promote} from a signal
-    handler) flips the role to ["primary"] and severs the stream; the
-    engine's write gate reads the role through {!status}, so writes are
-    accepted from that point on.
+    handler) flips the role to ["primary"], bumps the epoch durably
+    ({!Persist.bump_epoch}) and severs the stream; the engine's write
+    gate reads the role through {!status}, so writes are accepted from
+    that point on.  Promotion is atomic with respect to the apply path:
+    the engine's promote closure already holds the engine lock, and the
+    loop's signal-triggered promotion takes it — a promotion never lands
+    in the middle of a shipped batch.
 
     {b Locking.}  The link applies mutations inside
     {!Server.Engine.exclusively}; nothing here takes the link's own lock
@@ -34,14 +50,16 @@ type config = {
   primary : Server.Daemon.address;
   poll_interval : float;  (** seconds between heartbeat pulls *)
   batch : int;  (** records per pull request *)
-  connect_retry : float;
-      (** seconds to retry one connection attempt before backing off to
-          the poll cadence (also bounds how long {!stop} can block) *)
+  retry_base : float;
+      (** first reconnect delay, seconds (also bounds one connect
+          attempt, and so how long {!stop} can block) *)
+  retry_cap : float;  (** reconnect backoff ceiling, seconds *)
   log : string -> unit;  (** one-line progress/diagnostic sink *)
 }
 
 val default_config : Server.Daemon.address -> config
-(** 50 ms poll, batch 512, 0.5 s connect retry, silent log. *)
+(** 50 ms poll, batch 512, reconnect backoff 50 ms doubling to a 1 s
+    cap, silent log. *)
 
 val create :
   ?metrics:Governor.Metrics.t ->
@@ -53,7 +71,8 @@ val create :
 (** Wire a link over the replica's engine, session and open data
     directory (the session's [on_mutation] observer must already append
     to [persist] — the daemon sets that up).  [metrics] receives
-    [repl_applied]/[repl_bootstraps]. *)
+    [repl_applied]/[repl_bootstraps].  Each link gets a fresh instance
+    id ([rid]) identifying it in the primary's ack ledger. *)
 
 val step :
   t ->
@@ -63,7 +82,7 @@ val step :
   | `Idle  (** in sync; nothing to do until the primary moves *)
   | `Retry of string  (** transient failure; connection dropped *)
   | `Fatal of string  (** replication cannot continue (mismatch,
-                          divergence); reads keep working *)
+                          divergence, fencing); reads keep working *)
   | `Stopped  (** the link was stopped or promoted *) ]
 (** One protocol step — connect, greet, pull or bootstrap, whichever is
     next.  The background loop is [step] in a loop; tests drive it
@@ -72,7 +91,8 @@ val step :
 
 val run : t -> unit
 (** The loop {!start} spawns: steps until stopped, promoted or fatal,
-    sleeping [poll_interval] when idle. *)
+    sleeping [poll_interval] when idle and the (jittered, growing)
+    backoff delay after a transient failure. *)
 
 val start : t -> unit
 (** Spawn {!run} in a background thread (idempotent). *)
@@ -87,12 +107,14 @@ val disconnect : t -> unit
 
 val promote : t -> (string, string) result
 (** Leave the stream and become a standalone primary: [Ok "primary"]
-    once; [Error] if already promoted.  Callable from the engine's
-    promote closure (under the engine lock). *)
+    once, after durably bumping the epoch; [Error] if already promoted
+    (idempotent — the epoch is bumped exactly once).  Callable from the
+    engine's promote closure (under the engine lock). *)
 
 val request_promote : t -> unit
 (** Async-signal-safe promotion request: sets a flag and wakes the
-    loop, which calls {!promote}.  The SIGUSR1 handler. *)
+    loop, which runs {!promote} under the engine lock — never in the
+    middle of an apply batch.  The SIGUSR1 handler. *)
 
 type status = {
   role : string;  (** ["replica"], or ["primary"] after promotion *)
@@ -101,7 +123,9 @@ type status = {
   last_applied : int;  (** the local {!Persist.seq} *)
   primary_seq : int;  (** the primary's seq at last contact *)
   lag : int;  (** [max 0 (primary_seq - last_applied)] *)
+  epoch : int;  (** the local fencing term ({!Persist.epoch}) *)
   bootstraps : int;  (** snapshot bootstraps performed *)
+  connect_attempts : int;  (** connection attempts since creation *)
   last_error : string option;
 }
 

@@ -6,27 +6,33 @@ module Wire = Server.Wire
 module Hex = Server.Hex
 module Record = Persist.Record
 
-type refusal = { kind : string; message : string }
+type refusal = { kind : string; message : string; epoch : int option }
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let hello ~seq =
+let hello ~seq ~epoch ~rid =
   Wire.Obj
     [ ("op", Wire.String "hello");
       ("seq", Wire.Int seq);
-      ("protocol", Wire.Int Wire.protocol_revision)
+      ("protocol", Wire.Int Wire.protocol_revision);
+      ("epoch", Wire.Int epoch);
+      ("rid", Wire.String rid)
     ]
 
-let pull ~from ~max =
+let pull ~from ~max ~epoch ~rid ~durable =
   Wire.Obj
     [ ("op", Wire.String "pull");
       ("from", Wire.Int from);
-      ("max", Wire.Int max)
+      ("max", Wire.Int max);
+      ("epoch", Wire.Int epoch);
+      ("rid", Wire.String rid);
+      ("durable", Wire.Int durable)
     ]
 
-let fetch_snapshot = Wire.Obj [ ("op", Wire.String "fetch_snapshot") ]
+let fetch_snapshot ~epoch =
+  Wire.Obj [ ("op", Wire.String "fetch_snapshot"); ("epoch", Wire.Int epoch) ]
 
 (* ------------------------------------------------------------------ *)
 (* Replies                                                             *)
@@ -47,7 +53,9 @@ let refusal_of j =
     let message =
       match str_field e "message" with Some m -> m | None -> ""
     in
-    Some { kind; message }
+    (* fencing refusals name the refusing side's term, so the link can
+       tell "the primary moved ahead" from "the primary was deposed" *)
+    Some { kind; message; epoch = int_field e "epoch" }
   | None -> None
 
 (* Route a response by status: [ok] goes to the verb-specific decoder,
@@ -67,25 +75,35 @@ let classify j k =
 type hello_reply = {
   role : string;
   seq : int;
+  epoch : int;
   action : [ `Tail | `Snapshot ];
 }
 
 let decode_hello j =
   classify j (fun j ->
-      match (str_field j "role", int_field j "seq", str_field j "action") with
-      | Some role, Some seq, Some "tail" -> Ok { role; seq; action = `Tail }
-      | Some role, Some seq, Some "snapshot" ->
-        Ok { role; seq; action = `Snapshot }
-      | Some _, Some _, Some a ->
+      match
+        ( str_field j "role",
+          int_field j "seq",
+          int_field j "epoch",
+          str_field j "action" )
+      with
+      | Some role, Some seq, Some epoch, Some "tail" ->
+        Ok { role; seq; epoch; action = `Tail }
+      | Some role, Some seq, Some epoch, Some "snapshot" ->
+        Ok { role; seq; epoch; action = `Snapshot }
+      | Some _, Some _, Some _, Some a ->
         Error (`Garbled (Printf.sprintf "unknown handshake action %S" a))
       | _ -> Error (`Garbled "malformed hello reply"))
 
 let decode_pull j =
   classify j (fun j ->
       match
-        (int_field j "seq", int_field j "count", str_field j "records")
+        ( int_field j "seq",
+          int_field j "epoch",
+          int_field j "count",
+          str_field j "records" )
       with
-      | Some seq, Some count, Some hexed -> (
+      | Some seq, Some epoch, Some count, Some hexed -> (
         match Hex.decode hexed with
         | Error msg -> Error (`Garbled ("bad hex in shipped records: " ^ msg))
         | Ok raw ->
@@ -94,7 +112,7 @@ let decode_pull j =
           let rec go pos acc n =
             match Record.unframe raw ~pos with
             | Record.End ->
-              if n = count then Ok (seq, List.rev acc)
+              if n = count then Ok (seq, epoch, List.rev acc)
               else
                 Error
                   (`Garbled
@@ -115,14 +133,16 @@ let decode_pull j =
 
 let decode_snapshot j =
   classify j (fun j ->
-      match (int_field j "seq", str_field j "snapshot") with
-      | Some seq, Some hexed -> (
+      match
+        (int_field j "seq", int_field j "epoch", str_field j "snapshot")
+      with
+      | Some seq, Some epoch, Some hexed -> (
         match Hex.decode hexed with
         | Error msg -> Error (`Garbled ("bad hex in snapshot image: " ^ msg))
         | Ok image -> (
           match Record.decode_snapshot image with
-          | Ok (s, dump) when s = seq -> Ok (seq, dump)
-          | Ok (s, _) ->
+          | Ok (s, _, dump) when s = seq -> Ok (seq, epoch, dump)
+          | Ok (s, _, _) ->
             Error
               (`Garbled
                  (Printf.sprintf

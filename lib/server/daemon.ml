@@ -2,6 +2,30 @@ module M = Governor.Metrics
 
 type address = [ `Unix of string | `Tcp of string * int ]
 
+(* ADDR grammar shared by the CLI flags and the replica-set client:
+   HOST:PORT is TCP, a bare number is a local TCP port, "unix:PATH"
+   (the printable form redirects and stats carry) or anything else a
+   Unix socket path. *)
+let parse_address s : address =
+  let is_digits x =
+    x <> "" && String.for_all (fun c -> c >= '0' && c <= '9') x
+  in
+  if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    `Unix (String.sub s 5 (String.length s - 5))
+  else
+    match String.rindex_opt s ':' with
+    | Some i ->
+      let host = String.sub s 0 i
+      and port = String.sub s (i + 1) (String.length s - i - 1) in
+      if host <> "" && is_digits port then `Tcp (host, int_of_string port)
+      else `Unix s
+    | None ->
+      if is_digits s then `Tcp ("127.0.0.1", int_of_string s) else `Unix s
+
+let address_to_string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
 type config = {
   address : address;
   workers : int;
@@ -9,6 +33,7 @@ type config = {
   caps : Engine.caps;
   persist : Persist.config option;
   replicate_on : address option;
+  sync : Engine.sync option;
 }
 
 type t = {
@@ -94,6 +119,7 @@ let create config =
         Some
           { Engine.snapshot = (fun () -> Persist.snapshot p);
             seq = (fun () -> Persist.seq p);
+            epoch = (fun () -> Persist.epoch p);
             wait_durable = (fun () -> Persist.wait_durable p);
             tail =
               (fun ~from ~max ->
@@ -105,7 +131,7 @@ let create config =
   in
   let engine =
     Engine.create ~caps:config.caps ~metrics ~extra_stats ?session
-      ?persistence ()
+      ?persistence ?sync:config.sync ()
   in
   let stop_r, stop_w = Unix.pipe () in
   Unix.set_nonblock stop_w;
@@ -174,6 +200,13 @@ let handle_line t ~conn_lock fd line =
          drain begins *)
       reply (Engine.handle t.engine req);
       stop t
+    | Ok ({ verb = Wire.Hello _ | Wire.Pull _ | Wire.Fetch_snapshot _; _ }
+          as req) ->
+      (* replication verbs are served on the reader thread, off the
+         bounded pool: the durability confirmations synchronous commit
+         waits for ride on pulls, so they must keep flowing even when
+         every worker is blocked in that very wait *)
+      reply (Engine.handle t.engine req)
     | Ok req ->
       M.gauge_max (Engine.metrics t.engine) "queue_peak"
         (Pool.queued t.pool + 1);

@@ -20,6 +20,16 @@
 
 type address = [ `Unix of string | `Tcp of string * int ]
 
+val parse_address : string -> address
+(** The ADDR grammar shared by the CLI and the replica-set client:
+    [HOST:PORT] is TCP, a bare number is a local TCP port, [unix:PATH]
+    (the printable form — so redirects round-trip) or anything else a
+    Unix socket path. *)
+
+val address_to_string : address -> string
+(** Printable form (["unix:PATH"] or ["HOST:PORT"]) — the form used in
+    [read_only] redirects and [stats]. *)
+
 type config = {
   address : address;
       (** TCP port [0] picks an ephemeral port (see {!address}) *)
@@ -34,7 +44,13 @@ type config = {
       (** also listen on this address for replicas ([hello]/[pull]/
           [fetch_snapshot] traffic; same wire protocol, dedicated
           address so replica and client traffic can be segregated);
-          requires [persist] — the log is what ships *)
+          requires [persist] — the log is what ships.  A server that is
+          itself a replica may also set this: it re-serves its own WAL,
+          forming a chained (tree) topology *)
+  sync : Engine.sync option;
+      (** synchronous commit: hold each write's acknowledgement until
+          this many replicas confirmed durability (see
+          {!Engine.sync}) *)
 }
 
 type t

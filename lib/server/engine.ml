@@ -8,6 +8,7 @@ let default_caps = { timeout = Some 30.; steps = None }
 type persistence = {
   snapshot : unit -> int;
   seq : unit -> int;
+  epoch : unit -> int;
   wait_durable : unit -> unit;
   tail : from:int -> max:int -> (string * int, int) result;
   snapshot_image : unit -> int * string;
@@ -20,6 +21,16 @@ type replication = {
   promote : unit -> (string, string) result;
 }
 
+type sync = { replicas : int; timeout_ms : int }
+
+(* Per-replica durability horizons, keyed by the instance id ([rid])
+   replicas send in [hello]/[pull].  Updated while serving replication
+   verbs (under the engine lock), read by writers waiting for quorum
+   (outside it), hence the private lock. *)
+type acks = { ack_lock : Mutex.t; ack_tbl : (string, int) Hashtbl.t }
+
+let max_tracked_replicas = 64
+
 type t = {
   session : Kb.Session.t;
   caps : caps;
@@ -27,20 +38,62 @@ type t = {
   lock : Mutex.t;
   extra_stats : unit -> (string * Wire.json) list;
   persistence : persistence option;
+  sync : sync option;
+  acks : acks;
   mutable replication : replication option;
 }
 
 let create ?(caps = default_caps) ?(metrics = M.create ())
-    ?(extra_stats = fun () -> []) ?session ?persistence () =
+    ?(extra_stats = fun () -> []) ?session ?persistence ?sync () =
   let session =
     match session with Some s -> s | None -> Kb.Session.create ()
   in
   { session; caps; metrics; lock = Mutex.create (); extra_stats; persistence;
+    sync;
+    acks = { ack_lock = Mutex.create (); ack_tbl = Hashtbl.create 8 };
     replication = None }
 
 let session t = t.session
 let metrics t = t.metrics
 let set_replication t r = t.replication <- Some r
+
+let record_ack t ~rid ~durable =
+  let a = t.acks in
+  Mutex.lock a.ack_lock;
+  (match Hashtbl.find_opt a.ack_tbl rid with
+  | Some prev when prev >= durable -> ()
+  | Some _ -> Hashtbl.replace a.ack_tbl rid durable
+  | None ->
+    if Hashtbl.length a.ack_tbl < max_tracked_replicas then
+      Hashtbl.replace a.ack_tbl rid durable);
+  Mutex.unlock a.ack_lock
+
+let confirmed_replicas t ~seq =
+  let a = t.acks in
+  Mutex.lock a.ack_lock;
+  let n =
+    Hashtbl.fold (fun _ d acc -> if d >= seq then acc + 1 else acc) a.ack_tbl
+      0
+  in
+  Mutex.unlock a.ack_lock;
+  n
+
+(* Quorum rendezvous: acknowledgements arrive piggybacked on replica
+   pulls (which the daemon serves on their reader threads, so they are
+   never stuck behind this very wait), so a short poll is plenty — the
+   pull cadence, not this loop, dominates the latency. *)
+let wait_confirmed t ~seq ~required ~timeout_ms =
+  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+  let rec loop () =
+    let n = confirmed_replicas t ~seq in
+    if n >= required then `Confirmed
+    else if Unix.gettimeofday () >= deadline then `Timeout n
+    else begin
+      Thread.delay 0.002;
+      loop ()
+    end
+  in
+  loop ()
 
 let exclusively t f =
   Mutex.lock t.lock;
@@ -85,7 +138,7 @@ let is_write = function
     true
   | Wire.Query _ | Wire.Models _ | Wire.Explain _ | Wire.Stats
   | Wire.Version | Wire.Snapshot | Wire.Shutdown | Wire.Hello _
-  | Wire.Pull _ | Wire.Fetch_snapshot | Wire.Promote ->
+  | Wire.Pull _ | Wire.Fetch_snapshot _ | Wire.Promote ->
     false
 
 (* ------------------------------------------------------------------ *)
@@ -106,7 +159,16 @@ let stats_response t ~id =
     Wire.Obj
       (t.extra_stats ()
       @ (match t.persistence with
-        | Some p -> [ ("persist_seq", Wire.Int (p.seq ())) ]
+        | Some p ->
+          [ ("persist_seq", Wire.Int (p.seq ()));
+            ("epoch", Wire.Int (p.epoch ()))
+          ]
+        | None -> [])
+      @ (match t.sync with
+        | Some s ->
+          [ ("sync_replicas", Wire.Int s.replicas);
+            ("sync_timeout_ms", Wire.Int s.timeout_ms)
+          ]
         | None -> [])
       @ List.map (fun (k, v) -> (k, Wire.Int v)) (M.snapshot t.metrics))
   in
@@ -199,7 +261,7 @@ let serve t ~id req =
       let seq = p.snapshot () in
       Wire.ok ?id [ ("snapshot", Wire.Int seq) ])
   | Wire.Shutdown -> Wire.ok ?id [ ("shutdown", Wire.Bool true) ]
-  | Wire.Hello { seq; protocol } -> (
+  | Wire.Hello { seq; protocol; epoch; rid } -> (
     match t.persistence with
     | None ->
       Wire.error_response ?id ~kind:"input"
@@ -213,79 +275,134 @@ let serve t ~id req =
               replica speaks %d — upgrade so both ends match"
              Wire.protocol_revision protocol)
       else begin
-        let cur = p.seq () in
-        if seq > cur then
-          Wire.error_response ?id ~kind:"handshake"
+        let mine = p.epoch () in
+        if epoch > mine then
+          (* the requester has seen a newer promotion than we have: we
+             are the deposed side and must not hand out history *)
+          Wire.error_response ?id ~kind:"fenced"
+            ~extra:[ ("epoch", Wire.Int mine) ]
             (Printf.sprintf
-               "replica is ahead of this primary (replica at sequence %d, \
-                primary at %d): diverged history — re-seed the replica \
-                from an empty data directory"
-               seq cur)
+               "this server is fenced: it is at epoch %d but the \
+                requester has seen epoch %d — a newer primary was \
+                promoted"
+               mine epoch)
         else begin
-          let action =
-            match p.tail ~from:seq ~max:0 with
-            | Ok _ -> "tail"
-            | Error _ -> "snapshot"
-          in
-          M.incr t.metrics "repl_hellos";
-          let role =
-            match t.replication with
-            | Some r -> r.role ()
-            | None -> "primary"
-          in
-          Wire.ok ?id
-            [ ("role", Wire.String role);
-              ("protocol", Wire.Int Wire.protocol_revision);
-              ("seq", Wire.Int cur);
-              ("action", Wire.String action)
-            ]
+          let cur = p.seq () in
+          if seq > cur then
+            Wire.error_response ?id ~kind:"handshake"
+              (Printf.sprintf
+                 "replica is ahead of this primary (replica at sequence \
+                  %d, primary at %d): diverged history — re-seed the \
+                  replica from an empty data directory"
+                 seq cur)
+          else begin
+            let action =
+              match p.tail ~from:seq ~max:0 with
+              | Ok _ -> "tail"
+              | Error _ -> "snapshot"
+            in
+            M.incr t.metrics "repl_hellos";
+            (* the greeted sequence is already durable on the replica:
+               recovery replays nothing it has not fsynced *)
+            (match rid with
+            | Some rid -> record_ack t ~rid ~durable:seq
+            | None -> ());
+            let role =
+              match t.replication with
+              | Some r -> r.role ()
+              | None -> "primary"
+            in
+            Wire.ok ?id
+              [ ("role", Wire.String role);
+                ("protocol", Wire.Int Wire.protocol_revision);
+                ("epoch", Wire.Int mine);
+                ("seq", Wire.Int cur);
+                ("action", Wire.String action)
+              ]
+          end
         end
       end)
-  | Wire.Pull { from_seq; max } -> (
+  | Wire.Pull { from_seq; max; epoch; rid; durable } -> (
     match t.persistence with
     | None ->
       Wire.error_response ?id ~kind:"input"
         "replication requires a data directory (start the primary with \
          --data-dir)"
     | Some p ->
-      let cur = p.seq () in
-      if from_seq > cur then
-        Wire.error_response ?id ~kind:"handshake"
-          (Printf.sprintf
-             "pull from sequence %d but this primary is at %d: diverged \
-              history — re-seed the replica from an empty data directory"
-             from_seq cur)
+      let mine = p.epoch () in
+      if epoch <> mine then
+        (* either direction is fatal for a pull: a higher requester
+           epoch means we are deposed; a lower one means the requester
+           missed a promotion and must re-handshake (hello is where a
+           replica adopts the current term) *)
+        Wire.error_response ?id ~kind:"fenced"
+          ~extra:[ ("epoch", Wire.Int mine) ]
+          (if epoch > mine then
+             Printf.sprintf
+               "this server is fenced: it is at epoch %d but the \
+                requester has seen epoch %d — a newer primary was \
+                promoted"
+               mine epoch
+           else
+             Printf.sprintf
+               "pull at stale epoch %d refused: this server is at epoch \
+                %d — re-handshake to adopt the current term"
+               epoch mine)
       else begin
-        let max = min 4096 (Option.value ~default:512 max) in
-        match p.tail ~from:from_seq ~max with
-        | Ok (bytes, n) ->
-          if n > 0 then M.add t.metrics "repl_records_shipped" n;
-          Wire.ok ?id
-            [ ("seq", Wire.Int cur);
-              ("from", Wire.Int from_seq);
-              ("count", Wire.Int n);
-              ("records", Wire.String (Hex.encode bytes))
-            ]
-        | Error oldest ->
-          Wire.error_response ?id ~kind:"behind"
+        let cur = p.seq () in
+        if from_seq > cur then
+          Wire.error_response ?id ~kind:"handshake"
             (Printf.sprintf
-               "records from sequence %d were compacted away (the log now \
-                starts at %d); fetch a snapshot"
-               from_seq oldest)
+               "pull from sequence %d but this primary is at %d: diverged \
+                history — re-seed the replica from an empty data directory"
+               from_seq cur)
+        else begin
+          (match rid, durable with
+          | Some rid, Some durable -> record_ack t ~rid ~durable
+          | _ -> ());
+          let max = min 4096 (Option.value ~default:512 max) in
+          match p.tail ~from:from_seq ~max with
+          | Ok (bytes, n) ->
+            if n > 0 then M.add t.metrics "repl_records_shipped" n;
+            Wire.ok ?id
+              [ ("seq", Wire.Int cur);
+                ("epoch", Wire.Int mine);
+                ("from", Wire.Int from_seq);
+                ("count", Wire.Int n);
+                ("records", Wire.String (Hex.encode bytes))
+              ]
+          | Error oldest ->
+            Wire.error_response ?id ~kind:"behind"
+              (Printf.sprintf
+                 "records from sequence %d were compacted away (the log \
+                  now starts at %d); fetch a snapshot"
+                 from_seq oldest)
+        end
       end)
-  | Wire.Fetch_snapshot -> (
+  | Wire.Fetch_snapshot { epoch } -> (
     match t.persistence with
     | None ->
       Wire.error_response ?id ~kind:"input"
         "replication requires a data directory (start the primary with \
          --data-dir)"
     | Some p ->
-      let seq, image = p.snapshot_image () in
-      M.incr t.metrics "repl_snapshots_served";
-      Wire.ok ?id
-        [ ("seq", Wire.Int seq);
-          ("snapshot", Wire.String (Hex.encode image))
-        ])
+      let mine = p.epoch () in
+      if epoch > mine then
+        Wire.error_response ?id ~kind:"fenced"
+          ~extra:[ ("epoch", Wire.Int mine) ]
+          (Printf.sprintf
+             "this server is fenced: it is at epoch %d but the requester \
+              has seen epoch %d — a newer primary was promoted"
+             mine epoch)
+      else begin
+        let seq, image = p.snapshot_image () in
+        M.incr t.metrics "repl_snapshots_served";
+        Wire.ok ?id
+          [ ("seq", Wire.Int seq);
+            ("epoch", Wire.Int mine);
+            ("snapshot", Wire.String (Hex.encode image))
+          ]
+      end)
   | Wire.Promote -> (
     match t.replication with
     | None ->
@@ -297,23 +414,40 @@ let serve t ~id req =
         Wire.ok ?id
           (("role", Wire.String role)
           :: (match t.persistence with
-             | Some p -> [ ("seq", Wire.Int (p.seq ())) ]
+             | Some p ->
+               [ ("epoch", Wire.Int (p.epoch ()));
+                 ("seq", Wire.Int (p.seq ()))
+               ]
              | None -> []))
       | Error msg -> Wire.error_response ?id ~kind:"input" msg))
 
 let handle t (req : Wire.request) =
   let id = req.id in
+  (* sequence number this write reached, captured under the lock so the
+     quorum wait below targets exactly this mutation *)
+  let sync_seq = ref None in
   let response =
     Mutex.lock t.lock;
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.lock)
       (fun () ->
-        try serve t ~id req with
+        try
+          let resp = serve t ~id req in
+          (match t.persistence, t.sync with
+          | Some p, Some _ when is_write req.verb -> (
+            match Wire.status_of_response resp with
+            | `Ok -> sync_seq := Some (p.seq ())
+            | `Partial | `Error | `Unknown -> ())
+          | _ -> ());
+          resp
+        with
         | B.Exhausted reason ->
           (* no sound partial payload outside the enumerations *)
           Wire.partial ?id ~reason:(B.reason_to_string reason) []
-        | Ordered.Diag.Error (Ordered.Diag.Read_only _ as e) ->
-          Wire.error_response ?id ~kind:"read_only" (Ordered.Diag.to_string e)
+        | Ordered.Diag.Error (Ordered.Diag.Read_only { primary } as e) ->
+          Wire.error_response ?id ~kind:"read_only"
+            ~extra:[ ("primary", Wire.String primary) ]
+            (Ordered.Diag.to_string e)
         | Ordered.Diag.Error e ->
           Wire.error_response ?id ~kind:"diag" (Ordered.Diag.to_string e)
         | Invalid_argument msg | Failure msg ->
@@ -337,6 +471,27 @@ let handle t (req : Wire.request) =
     | `Ok -> p.wait_durable ()
     | `Partial | `Error | `Unknown -> ())
   | _ -> ());
+  (* synchronous commit: also outside the lock, so replica pulls (which
+     carry the confirmations) keep being served while writers wait *)
+  let response =
+    match t.sync, !sync_seq with
+    | Some s, Some seq -> (
+      match
+        wait_confirmed t ~seq ~required:s.replicas ~timeout_ms:s.timeout_ms
+      with
+      | `Confirmed -> response
+      | `Timeout confirmed ->
+        M.incr t.metrics "sync_timeouts";
+        let e =
+          Ordered.Diag.Sync_timeout
+            { seq; required = s.replicas; confirmed;
+              timeout_ms = s.timeout_ms }
+        in
+        Wire.error_response ?id ~kind:"sync_timeout"
+          ~extra:[ ("seq", Wire.Int seq); ("confirmed", Wire.Int confirmed) ]
+          (Ordered.Diag.to_string e))
+    | _ -> response
+  in
   M.incr t.metrics "served";
   (match Wire.status_of_response response with
   | `Ok -> M.incr t.metrics "ok"

@@ -37,6 +37,9 @@ type persistence = {
   snapshot : unit -> int;
       (** force a durable snapshot; returns the sequence number covered *)
   seq : unit -> int;  (** mutations logged so far *)
+  epoch : unit -> int;
+      (** current replication epoch (fencing term; see
+          {!Persist.epoch}) *)
   wait_durable : unit -> unit;
       (** block until every logged mutation is on stable storage (the
           group-commit rendezvous; a no-op without group commit) *)
@@ -65,8 +68,22 @@ type replication = {
 (** The engine's view of the replication layer, injected by [bin] after
     the daemon is up ({!set_replication}).  With it set, write verbs on
     a ["replica"] role bounce with a typed [Read_only] diagnostic
-    (["read_only"] error kind on the wire), [stats] gains a
+    (["read_only"] error kind on the wire, with the primary's address in
+    the error object for client-side redirects), [stats] gains a
     ["replication"] object, and the [promote] verb works. *)
+
+type sync = {
+  replicas : int;  (** confirmations required per acknowledged write *)
+  timeout_ms : int;  (** degrade-to-diagnostic deadline *)
+}
+(** Synchronous-commit policy.  With it set, an acknowledged write is
+    held until [replicas] distinct replica instances have confirmed (via
+    the [durable] field piggybacked on their pulls, or their [hello]
+    sequence) that the write's WAL sequence is on their stable storage.
+    If the confirmations do not arrive within [timeout_ms], the response
+    degrades to a typed ["sync_timeout"] error ({!Ordered.Diag.Sync_timeout}):
+    the mutation {e is} applied and locally durable — only its
+    replication guarantee is weaker than requested. *)
 
 val create :
   ?caps:caps ->
@@ -74,6 +91,7 @@ val create :
   ?extra_stats:(unit -> (string * Wire.json) list) ->
   ?session:Kb.Session.t ->
   ?persistence:persistence ->
+  ?sync:sync ->
   unit ->
   t
 (** [extra_stats] is appended to the ["server"] object of the [stats]

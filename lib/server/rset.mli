@@ -1,0 +1,64 @@
+(** A self-healing replica-set client: one logical connection over a
+    set of servers (a primary and its replicas, any depth of chaining).
+
+    The caller hands over seed addresses and raw {!Wire} requests; the
+    set routes them — {e writes} (mutating verbs, [snapshot], [promote],
+    [shutdown]) to the node it believes is the primary, {e reads}
+    ([query], [models], [explain], [stats], [version]) round-robin over
+    every node — and heals around faults:
+
+    - a typed ["read_only"] or ["fenced"] refusal of a write carries the
+      refusing node's idea of the primary; the set follows the redirect
+      (learning addresses it was never seeded with), bounded to a few
+      hops so two confused nodes cannot bounce a request forever — when
+      the hop budget runs out the typed error is returned as the answer;
+    - a connection failure — or a typed ["draining"] response from a
+      server mid-shutdown — drops that node's cached connection,
+      forgets it as primary and moves to the next node;
+    - when a whole pass over the set fails and a [retry] budget was
+      given, the set sleeps a jittered exponential backoff
+      ({!Governor.Backoff}, reset on any success) and sweeps again until
+      the deadline — the ride-out for a failover in progress.
+
+    Connections are cached per node and re-established lazily.  Not
+    thread-safe: one [t] per thread (like {!Client}). *)
+
+type t
+
+val create :
+  ?connect_retry:float ->
+  ?retry_base:float ->
+  ?retry_cap:float ->
+  Daemon.address list ->
+  t
+(** [create seeds] with at least one seed address (raises
+    [Invalid_argument] on an empty list; duplicates are collapsed).
+    [connect_retry] bounds one node's connection attempt (default
+    50 ms); [retry_base]/[retry_cap] shape the between-sweep backoff
+    (defaults 50 ms / 1 s). *)
+
+val request : ?retry:float -> t -> Wire.json -> (Wire.json, string) result
+(** Route one request (see the routing rules above).  [retry] is the
+    total time budget for riding out unreachable nodes (default [0.]:
+    a single sweep over the set).  [Ok] carries whatever response the
+    chosen server gave — including typed error responses that are the
+    answer (a solver diagnostic, an exhausted redirect); [Error] means
+    no node could be reached within the budget. *)
+
+val request_line :
+  ?retry:float -> t -> string -> (Wire.json, string) result
+(** Parse one raw request line and route it ([Error] on unparsable
+    input, without touching the network). *)
+
+val nodes : t -> string list
+(** Printable addresses of every node the set currently knows —
+    seeds plus any primaries learned from redirects, in discovery
+    order. *)
+
+val primary : t -> string option
+(** The node the set currently believes is the primary, if any write
+    has established one. *)
+
+val close : t -> unit
+(** Close every cached connection (the set remains usable; connections
+    re-open lazily). *)

@@ -319,15 +319,21 @@ type verb =
   | Version
   | Snapshot
   | Shutdown
-  | Hello of { seq : int; protocol : int }
-  | Pull of { from_seq : int; max : int option }
-  | Fetch_snapshot
+  | Hello of { seq : int; protocol : int; epoch : int; rid : string option }
+  | Pull of {
+      from_seq : int;
+      max : int option;
+      epoch : int;
+      rid : string option;
+      durable : int option;
+    }
+  | Fetch_snapshot of { epoch : int }
   | Promote
 
 type request = { id : int option; budget : budget_spec; verb : verb }
 
-let package_version = "1.2.0"
-let protocol_revision = 3
+let package_version = "1.3.0"
+let protocol_revision = 4
 
 exception Bad_request of string
 
@@ -402,9 +408,23 @@ let decode_verb o = function
   | "snapshot" -> Snapshot
   | "shutdown" -> Shutdown
   | "hello" ->
-    Hello { seq = nat_field o "seq"; protocol = nat_field o "protocol" }
-  | "pull" -> Pull { from_seq = nat_field o "from"; max = opt_nat_field o "max" }
-  | "fetch_snapshot" -> Fetch_snapshot
+    Hello
+      { seq = nat_field o "seq";
+        protocol = nat_field o "protocol";
+        epoch = Option.value ~default:0 (opt_nat_field o "epoch");
+        rid = opt_str_field o "rid"
+      }
+  | "pull" ->
+    Pull
+      { from_seq = nat_field o "from";
+        max = opt_nat_field o "max";
+        epoch = Option.value ~default:0 (opt_nat_field o "epoch");
+        rid = opt_str_field o "rid";
+        durable = opt_nat_field o "durable"
+      }
+  | "fetch_snapshot" ->
+    Fetch_snapshot
+      { epoch = Option.value ~default:0 (opt_nat_field o "epoch") }
   | "promote" -> Promote
   | op -> reject "unknown op %S" op
 
@@ -445,12 +465,13 @@ let partial ?id ~reason fields =
     (("status", String "partial")
     :: with_id id (("reason", String reason) :: fields))
 
-let error_response ?id ~kind message =
+let error_response ?id ?(extra = []) ~kind message =
   Obj
     (("status", String "error")
     :: with_id id
          [ ("error",
-            Obj [ ("kind", String kind); ("message", String message) ])
+            Obj
+              (("kind", String kind) :: ("message", String message) :: extra))
          ])
 
 let status_of_response j =

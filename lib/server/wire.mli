@@ -74,13 +74,27 @@ type verb =
   | Version  (** package version and protocol revision *)
   | Snapshot  (** force a durable snapshot (needs a data directory) *)
   | Shutdown
-  | Hello of { seq : int; protocol : int }
+  | Hello of { seq : int; protocol : int; epoch : int; rid : string option }
       (** replication handshake: the replica announces its last applied
-          sequence number and its {!protocol_revision} *)
-  | Pull of { from_seq : int; max : int option }
+          sequence number, its {!protocol_revision}, the highest
+          replication epoch it has seen (fencing; defaults to 0 on the
+          wire) and an optional instance id used to attribute durability
+          confirmations (synchronous commit) *)
+  | Pull of {
+      from_seq : int;
+      max : int option;
+      epoch : int;
+      rid : string option;
+      durable : int option;
+    }
       (** ship WAL records after [from_seq] (at most [max]); an empty
-          pull doubles as a heartbeat *)
-  | Fetch_snapshot  (** bootstrap: fetch a full snapshot image *)
+          pull doubles as a heartbeat.  [epoch] must match the server's
+          current term (fencing); [durable], when present, confirms that
+          the replica [rid] has every mutation up to it on stable
+          storage — the piggybacked acknowledgement synchronous commit
+          waits for *)
+  | Fetch_snapshot of { epoch : int }
+      (** bootstrap: fetch a full snapshot image *)
   | Promote  (** turn this replica into a standalone primary *)
 
 type request = { id : int option; budget : budget_spec; verb : verb }
@@ -105,14 +119,19 @@ val partial : ?id:int -> reason:string -> (string * json) list -> json
 (** [{"status": "partial", "id": id?, "reason": reason, ...fields}] — the
     structured budget-trip response. *)
 
-val error_response : ?id:int -> kind:string -> string -> json
+val error_response :
+  ?id:int -> ?extra:(string * json) list -> kind:string -> string -> json
 (** [{"status": "error", "id": id?, "error": {"kind": kind, "message":
-    message}}].  Kinds in use: ["proto"] (undecodable request), ["input"]
-    (bad program text, unknown object, precondition), ["diag"] (a typed
-    {!Ordered.Diag} error), ["read_only"] (a write reached a replica; the
-    message names the primary), ["handshake"] (replication handshake
-    refused: protocol mismatch or diverged history), ["behind"] (the
-    requested WAL tail was compacted away; fetch a snapshot), ["busy"]
+    message, ...extra}}].  Kinds in use: ["proto"] (undecodable request),
+    ["input"] (bad program text, unknown object, precondition), ["diag"]
+    (a typed {!Ordered.Diag} error), ["read_only"] (a write reached a
+    replica; [extra] carries a ["primary"] address for client-side
+    redirect), ["handshake"] (replication handshake refused: protocol
+    mismatch or diverged history), ["fenced"] (replication request from
+    or to a superseded epoch; [extra] carries the refusing server's
+    ["epoch"]), ["behind"] (the requested WAL tail was compacted away;
+    fetch a snapshot), ["sync_timeout"] (write durable locally but the
+    required replica confirmations did not arrive in time), ["busy"]
     (request queue full), ["draining"] (server shutting down),
     ["internal"]. *)
 

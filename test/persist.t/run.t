@@ -18,7 +18,7 @@ Load a knowledge base and mutate it over the wire:
 The version verb reports the package and protocol revision:
 
   $ olp call --socket s.sock version
-  {"status":"ok","version":"1.2.0","protocol":3}
+  {"status":"ok","version":"1.3.0","protocol":4}
 
 Kill the server without the shutdown verb (SIGTERM, as an init system
 would); the drain closes the log cleanly:
@@ -56,7 +56,7 @@ reloading anything —
 cache and server metrics:
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.2.0","protocol":3,"cache":{"hits":2,"misses":1,"invalidations":0,"entries":1},"server":{"workers":4,"queue_capacity":64,"persist_seq":2,"connections":2,"ok":3,"persist_tmp_swept":0,"queue_peak":1,"recovery_base":0,"recovery_corrupt_snapshots":0,"recovery_replayed":2,"recovery_truncated_bytes":0,"served":3}}
+  {"status":"ok","version":"1.3.0","protocol":4,"cache":{"hits":2,"misses":1,"invalidations":0,"entries":1},"server":{"workers":4,"queue_capacity":64,"persist_seq":2,"epoch":0,"connections":2,"ok":3,"persist_tmp_swept":0,"queue_peak":1,"recovery_base":0,"recovery_corrupt_snapshots":0,"recovery_replayed":2,"recovery_truncated_bytes":0,"served":3}}
 
 The snapshot verb writes a snapshot at the current sequence and rolls
 the log onto a fresh segment:
@@ -96,7 +96,7 @@ and the recovered state is a sound prefix:
   $ printf 'partial record' >> data/wal-000000000003.log
   $ olp recover data
   olp recover: data dir data (seq 3, replayed 0 from base 3)
-  olp recover: warning: truncated torn log tail (implausible payload length 1953653104 at offset 16 of wal-000000000003.log, 14 byte(s) dropped); the recovered state is a sound prefix of the mutation history
+  olp recover: warning: truncated torn log tail (implausible payload length 1953653104 at offset 24 of wal-000000000003.log, 14 byte(s) dropped); the recovered state is a sound prefix of the mutation history
   [3]
 
 Recovery converges: a second pass finds nothing left to repair —
@@ -145,7 +145,7 @@ deliberate cut, reported on stdout with exit 0:
   $ wait
   $ olp recover --to-seq 2 pitr
   olp recover: data dir pitr (seq 2, replayed 2 from base 0)
-  olp recover: history cut at sequence 2 on request (truncated wal-000000000000.log at offset 73, 23 byte(s) dropped)
+  olp recover: history cut at sequence 2 on request (truncated wal-000000000000.log at offset 81, 23 byte(s) dropped)
 
 The rewind is permanent — a plain recovery now finds a 2-mutation
 history, and the rewound knowledge base serves without p(3):

@@ -1,16 +1,19 @@
 Log-shipping replication end to end: a primary that accepts replicas
 on a second listener, a replica that bootstraps and tails the
 primary's write-ahead log into its own data directory, read-only
-serving with a typed redirect, failover by promotion, and offline
-recovery of the replica's directory.  See docs/REPLICATION.md.
+serving with a typed redirect, the replica-set client following that
+redirect, failover by promotion with epoch fencing, a chained
+(primary -> mid -> leaf) topology that survives a mid-chain
+promotion, synchronous commit, and offline recovery of the replica's
+directory.  See docs/REPLICATION.md.
 
 The flags police their prerequisites:
 
   $ olp serve --socket x.sock --replica-of rep.sock
   olp serve: --replica-of requires --data-dir (the replica keeps its own durable copy of the history)
   [2]
-  $ olp serve --socket x.sock --data-dir xd --replicate-on rep.sock --replica-of rep.sock
-  olp serve: --replica-of and --replicate-on cannot be combined (chained replicas are not supported yet)
+  $ olp serve --socket x.sock --data-dir xd --sync-replicas 1
+  olp serve: --sync-replicas requires --replicate-on (confirmations arrive on the replication listener)
   [2]
 
 Start a primary that accepts replicas on a second Unix socket, and
@@ -27,10 +30,11 @@ give it some knowledge:
   olp serve: listening on unix:prim.sock (4 workers)
   olp serve: accepting replicas on unix:rep.sock
 
-The primary's stats name its role and the replication listener:
+The primary's stats name its role, the replication listener and the
+fencing epoch:
 
   $ olp call --socket prim.sock stats | grep -o '"replication":{[^}]*}'
-  "replication":{"role":"primary","listener":"unix:rep.sock"}
+  "replication":{"role":"primary","listener":"unix:rep.sock","epoch":0}
 
 Start a replica pointed at the replication listener.  It catches up
 (two mutations behind) and then reports zero lag:
@@ -41,8 +45,8 @@ Start a replica pointed at the replication listener.  It catches up
   >   if olp call --socket repl.sock --retry 5 stats | grep -q '"lag":0,"connected":true'; then break; fi
   >   sleep 0.1
   > done
-  $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}'
-  "replication":{"role":"replica","primary":"unix:rep.sock","last_applied":2,"primary_seq":2,"lag":0,"connected":true}
+  $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}' | sed -E 's/"connect_attempts":[0-9]+/"connect_attempts":_/'
+  "replication":{"role":"replica","primary":"unix:rep.sock","epoch":0,"last_applied":2,"primary_seq":2,"lag":0,"connected":true,"connect_attempts":_}
   $ head -3 replica.log
   olp serve: data dir rd (seq 0, replayed 0 from base 0)
   olp serve: listening on unix:repl.sock (4 workers)
@@ -58,10 +62,11 @@ the same answers the primary gives:
   {"status":"ok","value":"false"}
   {"status":"ok","value":"true"}
 
-Writes on the replica bounce with a typed redirect to the primary:
+Writes on the replica bounce with a typed redirect naming the
+primary:
 
   $ olp call --socket repl.sock '{"op":"add_rule","obj":"top","rule":"bird(emu)."}'
-  {"status":"error","error":{"kind":"read_only","message":"knowledge base is read-only: this server replicates from unix:rep.sock; send writes to the primary"}}
+  {"status":"error","error":{"kind":"read_only","message":"knowledge base is read-only: this server replicates from unix:rep.sock; send writes to the primary","primary":"unix:rep.sock"}}
   [2]
 
 New writes on the primary flow to the replica:
@@ -73,6 +78,19 @@ New writes on the primary flow to the replica:
   >   sleep 0.1
   > done
   $ olp call --socket repl.sock '{"op":"query","obj":"bot","lit":"fly(robin)"}'
+  {"status":"ok","value":"true"}
+
+The replica-set client: seeded with only the replica's address, a
+write still lands — the client follows the typed redirect to the
+primary; reads are answered by whichever node is up:
+
+  $ olp call --seeds repl.sock '{"op":"add_rule","obj":"top","rule":"bird(owl)."}'
+  {"status":"ok"}
+  $ for i in $(seq 1 150); do
+  >   if olp call --socket repl.sock stats | grep -q '"last_applied":4'; then break; fi
+  >   sleep 0.1
+  > done
+  $ olp call --seeds prim.sock,repl.sock '{"op":"query","obj":"top","lit":"fly(owl)"}'
   {"status":"ok","value":"true"}
 
 Kill the primary (SIGTERM, as an init system would).  The replica
@@ -88,30 +106,117 @@ connection:
   $ olp call --socket repl.sock '{"op":"query","obj":"bot","lit":"fly(robin)"}'
   {"status":"ok","value":"true"}
 
-Promote the replica: it detaches from the dead primary and starts
-accepting writes:
+Promote the replica: it detaches from the dead primary, durably bumps
+the fencing epoch and starts accepting writes:
 
   $ olp promote --socket repl.sock
-  {"status":"ok","role":"primary","seq":3}
-  $ grep -c 'promoted: replication stopped' replica.log
+  {"status":"ok","role":"primary","epoch":1,"seq":4}
+  $ grep -c 'promoted: replication stopped, now a standalone primary at epoch 1' replica.log
   1
   $ olp call --socket repl.sock '{"op":"add_rule","obj":"top","rule":"bird(emu)."}' '{"op":"query","obj":"bot","lit":"fly(emu)"}'
   {"status":"ok"}
   {"status":"ok","value":"true"}
-  $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}'
-  "replication":{"role":"primary","primary":"unix:rep.sock","last_applied":4,"primary_seq":3,"lag":0,"connected":false}
+  $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}' | sed -E 's/"connect_attempts":[0-9]+/"connect_attempts":_/'
+  "replication":{"role":"primary","primary":"unix:rep.sock","epoch":1,"last_applied":5,"primary_seq":4,"lag":0,"connected":false,"connect_attempts":_}
 
-A second promotion has nothing to do:
+A second promotion has nothing to do — the epoch is bumped exactly
+once:
 
   $ olp promote --socket repl.sock
   {"status":"error","error":{"kind":"input","message":"already promoted: this server is a standalone primary"}}
   [2]
 
 Shut the promoted server down; its data directory holds the full
-history — the three replicated mutations plus its own write:
+history at the new epoch — the four replicated mutations plus its own
+write (the promotion snapshot is the new base):
 
   $ olp call --socket repl.sock shutdown
   {"status":"ok","shutdown":true}
   $ wait $REPLICA
   $ olp recover rd
-  olp recover: data dir rd (seq 4, replayed 4 from base 0)
+  olp recover: data dir rd (seq 5, replayed 1 from base 4, epoch 1)
+
+A chained topology: the middle node is a replica that re-serves its
+own log (--replica-of and --replicate-on together), and a leaf tails
+the middle node:
+
+  $ olp serve --socket prim2.sock --data-dir pd2 --replicate-on rep2.sock > primary2.log 2>&1 &
+  $ PRIMARY2=$!
+  $ olp call --socket prim2.sock --retry 5 '{"op":"load","src":"component c { p. }"}'
+  {"status":"ok","objects":["c"]}
+  $ olp serve --socket mid.sock --data-dir md --replica-of rep2.sock --replicate-on midrep.sock > mid.log 2>&1 &
+  $ MID=$!
+  $ olp serve --socket leaf.sock --data-dir ld --replica-of midrep.sock > leaf.log 2>&1 &
+  $ LEAF=$!
+  $ for i in $(seq 1 150); do
+  >   if olp call --socket leaf.sock --retry 5 stats | grep -q '"last_applied":1,[^}]*"connected":true'; then break; fi
+  >   sleep 0.1
+  > done
+  $ olp call --socket mid.sock --retry 5 stats | grep -o '"replication":{[^}]*}' | sed -E 's/"connect_attempts":[0-9]+/"connect_attempts":_/'
+  "replication":{"role":"replica","primary":"unix:rep2.sock","epoch":0,"last_applied":1,"primary_seq":1,"lag":0,"connected":true,"connect_attempts":_,"listener":"unix:midrep.sock"}
+  $ olp call --socket leaf.sock '{"op":"query","obj":"c","lit":"p"}'
+  {"status":"ok","value":"true"}
+
+The root dies; the middle of the chain is promoted.  The leaf gets a
+fencing refusal at its old epoch, re-handshakes, adopts the new term
+and keeps following — no leaf-side reconfiguration:
+
+  $ kill $PRIMARY2
+  $ wait $PRIMARY2
+  $ olp promote --socket mid.sock
+  {"status":"ok","role":"primary","epoch":1,"seq":1}
+  $ olp call --socket mid.sock '{"op":"add_rule","obj":"c","rule":"after_failover."}'
+  {"status":"ok"}
+  $ for i in $(seq 1 150); do
+  >   if olp call --socket leaf.sock stats | grep -q '"epoch":1,"last_applied":2'; then break; fi
+  >   sleep 0.1
+  > done
+  $ olp call --socket leaf.sock '{"op":"query","obj":"c","lit":"after_failover"}'
+  {"status":"ok","value":"true"}
+  $ olp call --socket leaf.sock shutdown
+  {"status":"ok","shutdown":true}
+  $ wait $LEAF
+  $ olp call --socket mid.sock shutdown
+  {"status":"ok","shutdown":true}
+  $ wait $MID
+  $ olp recover ld
+  olp recover: data dir ld (seq 2, replayed 1 from base 1, epoch 1)
+
+Synchronous commit: with --sync-replicas 1 the primary holds each
+write's acknowledgement until a replica has confirmed durability.
+With no replica attached the ack degrades to a typed error — the
+mutation IS applied and locally durable, only its replication
+guarantee is degraded:
+
+  $ olp serve --socket prim3.sock --data-dir pd3 --replicate-on rep3.sock --sync-replicas 1 --sync-timeout-ms 400 > primary3.log 2>&1 &
+  $ PRIMARY3=$!
+  $ olp call --socket prim3.sock --retry 5 '{"op":"load","src":"component c { p. }"}'
+  {"status":"error","error":{"kind":"sync_timeout","message":"synchronous commit timed out: mutation 1 is durable locally but only 0 of the 1 required replica(s) confirmed it within 400 ms","seq":1,"confirmed":0}}
+  [2]
+  $ olp call --socket prim3.sock '{"op":"query","obj":"c","lit":"p"}'
+  {"status":"ok","value":"true"}
+
+Attach a replica; acknowledged writes are now on the replica's stable
+storage before the client sees the ack, and stats record the policy
+and the one degrade:
+
+  $ olp serve --socket repl3.sock --data-dir rd3 --replica-of rep3.sock > replica3.log 2>&1 &
+  $ REPLICA3=$!
+  $ for i in $(seq 1 150); do
+  >   if olp call --socket repl3.sock --retry 5 stats | grep -q '"lag":0,"connected":true'; then break; fi
+  >   sleep 0.1
+  > done
+  $ olp call --socket prim3.sock '{"op":"add_rule","obj":"c","rule":"q."}'
+  {"status":"ok"}
+  $ olp call --socket repl3.sock '{"op":"query","obj":"c","lit":"q"}'
+  {"status":"ok","value":"true"}
+  $ olp call --socket prim3.sock stats | grep -o '"sync_replicas":1,"sync_timeout_ms":400'
+  "sync_replicas":1,"sync_timeout_ms":400
+  $ olp call --socket prim3.sock stats | grep -o '"sync_timeouts":1'
+  "sync_timeouts":1
+  $ olp call --socket repl3.sock shutdown
+  {"status":"ok","shutdown":true}
+  $ wait $REPLICA3
+  $ olp call --socket prim3.sock shutdown
+  {"status":"ok","shutdown":true}
+  $ wait $PRIMARY3

@@ -50,7 +50,7 @@ the hit; load and the two distinct computations are the misses) and
 the server's deterministic metrics:
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.2.0","protocol":3,"cache":{"hits":2,"misses":4,"invalidations":1,"entries":2},"server":{"workers":2,"queue_capacity":64,"connections":8,"errors":1,"ok":5,"partials":1,"proto_errors":1,"queue_peak":1,"served":7}}
+  {"status":"ok","version":"1.3.0","protocol":4,"cache":{"hits":2,"misses":4,"invalidations":1,"entries":2},"server":{"workers":2,"queue_capacity":64,"connections":8,"errors":1,"ok":5,"partials":1,"proto_errors":1,"queue_peak":1,"served":7}}
 
 Graceful shutdown over the wire: the server drains, exits and unlinks
 its socket; the background job ends cleanly:

@@ -279,8 +279,73 @@ let test_datalog_trip () =
   | (_ : Atom.Set.t list) ->
     Alcotest.fail "datalog enumeration must trip the step budget"
 
+(* ------------------------------------------------------------------ *)
+(* Governor.Backoff: the reconnect schedule                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_schedule () =
+  let module K = Governor.Backoff in
+  let b = K.make ~base:0.1 ~cap:1.0 ~jitter:0.5 ~seed:42 () in
+  (* each delay is drawn from [d/2, d] of the un-jittered schedule
+     0.1, 0.2, 0.4, 0.8, 1.0, 1.0, ... *)
+  let expected = [ 0.1; 0.2; 0.4; 0.8; 1.0; 1.0; 1.0 ] in
+  List.iteri
+    (fun i d ->
+      let got = K.next b in
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d in [%g, %g], got %g" i (d /. 2.) d got)
+        true
+        (got >= (d /. 2.) -. 1e-9 && got <= d +. 1e-9))
+    expected;
+  Alcotest.(check int) "attempts counted" (List.length expected)
+    (K.attempts b);
+  (* a success resets the schedule to base *)
+  K.reset b;
+  Alcotest.(check int) "reset clears attempts" 0 (K.attempts b);
+  let d = K.next b in
+  Alcotest.(check bool) "back to base after reset" true
+    (d >= 0.05 -. 1e-9 && d <= 0.1 +. 1e-9)
+
+let test_backoff_deterministic () =
+  let module K = Governor.Backoff in
+  let mk () = K.make ~base:0.05 ~cap:2.0 ~seed:7 () in
+  let a = mk () and b = mk () in
+  for i = 1 to 16 do
+    Alcotest.(check (float 0.)) (Printf.sprintf "draw %d agrees" i)
+      (K.next a) (K.next b)
+  done;
+  (* distinct seeds de-correlate: at least one of the first draws
+     differs *)
+  let c = K.make ~base:0.05 ~cap:2.0 ~seed:8 () in
+  let d = mk () in
+  let differs = ref false in
+  for _ = 1 to 8 do
+    if K.next c <> K.next d then differs := true
+  done;
+  Alcotest.(check bool) "seeds change the sequence" true !differs
+
+let test_backoff_validation () =
+  let module K = Governor.Backoff in
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | (_ : K.t) -> Alcotest.failf "%s accepted" name
+  in
+  rejects "non-positive base" (fun () -> K.make ~base:0. ~cap:1. ());
+  rejects "cap below base" (fun () -> K.make ~base:1. ~cap:0.5 ());
+  rejects "multiplier below 1" (fun () ->
+      K.make ~multiplier:0.9 ~base:0.1 ~cap:1. ());
+  rejects "jitter above 1" (fun () ->
+      K.make ~jitter:1.5 ~base:0.1 ~cap:1. ())
+
 let suite =
   [ Alcotest.test_case "with_trip_at trips exactly once" `Quick test_trip_at;
+    Alcotest.test_case "backoff schedule grows to the cap" `Quick
+      test_backoff_schedule;
+    Alcotest.test_case "backoff is seed-deterministic" `Quick
+      test_backoff_deterministic;
+    Alcotest.test_case "backoff validates its shape" `Quick
+      test_backoff_validation;
     Alcotest.test_case "fault mid-enumeration" `Quick
       test_trip_at_mid_enumeration;
     Alcotest.test_case "exhaustion is sticky" `Quick test_sticky;

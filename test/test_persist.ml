@@ -153,11 +153,12 @@ let test_snapshot_roundtrip () =
   let store = Store.create () in
   List.iter (Store.apply store) sample_mutations;
   let d = Store.dump store in
-  let img = R.encode_snapshot ~seq:42 d in
+  let img = R.encode_snapshot ~seq:42 ~epoch:3 d in
   (match R.decode_snapshot img with
   | Error msg -> Alcotest.failf "snapshot decode failed: %s" msg
-  | Ok (seq, d') ->
+  | Ok (seq, epoch, d') ->
     Alcotest.(check int) "seq survives" 42 seq;
+    Alcotest.(check int) "epoch survives" 3 epoch;
     Alcotest.(check string) "dump survives" (repr store)
       (repr (Store.of_dump d')));
   (* flip one payload byte: the CRC must catch it *)
@@ -176,7 +177,7 @@ let test_wal_torn_tail () =
   let dir = fresh_dir () in
   Unix.mkdir dir 0o755;
   let path = Filename.concat dir "wal-000000000000.log" in
-  let w = Wal.create ~fsync:false ~base:0 path in
+  let w = Wal.create ~fsync:false ~base:0 ~epoch:0 path in
   let ms = [ List.nth sample_mutations 0; List.nth sample_mutations 2;
              List.nth sample_mutations 6 ] in
   List.iter

@@ -132,20 +132,44 @@ let test_decode_requests () =
       Alcotest.failf "wrong error class for %s: %s" s (W.error_to_string e)
   in
   (* the replication verbs *)
-  (match W.decode_request {|{"op":"hello","seq":12,"protocol":3}|} with
-  | Ok { verb = W.Hello { seq = 12; protocol = 3 }; _ } -> ()
+  (match
+     W.decode_request
+       {|{"op":"hello","seq":12,"protocol":4,"epoch":2,"rid":"r1"}|}
+   with
+  | Ok
+      { verb =
+          W.Hello { seq = 12; protocol = 4; epoch = 2; rid = Some "r1" };
+        _
+      } -> ()
   | Ok _ -> Alcotest.fail "hello decoded wrong"
   | Error e -> Alcotest.failf "hello rejected: %s" (W.error_to_string e));
-  (match W.decode_request {|{"op":"pull","from":7,"max":64}|} with
-  | Ok { verb = W.Pull { from_seq = 7; max = Some 64 }; _ } -> ()
+  (match
+     W.decode_request
+       {|{"op":"pull","from":7,"max":64,"epoch":1,"rid":"r1","durable":5}|}
+   with
+  | Ok
+      { verb =
+          W.Pull
+            { from_seq = 7; max = Some 64; epoch = 1; rid = Some "r1";
+              durable = Some 5
+            };
+        _
+      } -> ()
   | Ok _ -> Alcotest.fail "pull decoded wrong"
   | Error e -> Alcotest.failf "pull rejected: %s" (W.error_to_string e));
   (match W.decode_request {|{"op":"pull","from":0}|} with
-  | Ok { verb = W.Pull { from_seq = 0; max = None }; _ } -> ()
+  | Ok
+      { verb =
+          W.Pull
+            { from_seq = 0; max = None; epoch = 0; rid = None;
+              durable = None
+            };
+        _
+      } -> ()
   | Ok _ -> Alcotest.fail "pull without max decoded wrong"
   | Error e -> Alcotest.failf "pull rejected: %s" (W.error_to_string e));
   (match W.decode_request {|{"op":"fetch_snapshot"}|} with
-  | Ok { verb = W.Fetch_snapshot; _ } -> ()
+  | Ok { verb = W.Fetch_snapshot { epoch = 0 }; _ } -> ()
   | Ok _ -> Alcotest.fail "fetch_snapshot decoded wrong"
   | Error e ->
     Alcotest.failf "fetch_snapshot rejected: %s" (W.error_to_string e));

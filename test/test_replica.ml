@@ -114,6 +114,7 @@ let with_persistence f =
       ~persistence:
         { Engine.snapshot = (fun () -> P.snapshot p);
           seq = (fun () -> P.seq p);
+          epoch = (fun () -> P.epoch p);
           wait_durable = (fun () -> P.wait_durable p);
           tail =
             (fun ~from ~max ->
@@ -143,20 +144,20 @@ let test_handshake () =
     (contains ~needle:"revision" (error_message j));
   (* a replica ahead of the primary has a diverged history *)
   let j =
-    Engine.handle_line engine {|{"op":"hello","seq":99,"protocol":3}|}
+    Engine.handle_line engine {|{"op":"hello","seq":99,"protocol":4}|}
   in
   Alcotest.(check string) "diverged replica refused" "handshake"
     (error_kind j);
   (* the good case tells the replica to tail *)
   let j =
-    Engine.handle_line engine {|{"op":"hello","seq":0,"protocol":3}|}
+    Engine.handle_line engine {|{"op":"hello","seq":0,"protocol":4}|}
   in
   Alcotest.(check string) "hello ok" "ok" (status j);
   Alcotest.(check (option string)) "action is tail" (Some "tail")
     (str_member "action" j);
   (* replication verbs without a data directory are input errors *)
   let bare = Engine.create () in
-  let j = Engine.handle_line bare {|{"op":"hello","seq":0,"protocol":3}|} in
+  let j = Engine.handle_line bare {|{"op":"hello","seq":0,"protocol":4}|} in
   Alcotest.(check string) "hello without persistence" "input" (error_kind j)
 
 (* ------------------------------------------------------------------ *)
@@ -172,7 +173,8 @@ let with_primary f =
         queue = 64;
         caps = { Engine.timeout = Some 10.; steps = None };
         persist = Some (config dir);
-        replicate_on = Some (`Tcp ("127.0.0.1", 0))
+        replicate_on = Some (`Tcp ("127.0.0.1", 0));
+        sync = None
       }
   in
   let server = Thread.create (fun () -> Daemon.serve d) () in
@@ -200,7 +202,7 @@ let make_node ~primary dir =
   let engine = Engine.create ~session () in
   let link =
     Link.create ~engine ~session ~persist:p
-      { (Link.default_config primary) with connect_retry = 5. }
+      { (Link.default_config primary) with retry_base = 2.; retry_cap = 2. }
   in
   { dir; persist = p; store; link; budget }
 
@@ -368,6 +370,310 @@ let test_kill_sweep () =
     (Printf.sprintf "swept %d kill points" !k)
     true (!k > 5)
 
+(* ------------------------------------------------------------------ *)
+(* Full in-process servers: the wiring bin/olp.ml does, for fencing,   *)
+(* synchronous commit, chained topologies and the replica-set client   *)
+(* ------------------------------------------------------------------ *)
+
+type server = { sdaemon : Daemon.t; sthread : Thread.t; slink : Link.t option }
+
+let spawn ?replica_of ?(replicate = true) ?sync dir =
+  let d =
+    Daemon.create
+      { Daemon.address = `Tcp ("127.0.0.1", 0);
+        workers = 2;
+        queue = 64;
+        caps = { Engine.timeout = Some 10.; steps = None };
+        persist = Some (config dir);
+        replicate_on =
+          (if replicate then Some (`Tcp ("127.0.0.1", 0)) else None);
+        sync
+      }
+  in
+  let engine = Daemon.engine d in
+  let link =
+    match replica_of with
+    | None -> None
+    | Some primary ->
+      let persist = Option.get (Daemon.persist_handle d) in
+      let link =
+        Link.create ~engine ~session:(Engine.session engine) ~persist
+          { (Link.default_config primary) with
+            retry_base = 2.;
+            retry_cap = 2.
+          }
+      in
+      Engine.set_replication engine
+        { Engine.role = (fun () -> (Link.status link).Link.role);
+          primary = (fun () -> Some (Link.status link).Link.primary);
+          details = (fun () -> []);
+          promote = (fun () -> Link.promote link)
+        };
+      Daemon.on_drain d (fun () -> Link.stop link);
+      Link.start link;
+      Some link
+  in
+  let sthread = Thread.create (fun () -> Daemon.serve d) () in
+  { sdaemon = d; sthread; slink = link }
+
+let shutdown s =
+  Daemon.stop s.sdaemon;
+  Thread.join s.sthread
+
+let repl_addr s = Option.get (Daemon.replication_address s.sdaemon)
+let seq_of s = P.seq (Option.get (Daemon.persist_handle s.sdaemon))
+
+let wait_for ~msg f =
+  let deadline = Unix.gettimeofday () +. 30. in
+  let rec go () =
+    if f () then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s" msg
+    else begin
+      ignore (Unix.select [] [] [] 0.02);
+      go ()
+    end
+  in
+  go ()
+
+let must_ok label j =
+  if status j <> "ok" then
+    Alcotest.failf "%s: %s" label (W.to_string j);
+  j
+
+(* Epoch fencing: a revived stale primary is refused at every protocol
+   boundary — hello, pull and fetch_snapshot — both at the engine level
+   and by a real link, which halts with a typed fatal error. *)
+let test_fencing () =
+  let pdir = Test_persist.fresh_dir () in
+  let prim = spawn pdir in
+  ignore
+    (must_ok "load"
+       (Engine.handle_line (Daemon.engine prim.sdaemon)
+          {|{"op":"load","src":"component c { p. }"}|}));
+  let rdir = Test_persist.fresh_dir () in
+  let node = make_node ~primary:(repl_addr prim) rdir in
+  catch_up "fencing" node.link;
+  (* the primary dies; the replica is promoted and now owns epoch 1 *)
+  shutdown prim;
+  (match Link.promote node.link with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "promotion refused: %s" e);
+  Alcotest.(check int) "promotion bumps the epoch" 1
+    (Link.status node.link).Link.epoch;
+  dispose node;
+  (* revive the old primary from its untouched directory: still epoch 0,
+     and it must refuse anyone who witnessed the promotion *)
+  let prim2 = spawn pdir in
+  let e2 = Daemon.engine prim2.sdaemon in
+  let fenced line =
+    let j = Engine.handle_line e2 line in
+    Alcotest.(check string) ("typed fence: " ^ line) "fenced" (error_kind j)
+  in
+  fenced {|{"op":"hello","seq":0,"protocol":4,"epoch":1,"rid":"x"}|};
+  fenced {|{"op":"pull","from":0,"epoch":1,"rid":"x"}|};
+  fenced {|{"op":"fetch_snapshot","epoch":1}|};
+  (* a link over the promoted directory refuses to follow it *)
+  let node2 = make_node ~primary:(repl_addr prim2) rdir in
+  (match Link.step node2.link with
+  | `Fatal msg ->
+    Alcotest.(check bool) "halt names the fence" true
+      (contains ~needle:"fenced" msg)
+  | _ -> Alcotest.fail "a deposed primary was followed");
+  dispose node2;
+  shutdown prim2;
+  Test_persist.rm_rf pdir;
+  Test_persist.rm_rf rdir
+
+(* Promotion arriving in the middle of a burst of shipped mutations:
+   the store always lands on the exact prefix the replica's WAL holds
+   (never mid-record, never mid-batch), the epoch is bumped exactly
+   once, and a second promotion is refused. *)
+let test_promote_mid_burst () =
+  with_primary @@ fun d repl_addr ->
+  let mirror = Store.create () in
+  let node = make_node ~primary:repl_addr (Test_persist.fresh_dir ()) in
+  Link.start node.link;
+  let n = 150 in
+  let expected = Array.make (n + 1) (Test_persist.repr mirror) in
+  for i = 1 to n do
+    let m = Test_persist.gen_mutation mirror in
+    mutate_primary d mirror m;
+    expected.(i) <- Test_persist.repr mirror;
+    if i = n / 3 then Link.request_promote node.link
+  done;
+  wait_for ~msg:"promotion lands" (fun () ->
+      (Link.status node.link).Link.role = "primary");
+  Link.stop node.link;
+  let s = Link.status node.link in
+  Alcotest.(check int) "epoch bumped exactly once" 1 s.Link.epoch;
+  let seq = P.seq node.persist in
+  Alcotest.(check bool) "prefix length sane" true (seq >= 0 && seq <= n);
+  Alcotest.(check string) "sound prefix at the cut" expected.(seq)
+    (Test_persist.repr node.store);
+  (match Link.promote node.link with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "second promotion accepted");
+  Alcotest.(check int) "idempotent: epoch still 1" 1
+    (Link.status node.link).Link.epoch;
+  let dir = node.dir in
+  dispose node;
+  Test_persist.rm_rf dir
+
+(* Synchronous commit: with no replica attached the ack degrades to a
+   typed sync_timeout (mutation applied and locally durable); with one
+   attached, every acked write is on the replica's stable storage by
+   the time the client sees the ack. *)
+let test_sync_commit () =
+  let pdir = Test_persist.fresh_dir () in
+  let prim = spawn ~sync:{ Engine.replicas = 1; timeout_ms = 1200 } pdir in
+  let engine = Daemon.engine prim.sdaemon in
+  let j =
+    Engine.handle_line engine {|{"op":"load","src":"component c { p. }"}|}
+  in
+  Alcotest.(check string) "no replica: degraded" "error" (status j);
+  Alcotest.(check string) "typed sync_timeout" "sync_timeout" (error_kind j);
+  let j = Engine.handle_line engine {|{"op":"query","obj":"c","lit":"p"}|} in
+  Alcotest.(check string) "mutation applied despite degrade" "ok" (status j);
+  let rdir = Test_persist.fresh_dir () in
+  let repl = spawn ~replica_of:(repl_addr prim) ~replicate:false rdir in
+  wait_for ~msg:"replica catches up" (fun () -> seq_of repl >= 1);
+  for i = 1 to 5 do
+    ignore
+      (must_ok
+         (Printf.sprintf "sync write %d" i)
+         (Engine.handle_line engine
+            (Printf.sprintf
+               {|{"op":"add_rule","obj":"c","rule":"q%d."}|} i)));
+    (* the ack was held until this replica confirmed durability *)
+    Alcotest.(check bool)
+      (Printf.sprintf "write %d durable on the replica at ack time" i)
+      true
+      (seq_of repl >= i + 1)
+  done;
+  let stats = W.to_string (Engine.handle_line engine {|{"op":"stats"}|}) in
+  Alcotest.(check bool) "stats reports the sync policy" true
+    (contains ~needle:{|"sync_replicas":1|} stats);
+  Alcotest.(check bool) "stats counts the degrade" true
+    (contains ~needle:{|"sync_timeouts":1|} stats);
+  shutdown repl;
+  shutdown prim;
+  let p1, s1, _ = P.open_dir (config pdir) in
+  let p2, s2, _ = P.open_dir (config rdir) in
+  Alcotest.(check string) "replica holds every acked write"
+    (Test_persist.repr s1) (Test_persist.repr s2);
+  P.close p1;
+  P.close p2;
+  Test_persist.rm_rf pdir;
+  Test_persist.rm_rf rdir
+
+(* A chain primary -> mid -> leaf: records flow through, and when the
+   primary dies and the middle is promoted, the leaf re-handshakes,
+   adopts the new epoch and keeps following — the chained failover. *)
+let test_chained_failover () =
+  let d1 = Test_persist.fresh_dir () in
+  let d2 = Test_persist.fresh_dir () in
+  let d3 = Test_persist.fresh_dir () in
+  let prim = spawn d1 in
+  let pe = Daemon.engine prim.sdaemon in
+  ignore
+    (must_ok "load"
+       (Engine.handle_line pe {|{"op":"load","src":"component c { p. }"}|}));
+  let mid = spawn ~replica_of:(repl_addr prim) d2 in
+  let leaf = spawn ~replica_of:(repl_addr mid) ~replicate:false d3 in
+  for i = 1 to 5 do
+    ignore
+      (must_ok "chain write"
+         (Engine.handle_line pe
+            (Printf.sprintf
+               {|{"op":"add_rule","obj":"c","rule":"q%d."}|} i)))
+  done;
+  wait_for ~msg:"leaf catches up through the chain" (fun () ->
+      seq_of leaf >= 6);
+  shutdown prim;
+  let me = Daemon.engine mid.sdaemon in
+  let j = must_ok "promote mid" (Engine.handle_line me {|{"op":"promote"}|}) in
+  (match W.member "epoch" j with
+  | Some (W.Int 1) -> ()
+  | _ -> Alcotest.failf "promote reply lacks epoch 1: %s" (W.to_string j));
+  ignore
+    (must_ok "write after failover"
+       (Engine.handle_line me
+          {|{"op":"add_rule","obj":"c","rule":"after_failover."}|}));
+  wait_for ~msg:"leaf follows the promoted mid" (fun () -> seq_of leaf >= 7);
+  wait_for ~msg:"leaf adopts the new epoch" (fun () ->
+      (Link.status (Option.get leaf.slink)).Link.epoch = 1);
+  shutdown leaf;
+  shutdown mid;
+  let p2, s2, r2 = P.open_dir (config d2) in
+  let p3, s3, r3 = P.open_dir (config d3) in
+  Alcotest.(check string) "leaf equals the promoted mid"
+    (Test_persist.repr s2) (Test_persist.repr s3);
+  Alcotest.(check int) "mid recovered at epoch 1" 1 r2.P.epoch;
+  Alcotest.(check int) "leaf recovered at epoch 1" 1 r3.P.epoch;
+  P.close p2;
+  P.close p3;
+  List.iter Test_persist.rm_rf [ d1; d2; d3 ]
+
+(* The replica-set client: seeded only with the replica's address it
+   still lands writes on the primary (following the typed redirect),
+   round-robins reads, and rides out a failover. *)
+let test_rset_failover () =
+  let d1 = Test_persist.fresh_dir () in
+  let d2 = Test_persist.fresh_dir () in
+  let prim = spawn d1 in
+  ignore
+    (must_ok "load"
+       (Engine.handle_line (Daemon.engine prim.sdaemon)
+          {|{"op":"load","src":"component c { p. }"}|}));
+  let repl = spawn ~replica_of:(repl_addr prim) ~replicate:false d2 in
+  wait_for ~msg:"replica catches up" (fun () -> seq_of repl >= 1);
+  let rset = Server.Rset.create [ Daemon.address repl.sdaemon ] in
+  (match
+     Server.Rset.request_line ~retry:5. rset
+       {|{"op":"add_rule","obj":"c","rule":"q1."}|}
+   with
+  | Ok j -> ignore (must_ok "redirected write" j)
+  | Error e -> Alcotest.failf "redirected write failed: %s" e);
+  Alcotest.(check (option string)) "primary learned from the redirect"
+    (Some (Daemon.address_to_string (repl_addr prim)))
+    (Server.Rset.primary rset);
+  wait_for ~msg:"write reaches the replica" (fun () -> seq_of repl >= 2);
+  for i = 1 to 4 do
+    match
+      Server.Rset.request_line rset {|{"op":"query","obj":"c","lit":"q1"}|}
+    with
+    | Ok j ->
+      ignore (must_ok (Printf.sprintf "read %d" i) j);
+      Alcotest.(check (option string))
+        (Printf.sprintf "read %d sees the write" i)
+        (Some "true") (str_member "value" j)
+    | Error e -> Alcotest.failf "read %d failed: %s" i e
+  done;
+  (* failover: the primary dies, the replica is promoted, and the same
+     client keeps working without reconfiguration *)
+  shutdown prim;
+  ignore
+    (must_ok "promote"
+       (Engine.handle_line (Daemon.engine repl.sdaemon) {|{"op":"promote"}|}));
+  (match
+     Server.Rset.request_line ~retry:10. rset
+       {|{"op":"add_rule","obj":"c","rule":"q2."}|}
+   with
+  | Ok j -> ignore (must_ok "write after failover" j)
+  | Error e -> Alcotest.failf "write after failover failed: %s" e);
+  (match
+     Server.Rset.request_line ~retry:5. rset
+       {|{"op":"query","obj":"c","lit":"q2"}|}
+   with
+  | Ok j ->
+    Alcotest.(check (option string)) "failover write visible" (Some "true")
+      (str_member "value" j)
+  | Error e -> Alcotest.failf "read after failover failed: %s" e);
+  Server.Rset.close rset;
+  shutdown repl;
+  List.iter Test_persist.rm_rf [ d1; d2 ]
+
 let suite =
   [ Alcotest.test_case "read-only gate and stats role" `Quick
       test_read_only_gate;
@@ -378,5 +684,15 @@ let suite =
     Alcotest.test_case "promotion detaches and keeps state" `Quick
       test_promotion;
     Alcotest.test_case "kill sweep at every append boundary" `Quick
-      test_kill_sweep
+      test_kill_sweep;
+    Alcotest.test_case "fencing at every protocol boundary" `Quick
+      test_fencing;
+    Alcotest.test_case "promotion mid-burst lands on a sound prefix" `Quick
+      test_promote_mid_burst;
+    Alcotest.test_case "synchronous commit holds acks for the replica" `Quick
+      test_sync_commit;
+    Alcotest.test_case "chained replica follows a mid-chain promotion" `Quick
+      test_chained_failover;
+    Alcotest.test_case "replica-set client rides out a failover" `Quick
+      test_rset_failover
   ]

@@ -28,7 +28,8 @@ let with_daemon f =
         queue = 64;
         caps = { Server.Engine.timeout = Some 10.; steps = None };
         persist = None;
-        replicate_on = None
+        replicate_on = None;
+        sync = None
       }
   in
   let server = Thread.create (fun () -> Server.Daemon.serve d) () in
