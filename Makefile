@@ -1,6 +1,6 @@
 .PHONY: all build test bench bench-micro bench-smoke bench-serve \
-	bench-persist bench-replica bench-cluster crash-test chaos \
-	serve-smoke examples doc clean fuzz
+	bench-persist bench-replica bench-cluster bench-concurrent \
+	crash-test chaos stress serve-smoke examples doc clean fuzz
 
 all: build
 
@@ -43,6 +43,24 @@ bench-replica:
 bench-cluster:
 	dune exec bench/cluster.exe
 
+# Concurrent-serving benchmark (lock-free snapshot reads under writer
+# pressure: read QPS at 1 worker vs 4 with writers parked in the
+# group-commit window, plus a 64-client batched crowd that must finish
+# with zero errors): writes BENCH_PR7.json.  See docs/SERVER.md.
+bench-concurrent:
+	dune exec bench/concurrent.exe
+
+# The concurrency harness, with backtraces and a time box: the
+# parallel property suite (snapshot immutability, shard-lock overlap,
+# lock-free reads) and the randomized linearizability oracle, run
+# repeatedly to shake out schedules.
+stress:
+	@for i in 1 2 3 4 5; do \
+	  OCAMLRUNPARAM=b timeout 60 dune exec test/main.exe -- test parallel -e \
+	    | tail -1; \
+	  OCAMLRUNPARAM=b timeout 60 dune exec test/main.exe -- test linearize -e \
+	    | tail -1; done
+
 # Crash recovery under exhaustive fault injection: tear the WAL at
 # every write boundary of a mutation script and check that recovery
 # rebuilds exactly the acknowledged prefix — locally, and on a replica
@@ -52,6 +70,7 @@ bench-cluster:
 crash-test:
 	dune exec test/main.exe -- test crash -e
 	dune exec test/main.exe -- test replica -e
+	dune exec test/main.exe -- test linearize -e
 
 # The aggregate fault sweep: crash/kill recovery, the fencing and
 # failover suites at a larger differential-schedule count, and the

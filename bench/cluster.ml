@@ -69,6 +69,7 @@ let spawn ?replica_of ?(replicate = true) ?sync dir =
     Server.Daemon.create
       { Server.Daemon.address = `Tcp ("127.0.0.1", 0);
         workers = 4;
+        parallel = `Threads;
         queue = 256;
         caps = Server.Engine.default_caps;
         persist =

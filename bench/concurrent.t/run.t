@@ -1,0 +1,11 @@
+The concurrent-serving benchmark boots real daemons (one and four
+workers, a durable KB with a group-commit window) and emits well-formed
+JSON covering both experiments (checked with the bundled validator —
+no jq dependency).  A non-zero error count in the many-clients run
+makes the binary itself exit non-zero, so this also asserts the
+64-client crowd completed cleanly:
+
+  $ ../concurrent.exe --quick --out bench7.json
+  wrote bench7.json
+  $ ../json_check.exe bench7.json bench mode runs many_clients summary
+  bench7.json: valid JSON

@@ -65,6 +65,7 @@ let daemon ~dir ~replicate_on =
   Server.Daemon.create
     { Server.Daemon.address = `Tcp ("127.0.0.1", 0);
       workers = 4;
+      parallel = `Threads;
       queue = 256;
       caps = Server.Engine.default_caps;
       persist =

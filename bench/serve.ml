@@ -39,6 +39,7 @@ let with_daemon ~workers f =
     Server.Daemon.create
       { Server.Daemon.address = `Tcp ("127.0.0.1", 0);
         workers;
+        parallel = `Threads;
         queue = 256;
         caps = Server.Engine.default_caps;
         persist = None;

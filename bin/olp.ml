@@ -513,6 +513,16 @@ let serve_cmd =
     Arg.(value & opt int 4
          & info [ "workers" ] ~docv:"N" ~doc:"Worker threads (default 4).")
   in
+  let parallel =
+    Arg.(value
+         & opt (enum [ ("threads", `Threads); ("domains", `Domains) ]) `Threads
+         & info [ "parallel" ] ~docv:"KIND"
+             ~doc:"Worker flavour: $(i,threads) (default; interleaved \
+                   systhreads that overlap on blocking I/O) or \
+                   $(i,domains) (OCaml 5 domains, truly parallel \
+                   workers).  Reads are lock-free either way; this picks \
+                   what executes them.")
+  in
   let queue =
     Arg.(value & opt int 64
          & info [ "queue" ] ~docv:"N"
@@ -580,8 +590,8 @@ let serve_cmd =
                    mutation is applied and locally durable, only its \
                    replication guarantee is degraded (default 5000).")
   in
-  let run socket port host workers queue max_timeout max_steps_cap port_file
-      data_dir no_fsync snapshot_every group_commit_ms replicate_on
+  let run socket port host workers parallel queue max_timeout max_steps_cap
+      port_file data_dir no_fsync snapshot_every group_commit_ms replicate_on
       replica_of sync_replicas sync_timeout file =
     let usage msg =
       Printf.eprintf "olp serve: %s\n" msg;
@@ -625,6 +635,7 @@ let serve_cmd =
     let config =
       { Server.Daemon.address = address_of socket port host;
         workers;
+        parallel;
         queue;
         caps;
         persist;
@@ -666,13 +677,18 @@ let serve_cmd =
         Printf.eprintf "%s: error at %d:%d: %s\n" path pos.Lang.Token.line
           pos.Lang.Token.col msg;
         exit exit_error));
+    let workers_desc =
+      match parallel with
+      | `Threads -> Printf.sprintf "%d workers" workers
+      | `Domains -> Printf.sprintf "%d domain workers" workers
+    in
     (match Server.Daemon.address daemon with
     | `Unix path ->
-      Printf.printf "olp serve: listening on unix:%s (%d workers)\n%!" path
-        workers
+      Printf.printf "olp serve: listening on unix:%s (%s)\n%!" path
+        workers_desc
     | `Tcp (host, port) ->
-      Printf.printf "olp serve: listening on tcp:%s:%d (%d workers)\n%!" host
-        port workers;
+      Printf.printf "olp serve: listening on tcp:%s:%d (%s)\n%!" host
+        port workers_desc;
       (match port_file with
       | None -> ()
       | Some f ->
@@ -765,8 +781,8 @@ let serve_cmd =
              docs/PERSISTENCE.md for $(b,--data-dir) and \
              docs/REPLICATION.md for $(b,--replicate-on) / \
              $(b,--replica-of).")
-    Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ queue
-          $ max_timeout $ max_steps_cap $ port_file $ data_dir_arg
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ parallel
+          $ queue $ max_timeout $ max_steps_cap $ port_file $ data_dir_arg
           $ no_fsync_arg $ snapshot_every_arg $ group_commit_arg
           $ replicate_on $ replica_of $ sync_replicas $ sync_timeout $ file)
 

@@ -2,8 +2,12 @@
     observability.
 
     A registry is a flat map from names to integers, safe to update from
-    several threads (one mutex per registry; updates are O(log n) on a
-    sorted association map, snapshots are consistent).  The query server
+    several threads and domains: each counter is an atomic cell, so
+    bumping one is a single lock-free read-modify-write and never blocks
+    a concurrent reader — the lock-free snapshot-read path of the query
+    server bumps these counters without holding any lock.  A registry
+    mutex serializes only the first registration of each name.  The
+    query server
     threads one registry through its accept loop, worker pool and request
     engine, and reports a {!snapshot} through the wire protocol's [stats]
     verb — so the counters must be cheap enough to bump on every request
@@ -33,8 +37,10 @@ val get : t -> string -> int
 (** Current value ([0] for an unknown name). *)
 
 val snapshot : t -> (string * int) list
-(** All (name, value) pairs, sorted by name — a consistent view taken
-    under the registry lock. *)
+(** All (name, value) pairs, sorted by name.  Each value is read
+    atomically; a snapshot taken while no updates are in flight (e.g.
+    a sequential test driving the server one request at a time) is
+    exact, which is what keeps the [stats] verb deterministic. *)
 
 val pp : Format.formatter -> t -> unit
 (** ["name=value name=value ..."] in snapshot order. *)

@@ -1,6 +1,9 @@
-(* Memoizing sessions over a Store: structural-fingerprint keyed result
-   cache, flushed by the mutating operations.  See session.mli for the
-   contract. *)
+(* Memoizing sessions over a Store, with lock-free snapshot reads: the
+   master store is mutated under a write lock, and every successful
+   mutation publishes an immutable [view] — (version, fingerprint, store
+   copy, caches) — through one atomic reference.  Readers pin the
+   current view with a single [Atomic.get] and never take a lock.  See
+   session.mli for the contract. *)
 
 module B = Ordered.Budget
 
@@ -25,42 +28,43 @@ type counters = {
   entries : int;
 }
 
+module Key = struct
+  type t = string * op  (* obj, op *)
+
+  let compare = Stdlib.compare
+end
+
+module KeyMap = Map.Make (Key)
+module StrMap = Map.Make (String)
+
+(* One published KB version.  [vstore] is a private copy nothing ever
+   mutates, so any number of readers may ground and solve against it
+   concurrently; the result caches are immutable maps swapped by CAS
+   (a racing insert retries on the fresh map, a duplicate insert is
+   dropped — either way readers only ever see complete maps). *)
+type view = {
+  version : int;
+  fingerprint : string;
+  vstore : Store.t;
+  results : entry KeyMap.t Atomic.t;
+  vgops : Ordered.Gop.t StrMap.t Atomic.t;
+}
+
 type t = {
-  store : Store.t;
-  results : (string * string * op, entry) Hashtbl.t;  (* fp, obj, op *)
-  gops : (string * string, Ordered.Gop.t) Hashtbl.t;  (* fp, obj *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable invalidations : int;
+  master : Store.t;  (* the one mutable store; guarded by [write_lock] *)
+  write_lock : Mutex.t;
+  current : view Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  invalidations : int Atomic.t;
   mutable on_mutation : (Store.mutation -> unit) option;
 }
 
-let of_store store =
-  { store;
-    results = Hashtbl.create 64;
-    gops = Hashtbl.create 16;
-    hits = 0;
-    misses = 0;
-    invalidations = 0;
-    on_mutation = None
-  }
-
-let create () = of_store (Store.create ())
-
-let store t = t.store
-let on_mutation t f = t.on_mutation <- Some f
-
-let counters t =
-  { hits = t.hits;
-    misses = t.misses;
-    invalidations = t.invalidations;
-    entries = Hashtbl.length t.results
-  }
-
 (* The structural fingerprint: every object's name, parents and rules in
    definition order.  '\x00'/'\x01' separators keep distinct structures
-   from serialising to the same string. *)
-let fingerprint t =
+   from serialising to the same string.  Computed once per publish, not
+   per lookup. *)
+let fingerprint_of_store store =
   let buf = Buffer.create 256 in
   List.iter
     (fun name ->
@@ -70,36 +74,76 @@ let fingerprint t =
         (fun p ->
           Buffer.add_string buf p;
           Buffer.add_char buf '\x01')
-        (Store.parents t.store name);
+        (Store.parents store name);
       Buffer.add_char buf '\x00';
       List.iter
         (fun r ->
           Buffer.add_string buf (Logic.Rule.to_string r);
           Buffer.add_char buf '\x01')
-        (Store.rules t.store name);
+        (Store.rules store name);
       Buffer.add_char buf '\x00')
-    (Store.objects t.store);
+    (Store.objects store);
   Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let view_of ~version store =
+  { version;
+    fingerprint = fingerprint_of_store store;
+    vstore = Store.copy store;
+    results = Atomic.make KeyMap.empty;
+    vgops = Atomic.make StrMap.empty
+  }
+
+let of_store store =
+  { master = store;
+    write_lock = Mutex.create ();
+    current = Atomic.make (view_of ~version:0 store);
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    invalidations = Atomic.make 0;
+    on_mutation = None
+  }
+
+let create () = of_store (Store.create ())
+
+let store t = t.master
+let on_mutation t f = t.on_mutation <- Some f
+let current t = Atomic.get t.current
+let version t = (current t).version
+let fingerprint t = (current t).fingerprint
+
+let counters t =
+  { hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    invalidations = Atomic.get t.invalidations;
+    entries = KeyMap.cardinal (Atomic.get (current t).results)
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Invalidation                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let flush t =
-  Hashtbl.reset t.results;
-  Hashtbl.reset t.gops;
-  t.invalidations <- t.invalidations + 1
+let locked t f =
+  Mutex.lock t.write_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.write_lock) f
+
+(* Publish the master's state as the next immutable version.  Caller
+   holds [write_lock], so version numbers are gapless and the swapped
+   view is never older than a concurrent publisher's. *)
+let flush_locked t =
+  Atomic.set t.current (view_of ~version:((current t).version + 1) t.master);
+  ignore (Atomic.fetch_and_add t.invalidations 1 : int)
 
 (* Run a mutating store operation; notify the observer (the write-ahead
-   log, when persistence is wired) and flush only if it succeeded — a
-   raising [define] etc. leaves the KB, the log and the cache unchanged.
-   The observer runs {e before} the flush, so a logged mutation is
-   durable before any cache state reflects it. *)
+   log, when persistence is wired) and publish only if it succeeded — a
+   raising [define] etc. leaves the KB, the log and the published view
+   unchanged.  The observer runs {e before} the publish, so a logged
+   mutation is durable before any reader can observe it. *)
 let mutating t m f =
-  let r = f t.store in
-  (match t.on_mutation with Some notify -> notify m | None -> ());
-  flush t;
-  r
+  locked t (fun () ->
+      let r = f t.master in
+      (match t.on_mutation with Some notify -> notify m | None -> ());
+      flush_locked t;
+      r)
 
 let define t ?(isa = []) name rules =
   mutating t
@@ -119,14 +163,15 @@ let add_rule_src t ~obj src = add_rule t ~obj (Lang.Parser.parse_rule src)
 let add_fact t ~obj l = add_rule t ~obj (Logic.Rule.fact l)
 
 let remove_rule t ~obj r =
-  let removed = Store.remove_rule t.store ~obj r in
-  if removed then begin
-    (match t.on_mutation with
-    | Some notify -> notify (Store.Remove_rule { obj; rule = r })
-    | None -> ());
-    flush t
-  end;
-  removed
+  locked t (fun () ->
+      let removed = Store.remove_rule t.master ~obj r in
+      if removed then begin
+        (match t.on_mutation with
+        | Some notify -> notify (Store.Remove_rule { obj; rule = r })
+        | None -> ());
+        flush_locked t
+      end;
+      removed)
 
 let new_version t ?rules name =
   mutating t
@@ -134,56 +179,101 @@ let new_version t ?rules name =
     (fun s -> Store.new_version s ?rules name)
 
 (* Replication replay: apply a shipped mutation through the same
-   observer-then-flush path the named operations use, so the replica's
-   own WAL and cache stay in lockstep with its store. *)
+   observer-then-publish path the named operations use, so the replica's
+   own WAL and published view stay in lockstep with its store. *)
 let apply t m = mutating t m (fun s -> Store.apply s m)
 
-let invalidate t = flush t
+(* A whole shipped batch under one lock acquisition and one publish —
+   the per-record observer calls (WAL appends) still happen in order,
+   so durability ordering is exactly as if [apply] had run per record,
+   but the store is copied once per batch instead of once per record.
+   A record that raises publishes the prefix that did apply (each of
+   those records is already in the observer's log). *)
+let apply_batch t ms =
+  match ms with
+  | [] -> ()
+  | ms ->
+    locked t (fun () ->
+        let applied = ref 0 in
+        match
+          List.iter
+            (fun m ->
+              Store.apply t.master m;
+              (match t.on_mutation with
+              | Some notify -> notify m
+              | None -> ());
+              incr applied)
+            ms
+        with
+        | () -> flush_locked t
+        | exception e ->
+          if !applied > 0 then flush_locked t;
+          raise e)
+
+let invalidate t = locked t (fun () -> flush_locked t)
 
 (* ------------------------------------------------------------------ *)
 (* Read-only views                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let objects t = Store.objects t.store
-let parents t name = Store.parents t.store name
-let rules t name = Store.rules t.store name
-let latest_version t name = Store.latest_version t.store name
-let versions t name = Store.versions t.store name
+let objects t = Store.objects (current t).vstore
+let parents t name = Store.parents (current t).vstore name
+let rules t name = Store.rules (current t).vstore name
+let latest_version t name = Store.latest_version (current t).vstore name
+let versions t name = Store.versions (current t).vstore name
 
 (* ------------------------------------------------------------------ *)
 (* Memoized queries                                                    *)
 (* ------------------------------------------------------------------ *)
 
+let record_hit t = ignore (Atomic.fetch_and_add t.hits 1 : int)
+let record_miss t = ignore (Atomic.fetch_and_add t.misses 1 : int)
+
+(* Lock-free insert: retry the CAS against the freshest map; drop the
+   duplicate if somebody else cached the same key first.  The maps are
+   persistent, so a reader holding an older map still sees a complete,
+   valid index. *)
+let rec cas_add cell ~mem ~add key v =
+  let cur = Atomic.get cell in
+  if mem key cur then ()
+  else if not (Atomic.compare_and_set cell cur (add key v cur)) then
+    cas_add cell ~mem ~add key v
+
+let cache_result v key e =
+  cas_add v.results ~mem:KeyMap.mem ~add:KeyMap.add key e
+
 let gop ?budget t ~obj =
-  let key = (fingerprint t, obj) in
-  match Hashtbl.find_opt t.gops key with
+  let v = current t in
+  match StrMap.find_opt obj (Atomic.get v.vgops) with
   | Some g ->
-    t.hits <- t.hits + 1;
+    record_hit t;
     g
   | None ->
-    t.misses <- t.misses + 1;
-    let g = Store.gop ?budget t.store ~obj in
-    Hashtbl.replace t.gops key g;
+    record_miss t;
+    let g = Store.gop ?budget v.vstore ~obj in
+    cas_add v.vgops ~mem:StrMap.mem ~add:StrMap.add obj g;
     g
 
-(* Look up (obj, op); on a miss run [compute], store the entry only when
-   [cache] says the result is complete. *)
+(* Look up (obj, op) in the pinned view; on a miss run [compute] against
+   that same view, store the entry only when [cache] says the result is
+   complete. *)
 let lookup t ~obj op ~compute ~cache =
-  let key = (fingerprint t, obj, op) in
-  match Hashtbl.find_opt t.results key with
+  let v = current t in
+  let key = (obj, op) in
+  match KeyMap.find_opt key (Atomic.get v.results) with
   | Some e ->
-    t.hits <- t.hits + 1;
+    record_hit t;
     e
   | None ->
-    t.misses <- t.misses + 1;
-    let e = compute () in
-    if cache e then Hashtbl.replace t.results key e;
+    record_miss t;
+    let e = compute v in
+    if cache e then cache_result v key e;
     e
 
 let least_model ?budget t ~obj =
   match
     lookup t ~obj Least
-      ~compute:(fun () -> E_interp (Store.least_model ?budget t.store ~obj))
+      ~compute:(fun v -> E_interp (Store.least_model ?budget v.vstore ~obj))
       ~cache:(fun _ -> true)
   with
   | E_interp i -> i
@@ -198,26 +288,28 @@ let query_src ?budget t ~obj src =
   query ?budget t ~obj (Lang.Parser.parse_literal src)
 
 let models kind ?limit ?budget ?(engine = `Pruned) ?stats t ~obj =
+  let v = current t in
   let compute () =
     let r =
       match kind with
-      | `Stable -> Store.stable_models ?limit ?budget ~engine ?stats t.store ~obj
+      | `Stable ->
+        Store.stable_models ?limit ?budget ~engine ?stats v.vstore ~obj
       | `Af ->
-        Store.assumption_free_models ?limit ?budget ~engine ?stats t.store ~obj
+        Store.assumption_free_models ?limit ?budget ~engine ?stats v.vstore
+          ~obj
     in
     (r, E_models (B.value r))
   in
-  let op = Models { kind; limit; engine } in
-  let key = (fingerprint t, obj, op) in
-  match Hashtbl.find_opt t.results key with
+  let key = (obj, Models { kind; limit; engine }) in
+  match KeyMap.find_opt key (Atomic.get v.results) with
   | Some (E_models ms) ->
-    t.hits <- t.hits + 1;
+    record_hit t;
     B.Complete ms
   | Some _ -> assert false
   | None ->
-    t.misses <- t.misses + 1;
+    record_miss t;
     let r, e = compute () in
-    if B.is_complete r then Hashtbl.replace t.results key e;
+    if B.is_complete r then cache_result v key e;
     r
 
 let stable_models ?limit ?budget ?engine ?stats t ~obj =
@@ -229,7 +321,7 @@ let assumption_free_models ?limit ?budget ?engine ?stats t ~obj =
 let explain t ~obj l =
   match
     lookup t ~obj (Explained (Logic.Literal.to_string l))
-      ~compute:(fun () -> E_explain (Store.explain t.store ~obj l))
+      ~compute:(fun v -> E_explain (Store.explain v.vstore ~obj l))
       ~cache:(fun _ -> true)
   with
   | E_explain e -> e

@@ -1,4 +1,5 @@
-(** Memoizing knowledge-base sessions: a {!Store} plus a result cache.
+(** Memoizing knowledge-base sessions: a {!Store} plus a result cache,
+    with lock-free snapshot reads.
 
     A session wraps a knowledge base for the repeated-query workload of a
     resident server: the ground program, least model, model enumerations
@@ -6,29 +7,37 @@
     the same question against an unchanged KB skips grounding and solving
     entirely.
 
-    {b Keying.}  Cache entries are keyed by a {e structural fingerprint}
+    {b Versions and snapshots.}  The session keeps one mutable master
+    store, guarded by an internal write lock, and {e publishes} an
+    immutable snapshot view — a (version, fingerprint, store copy,
+    cache) tuple — through a single atomic reference after every
+    successful mutation.  A query pins the current view with one atomic
+    read and runs entirely against that frozen version: no lock, no
+    interference from writers preparing the next version, and no torn
+    state even while a [load] or [new_version] is mid-mutation on the
+    master.  Any number of threads (or OCaml 5 domains) may query
+    concurrently; mutating operations serialize on the write lock.
+
+    {b Keying.}  Within a view, cache entries are keyed by the viewpoint
+    object and the operation (including its [limit]/[engine]
+    parameters); the view itself carries the {e structural fingerprint}
     of the knowledge base — a digest of every object's name, parents and
-    rules in definition order — together with the viewpoint object and
-    the operation (including its [limit]/[engine] parameters).  The
-    fingerprint is recomputed from the store on every lookup, so a hit is
-    only ever served for a KB whose rules and order are byte-identical to
-    the ones the entry was computed from.
+    rules in definition order — computed once at publish time.  A hit is
+    only ever served from the view a mutation published, so it reflects
+    a KB whose rules and order are byte-identical to the ones the entry
+    was computed from.
 
     {b Invalidation.}  The mutating operations ({!define}, {!define_src},
     {!load}, {!add_rule}, {!add_rule_src}, {!add_fact}, {!remove_rule}
-    when it removes, {!new_version}) flush the cache and count one
-    invalidation; the next query is a guaranteed miss.  (The structural
-    key makes flushing a memory bound rather than a correctness
-    mechanism: a stale entry could never match a mutated KB.)
+    when it removes, {!new_version}) publish a fresh empty-cached view
+    and count one invalidation; the next query is a guaranteed miss.
 
     {b Budgets.}  A cache miss computes under the caller's budget exactly
     like the underlying {!Store} call, and only {e complete} results are
     stored: a [Partial] enumeration or a raised [Budget.Exhausted]
     leaves the cache untouched, so a later, better-funded call recomputes
     rather than serving a truncated answer.  A hit returns the cached
-    complete result without consuming budget.
-
-    Sessions are not thread-safe; the query server serializes access. *)
+    complete result without consuming budget. *)
 
 type t
 
@@ -36,39 +45,48 @@ val create : unit -> t
 
 val of_store : Store.t -> t
 (** Wrap an existing knowledge base (e.g. one rebuilt by crash recovery)
-    in a fresh session; the cache starts empty. *)
+    in a fresh session; the cache starts empty and the store's state is
+    published as version 0. *)
 
 val store : t -> Store.t
-(** The underlying knowledge base.  Mutating it directly bypasses
-    invalidation accounting and the {!on_mutation} observer; the
-    structural fingerprint still prevents stale hits. *)
+(** The underlying master knowledge base.  Mutating it directly bypasses
+    invalidation accounting and the {!on_mutation} observer {e and} the
+    snapshot publication — readers keep answering from the last
+    published view until {!invalidate} republishes (the replication
+    bootstrap path does exactly that after a snapshot
+    {!Store.restore}). *)
 
 val on_mutation : t -> (Store.mutation -> unit) -> unit
 (** Register the mutation observer (one slot; a second call replaces the
     first).  After a mutating operation succeeds on the store — and
-    {e before} the result cache is flushed — the observer is called with
+    {e before} the new view is published — the observer is called with
     the reified {!Store.mutation}; the persistence subsystem uses this to
     append to its write-ahead log, so a mutation is durable before any
-    cache state reflects it.  An observer that raises propagates to the
-    caller: the in-memory store has mutated but the cache was not
-    flushed, which is safe (stale entries cannot match the mutated
-    fingerprint) but leaves the log behind the store — callers treat
-    that as a fatal storage error. *)
+    reader can observe it.  An observer that raises propagates to the
+    caller: the master store has mutated but no new view was published,
+    which leaves the log behind the store — callers treat that as a
+    fatal storage error. *)
 
 (** {1 Counters} *)
 
 type counters = {
   hits : int;  (** lookups answered from the cache *)
   misses : int;  (** lookups that had to compute *)
-  invalidations : int;  (** cache flushes by mutating operations *)
-  entries : int;  (** results currently cached (ground programs aside) *)
+  invalidations : int;  (** view publications by mutating operations *)
+  entries : int;
+      (** results cached in the current view (ground programs aside) *)
 }
 
 val counters : t -> counters
 
 val fingerprint : t -> string
-(** The current structural fingerprint (hex digest); equal fingerprints
-    mean structurally identical knowledge bases. *)
+(** The current view's structural fingerprint (hex digest); equal
+    fingerprints mean structurally identical knowledge bases. *)
+
+val version : t -> int
+(** The current view's version number: 0 at creation, +1 per published
+    mutation (including {!invalidate}).  Monotone — concurrent readers
+    can use it to order the snapshots they observed. *)
 
 (** {1 Mutating operations} (see {!Store} for semantics) *)
 
@@ -83,17 +101,26 @@ val new_version : t -> ?rules:Logic.Rule.t list -> string -> string
 
 val apply : t -> Store.mutation -> unit
 (** Replay one reified mutation ({!Store.apply}) through the session:
-    the {!on_mutation} observer fires and the cache is flushed exactly
-    as if the corresponding named operation had been called.  This is
-    the replication apply path — a replica feeds shipped WAL records
-    here so its own log and cache track its store. *)
+    the {!on_mutation} observer fires and a fresh view is published
+    exactly as if the corresponding named operation had been called.
+    This is the replication apply path — a replica feeds shipped WAL
+    records here so its own log and cache track its store. *)
+
+val apply_batch : t -> Store.mutation list -> unit
+(** Replay a whole batch of shipped mutations under one lock
+    acquisition, notifying the observer per record (in order) but
+    publishing — and counting — a single invalidation at the end, so
+    catching up by [n] records costs one store copy instead of [n].
+    A record that raises publishes the prefix that did apply and
+    re-raises. *)
 
 val invalidate : t -> unit
-(** Flush the result cache unconditionally (counted as one
+(** Republish the master's current state as a fresh view (counted as one
     invalidation).  Used after out-of-band store changes such as a
     snapshot {!Store.restore} during replication bootstrap. *)
 
-(** {1 Read-only views} (never touch the cache) *)
+(** {1 Read-only views} (answered from the current snapshot; never touch
+    the cache counters) *)
 
 val objects : t -> string list
 val parents : t -> string -> string list

@@ -99,6 +99,12 @@ let of_dump d =
     cache = []
   }
 
+(* A deep copy down to the per-object mutable fields: the clone and the
+   original share rule/parent list structure (immutable), but mutating
+   either store never changes what the other observes.  The gop cache is
+   not copied — it is an optimisation, not state. *)
+let copy kb = of_dump (dump kb)
+
 let restore kb d =
   let fresh = of_dump d in
   kb.objs <- fresh.objs;

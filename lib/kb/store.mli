@@ -84,6 +84,12 @@ type dump = {
 val dump : t -> dump
 val of_dump : dump -> t
 
+val copy : t -> t
+(** [of_dump (dump kb)]: an independent store with the same objects,
+    parents, rules and version counters.  Mutating the original never
+    changes what the copy observes (and vice versa) — {!Kb.Session}
+    publishes copies as immutable read snapshots. *)
+
 val restore : t -> dump -> unit
 (** Replace the store's entire state with [dump] in place, keeping the
     identity of [t] (every alias sees the new state; caches are

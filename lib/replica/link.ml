@@ -247,11 +247,12 @@ let pull t c =
       match mutations with
       | [] -> `Idle
       | ms ->
-        (* replay under the engine lock so readers never observe a
-           half-applied batch; the session's on_mutation observer logs
-           each record to the replica's own WAL as it applies *)
+        (* replay under the engine lock; the session applies the whole
+           batch under one publish, so readers jump straight from the
+           pre-batch snapshot to the post-batch one (the on_mutation
+           observer still logs record by record, in order) *)
         Engine.exclusively t.engine (fun () ->
-            List.iter (fun m -> Kb.Session.apply t.session m) ms);
+            Kb.Session.apply_batch t.session ms);
         (* settle the batch on stable storage before confirming it —
            the next pull's [durable] field must not promise more than
            fsync delivered *)

@@ -29,6 +29,7 @@ let address_to_string = function
 type config = {
   address : address;
   workers : int;
+  parallel : Pool.backend;
   queue : int;
   caps : Engine.caps;
   persist : Persist.config option;
@@ -98,7 +99,10 @@ let create config =
     match repl with Some (rfd, _) -> Unix.close rfd | None -> ()
   in
   let metrics = M.create () in
-  let pool = Pool.create ~workers:config.workers ~queue:config.queue in
+  let pool =
+    Pool.create ~backend:config.parallel ~workers:config.workers
+      ~queue:config.queue ()
+  in
   let extra_stats () =
     [ ("workers", Wire.Int config.workers);
       ("queue_capacity", Wire.Int config.queue)

@@ -34,6 +34,10 @@ type config = {
   address : address;
       (** TCP port [0] picks an ephemeral port (see {!address}) *)
   workers : int;
+  parallel : Pool.backend;
+      (** worker flavour: [`Threads] (the default everywhere) or
+          [`Domains] for truly parallel OCaml 5 domains (the
+          [--parallel domains] flag) *)
   queue : int;  (** request-queue capacity *)
   caps : Engine.caps;  (** per-request budget caps *)
   persist : Persist.config option;

@@ -35,7 +35,9 @@ type t = {
   session : Kb.Session.t;
   caps : caps;
   metrics : M.t;
-  lock : Mutex.t;
+  lock : Mutex.t;  (* the io lock: store apply + persistence/replication *)
+  shards : Shards.t;  (* striped write admission, per target object *)
+  writers : int Atomic.t;  (* writers inside a shard region right now *)
   extra_stats : unit -> (string * Wire.json) list;
   persistence : persistence option;
   sync : sync option;
@@ -48,8 +50,9 @@ let create ?(caps = default_caps) ?(metrics = M.create ())
   let session =
     match session with Some s -> s | None -> Kb.Session.create ()
   in
-  { session; caps; metrics; lock = Mutex.create (); extra_stats; persistence;
-    sync;
+  { session; caps; metrics; lock = Mutex.create ();
+    shards = Shards.create (); writers = Atomic.make 0; extra_stats;
+    persistence; sync;
     acks = { ack_lock = Mutex.create (); ack_tbl = Hashtbl.create 8 };
     replication = None }
 
@@ -138,8 +141,25 @@ let is_write = function
     true
   | Wire.Query _ | Wire.Models _ | Wire.Explain _ | Wire.Stats
   | Wire.Version | Wire.Snapshot | Wire.Shutdown | Wire.Hello _
-  | Wire.Pull _ | Wire.Fetch_snapshot _ | Wire.Promote ->
+  | Wire.Pull _ | Wire.Fetch_snapshot _ | Wire.Promote | Wire.Batch _ ->
     false
+
+(* Replication/persistence verbs touch the WAL, the snapshot files or
+   the replication role — they serialize on the io lock like the write
+   verbs' apply phase. *)
+let is_io = function
+  | Wire.Snapshot | Wire.Hello _ | Wire.Pull _ | Wire.Fetch_snapshot _
+  | Wire.Promote ->
+    true
+  | _ -> false
+
+(* The shard stripes a mutating verb must hold: the object it targets,
+   or every stripe for [load] (which may define any number of objects). *)
+let write_keys = function
+  | Wire.Load _ -> `All
+  | Wire.Define { name; _ } | Wire.New_version { name; _ } -> `Keys [ name ]
+  | Wire.Add_rule { obj; _ } | Wire.Remove_rule { obj; _ } -> `Keys [ obj ]
+  | _ -> `Keys []
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
@@ -186,39 +206,66 @@ let stats_response t ~id =
       | None -> [])
     @ [ ("server", server) ])
 
+(* Mutating verbs, called with the verb's shard stripes held: parse the
+   request's program text first (concurrent with other writers and every
+   reader), then apply to the session under the io lock — the only part
+   that serializes globally, and the part that keeps WAL append order
+   identical to apply order.  Returns the response and, for synchronous
+   commit, the WAL sequence this write reached (captured under the io
+   lock so the quorum wait targets exactly this mutation). *)
+let serve_write t ~id verb =
+  let session = t.session in
+  let exclusively_seq f =
+    exclusively t (fun () ->
+        let fields = f () in
+        let seq =
+          match t.persistence, t.sync with
+          | Some p, Some _ -> Some (p.seq ())
+          | _ -> None
+        in
+        (Wire.ok ?id fields, seq))
+  in
+  match verb with
+  | Wire.Load { src } ->
+    exclusively_seq (fun () ->
+        Kb.Session.load session src;
+        [ ("objects",
+           Wire.List
+             (List.map (fun o -> Wire.String o) (Kb.Session.objects session)))
+        ])
+  | Wire.Define { name; isa; rules } ->
+    let rules = Lang.Parser.parse_rules rules in
+    exclusively_seq (fun () ->
+        Kb.Session.define session ~isa name rules;
+        [ ("object", Wire.String name) ])
+  | Wire.Add_rule { obj; rule } ->
+    let rule = Lang.Parser.parse_rule rule in
+    exclusively_seq (fun () ->
+        Kb.Session.add_rule session ~obj rule;
+        [])
+  | Wire.Remove_rule { obj; rule } ->
+    let rule = Lang.Parser.parse_rule rule in
+    exclusively_seq (fun () ->
+        let removed = Kb.Session.remove_rule session ~obj rule in
+        [ ("removed", Wire.Bool removed) ])
+  | Wire.New_version { name; rules } ->
+    let rules = Option.map Lang.Parser.parse_rules rules in
+    exclusively_seq (fun () ->
+        let version = Kb.Session.new_version session ?rules name in
+        [ ("version", Wire.String version) ])
+  | _ -> assert false (* only write verbs are routed here *)
+
+(* Read and replication verbs.  The read verbs ([query]/[models]/
+   [explain]/[stats]/[version]) run entirely against the session's
+   published snapshot and the atomic counters — no lock anywhere on
+   their path; [handle] wraps the io verbs in {!exclusively}. *)
 let serve t ~id req =
   let session = t.session in
   let budget = budget_of t req.Wire.budget in
-  (* a replica's KB is owned by the replication stream: local writes
-     would fork its history, so they bounce with a redirect *)
-  (match t.replication with
-  | Some r when is_write req.Wire.verb && r.role () = "replica" ->
-    let primary = Option.value ~default:"unknown" (r.primary ()) in
-    Governor.Diag.fail (Governor.Diag.Read_only { primary })
-  | _ -> ());
   match req.Wire.verb with
-  | Wire.Load { src } ->
-    Kb.Session.load session src;
-    Wire.ok ?id
-      [ ("objects",
-         Wire.List
-           (List.map (fun o -> Wire.String o) (Kb.Session.objects session)))
-      ]
-  | Wire.Define { name; isa; rules } ->
-    Kb.Session.define_src session ~isa name rules;
-    Wire.ok ?id [ ("object", Wire.String name) ]
-  | Wire.Add_rule { obj; rule } ->
-    Kb.Session.add_rule_src session ~obj rule;
-    Wire.ok ?id []
-  | Wire.Remove_rule { obj; rule } ->
-    let removed =
-      Kb.Session.remove_rule session ~obj (Lang.Parser.parse_rule rule)
-    in
-    Wire.ok ?id [ ("removed", Wire.Bool removed) ]
-  | Wire.New_version { name; rules } ->
-    let rules = Option.map Lang.Parser.parse_rules rules in
-    let version = Kb.Session.new_version session ?rules name in
-    Wire.ok ?id [ ("version", Wire.String version) ]
+  | Wire.Load _ | Wire.Define _ | Wire.Add_rule _ | Wire.Remove_rule _
+  | Wire.New_version _ | Wire.Batch _ ->
+    assert false (* routed to serve_write / handle_batch *)
   | Wire.Query { obj; lit } ->
     let l = Lang.Parser.parse_literal lit in
     let v = Kb.Session.query ~budget session ~obj l in
@@ -421,83 +468,122 @@ let serve t ~id req =
              | None -> []))
       | Error msg -> Wire.error_response ?id ~kind:"input" msg))
 
-let handle t (req : Wire.request) =
-  let id = req.id in
-  (* sequence number this write reached, captured under the lock so the
-     quorum wait below targets exactly this mutation *)
-  let sync_seq = ref None in
-  let response =
-    Mutex.lock t.lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.lock)
-      (fun () ->
-        try
-          let resp = serve t ~id req in
-          (match t.persistence, t.sync with
-          | Some p, Some _ when is_write req.verb -> (
-            match Wire.status_of_response resp with
-            | `Ok -> sync_seq := Some (p.seq ())
-            | `Partial | `Error | `Unknown -> ())
-          | _ -> ());
-          resp
-        with
-        | B.Exhausted reason ->
-          (* no sound partial payload outside the enumerations *)
-          Wire.partial ?id ~reason:(B.reason_to_string reason) []
-        | Ordered.Diag.Error (Ordered.Diag.Read_only { primary } as e) ->
-          Wire.error_response ?id ~kind:"read_only"
-            ~extra:[ ("primary", Wire.String primary) ]
-            (Ordered.Diag.to_string e)
-        | Ordered.Diag.Error e ->
-          Wire.error_response ?id ~kind:"diag" (Ordered.Diag.to_string e)
-        | Invalid_argument msg | Failure msg ->
-          Wire.error_response ?id ~kind:"input" msg
-        | Lang.Lexer.Error (msg, pos) ->
-          Wire.error_response ?id ~kind:"input"
-            (Printf.sprintf "lexical error at %d:%d: %s" pos.line pos.col msg)
-        | Lang.Parser.Error (msg, pos) ->
-          Wire.error_response ?id ~kind:"input"
-            (Printf.sprintf "syntax error at %d:%d: %s" pos.line pos.col msg)
-        | e ->
-          (* the worker must survive anything *)
-          Wire.error_response ?id ~kind:"internal" (Printexc.to_string e))
-  in
-  (* durability is paid outside the engine lock, so concurrent writers
-     pile into the same group-commit window instead of serializing
-     their fsyncs *)
-  (match t.persistence with
-  | Some p when is_write req.verb -> (
-    match Wire.status_of_response response with
-    | `Ok -> p.wait_durable ()
-    | `Partial | `Error | `Unknown -> ())
-  | _ -> ());
-  (* synchronous commit: also outside the lock, so replica pulls (which
-     carry the confirmations) keep being served while writers wait *)
-  let response =
-    match t.sync, !sync_seq with
-    | Some s, Some seq -> (
-      match
-        wait_confirmed t ~seq ~required:s.replicas ~timeout_ms:s.timeout_ms
-      with
-      | `Confirmed -> response
-      | `Timeout confirmed ->
-        M.incr t.metrics "sync_timeouts";
-        let e =
-          Ordered.Diag.Sync_timeout
-            { seq; required = s.replicas; confirmed;
-              timeout_ms = s.timeout_ms }
-        in
-        Wire.error_response ?id ~kind:"sync_timeout"
-          ~extra:[ ("seq", Wire.Int seq); ("confirmed", Wire.Int confirmed) ]
-          (Ordered.Diag.to_string e))
-    | _ -> response
-  in
+(* Exception mapping: no exception escapes a worker, whatever the
+   decoder accepted. *)
+let guard ?id f =
+  try f () with
+  | B.Exhausted reason ->
+    (* no sound partial payload outside the enumerations *)
+    Wire.partial ?id ~reason:(B.reason_to_string reason) []
+  | Ordered.Diag.Error (Ordered.Diag.Read_only { primary } as e) ->
+    Wire.error_response ?id ~kind:"read_only"
+      ~extra:[ ("primary", Wire.String primary) ]
+      (Ordered.Diag.to_string e)
+  | Ordered.Diag.Error e ->
+    Wire.error_response ?id ~kind:"diag" (Ordered.Diag.to_string e)
+  | Invalid_argument msg | Failure msg ->
+    Wire.error_response ?id ~kind:"input" msg
+  | Lang.Lexer.Error (msg, pos) ->
+    Wire.error_response ?id ~kind:"input"
+      (Printf.sprintf "lexical error at %d:%d: %s" pos.line pos.col msg)
+  | Lang.Parser.Error (msg, pos) ->
+    Wire.error_response ?id ~kind:"input"
+      (Printf.sprintf "syntax error at %d:%d: %s" pos.line pos.col msg)
+  | e ->
+    (* the worker must survive anything *)
+    Wire.error_response ?id ~kind:"internal" (Printexc.to_string e)
+
+let count_response t response =
   M.incr t.metrics "served";
   (match Wire.status_of_response response with
   | `Ok -> M.incr t.metrics "ok"
   | `Partial -> M.incr t.metrics "partials"
   | `Error | `Unknown -> M.incr t.metrics "errors");
   response
+
+let handle_write t ~id verb =
+  (* sequence number this write reached, captured under the io lock so
+     the quorum wait below targets exactly this mutation *)
+  let sync_seq = ref None in
+  let response =
+    guard ?id (fun () ->
+        (* a replica's KB is owned by the replication stream: local
+           writes would fork its history, so they bounce with a
+           redirect *)
+        (match t.replication with
+        | Some r when r.role () = "replica" ->
+          let primary = Option.value ~default:"unknown" (r.primary ()) in
+          Governor.Diag.fail (Governor.Diag.Read_only { primary })
+        | _ -> ());
+        Shards.with_keys t.shards (write_keys verb) (fun () ->
+            let n = Atomic.fetch_and_add t.writers 1 + 1 in
+            M.gauge_max t.metrics "writers_peak" n;
+            Fun.protect
+              ~finally:(fun () ->
+                ignore (Atomic.fetch_and_add t.writers (-1) : int))
+              (fun () ->
+                let resp, seq = serve_write t ~id verb in
+                sync_seq := seq;
+                resp)))
+  in
+  (* durability is paid outside every lock, so concurrent writers pile
+     into the same group-commit window instead of serializing their
+     fsyncs — and lock-free readers are never stuck behind the wait *)
+  (match t.persistence with
+  | Some p -> (
+    match Wire.status_of_response response with
+    | `Ok -> p.wait_durable ()
+    | `Partial | `Error | `Unknown -> ())
+  | None -> ());
+  (* synchronous commit: also outside the locks, so replica pulls (which
+     carry the confirmations) keep being served while writers wait *)
+  match t.sync, !sync_seq with
+  | Some s, Some seq -> (
+    match
+      wait_confirmed t ~seq ~required:s.replicas ~timeout_ms:s.timeout_ms
+    with
+    | `Confirmed -> response
+    | `Timeout confirmed ->
+      M.incr t.metrics "sync_timeouts";
+      let e =
+        Ordered.Diag.Sync_timeout
+          { seq; required = s.replicas; confirmed; timeout_ms = s.timeout_ms }
+      in
+      Wire.error_response ?id ~kind:"sync_timeout"
+        ~extra:[ ("seq", Wire.Int seq); ("confirmed", Wire.Int confirmed) ]
+        (Ordered.Diag.to_string e))
+  | _ -> response
+
+let rec handle t (req : Wire.request) =
+  let id = req.id in
+  match req.verb with
+  | Wire.Batch items ->
+    (* one frame, many requests: each item runs the full per-verb path
+       (locking, durability, sync commit, counters) in order; a decode
+       failure is answered in place.  The envelope itself is not counted
+       as served — the items are. *)
+    M.incr t.metrics "batches";
+    M.add t.metrics "batch_items" (List.length items);
+    let responses =
+      List.map
+        (function
+          | Ok item -> handle t item
+          | Error message ->
+            M.incr t.metrics "proto_errors";
+            Wire.error_response ~kind:"proto" ("invalid request: " ^ message))
+        items
+    in
+    Wire.ok ?id
+      [ ("count", Wire.Int (List.length responses));
+        ("responses", Wire.List responses)
+      ]
+  | verb when is_write verb -> count_response t (handle_write t ~id verb)
+  | verb when is_io verb ->
+    count_response t
+      (guard ?id (fun () -> exclusively t (fun () -> serve t ~id req)))
+  | _ ->
+    (* read verbs: no lock on this path at all *)
+    count_response t (guard ?id (fun () -> serve t ~id req))
 
 let handle_line t line =
   match Wire.decode_request line with

@@ -1,5 +1,5 @@
-(** The request engine: one {!Kb.Session} behind a lock, serving decoded
-    {!Wire} requests.
+(** The request engine: one {!Kb.Session} serving decoded {!Wire}
+    requests — lock-free snapshot reads, shard-locked writes.
 
     The engine owns everything between the wire and the solver: budget
     clamping, dispatch, response encoding, and the guarantee that {e no
@@ -16,10 +16,22 @@
     [query]/[explain]-style operations, which have no sound partial
     answer, it carries only the machine-readable reason.
 
-    {b Concurrency.}  [handle] serializes KB access under one mutex, so
-    several workers may call it concurrently; the memoizing session makes
-    the common repeated-query case cheap.  The [stats] verb reports the
-    session's cache counters and a deterministic snapshot of the server
+    {b Concurrency.}  Read verbs ([query]/[models]/[explain]/[stats]/
+    [version]) take no lock at all: they pin the session's current
+    published snapshot with one atomic read and compute against that
+    frozen version, so any number of workers — threads or domains —
+    serve reads in parallel, unaffected by writers.  Mutating verbs
+    ([load]/[define]/[add_rule]/[remove_rule]/[new_version]) are
+    admitted through per-object {!Shards} stripes (disjoint objects
+    overlap in their parse phase; the ["writers_peak"] gauge records the
+    deepest overlap) and then serialize only their store-apply on the
+    engine's io lock, which also orders WAL appends; durability and
+    synchronous-commit waits happen outside every lock.  Replication
+    verbs ([hello]/[pull]/[fetch_snapshot]/[promote]/[snapshot]) take
+    the io lock.  A [batch] frame runs each item through its verb's full
+    path in order and returns one envelope (["batches"]/["batch_items"]
+    count frames and items).  The [stats] verb reports the session's
+    cache counters and a deterministic snapshot of the server
     {!Governor.Metrics} registry. *)
 
 type caps = {
@@ -110,14 +122,19 @@ val set_replication : t -> replication -> unit
     first). *)
 
 val exclusively : t -> (unit -> 'a) -> 'a
-(** Run [f] holding the engine's KB lock — the replication apply path
-    uses this to replay shipped mutations without racing the request
-    workers.  Do not call {!handle} (or anything that re-locks) from
-    inside [f]. *)
+(** Run [f] holding the engine's io lock (the lock the write verbs'
+    apply phase and the replication verbs serialize on) — the
+    replication apply path uses this to replay shipped mutations without
+    racing the request workers.  Lock-free readers are {e not} excluded:
+    they keep serving the last published snapshot; publish a new one
+    (e.g. {!Kb.Session.invalidate}) to make changes visible.  Do not
+    call {!handle} (or anything that re-locks) from inside [f]. *)
 
 val handle : t -> Wire.request -> Wire.json
 (** Serve one request.  Never raises.  Updates the metrics counters
-    ["served"], ["ok"], ["partials"], ["errors"]. *)
+    ["served"], ["ok"], ["partials"], ["errors"] (per batch {e item} for
+    a [batch] frame, plus ["batches"]/["batch_items"] for the frame
+    itself). *)
 
 val handle_line : t -> string -> Wire.json
 (** Decode and serve one raw request line; decode failures become

@@ -1,3 +1,5 @@
+type backend = [ `Threads | `Domains ]
+
 type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
@@ -5,6 +7,7 @@ type t = {
   capacity : int;
   mutable draining : bool;
   mutable threads : Thread.t list;
+  mutable domains : unit Domain.t list;
 }
 
 let worker t =
@@ -25,7 +28,7 @@ let worker t =
   in
   loop ()
 
-let create ~workers ~queue =
+let create ?(backend = `Threads) ~workers ~queue () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
   if queue < 1 then invalid_arg "Pool.create: queue must be >= 1";
   let t =
@@ -34,10 +37,18 @@ let create ~workers ~queue =
       jobs = Queue.create ();
       capacity = queue;
       draining = false;
-      threads = []
+      threads = [];
+      domains = []
     }
   in
-  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  (* Both kinds of worker run the same loop off the same queue: the
+     mutex/condition pair is domain-safe in OCaml 5, so the only
+     difference is whether workers share one runtime lock (threads) or
+     run truly parallel (domains). *)
+  (match backend with
+  | `Threads -> t.threads <- List.init workers (fun _ -> Thread.create worker t)
+  | `Domains ->
+    t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker t)));
   t
 
 let submit t job =
@@ -61,6 +72,9 @@ let drain t =
   t.draining <- true;
   Condition.broadcast t.nonempty;
   let threads = t.threads in
+  let domains = t.domains in
   t.threads <- [];
+  t.domains <- [];
   Mutex.unlock t.lock;
-  List.iter Thread.join threads
+  List.iter Thread.join threads;
+  List.iter Domain.join domains

@@ -1,4 +1,4 @@
-(** A fixed pool of worker threads draining a bounded job queue.
+(** A fixed pool of workers draining a bounded job queue.
 
     Jobs are thunks; a job that raises is swallowed (workers never die —
     the request engine is responsible for turning failures into error
@@ -9,12 +9,23 @@
     draining, it returns [false] and the caller answers with a typed
     ["busy"]/["draining"] error instead of holding the connection
     hostage.  {!drain} implements graceful shutdown: stop accepting,
-    finish every queued and in-flight job, join the workers. *)
+    finish every queued and in-flight job, join the workers.
+
+    Workers come in two flavours: systhreads ([`Threads], the default),
+    which interleave on one runtime lock but overlap on blocking I/O
+    (fsync waits, socket writes); and OCaml 5 domains ([`Domains]),
+    which run truly parallel.  Both drain the same queue through the
+    same domain-safe mutex/condition pair, so the choice is a
+    deployment knob ([olp serve --parallel domains]), not an API
+    difference. *)
+
+type backend = [ `Threads | `Domains ]
 
 type t
 
-val create : workers:int -> queue:int -> t
-(** [workers] threads (>= 1) over a queue of capacity [queue] (>= 1). *)
+val create : ?backend:backend -> workers:int -> queue:int -> unit -> t
+(** [workers] workers (>= 1) over a queue of capacity [queue] (>= 1),
+    each a thread or a domain per [backend] ([`Threads] by default). *)
 
 val submit : t -> (unit -> unit) -> bool
 (** Enqueue a job; [false] if the queue is full or the pool draining. *)
@@ -24,4 +35,4 @@ val queued : t -> int
 
 val drain : t -> unit
 (** Stop accepting, run everything already queued to completion, join
-    the worker threads.  Idempotent. *)
+    the workers.  Idempotent. *)

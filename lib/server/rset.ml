@@ -102,9 +102,11 @@ let exchange t i j =
 (* Routing                                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* "batch" routes to the primary: a batch may carry writes, and the
+   primary serves the read items just as well. *)
 let write_ops =
   [ "load"; "define"; "add_rule"; "remove_rule"; "new_version"; "snapshot";
-    "promote"; "shutdown"
+    "promote"; "shutdown"; "batch"
   ]
 
 let is_write j =

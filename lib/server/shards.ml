@@ -1,0 +1,30 @@
+(* Striped write admission for the request engine: mutating verbs lock
+   the shard(s) of the object they touch, so writers against disjoint
+   objects overlap in their prepare phase (parsing, validation) and only
+   serialize for the short master-store apply.  See shards.mli. *)
+
+type t = { locks : Mutex.t array }
+
+let default_shards = 16
+
+let create ?(shards = default_shards) () =
+  if shards < 1 then invalid_arg "Shards.create: shards must be >= 1";
+  { locks = Array.init shards (fun _ -> Mutex.create ()) }
+
+let size t = Array.length t.locks
+
+let index t key = Hashtbl.hash key mod Array.length t.locks
+
+(* Lock indices in ascending order — every holder acquires in the same
+   global order, so two writers whose key sets overlap cannot deadlock,
+   and [`All] (which takes every stripe) orders the same way. *)
+let indices t = function
+  | `All -> List.init (Array.length t.locks) Fun.id
+  | `Keys keys -> List.sort_uniq compare (List.map (index t) keys)
+
+let with_keys t keys f =
+  let idxs = indices t keys in
+  List.iter (fun i -> Mutex.lock t.locks.(i)) idxs;
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun i -> Mutex.unlock t.locks.(i)) idxs)
+    f

@@ -1,0 +1,30 @@
+(** Striped locks for write admission.
+
+    The engine's mutating verbs serialize per {e shard} — a stripe
+    chosen by hashing the KB object a verb targets — instead of under
+    one global mutex, so writers against disjoint objects run their
+    prepare phase (rule parsing, validation) concurrently and only
+    serialize for the short store-apply section.  Reads never touch
+    these locks at all: they run against the session's published
+    snapshot view.
+
+    Acquisition is deadlock-free by construction: {!with_keys} sorts the
+    stripe indices and locks them in ascending order, and [`All] (used
+    by [load], which can touch every object) follows the same order. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] stripes (default 16; must be >= 1). *)
+
+val size : t -> int
+
+val index : t -> string -> int
+(** The stripe a key hashes to (exposed for tests asserting two keys
+    do or do not collide). *)
+
+val with_keys : t -> [ `All | `Keys of string list ] -> (unit -> 'a) -> 'a
+(** Run [f] holding the stripes of the given keys ([`All] = every
+    stripe), released on return or exception.  Re-entry from inside [f]
+    deadlocks (systhread mutexes are not recursive) — callers lock once
+    per request. *)

@@ -329,11 +329,15 @@ type verb =
     }
   | Fetch_snapshot of { epoch : int }
   | Promote
+  | Batch of batch_item list
 
-type request = { id : int option; budget : budget_spec; verb : verb }
+and request = { id : int option; budget : budget_spec; verb : verb }
 
-let package_version = "1.3.0"
-let protocol_revision = 4
+and batch_item = (request, string) result
+
+let package_version = "1.4.0"
+let protocol_revision = 5
+let max_batch = 256
 
 exception Bad_request of string
 
@@ -373,7 +377,7 @@ let str_list_field o name =
   | Some Null | None -> []
   | Some _ -> reject "field %S must be a list of strings" name
 
-let decode_verb o = function
+let rec decode_verb o = function
   | "load" -> Load { src = str_field o "src" }
   | "define" ->
     Define
@@ -426,30 +430,68 @@ let decode_verb o = function
     Fetch_snapshot
       { epoch = Option.value ~default:0 (opt_nat_field o "epoch") }
   | "promote" -> Promote
+  | "batch" ->
+    let items =
+      match member "requests" o with
+      | Some (List items) -> items
+      | Some _ -> reject "field \"requests\" must be a list of requests"
+      | None -> reject "missing field \"requests\""
+    in
+    let n = List.length items in
+    if n = 0 then reject "empty batch";
+    if n > max_batch then
+      reject "batch of %d requests exceeds the limit of %d" n max_batch;
+    Batch (List.map decode_item items)
   | op -> reject "unknown op %S" op
+
+(* One batched request.  A malformed item never poisons the frame: its
+   decode failure is reified as [Error message] and answered in place,
+   so the sibling requests still run.  Connection-scoped verbs (the
+   replication handshake, shutdown) and nested batches are rejected
+   per-item too. *)
+and decode_item = function
+  | Obj _ as o -> (
+    match
+      (match str_field o "op" with
+      | "batch" -> reject "nested batch"
+      | ("shutdown" | "hello" | "pull" | "fetch_snapshot" | "promote") as op ->
+        reject "op %S cannot appear inside a batch" op
+      | _ -> ());
+      decode_request_obj o
+    with
+    | r -> Ok r
+    | exception Bad_request message -> Error message)
+  | _ -> Error "batch item must be a JSON object"
+
+and decode_request_obj o =
+  let verb = decode_verb o (str_field o "op") in
+  let id =
+    match member "id" o with
+    | Some (Int i) -> Some i
+    | Some Null | None -> None
+    | Some _ -> reject "field \"id\" must be an integer"
+  in
+  let budget =
+    { timeout_ms = opt_nat_field o "timeout_ms";
+      max_steps = opt_nat_field o "max_steps"
+    }
+  in
+  { id; budget; verb }
 
 let decode_request ?max_len line =
   match parse ?max_len line with
   | Error e -> Error e
   | Ok (Obj _ as o) -> (
-    match
-      let verb = decode_verb o (str_field o "op") in
-      let id =
-        match member "id" o with
-        | Some (Int i) -> Some i
-        | Some Null | None -> None
-        | Some _ -> reject "field \"id\" must be an integer"
-      in
-      let budget =
-        { timeout_ms = opt_nat_field o "timeout_ms";
-          max_steps = opt_nat_field o "max_steps"
-        }
-      in
-      { id; budget; verb }
-    with
+    match decode_request_obj o with
     | r -> Ok r
     | exception Bad_request message -> Error (Request { message }))
   | Ok _ -> Error (Request { message = "request must be a JSON object" })
+
+let batch ?id items =
+  Obj
+    (("op", String "batch")
+    :: (match id with None -> [] | Some i -> [ ("id", Int i) ])
+    @ [ ("requests", List items) ])
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)

@@ -96,8 +96,18 @@ type verb =
   | Fetch_snapshot of { epoch : int }
       (** bootstrap: fetch a full snapshot image *)
   | Promote  (** turn this replica into a standalone primary *)
+  | Batch of batch_item list
+      (** pipelining: up to {!max_batch} requests in one frame, answered
+          by one reply frame carrying the per-item responses in order *)
 
-type request = { id : int option; budget : budget_spec; verb : verb }
+and request = { id : int option; budget : budget_spec; verb : verb }
+
+and batch_item = (request, string) result
+(** One batched request; [Error message] is a per-item decode failure
+    (malformed payload, nested batch, or a connection-scoped verb such
+    as [shutdown]/[hello]/[pull]/[fetch_snapshot]/[promote]) that the
+    server answers in place with a ["proto"] error, leaving the sibling
+    requests to run normally. *)
 
 val package_version : string
 (** The released package version (also [olp --version]). *)
@@ -107,8 +117,16 @@ val protocol_revision : int
     verb or field; reported by the [version] and [stats] verbs so
     clients can detect what they are talking to. *)
 
+val max_batch : int
+(** Most requests one [batch] frame may carry (256); a longer list is a
+    whole-frame [Request] error. *)
+
 val decode_request : ?max_len:int -> string -> (request, error) result
 (** Parse and validate one request line.  Never raises. *)
+
+val batch : ?id:int -> json list -> json
+(** Build a [batch] request frame from encoded item objects (client-side
+    helper; the optional [id] is echoed on the reply envelope). *)
 
 (** {1 Responses} *)
 

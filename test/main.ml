@@ -28,5 +28,7 @@ let () =
       ("server", Test_server.suite);
       ("persist", Test_persist.suite);
       ("replica", Test_replica.suite);
-      ("crash", Test_crash.suite)
+      ("crash", Test_crash.suite);
+      ("parallel", Test_parallel.suite);
+      ("linearize", Test_linearize.suite)
     ]

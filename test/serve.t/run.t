@@ -45,12 +45,21 @@ Unknown objects are input errors, not protocol errors:
   {"status":"error","error":{"kind":"input","message":"Kb: unknown object \"ghost\""}}
   [2]
 
+A batch frame carries several requests and returns one envelope with a
+response per item, in order — good items are served (the first is a
+cache hit), bad items are answered in place with their typed error,
+and neither kills the frame:
+
+  $ olp call --socket s.sock '{"op":"batch","requests":[{"op":"query","obj":"bot","lit":"fly(tweety)","id":1},{"op":"nope"},{"op":"query","obj":"ghost","lit":"p"}]}'
+  {"status":"ok","count":3,"responses":[{"status":"ok","id":1,"value":"true"},{"status":"error","error":{"kind":"proto","message":"invalid request: unknown op \"nope\""}},{"status":"error","error":{"kind":"input","message":"Kb: unknown object \"ghost\""}}]}
+
 The stats verb exposes the cache counters (the models repeat above is
 the hit; load and the two distinct computations are the misses) and
-the server's deterministic metrics:
+the server's deterministic metrics — batch items are counted
+individually, plus the batches/batch_items pair for the frame:
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.3.0","protocol":4,"cache":{"hits":2,"misses":4,"invalidations":1,"entries":2},"server":{"workers":2,"queue_capacity":64,"connections":8,"errors":1,"ok":5,"partials":1,"proto_errors":1,"queue_peak":1,"served":7}}
+  {"status":"ok","version":"1.4.0","protocol":5,"cache":{"hits":3,"misses":5,"invalidations":1,"entries":2},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"connections":9,"errors":2,"ok":6,"partials":1,"proto_errors":2,"queue_peak":1,"served":9,"writers_peak":1}}
 
 Graceful shutdown over the wire: the server drains, exits and unlinks
 its socket; the background job ends cleanly:

@@ -134,11 +134,11 @@ let test_decode_requests () =
   (* the replication verbs *)
   (match
      W.decode_request
-       {|{"op":"hello","seq":12,"protocol":4,"epoch":2,"rid":"r1"}|}
+       {|{"op":"hello","seq":12,"protocol":5,"epoch":2,"rid":"r1"}|}
    with
   | Ok
       { verb =
-          W.Hello { seq = 12; protocol = 4; epoch = 2; rid = Some "r1" };
+          W.Hello { seq = 12; protocol = 5; epoch = 2; rid = Some "r1" };
         _
       } -> ()
   | Ok _ -> Alcotest.fail "hello decoded wrong"
@@ -177,6 +177,37 @@ let test_decode_requests () =
   | Ok { id = Some 3; verb = W.Promote; _ } -> ()
   | Ok _ -> Alcotest.fail "promote decoded wrong"
   | Error e -> Alcotest.failf "promote rejected: %s" (W.error_to_string e));
+  (* the batch verb: items in order, per-item failures reified *)
+  (match
+     W.decode_request
+       {|{"op":"batch","id":9,"requests":[
+           {"op":"query","obj":"c1","lit":"p","id":1},
+           {"op":"stats"},
+           {"op":"query","obj":3},
+           {"op":"shutdown"},
+           {"op":"batch","requests":[{"op":"stats"}]},
+           "not an object"]}|}
+   with
+  | Ok { id = Some 9; verb = W.Batch items; _ } -> (
+    match items with
+    | [ Ok { id = Some 1; verb = W.Query { obj = "c1"; lit = "p" }; _ };
+        Ok { verb = W.Stats; _ };
+        Error _ (* obj not a string *);
+        Error _ (* shutdown is not batchable *);
+        Error _ (* nested batch *);
+        Error _ (* item not an object *)
+      ] -> ()
+    | _ -> Alcotest.fail "batch items decoded wrong")
+  | Ok _ -> Alcotest.fail "batch decoded wrong"
+  | Error e -> Alcotest.failf "batch rejected: %s" (W.error_to_string e));
+  (* whole-frame failures: shape, emptiness, size cap *)
+  err {|{"op":"batch"}|} (* missing requests *);
+  err {|{"op":"batch","requests":{}}|};
+  err {|{"op":"batch","requests":[]}|};
+  (let items =
+     String.concat "," (List.init (W.max_batch + 1) (fun _ -> {|{"op":"stats"}|}))
+   in
+   err (Printf.sprintf {|{"op":"batch","requests":[%s]}|} items));
   err {|{"op":"teleport"}|};
   err {|{"op":"query","obj":"c1"}|} (* missing lit *);
   err {|{"op":"query","obj":3,"lit":"p"}|};
@@ -207,7 +238,9 @@ let corpus =
     {|{"op":"pull","from":4,"max":128}|};
     {|{"op":"fetch_snapshot"}|};
     {|{"op":"promote"}|};
-    {|{"op":"shutdown"}|}
+    {|{"op":"shutdown"}|};
+    {|{"op":"batch","requests":[{"op":"stats"},{"op":"query","obj":"c1","lit":"p"}]}|};
+    {|{"op":"batch","id":4,"requests":[{"op":"version"},{"op":"add_rule","obj":"x","rule":"p."}]}|}
   ]
 
 let spice = "{}[]\":,\\tf-0123456789.eEnu \n\x00\x7f\xc3\xa9op"

@@ -25,6 +25,7 @@ let with_daemon f =
     Server.Daemon.create
       { Server.Daemon.address = `Tcp ("127.0.0.1", 0);
         workers = 4;
+        parallel = `Threads;
         queue = 64;
         caps = { Server.Engine.timeout = Some 10.; steps = None };
         persist = None;
@@ -217,6 +218,142 @@ let test_oversized_frame_multichunk () =
     (str_member "version" second <> None);
   Unix.close fd
 
+let test_batch_verb () =
+  with_daemon @@ fun address ->
+  let c = connect_exn address in
+  load_src c;
+  let item fields = W.Obj fields in
+  match
+    Server.Client.request_batch ~id:7 c
+      [ item
+          [ ("op", W.String "query"); ("obj", W.String "leaf");
+            ("lit", W.String "p(1)"); ("id", W.Int 1)
+          ];
+        item [ ("op", W.String "models"); ("obj", W.String "leaf") ];
+        item [ ("op", W.String "query"); ("obj", W.Int 3) ];
+        item
+          [ ("op", W.String "add_rule"); ("obj", W.String "leaf");
+            ("rule", W.String "-r(3).")
+          ];
+        item [ ("op", W.String "shutdown") ]
+      ]
+  with
+  | Error e -> Alcotest.failf "batch: %s" e
+  | Ok responses ->
+    Alcotest.(check int) "five responses" 5 (List.length responses);
+    (match responses with
+    | [ q; ms; bad; wr; sh ] ->
+      Alcotest.(check string) "query ok" "ok" (status q);
+      Alcotest.(check (option int)) "item id echoed" (Some 1)
+        (int_member "id" q);
+      Alcotest.(check (option string)) "query value" (Some "true")
+        (str_member "value" q);
+      Alcotest.(check string) "models ok" "ok" (status ms);
+      (* the malformed item fails alone, typed, without poisoning the
+         frame *)
+      Alcotest.(check string) "bad item errors" "error" (status bad);
+      Alcotest.(check (option string)) "bad item is proto" (Some "proto")
+        (Option.bind (W.member "error" bad) (str_member "kind"));
+      (* shutdown cannot ride in a batch: the server must stay up *)
+      Alcotest.(check string) "shutdown rejected" "error" (status sh);
+      Alcotest.(check string) "write ok" "ok" (status wr)
+    | _ -> Alcotest.fail "unreachable");
+    (* the batched write really applied, and the server survived the
+       batched shutdown attempt *)
+    let j = request_exn c {|{"op":"query","obj":"leaf","lit":"r(3)"}|} in
+    Alcotest.(check (option string)) "batched write visible" (Some "false")
+      (str_member "value" j);
+    Server.Client.close c
+
+(* 64 concurrent clients, each collapsing 16 reads into one batch
+   frame, against a single sequential unbatched client as the baseline:
+   aggregate throughput must beat the baseline — on any host, because
+   batching amortises 16 round-trips into one. *)
+let test_many_clients_smoke () =
+  with_daemon @@ fun address ->
+  let setup = connect_exn address in
+  load_src setup;
+  (* warm the snapshot cache so every timed request is a pure read *)
+  ignore (request_exn setup {|{"op":"query","obj":"leaf","lit":"q(1)"}|});
+  let clients = 64 and per_client = 64 in
+  let query_item =
+    W.Obj
+      [ ("op", W.String "query"); ("obj", W.String "leaf");
+        ("lit", W.String "q(1)")
+      ]
+  in
+  (* baseline: one client, one request per round-trip *)
+  let baseline_n = 128 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to baseline_n do
+    let j = request_exn setup {|{"op":"query","obj":"leaf","lit":"q(1)"}|} in
+    Alcotest.(check string) "baseline ok" "ok" (status j)
+  done;
+  let baseline_qps =
+    float_of_int baseline_n /. (Unix.gettimeofday () -. t0 +. 1e-9)
+  in
+  Server.Client.close setup;
+  (* every client connects before the clock starts (the baseline's
+     connection setup is untimed too); a barrier releases them at once *)
+  let errors = Array.make clients None in
+  let gate = Mutex.create () in
+  let turn = Condition.create () in
+  let ready = ref 0 and go = ref false in
+  let spawn i =
+    Thread.create
+      (fun () ->
+        let conn = Server.Client.connect ~retry:10. address in
+        Mutex.lock gate;
+        incr ready;
+        Condition.broadcast turn;
+        while not !go do
+          Condition.wait turn gate
+        done;
+        Mutex.unlock gate;
+        match conn with
+        | Error e -> errors.(i) <- Some ("connect: " ^ e)
+        | Ok c ->
+          (match
+             Server.Client.request_batch c
+               (List.init per_client (fun _ -> query_item))
+           with
+          | Error e -> errors.(i) <- Some e
+          | Ok responses ->
+            if List.length responses <> per_client then
+              errors.(i) <- Some "short batch reply"
+            else
+              List.iter
+                (fun j ->
+                  if status j <> "ok" then
+                    errors.(i) <- Some ("item status " ^ status j))
+                responses);
+          Server.Client.close c)
+      ()
+  in
+  let threads = List.init clients spawn in
+  Mutex.lock gate;
+  while !ready < clients do
+    Condition.wait turn gate
+  done;
+  let t1 = Unix.gettimeofday () in
+  go := true;
+  Condition.broadcast turn;
+  Mutex.unlock gate;
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t1 +. 1e-9 in
+  Array.iteri
+    (fun i e ->
+      match e with
+      | Some msg -> Alcotest.failf "client %d: %s" i msg
+      | None -> ())
+    errors;
+  let aggregate_qps = float_of_int (clients * per_client) /. elapsed in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate %.0f qps beats single-client %.0f qps"
+       aggregate_qps baseline_qps)
+    true
+    (aggregate_qps > baseline_qps)
+
 let test_shutdown_drains () =
   with_daemon @@ fun address ->
   let c = connect_exn address in
@@ -235,5 +372,8 @@ let suite =
       test_mutation_resets_cache;
     Alcotest.test_case "oversized frame across read chunks" `Quick
       test_oversized_frame_multichunk;
+    Alcotest.test_case "batch verb end to end" `Quick test_batch_verb;
+    Alcotest.test_case "64-client batched smoke" `Quick
+      test_many_clients_smoke;
     Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains
   ]
