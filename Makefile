@@ -1,6 +1,15 @@
-.PHONY: all build test bench bench-micro bench-smoke bench-serve \
-	bench-persist bench-replica bench-cluster bench-concurrent \
-	crash-test chaos stress serve-smoke examples doc clean fuzz
+.PHONY: all build test bench bench-prefer bench-micro bench-smoke \
+	bench-serve bench-persist bench-replica bench-cluster \
+	bench-concurrent crash-test chaos stress serve-smoke examples doc \
+	clean fuzz
+
+# Single source of truth for the randomized suites: the FUZZ_ITERS-scaled
+# fuzzers as suite=iterations pairs (fuzz and chaos share the sweep
+# loop), and the fault-injection suites crash-test runs in order.
+FUZZ_SUITES = fuzz=5000 diff-prefer=5000 proto=20000 persist=20000 \
+	replica=2000
+CHAOS_FUZZ_SUITES = replica=2000 proto=20000 persist=20000
+CRASH_SUITES = crash replica linearize
 
 all: build
 
@@ -13,10 +22,20 @@ test:
 # Enumeration benchmark (pruned search vs naive oracle): writes
 # BENCH_PR2.json with median wall times, search counters and the
 # naive/pruned node ratios, then fails if the scaled workload's node
-# ratio regresses below the floor (PR 2 baseline: 364.8).  See
-# docs/PERFORMANCE.md.
+# ratio regresses below the floor (PR 2 baseline: 364.8) or its pruned
+# median overshoots the absolute wall-clock ceiling (baseline: 4 ms —
+# the ceiling also catches a regression that slows both engines
+# equally).  See docs/PERFORMANCE.md.
 bench:
-	dune exec bench/enum.exe -- --min-ratio 300
+	dune exec bench/enum.exe -- --min-ratio 300 --max-wall-ms 250
+
+# Preference benchmark (compiled preferences + pruned search vs the
+# naive refined-grounding oracle, scaled prioritized-defaults
+# workloads): writes BENCH_PR8.json, then fails if the scaled
+# workload's compiled-vs-naive node ratio regresses below the floor
+# (PR 8 baseline: 145.8).  See docs/PERFORMANCE.md.
+bench-prefer:
+	dune exec bench/prefer.exe -- --min-ratio 140
 
 # Serving benchmark (socket server, repeated-query workload): writes
 # BENCH_PR3.json with requests/sec and session-cache hit rate at one
@@ -68,18 +87,17 @@ stress:
 # sweeps epoch fencing at every protocol boundary (a revived stale
 # primary is refused everywhere).
 crash-test:
-	dune exec test/main.exe -- test crash -e
-	dune exec test/main.exe -- test replica -e
-	dune exec test/main.exe -- test linearize -e
+	@for s in $(CRASH_SUITES); do \
+	  dune exec test/main.exe -- test $$s -e; done
 
 # The aggregate fault sweep: crash/kill recovery, the fencing and
 # failover suites at a larger differential-schedule count, and the
 # wire-protocol/WAL-record fuzzers — the one target to run before
 # trusting a failover story.
 chaos: crash-test
-	FUZZ_ITERS=2000 dune exec test/main.exe -- test replica -e | tail -1
-	FUZZ_ITERS=20000 dune exec test/main.exe -- test proto -e | tail -1
-	FUZZ_ITERS=20000 dune exec test/main.exe -- test persist -e | tail -1
+	@for sc in $(CHAOS_FUZZ_SUITES); do \
+	  FUZZ_ITERS=$${sc#*=} dune exec test/main.exe -- test $${sc%%=*} -e \
+	    | tail -1; done
 	dune build @replica @cluster
 
 # Microbenchmarks of the core engines (bechamel).
@@ -98,23 +116,22 @@ serve-smoke:
 	timeout 5 ./_build/default/bench/serve.exe --smoke
 
 examples:
-	@for e in quickstart penguin loan colors kb_versioning legal deductive_db paper_tour; do \
+	@for e in quickstart penguin loan colors kb_versioning legal deductive_db paper_tour preferences; do \
 	  echo "== examples/$$e =="; dune exec examples/$$e.exe; done
 
 doc:  # requires odoc
 	dune build @doc
 
 # Re-run the whole suite under several qcheck seeds, then hammer the
-# parser, wire-protocol, WAL-record and replication fuzz suites with a
-# larger input count.
+# parser, preference-differential, wire-protocol, WAL-record and
+# replication fuzz suites with a larger input count ($(FUZZ_SUITES)).
 fuzz:
 	@for i in 1 2 3 4 5 6 7 8; do \
 	  QCHECK_SEED=$$((i * 7919)) dune exec test/main.exe -- -e \
 	    | tail -1; done
-	FUZZ_ITERS=5000 dune exec test/main.exe -- test fuzz -e | tail -1
-	FUZZ_ITERS=20000 dune exec test/main.exe -- test proto -e | tail -1
-	FUZZ_ITERS=20000 dune exec test/main.exe -- test persist -e | tail -1
-	FUZZ_ITERS=2000 dune exec test/main.exe -- test replica -e | tail -1
+	@for sc in $(FUZZ_SUITES); do \
+	  FUZZ_ITERS=$${sc#*=} dune exec test/main.exe -- test $${sc%%=*} -e \
+	    | tail -1; done
 
 clean:
 	dune clean

@@ -13,7 +13,10 @@
    well-formedness test), --out FILE (default BENCH_PR2.json),
    --min-ratio R (exit 1 if the scaled workload's node ratio falls
    below R — the trajectory's regression guard; the PR 2 baseline for
-   even-loops-6/af is 364.8). *)
+   even-loops-6/af is 364.8), --max-wall-ms N (exit 1 if the scaled
+   workload's pruned median wall time exceeds N milliseconds — an
+   absolute ceiling beside the relative ratio floor, so the guard also
+   catches a regression that slows both engines equally). *)
 
 module B = Ordered.Budget
 module C = Ordered.Counters
@@ -108,6 +111,7 @@ let () =
   let quick = ref false in
   let out = ref "BENCH_PR2.json" in
   let min_ratio = ref None in
+  let max_wall_ms = ref None in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -121,6 +125,14 @@ let () =
       | Some f -> min_ratio := Some f
       | None ->
         Printf.eprintf "enum: --min-ratio expects a number, got %s\n" r;
+        exit 2);
+      parse rest
+    | "--max-wall-ms" :: r :: rest ->
+      (match int_of_string_opt r with
+      | Some n when n > 0 -> max_wall_ms := Some n
+      | _ ->
+        Printf.eprintf "enum: --max-wall-ms expects a positive integer, \
+                        got %s\n" r;
         exit 2);
       parse rest
     | arg :: _ ->
@@ -182,7 +194,7 @@ let () =
     (float_of_int naive /. float_of_int (max 1 pruned));
   close_out oc;
   Printf.printf "wrote %s\n" !out;
-  match !min_ratio with
+  (match !min_ratio with
   | None -> ()
   | Some floor ->
     let got = float_of_int naive /. float_of_int (max 1 pruned) in
@@ -192,4 +204,22 @@ let () =
         got floor;
       exit 1
     end
-    else Printf.printf "node ratio %.1f >= %.1f: ok\n" got floor
+    else Printf.printf "node ratio %.1f >= %.1f: ok\n" got floor);
+  match !max_wall_ms with
+  | None -> ()
+  | Some ceiling ->
+    let pruned_ms =
+      (List.find
+         (fun r -> r.r_workload = scaled && r.r_engine = "pruned")
+         rows)
+        .r_median_ns / 1_000_000
+    in
+    if pruned_ms > ceiling then begin
+      Printf.eprintf
+        "enum: wall-clock regression on %s: pruned median %d ms > allowed \
+         %d ms\n"
+        scaled pruned_ms ceiling;
+      exit 1
+    end
+    else
+      Printf.printf "pruned median %d ms <= %d ms: ok\n" pruned_ms ceiling

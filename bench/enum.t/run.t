@@ -26,3 +26,14 @@ bench target):
   wrote bench.json
   enum: node ratio regression on even-loops-3/af: 13.8 < required 1000000.0
   [1]
+
+The absolute wall-clock ceiling: a generous ceiling passes (the
+measured median varies, so the digits are normalised away), and the
+flag rejects a non-positive ceiling:
+
+  $ ../enum.exe --quick --out bench.json --max-wall-ms 60000 | sed 's/median [0-9]* ms/median N ms/'
+  wrote bench.json
+  pruned median N ms <= 60000 ms: ok
+  $ ../enum.exe --max-wall-ms 0
+  enum: --max-wall-ms expects a positive integer, got 0
+  [2]

@@ -1,0 +1,32 @@
+The preference benchmark emits well-formed JSON with the trajectory's
+sections (checked with the bundled validator — no jq dependency):
+
+  $ ../prefer.exe --quick --out bench.json
+  wrote bench.json
+  $ ../json_check.exe bench.json bench mode workloads ratios summary
+  bench.json: valid JSON
+
+A missing key is rejected:
+
+  $ ../json_check.exe bench.json no_such_key
+  bench.json: missing top-level key(s): no_such_key
+  [1]
+
+The compiled-vs-naive node-ratio regression guard: a reachable floor
+passes (the counters are deterministic, so the quick ratio is exact),
+an absurd one fails with a diagnostic (the real floor lives in the
+Makefile's bench-prefer target):
+
+  $ ../prefer.exe --quick --out bench.json --min-ratio 1.0
+  wrote bench.json
+  node ratio 9.0 >= 1.0: ok
+  $ ../prefer.exe --quick --out bench.json --min-ratio 1000000
+  wrote bench.json
+  prefer: node ratio regression on prioritized-defaults-3: 9.0 < required 1000000.0
+  [1]
+
+Flags are validated:
+
+  $ ../prefer.exe --min-ratio nope
+  prefer: --min-ratio expects a number, got nope
+  [2]

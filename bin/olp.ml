@@ -25,6 +25,22 @@ let load_program path =
     Printf.eprintf "%s: %s\n" path e;
     exit 2
 
+(* Like [load_program], but also return the file's [prefer] declarations
+   (the program itself does not carry them — preferences are a layer on
+   top, resolved against a viewpoint by [Prefer.Spec.make]). *)
+let load_program_prefs path =
+  match Lang.Parser.parse_file (read_file path) with
+  | ast -> (
+    match Ordered.Program.of_ast ast with
+    | Ok p -> (p, Lang.Ast.prefer_pairs ast)
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2)
+  | exception (Lang.Lexer.Error (msg, pos) | Lang.Parser.Error (msg, pos)) ->
+    Printf.eprintf "%s: syntax error at %d:%d: %s\n" path pos.Lang.Token.line
+      pos.Lang.Token.col msg;
+    exit 2
+
 (* Resolve the viewpoint component: an explicit name, or the unique minimal
    component of the order. *)
 let resolve_component prog = function
@@ -156,7 +172,7 @@ let dot_arg =
 let check_cmd =
   let run budget file dot =
     governed budget @@ fun () ->
-    let prog = load_program file in
+    let prog, prefs = load_program_prefs file in
     if dot then (print_string (Ordered.Dot.poset prog); exit 0);
     let names = Ordered.Program.component_names prog in
     Format.printf "%d component(s): %s@." (Array.length names)
@@ -170,6 +186,15 @@ let check_cmd =
               Format.printf "  %s < %s@." names.(a) names.(b))
           names)
       names;
+    if prefs <> [] then begin
+      Format.printf "%d preference(s):@." (List.length prefs);
+      List.iter (fun (a, b) -> Format.printf "  %s > %s@." a b) prefs;
+      (* resolve against each minimal viewpoint: names must exist and the
+         combined rule order must stay a strict partial order *)
+      List.iter
+        (fun comp -> ignore (Prefer.Spec.make prog comp prefs : Prefer.Spec.t))
+        (Ordered.Poset.minimal (Ordered.Program.poset prog))
+    end;
     let unsafe = Ground.Safety.check (Ordered.Program.all_rules prog) in
     List.iter
       (fun r -> Format.printf "warning: %a@." Ground.Safety.pp_report r)
@@ -264,28 +289,76 @@ let models_cmd =
              ~doc:"Print search-effort counters (nodes, leaves, prunes, \
                    forced, models) on stderr after the models.")
   in
+  let prefer =
+    Arg.(value
+         & opt (some (enum [ ("compiled", `Compiled); ("naive", `Naive) ]))
+             None
+         & info [ "prefer" ] ~docv:"ENGINE"
+             ~doc:"Enumerate only the $(i,preferred) stable models under \
+                   the file's $(b,prefer) declarations: $(b,compiled) \
+                   translates the preferences into fresh components and \
+                   runs the pruned search on the compiled program; \
+                   $(b,naive) is the reference oracle on the original \
+                   grounding.  Stable models only; $(b,--search) is \
+                   implied by the engine choice.")
+  in
   let run budget file comp depth relevant facts max_instances kind limit
-      search stats =
+      search stats prefer =
     governed budget @@ fun () ->
-    let _, _, g =
-      ground_view ~budget file comp depth relevant facts max_instances
-    in
     let counters = Ordered.Counters.create () in
     let result =
-      match kind, search with
-      | `Stable, `Pruned ->
-        Ordered.Stable.stable_models ?limit ~budget ~stats:counters g
-      | `Stable, `Naive ->
-        Ordered.Stable.Naive.stable_models ?limit ~budget ~stats:counters g
-      | `Af, `Pruned ->
-        Ordered.Stable.assumption_free_models ?limit ~budget ~stats:counters g
-      | `Af, `Naive ->
-        Ordered.Stable.Naive.assumption_free_models ?limit ~budget
-          ~stats:counters g
-      | `Total, `Pruned ->
-        Ordered.Exhaustive.total_models ?limit ~budget ~stats:counters g
-      | `Total, `Naive ->
-        Ordered.Exhaustive.Naive.total_models ?limit ~budget ~stats:counters g
+      match prefer with
+      | Some engine ->
+        if kind <> `Stable then begin
+          Printf.eprintf "--prefer applies to stable models only\n";
+          exit exit_error
+        end;
+        let prog, prefs = load_program_prefs file in
+        let id = resolve_component prog comp in
+        let prog =
+          List.fold_left
+            (fun prog (rel, path) ->
+              match Edb.facts_of_file ~rel path with
+              | Ok fs -> Ordered.Program.add_rules prog id fs
+              | Error e ->
+                Printf.eprintf "%s: %s\n" path e;
+                exit 2)
+            prog facts
+        in
+        let spec = Prefer.Spec.make prog id prefs in
+        (match engine with
+        | `Compiled -> (
+          match
+            Prefer.Compile.gop ~budget ?max_instances
+              ~grounder:(grounder_of_flag relevant) ~depth
+              (Prefer.Compile.compile spec)
+          with
+          | g -> Ordered.Stable.stable_models ?limit ~budget ~stats:counters g
+          | exception Invalid_argument e ->
+            Printf.eprintf "%s\n" e;
+            exit exit_error)
+        | `Naive ->
+          Prefer.Naive.preferred_models ?limit ~budget ~stats:counters spec)
+      | None -> (
+        let _, _, g =
+          ground_view ~budget file comp depth relevant facts max_instances
+        in
+        match kind, search with
+        | `Stable, `Pruned ->
+          Ordered.Stable.stable_models ?limit ~budget ~stats:counters g
+        | `Stable, `Naive ->
+          Ordered.Stable.Naive.stable_models ?limit ~budget ~stats:counters g
+        | `Af, `Pruned ->
+          Ordered.Stable.assumption_free_models ?limit ~budget ~stats:counters
+            g
+        | `Af, `Naive ->
+          Ordered.Stable.Naive.assumption_free_models ?limit ~budget
+            ~stats:counters g
+        | `Total, `Pruned ->
+          Ordered.Exhaustive.total_models ?limit ~budget ~stats:counters g
+        | `Total, `Naive ->
+          Ordered.Exhaustive.Naive.total_models ?limit ~budget ~stats:counters
+            g)
     in
     let models = Ordered.Budget.value result in
     Format.printf "%d model(s)@." (List.length models);
@@ -301,10 +374,14 @@ let models_cmd =
         (Ordered.Budget.reason_to_string r);
       exit exit_partial
   in
-  Cmd.v (Cmd.info "models" ~doc:"Enumerate stable / assumption-free / total models.")
+  Cmd.v
+    (Cmd.info "models"
+       ~doc:"Enumerate stable / assumption-free / total models \
+             ($(b,--prefer) restricts to the preferred stable models \
+             under the file's $(b,prefer) declarations).")
     Term.(const run $ budget_term $ file_arg $ component_arg $ depth_arg
           $ relevant_arg $ facts_arg $ max_instances_arg $ kind $ limit
-          $ search $ stats_flag)
+          $ search $ stats_flag $ prefer)
 
 let query_cmd =
   let mode =
@@ -696,6 +773,17 @@ let serve_cmd =
         Printf.fprintf oc "%d\n" port;
         close_out oc));
     let engine = Server.Daemon.engine daemon in
+    (* the address clients reach this server on: advertised to the
+       primary (so its stats can list us) and listed first in our own
+       stats.replication.members topology *)
+    let self_addr = addr_to_string (Server.Daemon.address daemon) in
+    let members_detail () =
+      [ ("members",
+         Server.Wire.List
+           (List.map
+              (fun a -> Server.Wire.String a)
+              (self_addr :: Server.Engine.replica_members engine))) ]
+    in
     (* when this server also re-serves its log (a primary, or a chained
        replica), the listener rides along in the replication details *)
     let listener_detail =
@@ -720,7 +808,8 @@ let serve_cmd =
             details =
               (fun () ->
                 listener_detail
-                @ [ ("epoch", Server.Wire.Int (epoch ())) ]);
+                @ [ ("epoch", Server.Wire.Int (epoch ())) ]
+                @ members_detail ());
             promote =
               (fun () -> Error "this server is already a primary")
           }
@@ -739,6 +828,7 @@ let serve_cmd =
           ~session:(Server.Engine.session engine)
           ~persist
           { (Replica.Link.default_config primary) with
+            advertise = Some self_addr;
             log = (fun msg -> Printf.printf "olp serve: %s\n%!" msg)
           }
       in
@@ -759,7 +849,7 @@ let serve_cmd =
                 ("connect_attempts",
                  Server.Wire.Int s.Replica.Link.connect_attempts)
               ]
-              @ listener_detail);
+              @ members_detail () @ listener_detail);
           promote = (fun () -> Replica.Link.promote link)
         };
       Server.Daemon.on_drain daemon (fun () -> Replica.Link.stop link);

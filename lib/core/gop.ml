@@ -5,6 +5,7 @@ type grule = {
   head_pol : bool;
   body : (int * bool) array;
   comp : Program.component_id;
+  name : string option;  (* source rule name, kept on ground instances *)
 }
 
 type t = {
@@ -68,7 +69,8 @@ let of_view ?(depth = 0) ?(extra_constants = []) program comp tagged =
               (List.map
                  (fun (l : Literal.t) -> (intern l.atom, l.pol))
                  (dedup_body (Rule.body r)));
-          comp = c
+          comp = c;
+          name = Rule.name r
         })
       tagged
     |> Array.of_list
@@ -214,10 +216,13 @@ let atom_id t a = Atom.Tbl.find_opt t.ids a
 
 let rule_src t i =
   let r = t.rules.(i) in
-  Rule.make
-    (Literal.make r.head_pol t.atoms.(r.head))
-    (Array.to_list
-       (Array.map (fun (a, pol) -> Literal.make pol t.atoms.(a)) r.body))
+  let src =
+    Rule.make
+      (Literal.make r.head_pol t.atoms.(r.head))
+      (Array.to_list
+         (Array.map (fun (a, pol) -> Literal.make pol t.atoms.(a)) r.body))
+  in
+  match r.name with Some n -> Rule.with_name n src | None -> src
 
 type stats = {
   atoms : int;

@@ -15,6 +15,8 @@ type grule = {
   head_pol : bool;  (** head polarity: [true] for [A], [false] for [-A] *)
   body : (int * bool) array;  (** body literals, deduplicated *)
   comp : Program.component_id;  (** [C(r)] *)
+  name : string option;
+      (** name of the source rule this instance came from, if named *)
 }
 
 type t = {

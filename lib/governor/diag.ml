@@ -14,6 +14,7 @@ type error =
       derived : bool;
     }
   | Invalid_input of { where : string; detail : string }
+  | Preference_cycle of { cycle : string list }
   | Read_only of { primary : string }
   | Sync_timeout of {
       seq : int;
@@ -44,6 +45,11 @@ let to_string = function
        derivation was attempted (please report this)"
       where atom (polarity existing) (polarity derived)
   | Invalid_input { where; detail } -> Printf.sprintf "%s: %s" where detail
+  | Preference_cycle { cycle } ->
+    Printf.sprintf
+      "preference cycle: %s — the combined rule order (component order \
+       plus prefer declarations) must be a strict partial order"
+      (String.concat " > " cycle)
   | Read_only { primary } ->
     Printf.sprintf
       "knowledge base is read-only: this server replicates from %s; send \

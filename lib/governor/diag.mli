@@ -18,6 +18,8 @@
       (e.g. an inconsistent derivation in the monotone fixpoint engine);
       carries the atom id and the two polarities involved.
     - {!Invalid_input} — a caller-facing precondition failed.
+    - {!Preference_cycle} — a rule-preference declaration would make the
+      combined rule order cyclic; carries the cycle as a name chain.
     - {!Read_only} — a mutation reached a KB that only follows a
       replication stream; carries the primary's printable address so the
       caller can redirect the write.
@@ -41,6 +43,10 @@ type error =
       derived : bool;  (** polarity the engine attempted to derive *)
     }
   | Invalid_input of { where : string; detail : string }
+  | Preference_cycle of { cycle : string list }
+      (** a [prefer] declaration (combined with the component order)
+          relates a rule to itself; [cycle] is the offending chain of
+          rule names / component labels, first element repeated last *)
   | Read_only of { primary : string }
       (** the write must go to [primary] (a printable address) *)
   | Sync_timeout of {

@@ -32,7 +32,11 @@ let finalize_instance (r : Rule.t) : Rule.t option =
           else Some (normalise_literal l))
         (Rule.body r)
     in
-    Some (Rule.make (normalise_literal (Rule.head r)) body)
+    let inst = Rule.make (normalise_literal (Rule.head r)) body in
+    Some
+      (match Rule.name r with
+      | Some n -> Rule.with_name n inst
+      | None -> inst)
   with Dead -> None
 
 let ground_rule_instances ?(budget = Budget.unlimited) ~universe r =

@@ -14,6 +14,7 @@ type op =
       limit : int option;
       engine : [ `Pruned | `Naive ];
     }
+  | Preferred of { limit : int option; engine : [ `Compiled | `Naive ] }
   | Explained of string  (* printed literal *)
 
 type entry =
@@ -48,6 +49,8 @@ type view = {
   vstore : Store.t;
   results : entry KeyMap.t Atomic.t;
   vgops : Ordered.Gop.t StrMap.t Atomic.t;
+  vpgops : Ordered.Gop.t StrMap.t Atomic.t;
+      (** compiled preference groundings, keyed like [vgops] *)
 }
 
 type t = {
@@ -83,6 +86,15 @@ let fingerprint_of_store store =
         (Store.rules store name);
       Buffer.add_char buf '\x00')
     (Store.objects store);
+  (* the preference order is part of the structure: two KBs with the same
+     rules but different preferences answer differently *)
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf a;
+      Buffer.add_char buf '\x01';
+      Buffer.add_string buf b;
+      Buffer.add_char buf '\x00')
+    (Store.preferences store);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let view_of ~version store =
@@ -90,7 +102,8 @@ let view_of ~version store =
     fingerprint = fingerprint_of_store store;
     vstore = Store.copy store;
     results = Atomic.make KeyMap.empty;
-    vgops = Atomic.make StrMap.empty
+    vgops = Atomic.make StrMap.empty;
+    vpgops = Atomic.make StrMap.empty
   }
 
 let of_store store =
@@ -178,6 +191,24 @@ let new_version t ?rules name =
     (Store.New_version { name; rules })
     (fun s -> Store.new_version s ?rules name)
 
+let set_preference t ~rule ~over =
+  mutating t
+    (Store.Set_preference { rule; over })
+    (fun s -> Store.set_preference s ~rule ~over)
+
+(* like [remove_rule]: only a pair that was actually present is logged
+   and published *)
+let clear_preference t ~rule ~over =
+  locked t (fun () ->
+      let removed = Store.clear_preference t.master ~rule ~over in
+      if removed then begin
+        (match t.on_mutation with
+        | Some notify -> notify (Store.Clear_preference { rule; over })
+        | None -> ());
+        flush_locked t
+      end;
+      removed)
+
 (* Replication replay: apply a shipped mutation through the same
    observer-then-publish path the named operations use, so the replica's
    own WAL and published view stay in lockstep with its store. *)
@@ -221,6 +252,7 @@ let parents t name = Store.parents (current t).vstore name
 let rules t name = Store.rules (current t).vstore name
 let latest_version t name = Store.latest_version (current t).vstore name
 let versions t name = Store.versions (current t).vstore name
+let preferences t = Store.preferences (current t).vstore
 
 (* ------------------------------------------------------------------ *)
 (* Memoized queries                                                    *)
@@ -317,6 +349,67 @@ let stable_models ?limit ?budget ?engine ?stats t ~obj =
 
 let assumption_free_models ?limit ?budget ?engine ?stats t ~obj =
   models `Af ?limit ?budget ?engine ?stats t ~obj
+
+(* ------------------------------------------------------------------ *)
+(* Preferred models                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module M = Governor.Metrics
+
+let bump metrics name =
+  match metrics with Some m -> M.incr m name | None -> ()
+
+(* Compiled-grounding lookup in the pinned view.  A miss is one actual
+   compilation+grounding; the observability counters distinguish those
+   from cache hits, and the gauges track the size blow-up the per-rule
+   component splitting costs. *)
+let prefer_gop_of ?budget ?metrics v ~obj =
+  match StrMap.find_opt obj (Atomic.get v.vpgops) with
+  | Some g ->
+    bump metrics "prefer_cache_hits";
+    g
+  | None ->
+    let g = Store.prefer_gop ?budget v.vstore ~obj in
+    (match metrics with
+    | Some m ->
+      M.incr m "prefer_compilations";
+      let s = Ordered.Gop.stats g in
+      M.gauge_max m "prefer_gop_atoms" s.Ordered.Gop.atoms;
+      M.gauge_max m "prefer_gop_rules" s.Ordered.Gop.rules
+    | None -> ());
+    cas_add v.vpgops ~mem:StrMap.mem ~add:StrMap.add obj g;
+    g
+
+let prefer_gop ?budget ?metrics t ~obj =
+  let v = current t in
+  (match StrMap.find_opt obj (Atomic.get v.vpgops) with
+  | Some _ -> record_hit t
+  | None -> record_miss t);
+  prefer_gop_of ?budget ?metrics v ~obj
+
+let preferred_models ?limit ?budget ?(engine = `Compiled) ?stats ?metrics t
+    ~obj =
+  let v = current t in
+  let key = (obj, Preferred { limit; engine }) in
+  match KeyMap.find_opt key (Atomic.get v.results) with
+  | Some (E_models ms) ->
+    record_hit t;
+    bump metrics "prefer_cache_hits";
+    B.Complete ms
+  | Some _ -> assert false
+  | None ->
+    record_miss t;
+    let r =
+      match engine with
+      | `Compiled ->
+        Ordered.Stable.stable_models ?limit ?budget ?stats
+          (prefer_gop_of ?budget ?metrics v ~obj)
+      | `Naive ->
+        Store.preferred_models ?limit ?budget ~engine:`Naive ?stats v.vstore
+          ~obj
+    in
+    if B.is_complete r then cache_result v key (E_models (B.value r));
+    r
 
 let explain t ~obj l =
   match

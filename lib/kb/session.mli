@@ -99,6 +99,15 @@ val add_fact : t -> obj:string -> Logic.Literal.t -> unit
 val remove_rule : t -> obj:string -> Logic.Rule.t -> bool
 val new_version : t -> ?rules:Logic.Rule.t list -> string -> string
 
+val set_preference : t -> rule:string -> over:string -> unit
+(** {!Store.set_preference} through the session: the pair is logged and
+    a fresh view published (the preference order is part of the
+    fingerprint).  A no-op repeat still publishes. *)
+
+val clear_preference : t -> rule:string -> over:string -> bool
+(** Like {!remove_rule}: only a removal that actually happened is logged
+    and published. *)
+
 val apply : t -> Store.mutation -> unit
 (** Replay one reified mutation ({!Store.apply}) through the session:
     the {!on_mutation} observer fires and a fresh view is published
@@ -127,6 +136,7 @@ val parents : t -> string -> string list
 val rules : t -> string -> Logic.Rule.t list
 val latest_version : t -> string -> string
 val versions : t -> string -> string list
+val preferences : t -> (string * string) list
 
 (** {1 Memoized queries} (see {!Store} for semantics) *)
 
@@ -164,3 +174,30 @@ val assumption_free_models :
   Logic.Interp.t list Ordered.Budget.anytime
 
 val explain : t -> obj:string -> Logic.Literal.t -> Ordered.Explain.t
+
+val prefer_gop :
+  ?budget:Ordered.Budget.t ->
+  ?metrics:Governor.Metrics.t ->
+  t ->
+  obj:string ->
+  Ordered.Gop.t
+(** The grounding of the compiled preference program for [obj], cached
+    per view like {!gop}.  [metrics] (when given) counts one
+    [prefer_compilations] per actual compilation, one
+    [prefer_cache_hits] per served cache hit, and tracks the compiled
+    grounding's size as [prefer_gop_atoms]/[prefer_gop_rules]
+    high-water gauges. *)
+
+val preferred_models :
+  ?limit:int ->
+  ?budget:Ordered.Budget.t ->
+  ?engine:[ `Compiled | `Naive ] ->
+  ?stats:Ordered.Counters.t ->
+  ?metrics:Governor.Metrics.t ->
+  t ->
+  obj:string ->
+  Logic.Interp.t list Ordered.Budget.anytime
+(** {!Store.preferred_models} through the per-view result cache (keyed
+    by [obj], [limit] and [engine]; only complete enumerations are
+    cached).  [metrics] accounts compilations and cache hits as in
+    {!prefer_gop}. *)

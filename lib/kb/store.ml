@@ -10,11 +10,19 @@ type t = {
   mutable objs : obj list;  (** reverse definition order *)
   mutable latest : (string * string) list;  (** base object -> latest version *)
   mutable version_count : (string * int) list;
+  mutable prefs : (string * string) list;  (** (preferred, over), decl order *)
   mutable cache : (string * Ordered.Gop.t) list;  (** invalidated on change *)
+  mutable pcache : (string * Ordered.Gop.t) list;
+      (** compiled preference groundings, invalidated on change *)
 }
 
-let create () = { objs = []; latest = []; version_count = []; cache = [] }
-let invalidate kb = kb.cache <- []
+let create () =
+  { objs = []; latest = []; version_count = []; prefs = []; cache = [];
+    pcache = [] }
+
+let invalidate kb =
+  kb.cache <- [];
+  kb.pcache <- []
 
 let find kb name = List.find_opt (fun o -> String.equal o.name name) kb.objs
 
@@ -50,6 +58,15 @@ let load kb src =
       let o = find_exn kb lo in
       if not (List.mem hi o.parents) then o.parents <- o.parents @ [ hi ])
     (Lang.Ast.order_pairs ast);
+  let fresh =
+    List.filter
+      (fun p -> not (List.mem p kb.prefs))
+      (Lang.Ast.prefer_pairs ast)
+  in
+  if fresh <> [] then begin
+    Prefer.Spec.check_pairs (kb.prefs @ fresh);
+    kb.prefs <- kb.prefs @ fresh
+  end;
   invalidate kb
 
 let add_rule kb ~obj r =
@@ -73,6 +90,33 @@ let parents kb name = (find_exn kb name).parents
 let rules kb name = (find_exn kb name).rules
 
 (* ------------------------------------------------------------------ *)
+(* Preferences                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let preferences kb = kb.prefs
+
+(* The pair set must stay a strict order on its own: cycles are rejected
+   here, eagerly, while unknown rule names are allowed (the rule may be
+   defined later) and only rejected when a preferred query builds its
+   {!Prefer.Spec} against a concrete view. *)
+let set_preference kb ~rule ~over =
+  let pair = (rule, over) in
+  if not (List.mem pair kb.prefs) then begin
+    Prefer.Spec.check_pairs (kb.prefs @ [ pair ]);
+    kb.prefs <- kb.prefs @ [ pair ];
+    invalidate kb
+  end
+
+let clear_preference kb ~rule ~over =
+  let pair = (rule, over) in
+  let present = List.mem pair kb.prefs in
+  if present then begin
+    kb.prefs <- List.filter (fun p -> p <> pair) kb.prefs;
+    invalidate kb
+  end;
+  present
+
+(* ------------------------------------------------------------------ *)
 (* Dumps                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -80,13 +124,15 @@ type dump = {
   dump_objs : (string * string list * Rule.t list) list;
   dump_latest : (string * string) list;
   dump_counts : (string * int) list;
+  dump_prefs : (string * string) list;
 }
 
 let dump kb =
   { dump_objs =
       List.rev_map (fun o -> (o.name, o.parents, o.rules)) kb.objs;
     dump_latest = kb.latest;
-    dump_counts = kb.version_count
+    dump_counts = kb.version_count;
+    dump_prefs = kb.prefs
   }
 
 let of_dump d =
@@ -96,7 +142,9 @@ let of_dump d =
         d.dump_objs;
     latest = d.dump_latest;
     version_count = d.dump_counts;
-    cache = []
+    prefs = d.dump_prefs;
+    cache = [];
+    pcache = []
   }
 
 (* A deep copy down to the per-object mutable fields: the clone and the
@@ -110,7 +158,8 @@ let restore kb d =
   kb.objs <- fresh.objs;
   kb.latest <- fresh.latest;
   kb.version_count <- fresh.version_count;
-  kb.cache <- []
+  kb.prefs <- fresh.prefs;
+  invalidate kb
 
 (* ------------------------------------------------------------------ *)
 (* Versioning                                                          *)
@@ -161,6 +210,8 @@ type mutation =
   | Remove_rule of { obj : string; rule : Rule.t }
   | New_version of { name : string; rules : Rule.t list option }
   | Load of { src : string }
+  | Set_preference of { rule : string; over : string }
+  | Clear_preference of { rule : string; over : string }
 
 let apply kb = function
   | Define { name; isa; rules } -> define kb ~isa name rules
@@ -168,6 +219,9 @@ let apply kb = function
   | Remove_rule { obj; rule } -> ignore (remove_rule kb ~obj rule : bool)
   | New_version { name; rules } -> ignore (new_version kb ?rules name : string)
   | Load { src } -> load kb src
+  | Set_preference { rule; over } -> set_preference kb ~rule ~over
+  | Clear_preference { rule; over } ->
+    ignore (clear_preference kb ~rule ~over : bool)
 
 let pp_mutation ppf =
   let rules ppf rs =
@@ -187,6 +241,10 @@ let pp_mutation ppf =
   | New_version { name; rules = Some rs } ->
     Format.fprintf ppf "new_version %s { %a }" name rules rs
   | Load { src } -> Format.fprintf ppf "load %d byte(s)" (String.length src)
+  | Set_preference { rule; over } ->
+    Format.fprintf ppf "set_preference %s > %s" rule over
+  | Clear_preference { rule; over } ->
+    Format.fprintf ppf "clear_preference %s > %s" rule over
 
 (* ------------------------------------------------------------------ *)
 (* Queries                                                             *)
@@ -216,7 +274,18 @@ let gop ?budget kb ~obj =
     kb.cache <- (obj, g) :: kb.cache;
     g
 
-let to_source kb = Format.asprintf "%a" Ordered.Program.pp (to_program kb)
+let to_source kb =
+  let base = Format.asprintf "%a" Ordered.Program.pp (to_program kb) in
+  match kb.prefs with
+  | [] -> base
+  | prefs ->
+    let buf = Buffer.create (String.length base + 64) in
+    Buffer.add_string buf base;
+    List.iter
+      (fun (a, b) ->
+        Buffer.add_string buf (Printf.sprintf "\nprefer %s > %s." a b))
+      prefs;
+    Buffer.contents buf
 
 let least_model ?budget kb ~obj =
   Ordered.Vfix.least_model ?budget (gop ?budget kb ~obj)
@@ -243,3 +312,33 @@ let assumption_free_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
     Ordered.Stable.Naive.assumption_free_models ?limit ?budget ?stats g
 
 let explain kb ~obj l = Ordered.Explain.explain (gop kb ~obj) l
+
+(* ------------------------------------------------------------------ *)
+(* Preferred models                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prefer_spec kb ~obj =
+  ignore (find_exn kb obj);
+  let prog = to_program kb in
+  Prefer.Spec.make prog (Ordered.Program.component_id_exn prog obj) kb.prefs
+
+(* The compiled grounding is cached like the plain one; the naive oracle
+   is a differential reference and always recomputes. *)
+let prefer_gop ?budget kb ~obj =
+  ignore (find_exn kb obj);
+  match List.assoc_opt obj kb.pcache with
+  | Some g -> g
+  | None ->
+    let g =
+      Prefer.Compile.gop ?budget (Prefer.Compile.compile (prefer_spec kb ~obj))
+    in
+    kb.pcache <- (obj, g) :: kb.pcache;
+    g
+
+let preferred_models ?limit ?budget ?(engine = `Compiled) ?stats kb ~obj =
+  match engine with
+  | `Compiled ->
+    Ordered.Stable.stable_models ?limit ?budget ?stats
+      (prefer_gop ?budget kb ~obj)
+  | `Naive ->
+    Prefer.Naive.preferred_models ?limit ?budget ?stats (prefer_spec kb ~obj)

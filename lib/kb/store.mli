@@ -41,6 +41,26 @@ val objects : t -> string list
 val parents : t -> string -> string list
 val rules : t -> string -> Logic.Rule.t list
 
+(** {1 Preferences}
+
+    Rule preferences refine the object order between {e named} rules:
+    [set_preference ~rule:"a" ~over:"b"] makes rules named [a] overrule
+    rules named [b] where they conflict, even inside one object (see
+    {!Prefer}).  The pair set is part of the store's state — dumped,
+    fingerprinted, logged and replicated like the objects themselves. *)
+
+val preferences : t -> (string * string) list
+(** The (preferred, over) pairs in declaration order. *)
+
+val set_preference : t -> rule:string -> over:string -> unit
+(** Add one pair (idempotent).  Raises {!Ordered.Diag.Error}
+    ([Preference_cycle]) if the pair set alone would stop being a strict
+    order; unknown rule names are allowed here — they are only rejected
+    when a preferred query resolves names against a concrete view. *)
+
+val clear_preference : t -> rule:string -> over:string -> bool
+(** Remove one pair; [false] if absent. *)
+
 (** {1 Mutations}
 
     The store's mutation vocabulary, reified: every state change a KB can
@@ -59,6 +79,8 @@ type mutation =
   | Remove_rule of { obj : string; rule : Logic.Rule.t }
   | New_version of { name : string; rules : Logic.Rule.t list option }
   | Load of { src : string }
+  | Set_preference of { rule : string; over : string }
+  | Clear_preference of { rule : string; over : string }
 
 val apply : t -> mutation -> unit
 (** Replay one mutation ({!Remove_rule} of an absent rule and the result
@@ -79,6 +101,7 @@ type dump = {
       (** (name, parents, rules) in definition order *)
   dump_latest : (string * string) list;  (** base object -> latest version *)
   dump_counts : (string * int) list;  (** base object -> version count *)
+  dump_prefs : (string * string) list;  (** rule preferences, decl order *)
 }
 
 val dump : t -> dump
@@ -155,6 +178,28 @@ val assumption_free_models :
     {!stable_models}. *)
 
 val explain : t -> obj:string -> Logic.Literal.t -> Ordered.Explain.t
+
+val preferred_models :
+  ?limit:int ->
+  ?budget:Ordered.Budget.t ->
+  ?engine:[ `Compiled | `Naive ] ->
+  ?stats:Ordered.Counters.t ->
+  t ->
+  obj:string ->
+  Logic.Interp.t list Ordered.Budget.anytime
+(** The preferred models viewed from [obj] under the store's preference
+    pairs (with no pairs: exactly {!stable_models}).  [`Compiled] (the
+    default) evaluates the {!Prefer.Compile} translation with the pruned
+    search; [`Naive] runs the {!Prefer.Naive} oracle — same model set,
+    different enumeration order.  Raises {!Ordered.Diag.Error} if a
+    preference names a rule absent from this view. *)
+
+val prefer_spec : t -> obj:string -> Prefer.Spec.t
+(** The validated preference specification for the view from [obj]. *)
+
+val prefer_gop : ?budget:Ordered.Budget.t -> t -> obj:string -> Ordered.Gop.t
+(** The cached grounding of the compiled preference program for [obj]
+    (reground on modification, like {!gop}). *)
 
 val to_program : t -> Ordered.Program.t
 (** The underlying ordered program (rebuilt on demand). *)

@@ -7,6 +7,7 @@ type component = {
 type decl =
   | Component of component
   | Order of (string * string) list
+  | Prefer of (string * string) list
   | Bare_rule of Logic.Rule.t
 
 type t = decl list
@@ -18,14 +19,14 @@ let components file =
     List.filter_map
       (function
         | Bare_rule r -> Some r
-        | Component _ | Order _ -> None)
+        | Component _ | Order _ | Prefer _ -> None)
       file
   in
   let named =
     List.filter_map
       (function
         | Component c -> Some c
-        | Bare_rule _ | Order _ -> None)
+        | Bare_rule _ | Order _ | Prefer _ -> None)
       file
   in
   let all =
@@ -51,7 +52,19 @@ let order_pairs file =
       (function
         | Component c -> List.map (fun p -> (c.name, p)) c.parents
         | Order ps -> ps
-        | Bare_rule _ -> [])
+        | Prefer _ | Bare_rule _ -> [])
+      file
+  in
+  List.fold_left
+    (fun acc p -> if List.mem p acc then acc else acc @ [ p ])
+    [] pairs
+
+let prefer_pairs file =
+  let pairs =
+    List.concat_map
+      (function
+        | Prefer ps -> ps
+        | Component _ | Order _ | Bare_rule _ -> [])
       file
   in
   List.fold_left
@@ -76,6 +89,10 @@ let pp_decl ppf = function
     Format.fprintf ppf "order %s."
       (String.concat ", "
          (List.map (fun (a, b) -> Printf.sprintf "%s < %s" a b) pairs))
+  | Prefer pairs ->
+    Format.fprintf ppf "prefer %s."
+      (String.concat ", "
+         (List.map (fun (a, b) -> Printf.sprintf "%s > %s" a b) pairs))
   | Bare_rule r -> Logic.Rule.pp ppf r
 
 let pp ppf file =

@@ -19,6 +19,9 @@ type decl =
   | Component of component
   | Order of (string * string) list
       (** [order a < b.] pairs: [(a, b)] meaning [a < b] *)
+  | Prefer of (string * string) list
+      (** [prefer a > b.] pairs: [(a, b)] meaning rule [a] is preferred
+          over rule [b] (names refer to named rules) *)
   | Bare_rule of Logic.Rule.t
 
 type t = decl list
@@ -34,6 +37,10 @@ val components : t -> component list
 
 val order_pairs : t -> (string * string) list
 (** All [(lower, higher)] order pairs: [extends] clauses plus [order]
+    declarations, deduplicated, in declaration order. *)
+
+val prefer_pairs : t -> (string * string) list
+(** All [(preferred, over)] rule-preference pairs from [prefer]
     declarations, deduplicated, in declaration order. *)
 
 val pp : Format.formatter -> t -> unit

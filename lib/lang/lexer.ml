@@ -33,6 +33,7 @@ let keyword = function
   | "component" | "module" | "object" -> Some Token.KW_COMPONENT
   | "extends" | "isa" -> Some Token.KW_EXTENDS
   | "order" -> Some Token.KW_ORDER
+  | "prefer" -> Some Token.KW_PREFER
   | "not" | "neg" -> Some Token.KW_NOT
   | "mod" -> Some Token.KW_MOD
   | _ -> None
@@ -128,7 +129,7 @@ let rec next st : Token.located =
       if peek st = Some '-' then (
         advance st;
         { token = ARROW; pos = p })
-      else error st "expected '-' after ':'"
+      else { token = COLON; pos = p }
     | '<' ->
       advance st;
       (match peek st with

@@ -140,12 +140,28 @@ let parse_literal_inner st : Literal.t =
 (* Rules and declarations                                              *)
 (* ------------------------------------------------------------------ *)
 
+let peek2_token st =
+  if st.idx + 1 < Array.length st.toks then st.toks.(st.idx + 1).token
+  else Token.EOF
+
 let parse_rule_inner st : Rule.t =
+  (* [name : head ...] — an IDENT directly followed by ':' names the
+     rule; ':' is used nowhere else at rule start, so one token of
+     lookahead disambiguates from a head literal. *)
+  let name =
+    match (peek_token st, peek2_token st) with
+    | IDENT n, COLON ->
+      advance st;
+      advance st;
+      Some n
+    | _ -> None
+  in
+  let named r = match name with Some n -> Rule.with_name n r | None -> r in
   let head = parse_literal_inner st in
   match peek_token st with
   | DOT ->
     advance st;
-    Rule.fact head
+    named (Rule.fact head)
   | ARROW ->
     advance st;
     let rec body () =
@@ -157,7 +173,7 @@ let parse_rule_inner st : Rule.t =
     in
     let b = body () in
     expect st DOT "'.' at end of rule";
-    Rule.make head b
+    named (Rule.make head b)
   | t -> error st (Printf.sprintf "expected ':-' or '.', found %s" (Token.to_string t))
 
 let parse_order_decl st =
@@ -174,6 +190,21 @@ let parse_order_decl st =
   let ps = pairs () in
   expect st DOT "'.' at end of order declaration";
   Ast.Order ps
+
+let parse_prefer_decl st =
+  (* prefer a > b, c > d. *)
+  let rec pairs () =
+    let hi = expect_ident st "rule name" in
+    expect st GT "'>'";
+    let lo = expect_ident st "rule name" in
+    if peek_token st = COMMA then (
+      advance st;
+      (hi, lo) :: pairs ())
+    else [ (hi, lo) ]
+  in
+  let ps = pairs () in
+  expect st DOT "'.' at end of prefer declaration";
+  Ast.Prefer ps
 
 let parse_component st =
   let name = expect_ident st "component name" in
@@ -209,6 +240,9 @@ let parse_decl st =
   | KW_ORDER ->
     advance st;
     parse_order_decl st
+  | KW_PREFER ->
+    advance st;
+    parse_prefer_decl st
   | _ -> Ast.Bare_rule (parse_rule_inner st)
 
 let make_state src = { toks = Array.of_list (Lexer.tokenize src); idx = 0 }

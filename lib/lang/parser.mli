@@ -3,12 +3,13 @@
     Grammar (informal):
     {v
     file      ::= { decl }
-    decl      ::= component | order | rule
+    decl      ::= component | order | prefer | rule
     component ::= ("component"|"module"|"object") IDENT
                   [ ("extends"|"isa") IDENT { "," IDENT } ]
                   "{" { rule } "}"
     order     ::= "order" IDENT "<" IDENT { "," IDENT "<" IDENT } "."
-    rule      ::= literal [ ":-" literal { "," literal } ] "."
+    prefer    ::= "prefer" IDENT ">" IDENT { "," IDENT ">" IDENT } "."
+    rule      ::= [ IDENT ":" ] literal [ ":-" literal { "," literal } ] "."
     literal   ::= [ "-" | "~" | "not" | "neg" ] atom
                 | term relop term
     atom      ::= IDENT [ "(" term { "," term } ")" ]

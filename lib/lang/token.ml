@@ -8,6 +8,7 @@ type t =
   | RBRACE
   | COMMA
   | DOT
+  | COLON
   | ARROW
   | MINUS
   | TILDE
@@ -23,6 +24,7 @@ type t =
   | KW_COMPONENT
   | KW_EXTENDS
   | KW_ORDER
+  | KW_PREFER
   | KW_NOT
   | KW_MOD
   | EOF
@@ -37,6 +39,7 @@ let to_string = function
   | RBRACE -> "'}'"
   | COMMA -> "','"
   | DOT -> "'.'"
+  | COLON -> "':'"
   | ARROW -> "':-'"
   | MINUS -> "'-'"
   | TILDE -> "'~'"
@@ -52,6 +55,7 @@ let to_string = function
   | KW_COMPONENT -> "'component'"
   | KW_EXTENDS -> "'extends'"
   | KW_ORDER -> "'order'"
+  | KW_PREFER -> "'prefer'"
   | KW_NOT -> "'not'"
   | KW_MOD -> "'mod'"
   | EOF -> "end of input"

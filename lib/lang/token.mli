@@ -10,6 +10,7 @@ type t =
   | RBRACE
   | COMMA
   | DOT
+  | COLON  (** [:]: rule-name separator, [name : head :- body.] *)
   | ARROW  (** [:-] *)
   | MINUS  (** [-]: classical negation at literal position, subtraction in terms *)
   | TILDE  (** [~]: classical negation (alias of [-] at literal position) *)
@@ -25,6 +26,7 @@ type t =
   | KW_COMPONENT  (** [component] / [module] / [object] *)
   | KW_EXTENDS
   | KW_ORDER
+  | KW_PREFER
   | KW_NOT  (** [not] / [neg]: classical negation keyword *)
   | KW_MOD
   | EOF

@@ -1,7 +1,9 @@
-type t = { head : Literal.t; body : Literal.t list }
+type t = { name : string option; head : Literal.t; body : Literal.t list }
 
-let make head body = { head; body }
-let fact head = { head; body = [] }
+let make head body = { name = None; head; body }
+let fact head = { name = None; head; body = [] }
+let with_name n r = { r with name = Some n }
+let name r = r.name
 let head r = r.head
 let body r = r.body
 let body_set r = Literal.Set.of_list r.body
@@ -19,16 +21,23 @@ let vars r =
     (Literal.vars r.head) r.body
 
 let rename f r =
-  { head = Literal.rename f r.head; body = List.map (Literal.rename f) r.body }
+  { r with
+    head = Literal.rename f r.head;
+    body = List.map (Literal.rename f) r.body
+  }
 
 let apply s r =
-  { head = Subst.apply_literal s r.head;
+  { r with
+    head = Subst.apply_literal s r.head;
     body = List.map (Subst.apply_literal s) r.body
   }
 
 let compare r1 r2 =
-  let c = Literal.compare r1.head r2.head in
-  if c <> 0 then c else List.compare Literal.compare r1.body r2.body
+  let c = Option.compare String.compare r1.name r2.name in
+  if c <> 0 then c
+  else
+    let c = Literal.compare r1.head r2.head in
+    if c <> 0 then c else List.compare Literal.compare r1.body r2.body
 
 let equal r1 r2 = compare r1 r2 = 0
 
@@ -40,6 +49,9 @@ let predicates r =
   List.rev (List.fold_left add (add [] r.head) r.body)
 
 let pp ppf r =
+  (match r.name with
+  | Some n -> Format.fprintf ppf "%s : " n
+  | None -> ());
   match r.body with
   | [] -> Format.fprintf ppf "%a." Literal.pp r.head
   | body ->

@@ -5,14 +5,30 @@
     where the [Qi] are literals, [Q0] is the head and [Q1, ..., Qm] the
     body.  A rule is {e seminegative} if its head is positive, {e positive}
     (a Horn clause) if additionally its whole body is positive, and a
-    {e fact} if the body is empty (paper, Section 2). *)
+    {e fact} if the body is empty (paper, Section 2).
 
-type t = { head : Literal.t; body : Literal.t list }
+    A rule may optionally carry a {e name} ([name : head :- body.] in
+    surface syntax) so that rule-preference declarations can refer to it.
+    The name is part of the rule's identity: it participates in
+    {!compare}/{!equal} and is printed by {!pp}, so named rules
+    round-trip through source text, fingerprints and the WAL. *)
+
+type t = private {
+  name : string option;
+  head : Literal.t;
+  body : Literal.t list;
+}
 
 val make : Literal.t -> Literal.t list -> t
+(** Unnamed rule. *)
 
 val fact : Literal.t -> t
 (** A rule with empty body. *)
+
+val with_name : string -> t -> t
+(** The same rule carrying a name. *)
+
+val name : t -> string option
 
 val head : t -> Literal.t
 (** [H(r)] in the paper. *)

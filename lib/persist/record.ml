@@ -130,7 +130,15 @@ let encode_mutation m =
       put_list buf put_rule rs)
   | Load { src } ->
     put_u8 buf 0x05;
-    put_str buf src);
+    put_str buf src
+  | Set_preference { rule; over } ->
+    put_u8 buf 0x06;
+    put_str buf rule;
+    put_str buf over
+  | Clear_preference { rule; over } ->
+    put_u8 buf 0x07;
+    put_str buf rule;
+    put_str buf over);
   Buffer.contents buf
 
 let decode_mutation s =
@@ -159,6 +167,12 @@ let decode_mutation s =
         in
         New_version { name; rules }
       | 0x05 -> Load { src = get_str r }
+      | 0x06 ->
+        let rule = get_str r in
+        Set_preference { rule; over = get_str r }
+      | 0x07 ->
+        let rule = get_str r in
+        Clear_preference { rule; over = get_str r }
       | tag -> corrupt "unknown record tag 0x%02x" tag
     in
     finished r "mutation";
@@ -255,9 +269,12 @@ let decode_wal_header s =
 (* ------------------------------------------------------------------ *)
 
 (* Same versioning story as the WAL header: v2 snapshots carry the
-   epoch after the sequence number; v1 decodes as epoch 0. *)
+   epoch after the sequence number (v1 decodes as epoch 0); v3 appends
+   the preference pairs after the version counters (v1/v2 decode with no
+   preferences). *)
 let snapshot_magic_v1 = "OLPSNAP1"
-let snapshot_magic = "OLPSNAP2"
+let snapshot_magic_v2 = "OLPSNAP2"
+let snapshot_magic = "OLPSNAP3"
 
 let encode_snapshot ~seq ~epoch (d : Kb.Store.dump) =
   let buf = Buffer.create 1024 in
@@ -279,6 +296,11 @@ let encode_snapshot ~seq ~epoch (d : Kb.Store.dump) =
       put_str buf base;
       put_u32 buf count)
     d.dump_counts;
+  put_list buf
+    (fun buf (rule, over) ->
+      put_str buf rule;
+      put_str buf over)
+    d.dump_prefs;
   let payload = Buffer.contents buf in
   let out = Buffer.create (String.length payload + 16) in
   Buffer.add_string out snapshot_magic;
@@ -293,13 +315,16 @@ let decode_snapshot s =
     if String.length s < m then None
     else
       match String.sub s 0 m with
-      | v when v = snapshot_magic -> Some true
-      | v when v = snapshot_magic_v1 -> Some false
+      | v when v = snapshot_magic -> Some 3
+      | v when v = snapshot_magic_v2 -> Some 2
+      | v when v = snapshot_magic_v1 -> Some 1
       | _ -> None
   in
   match versioned with
   | None -> Error "bad snapshot magic"
-  | Some has_epoch -> (
+  | Some version -> (
+    let has_epoch = version >= 2 in
+    let has_prefs = version >= 3 in
     match unframe s ~pos:m with
     | End -> Error "empty snapshot"
     | Torn msg -> Error msg
@@ -330,8 +355,18 @@ let decode_snapshot s =
                  let count = get_u32 r in
                  (base, count))
            in
+           let dump_prefs =
+             if has_prefs then
+               get_list r (fun r ->
+                   let rule = get_str r in
+                   let over = get_str r in
+                   (rule, over))
+             else []
+           in
            finished r "snapshot";
-           (seq, epoch, { Kb.Store.dump_objs; dump_latest; dump_counts })
+           ( seq,
+             epoch,
+             { Kb.Store.dump_objs; dump_latest; dump_counts; dump_prefs } )
          with
         | v -> Ok v
         | exception Corrupt msg -> Error msg))

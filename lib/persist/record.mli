@@ -14,17 +14,23 @@
               | 0x03 | str obj  | str rule                          remove_rule
               | 0x04 | str name | u8 has_rules | list str rules     new_version
               | 0x05 | str src                                      load
+              | 0x06 | str rule | str over                          set_preference
+              | 0x07 | str rule | str over                          clear_preference
     wal file  = "OLPWAL2\n" | u64 base_seq | u64 epoch | frame*
-    snapshot  = "OLPSNAP2" | u32 len | u32 crc32 | u64 seq | u64 epoch
+    snapshot  = "OLPSNAP3" | u32 len | u32 crc32 | u64 seq | u64 epoch
               | list (str name | list str parents | list str rules)
               | list (str base | str latest)
               | list (str base | u32 count)
+              | list (str rule | str over)
     v}
 
     Version-1 files ("OLPWAL1\n" / "OLPSNAP1"), written before the
     replication epoch existed, omit the [u64 epoch] field; decoders
     accept them and report epoch 0, so a pre-fencing data directory
-    upgrades in place on its first snapshot.
+    upgrades in place on its first snapshot.  "OLPSNAP2" snapshots,
+    written before rule preferences existed, end at the version
+    counters; decoders accept them and report an empty preference
+    list.
 
     Rules and literals travel as surface syntax ({!Logic.Rule.to_string}),
     which the printers guarantee re-parses to an equal rule; the decoder

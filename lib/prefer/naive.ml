@@ -1,0 +1,102 @@
+
+(* The reference implementation: instead of compiling the preference
+   order into fresh components and re-grounding, refine the edge arrays
+   of the *original* grounding directly.  Ground rules are grouped into
+   classes — one class per (component, rule name) — and the combined
+   rule order is the transitive closure of
+
+     class(i) < class(j)   if  C(i) < C(j) in the object order,
+                           or  (name i, name j) is a prefer pair;
+
+   then Definition 2 is re-read with classes in place of components:
+   [j] overrules [i] when class(j) < class(i), and [j] defeats [i] when
+   the classes are unrelated (including equal).  Enumeration is the
+   leaf-check oracle ([Ordered.Stable.Naive]), so the differential test
+   against {!Compile} exercises both an independent order construction
+   and an independent search. *)
+
+type cls = { comp : Ordered.Program.component_id; name : string option }
+
+let refined_gop (spec : Spec.t) =
+  let g = Ordered.Gop.ground spec.Spec.program spec.Spec.viewpoint in
+  let nr = Array.length g.Ordered.Gop.rules in
+  let poset = Ordered.Program.poset spec.Spec.program in
+  (* intern classes *)
+  let classes = ref [] in
+  let nclass = ref 0 in
+  let class_of = Array.make nr 0 in
+  Array.iteri
+    (fun i (r : Ordered.Gop.grule) ->
+      let c = { comp = r.Ordered.Gop.comp; name = r.Ordered.Gop.name } in
+      match List.assoc_opt c !classes with
+      | Some id -> class_of.(i) <- id
+      | None ->
+        classes := (c, !nclass) :: !classes;
+        class_of.(i) <- !nclass;
+        incr nclass)
+    g.Ordered.Gop.rules;
+  let nc = !nclass in
+  let cls = Array.make nc { comp = 0; name = None } in
+  List.iter (fun (c, id) -> cls.(id) <- c) !classes;
+  (* base edges, then a pairwise-propagation closure (iterated until it
+     stops growing — deliberately not the matrix closure Poset uses) *)
+  let lt = Array.make_matrix nc nc false in
+  for u = 0 to nc - 1 do
+    for v = 0 to nc - 1 do
+      if u <> v then begin
+        if Ordered.Poset.lt poset cls.(u).comp cls.(v).comp then
+          lt.(u).(v) <- true;
+        match (cls.(u).name, cls.(v).name) with
+        | Some a, Some b when List.mem (a, b) spec.Spec.prefs ->
+          lt.(u).(v) <- true
+        | _ -> ()
+      end
+    done
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for u = 0 to nc - 1 do
+      for v = 0 to nc - 1 do
+        if lt.(u).(v) then
+          for w = 0 to nc - 1 do
+            if lt.(v).(w) && not lt.(u).(w) then begin
+              lt.(u).(w) <- true;
+              changed := true
+            end
+          done
+      done
+    done
+  done;
+  (* rebuild the Definition 2 adjacency under the refined order *)
+  let overrulers = Array.make nr [] in
+  let defeaters = Array.make nr [] in
+  let suppresses = Array.make nr [] in
+  let na = Array.length g.Ordered.Gop.atoms in
+  for a = 0 to na - 1 do
+    let here = g.Ordered.Gop.by_head.(a) in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            let ri = g.Ordered.Gop.rules.(i)
+            and rj = g.Ordered.Gop.rules.(j) in
+            if ri.Ordered.Gop.head_pol <> rj.Ordered.Gop.head_pol then begin
+              let ci = class_of.(i) and cj = class_of.(j) in
+              if lt.(cj).(ci) then begin
+                overrulers.(i) <- j :: overrulers.(i);
+                suppresses.(j) <- i :: suppresses.(j)
+              end
+              else if not lt.(ci).(cj) then begin
+                defeaters.(i) <- j :: defeaters.(i);
+                suppresses.(j) <- i :: suppresses.(j)
+              end
+            end)
+          here)
+      here
+  done;
+  { g with Ordered.Gop.overrulers; defeaters; suppresses }
+
+let preferred_models ?limit ?budget ?stats spec =
+  Ordered.Stable.Naive.stable_models ?limit ?budget ?stats
+    (refined_gop spec)

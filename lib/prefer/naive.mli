@@ -1,0 +1,24 @@
+(** The reference implementation of preferred models, kept as a
+    differential oracle for {!Compile} exactly as {!Ordered.Stable.Naive}
+    is for the pruned search.
+
+    It never builds the compiled program: it grounds the {e original}
+    program, computes the preference-refined rule order directly on
+    (component, rule-name) classes of ground rules — its own transitive
+    closure, independent of {!Ordered.Poset} — rewires the
+    overruler/defeater adjacency of Definition 2 under that order, and
+    enumerates with the leaf-check oracle.  Same model sets as the
+    compiled route, in the naive search order. *)
+
+val refined_gop : Spec.t -> Ordered.Gop.t
+(** The original grounding with overruling/defeating recomputed under
+    the preference-refined rule order. *)
+
+val preferred_models :
+  ?limit:int ->
+  ?budget:Ordered.Budget.t ->
+  ?stats:Ordered.Counters.t ->
+  Spec.t ->
+  Logic.Interp.t list Ordered.Budget.anytime
+(** The preferred models, in the leaf-check oracle's enumeration order
+    (anytime, like {!Ordered.Stable.Naive.stable_models}). *)

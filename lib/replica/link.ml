@@ -13,6 +13,7 @@ type config = {
   batch : int;
   retry_base : float;
   retry_cap : float;
+  advertise : string option;
   log : string -> unit;
 }
 
@@ -22,6 +23,7 @@ let default_config primary =
     batch = 512;
     retry_base = 0.05;
     retry_cap = 1.0;
+    advertise = None;
     log = (fun _ -> ())
   }
 
@@ -203,7 +205,10 @@ let bootstrap t c =
 let greet t c =
   let seq = Persist.seq t.persist in
   let epoch = Persist.epoch t.persist in
-  match Client.request c.client (Protocol.hello ~seq ~epoch ~rid:t.rid) with
+  match
+    Client.request c.client
+      (Protocol.hello ?addr:t.config.advertise ~seq ~epoch ~rid:t.rid ())
+  with
   | Error msg ->
     drop t;
     `Retry ("handshake failed: " ^ msg)
@@ -234,8 +239,8 @@ let pull t c =
      synchronous commit is waiting for *)
   match
     Client.request c.client
-      (Protocol.pull ~from ~max:t.config.batch ~epoch ~rid:t.rid
-         ~durable:from)
+      (Protocol.pull ?addr:t.config.advertise ~from ~max:t.config.batch
+         ~epoch ~rid:t.rid ~durable:from ())
   with
   | Error msg ->
     drop t;

@@ -54,6 +54,9 @@ type config = {
       (** first reconnect delay, seconds (also bounds one connect
           attempt, and so how long {!stop} can block) *)
   retry_cap : float;  (** reconnect backoff ceiling, seconds *)
+  advertise : string option;
+      (** client-reachable address sent with [hello]/[pull] so the
+          primary can publish this replica in its [stats] topology *)
   log : string -> unit;  (** one-line progress/diagnostic sink *)
 }
 

@@ -12,24 +12,30 @@ type refusal = { kind : string; message : string; epoch : int option }
 (* Requests                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let hello ~seq ~epoch ~rid =
-  Wire.Obj
-    [ ("op", Wire.String "hello");
-      ("seq", Wire.Int seq);
-      ("protocol", Wire.Int Wire.protocol_revision);
-      ("epoch", Wire.Int epoch);
-      ("rid", Wire.String rid)
-    ]
+let addr_field = function
+  | None -> []
+  | Some addr -> [ ("addr", Wire.String addr) ]
 
-let pull ~from ~max ~epoch ~rid ~durable =
+let hello ?addr ~seq ~epoch ~rid () =
   Wire.Obj
-    [ ("op", Wire.String "pull");
-      ("from", Wire.Int from);
-      ("max", Wire.Int max);
-      ("epoch", Wire.Int epoch);
-      ("rid", Wire.String rid);
-      ("durable", Wire.Int durable)
-    ]
+    ([ ("op", Wire.String "hello");
+       ("seq", Wire.Int seq);
+       ("protocol", Wire.Int Wire.protocol_revision);
+       ("epoch", Wire.Int epoch);
+       ("rid", Wire.String rid)
+     ]
+    @ addr_field addr)
+
+let pull ?addr ~from ~max ~epoch ~rid ~durable () =
+  Wire.Obj
+    ([ ("op", Wire.String "pull");
+       ("from", Wire.Int from);
+       ("max", Wire.Int max);
+       ("epoch", Wire.Int epoch);
+       ("rid", Wire.String rid);
+       ("durable", Wire.Int durable)
+     ]
+    @ addr_field addr)
 
 let fetch_snapshot ~epoch =
   Wire.Obj [ ("op", Wire.String "fetch_snapshot"); ("epoch", Wire.Int epoch) ]

@@ -24,16 +24,22 @@ type refusal = { kind : string; message : string; epoch : int option }
 
 (** {1 Requests} *)
 
-val hello : seq:int -> epoch:int -> rid:string -> Server.Wire.json
+val hello :
+  ?addr:string -> seq:int -> epoch:int -> rid:string -> unit ->
+  Server.Wire.json
 (** Handshake announcing our last applied sequence number, our
     {!Server.Wire.protocol_revision}, the highest epoch we have seen
-    and our instance id. *)
+    and our instance id.  [addr] advertises the address we serve
+    clients on, for the primary's [stats] topology. *)
 
 val pull :
+  ?addr:string ->
   from:int -> max:int -> epoch:int -> rid:string -> durable:int ->
+  unit ->
   Server.Wire.json
 (** Ask for up to [max] records after [from].  An empty pull doubles as
-    a heartbeat; [durable] confirms our stable-storage horizon. *)
+    a heartbeat; [durable] confirms our stable-storage horizon and
+    [addr] (re)advertises our client-facing address. *)
 
 val fetch_snapshot : epoch:int -> Server.Wire.json
 

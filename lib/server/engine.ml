@@ -27,7 +27,11 @@ type sync = { replicas : int; timeout_ms : int }
    replicas send in [hello]/[pull].  Updated while serving replication
    verbs (under the engine lock), read by writers waiting for quorum
    (outside it), hence the private lock. *)
-type acks = { ack_lock : Mutex.t; ack_tbl : (string, int) Hashtbl.t }
+type acks = {
+  ack_lock : Mutex.t;
+  ack_tbl : (string, int * string option) Hashtbl.t;
+      (** rid -> (durable horizon, advertised address) *)
+}
 
 let max_tracked_replicas = 64
 
@@ -60,23 +64,39 @@ let session t = t.session
 let metrics t = t.metrics
 let set_replication t r = t.replication <- Some r
 
-let record_ack t ~rid ~durable =
+let record_ack t ~rid ?addr ~durable () =
   let a = t.acks in
   Mutex.lock a.ack_lock;
   (match Hashtbl.find_opt a.ack_tbl rid with
-  | Some prev when prev >= durable -> ()
-  | Some _ -> Hashtbl.replace a.ack_tbl rid durable
+  | Some (prev, prev_addr) ->
+    let addr = match addr with Some _ -> addr | None -> prev_addr in
+    Hashtbl.replace a.ack_tbl rid (max prev durable, addr)
   | None ->
     if Hashtbl.length a.ack_tbl < max_tracked_replicas then
-      Hashtbl.replace a.ack_tbl rid durable);
+      Hashtbl.replace a.ack_tbl rid (durable, addr));
   Mutex.unlock a.ack_lock
+
+(* Advertised addresses of the replicas this primary has heard from,
+   sorted for deterministic [stats] topology output. *)
+let replica_members t =
+  let a = t.acks in
+  Mutex.lock a.ack_lock;
+  let addrs =
+    Hashtbl.fold
+      (fun _ (_, addr) acc ->
+        match addr with Some ad -> ad :: acc | None -> acc)
+      a.ack_tbl []
+  in
+  Mutex.unlock a.ack_lock;
+  List.sort_uniq String.compare addrs
 
 let confirmed_replicas t ~seq =
   let a = t.acks in
   Mutex.lock a.ack_lock;
   let n =
-    Hashtbl.fold (fun _ d acc -> if d >= seq then acc + 1 else acc) a.ack_tbl
-      0
+    Hashtbl.fold
+      (fun _ (d, _) acc -> if d >= seq then acc + 1 else acc)
+      a.ack_tbl 0
   in
   Mutex.unlock a.ack_lock;
   n
@@ -135,9 +155,11 @@ let kind_to_string = function
   | `Stable -> "stable"
   | `Af -> "assumption-free"
 
+let prefer_to_string = function `Compiled -> "compiled" | `Naive -> "naive"
+
 let is_write = function
   | Wire.Load _ | Wire.Define _ | Wire.Add_rule _ | Wire.Remove_rule _
-  | Wire.New_version _ ->
+  | Wire.New_version _ | Wire.Set_preference _ | Wire.Clear_preference _ ->
     true
   | Wire.Query _ | Wire.Models _ | Wire.Explain _ | Wire.Stats
   | Wire.Version | Wire.Snapshot | Wire.Shutdown | Wire.Hello _
@@ -156,7 +178,9 @@ let is_io = function
 (* The shard stripes a mutating verb must hold: the object it targets,
    or every stripe for [load] (which may define any number of objects). *)
 let write_keys = function
-  | Wire.Load _ -> `All
+  (* a preference change refines the rule order of every view, so it
+     excludes all concurrent writers, like [load] *)
+  | Wire.Load _ | Wire.Set_preference _ | Wire.Clear_preference _ -> `All
   | Wire.Define { name; _ } | Wire.New_version { name; _ } -> `Keys [ name ]
   | Wire.Add_rule { obj; _ } | Wire.Remove_rule { obj; _ } -> `Keys [ obj ]
   | _ -> `Keys []
@@ -253,6 +277,14 @@ let serve_write t ~id verb =
     exclusively_seq (fun () ->
         let version = Kb.Session.new_version session ?rules name in
         [ ("version", Wire.String version) ])
+  | Wire.Set_preference { rule; over } ->
+    exclusively_seq (fun () ->
+        Kb.Session.set_preference session ~rule ~over;
+        [ ("rule", Wire.String rule); ("over", Wire.String over) ])
+  | Wire.Clear_preference { rule; over } ->
+    exclusively_seq (fun () ->
+        let removed = Kb.Session.clear_preference session ~rule ~over in
+        [ ("removed", Wire.Bool removed) ])
   | _ -> assert false (* only write verbs are routed here *)
 
 (* Read and replication verbs.  The read verbs ([query]/[models]/
@@ -264,26 +296,63 @@ let serve t ~id req =
   let budget = budget_of t req.Wire.budget in
   match req.Wire.verb with
   | Wire.Load _ | Wire.Define _ | Wire.Add_rule _ | Wire.Remove_rule _
-  | Wire.New_version _ | Wire.Batch _ ->
+  | Wire.New_version _ | Wire.Set_preference _ | Wire.Clear_preference _
+  | Wire.Batch _ ->
     assert false (* routed to serve_write / handle_batch *)
-  | Wire.Query { obj; lit } ->
+  | Wire.Query { obj; lit; prefer = None } ->
     let l = Lang.Parser.parse_literal lit in
     let v = Kb.Session.query ~budget session ~obj l in
     Wire.ok ?id [ ("value", Wire.String (value_to_string v)) ]
-  | Wire.Models { obj; kind; limit; engine } ->
+  | Wire.Query { obj; lit; prefer = Some engine } -> (
+    (* skeptical reading: the value all preferred models agree on,
+       [undefined] when they disagree.  Sound only over the complete
+       enumeration, so a budget trip carries no value at all. *)
+    let l = Lang.Parser.parse_literal lit in
+    if not (Logic.Literal.is_ground l) then
+      invalid_arg "query: literal must be ground";
+    match
+      Kb.Session.preferred_models ~budget ~engine ~metrics:t.metrics session
+        ~obj
+    with
+    | B.Complete ms ->
+      let v =
+        match List.map (fun m -> Logic.Interp.value_lit m l) ms with
+        | [] -> Logic.Interp.Undefined
+        | v0 :: rest ->
+          if List.for_all (fun v -> v = v0) rest then v0
+          else Logic.Interp.Undefined
+      in
+      Wire.ok ?id
+        [ ("value", Wire.String (value_to_string v));
+          ("prefer", Wire.String (prefer_to_string engine))
+        ]
+    | B.Partial (_, reason) ->
+      Wire.partial ?id ~reason:(B.reason_to_string reason) [])
+  | Wire.Models { obj; kind; limit; engine; prefer } ->
     let result =
-      match kind with
-      | `Stable ->
-        Kb.Session.stable_models ?limit ~budget ~engine session ~obj
-      | `Af ->
-        Kb.Session.assumption_free_models ?limit ~budget ~engine session ~obj
+      match prefer with
+      | Some pengine ->
+        Kb.Session.preferred_models ?limit ~budget ~engine:pengine
+          ~metrics:t.metrics session ~obj
+      | None -> (
+        match kind with
+        | `Stable ->
+          Kb.Session.stable_models ?limit ~budget ~engine session ~obj
+        | `Af ->
+          Kb.Session.assumption_free_models ?limit ~budget ~engine session
+            ~obj)
     in
     let ms = B.value result in
     let fields =
-      [ ("kind", Wire.String (kind_to_string kind));
-        ("count", Wire.Int (List.length ms));
-        ("models", Wire.List (List.map json_of_model ms))
-      ]
+      (match prefer with
+      | Some pengine ->
+        [ ("kind", Wire.String "preferred");
+          ("prefer", Wire.String (prefer_to_string pengine))
+        ]
+      | None -> [ ("kind", Wire.String (kind_to_string kind)) ])
+      @ [ ("count", Wire.Int (List.length ms));
+          ("models", Wire.List (List.map json_of_model ms))
+        ]
     in
     (match result with
     | B.Complete _ -> Wire.ok ?id fields
@@ -308,7 +377,7 @@ let serve t ~id req =
       let seq = p.snapshot () in
       Wire.ok ?id [ ("snapshot", Wire.Int seq) ])
   | Wire.Shutdown -> Wire.ok ?id [ ("shutdown", Wire.Bool true) ]
-  | Wire.Hello { seq; protocol; epoch; rid } -> (
+  | Wire.Hello { seq; protocol; epoch; rid; addr } -> (
     match t.persistence with
     | None ->
       Wire.error_response ?id ~kind:"input"
@@ -352,7 +421,7 @@ let serve t ~id req =
             (* the greeted sequence is already durable on the replica:
                recovery replays nothing it has not fsynced *)
             (match rid with
-            | Some rid -> record_ack t ~rid ~durable:seq
+            | Some rid -> record_ack t ~rid ?addr ~durable:seq ()
             | None -> ());
             let role =
               match t.replication with
@@ -369,7 +438,7 @@ let serve t ~id req =
           end
         end
       end)
-  | Wire.Pull { from_seq; max; epoch; rid; durable } -> (
+  | Wire.Pull { from_seq; max; epoch; rid; durable; addr } -> (
     match t.persistence with
     | None ->
       Wire.error_response ?id ~kind:"input"
@@ -405,7 +474,7 @@ let serve t ~id req =
                from_seq cur)
         else begin
           (match rid, durable with
-          | Some rid, Some durable -> record_ack t ~rid ~durable
+          | Some rid, Some durable -> record_ack t ~rid ?addr ~durable ()
           | _ -> ());
           let max = min 4096 (Option.value ~default:512 max) in
           match p.tail ~from:from_seq ~max with
@@ -478,6 +547,11 @@ let guard ?id f =
   | Ordered.Diag.Error (Ordered.Diag.Read_only { primary } as e) ->
     Wire.error_response ?id ~kind:"read_only"
       ~extra:[ ("primary", Wire.String primary) ]
+      (Ordered.Diag.to_string e)
+  | Ordered.Diag.Error (Ordered.Diag.Preference_cycle { cycle } as e) ->
+    Wire.error_response ?id ~kind:"preference_cycle"
+      ~extra:
+        [ ("cycle", Wire.List (List.map (fun n -> Wire.String n) cycle)) ]
       (Ordered.Diag.to_string e)
   | Ordered.Diag.Error e ->
     Wire.error_response ?id ~kind:"diag" (Ordered.Diag.to_string e)

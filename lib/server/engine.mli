@@ -117,6 +117,13 @@ val create :
 val session : t -> Kb.Session.t
 val metrics : t -> Governor.Metrics.t
 
+val replica_members : t -> string list
+(** Advertised (client-reachable) addresses of the replicas that have
+    completed a handshake or pulled from this server, sorted and
+    deduplicated — the machine-readable replica-set topology the daemon
+    publishes under [stats.replication.members].  Replicas that did not
+    send an ["addr"] are invisible here. *)
+
 val set_replication : t -> replication -> unit
 (** Install the replication hooks (one slot; a second call replaces the
     first). *)

@@ -307,25 +307,39 @@ type verb =
   | Add_rule of { obj : string; rule : string }
   | Remove_rule of { obj : string; rule : string }
   | New_version of { name : string; rules : string option }
-  | Query of { obj : string; lit : string }
+  | Query of {
+      obj : string;
+      lit : string;
+      prefer : [ `Compiled | `Naive ] option;
+    }
   | Models of {
       obj : string;
       kind : [ `Stable | `Af ];
       limit : int option;
       engine : [ `Pruned | `Naive ];
+      prefer : [ `Compiled | `Naive ] option;
     }
+  | Set_preference of { rule : string; over : string }
+  | Clear_preference of { rule : string; over : string }
   | Explain of { obj : string; lit : string }
   | Stats
   | Version
   | Snapshot
   | Shutdown
-  | Hello of { seq : int; protocol : int; epoch : int; rid : string option }
+  | Hello of {
+      seq : int;
+      protocol : int;
+      epoch : int;
+      rid : string option;
+      addr : string option;
+    }
   | Pull of {
       from_seq : int;
       max : int option;
       epoch : int;
       rid : string option;
       durable : int option;
+      addr : string option;
     }
   | Fetch_snapshot of { epoch : int }
   | Promote
@@ -335,8 +349,8 @@ and request = { id : int option; budget : budget_spec; verb : verb }
 
 and batch_item = (request, string) result
 
-let package_version = "1.4.0"
-let protocol_revision = 5
+let package_version = "1.5.0"
+let protocol_revision = 6
 let max_batch = 256
 
 exception Bad_request of string
@@ -377,6 +391,13 @@ let str_list_field o name =
   | Some Null | None -> []
   | Some _ -> reject "field %S must be a list of strings" name
 
+let prefer_field o =
+  match opt_str_field o "prefer" with
+  | None -> None
+  | Some "compiled" -> Some `Compiled
+  | Some "naive" -> Some `Naive
+  | Some p -> reject "unknown prefer engine %S" p
+
 let rec decode_verb o = function
   | "load" -> Load { src = str_field o "src" }
   | "define" ->
@@ -390,7 +411,12 @@ let rec decode_verb o = function
     Remove_rule { obj = str_field o "obj"; rule = str_field o "rule" }
   | "new_version" ->
     New_version { name = str_field o "name"; rules = opt_str_field o "rules" }
-  | "query" -> Query { obj = str_field o "obj"; lit = str_field o "lit" }
+  | "query" ->
+    Query
+      { obj = str_field o "obj";
+        lit = str_field o "lit";
+        prefer = prefer_field o
+      }
   | "models" ->
     let kind =
       match opt_str_field o "kind" with
@@ -404,8 +430,20 @@ let rec decode_verb o = function
       | Some "naive" -> `Naive
       | Some e -> reject "unknown engine %S" e
     in
+    let prefer = prefer_field o in
+    if prefer <> None && kind = `Af then
+      reject "\"prefer\" applies to stable models only (kind \"stable\")";
     Models
-      { obj = str_field o "obj"; kind; limit = opt_nat_field o "limit"; engine }
+      { obj = str_field o "obj";
+        kind;
+        limit = opt_nat_field o "limit";
+        engine;
+        prefer
+      }
+  | "set_preference" ->
+    Set_preference { rule = str_field o "rule"; over = str_field o "over" }
+  | "clear_preference" ->
+    Clear_preference { rule = str_field o "rule"; over = str_field o "over" }
   | "explain" -> Explain { obj = str_field o "obj"; lit = str_field o "lit" }
   | "stats" -> Stats
   | "version" -> Version
@@ -416,7 +454,8 @@ let rec decode_verb o = function
       { seq = nat_field o "seq";
         protocol = nat_field o "protocol";
         epoch = Option.value ~default:0 (opt_nat_field o "epoch");
-        rid = opt_str_field o "rid"
+        rid = opt_str_field o "rid";
+        addr = opt_str_field o "addr"
       }
   | "pull" ->
     Pull
@@ -424,7 +463,8 @@ let rec decode_verb o = function
         max = opt_nat_field o "max";
         epoch = Option.value ~default:0 (opt_nat_field o "epoch");
         rid = opt_str_field o "rid";
-        durable = opt_nat_field o "durable"
+        durable = opt_nat_field o "durable";
+        addr = opt_str_field o "addr"
       }
   | "fetch_snapshot" ->
     Fetch_snapshot

@@ -62,30 +62,55 @@ type verb =
   | Add_rule of { obj : string; rule : string }
   | Remove_rule of { obj : string; rule : string }
   | New_version of { name : string; rules : string option }
-  | Query of { obj : string; lit : string }
+  | Query of {
+      obj : string;
+      lit : string;
+      prefer : [ `Compiled | `Naive ] option;
+    }
+      (** with [prefer], the skeptical value of [lit] across the
+          preferred models (under the KB's preference pairs) instead of
+          its least-model value *)
   | Models of {
       obj : string;
       kind : [ `Stable | `Af ];
       limit : int option;
       engine : [ `Pruned | `Naive ];
+      prefer : [ `Compiled | `Naive ] option;
     }
+      (** with [prefer] (["compiled"] or ["naive"]), enumerate the
+          preferred models through the chosen route; [engine] is
+          ignored then, and combining [prefer] with the
+          assumption-free kind is a request error *)
+  | Set_preference of { rule : string; over : string }
+      (** add one rule-preference pair (a write; replicates) *)
+  | Clear_preference of { rule : string; over : string }
+      (** remove one rule-preference pair (a write; replicates) *)
   | Explain of { obj : string; lit : string }
   | Stats
   | Version  (** package version and protocol revision *)
   | Snapshot  (** force a durable snapshot (needs a data directory) *)
   | Shutdown
-  | Hello of { seq : int; protocol : int; epoch : int; rid : string option }
+  | Hello of {
+      seq : int;
+      protocol : int;
+      epoch : int;
+      rid : string option;
+      addr : string option;
+    }
       (** replication handshake: the replica announces its last applied
           sequence number, its {!protocol_revision}, the highest
           replication epoch it has seen (fencing; defaults to 0 on the
-          wire) and an optional instance id used to attribute durability
-          confirmations (synchronous commit) *)
+          wire), an optional instance id used to attribute durability
+          confirmations (synchronous commit), and an optional
+          client-reachable address the primary republishes in its
+          [stats] topology *)
   | Pull of {
       from_seq : int;
       max : int option;
       epoch : int;
       rid : string option;
       durable : int option;
+      addr : string option;
     }
       (** ship WAL records after [from_seq] (at most [max]); an empty
           pull doubles as a heartbeat.  [epoch] must match the server's

@@ -82,6 +82,72 @@ and --stats exposes the search effort of either engine:
   {a, -b, c}
   search: 7 nodes, 3 leaves, 2 pruned subtrees, 2 forced branches, 3 models
 
+Rule preferences: rules may be named, and prefer declarations select
+the preferred stable models (docs/SEMANTICS.md).  Without a
+preference the default and the exception defeat each other and fly
+stays undefined; the preference breaks the tie:
+
+  $ cat > prefs.olp <<'OLP'
+  > b  : bird(tweety).
+  > p  : penguin(tweety).
+  > f  : fly(X) :- bird(X).
+  > nf : -fly(X) :- penguin(X).
+  > prefer nf > f.
+  > OLP
+  $ olp check prefs.olp
+  1 component(s): main
+  1 preference(s):
+    nf > f
+  conflict [from main]: f : fly(X) :- bird(X). [main] and nf : -fly(X) :- penguin(X). [main] can defeat each other
+  ok
+  $ olp models prefs.olp
+  1 model(s)
+  {bird(tweety), penguin(tweety)}
+  $ olp models prefs.olp --prefer compiled
+  1 model(s)
+  {bird(tweety), -fly(tweety), penguin(tweety)}
+
+The naive engine is the reference oracle — same models, its own
+enumeration order:
+
+  $ olp models prefs.olp --prefer naive
+  1 model(s)
+  {bird(tweety), -fly(tweety), penguin(tweety)}
+
+A preference unrelated to any conflict keeps the model set (Example 5
+named); the enumeration order of both engines is pinned:
+
+  $ cat > p5n.olp <<'OLP'
+  > component c2 { f1 : a. f2 : b. f3 : c. }
+  > component c1 extends c2 { r1 : -a :- b, c. r2 : -b :- a. r3 : -b :- -b. }
+  > prefer f1 > f2.
+  > OLP
+  $ olp models p5n.olp --prefer compiled
+  2 model(s)
+  {-a, b, c}
+  {a, -b, c}
+  $ olp models p5n.olp --prefer naive
+  2 model(s)
+  {a, -b, c}
+  {-a, b, c}
+
+Preference errors are typed: a cycle through the declarations, an
+unknown rule name, and the kind restriction:
+
+  $ echo 'a : p. b : -p. prefer a > b, b > a.' > cyc.olp && olp check cyc.olp
+  1 component(s): main
+  2 preference(s):
+    a > b
+    b > a
+  error: preference cycle: a > a > b — the combined rule order (component order plus prefer declarations) must be a strict partial order
+  [2]
+  $ echo 'a : p. prefer a > ghost.' > ghost.olp && olp models ghost.olp --prefer compiled
+  error: preferences: prefer names unknown rule "ghost" (no rule [ghost : ...] in this viewpoint)
+  [2]
+  $ olp models prefs.olp --prefer compiled --kind total
+  --prefer applies to stable models only
+  [2]
+
 The ground view, with component tags:
 
   $ olp ground p5.olp | sort

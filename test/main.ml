@@ -13,6 +13,8 @@ let () =
       ("explain", Test_explain.suite);
       ("properties", Test_props.suite);
       ("diff-stable", Test_diff_stable.suite);
+      ("prefer", Test_prefer.suite);
+      ("diff-prefer", Test_diff_prefer.suite);
       ("golden", Test_golden.suite);
       ("deviations", Test_deviations.suite);
       ("query", Test_query.suite);

@@ -18,7 +18,7 @@ Load a knowledge base and mutate it over the wire:
 The version verb reports the package and protocol revision:
 
   $ olp call --socket s.sock version
-  {"status":"ok","version":"1.4.0","protocol":5}
+  {"status":"ok","version":"1.5.0","protocol":6}
 
 Kill the server without the shutdown verb (SIGTERM, as an init system
 would); the drain closes the log cleanly:
@@ -56,7 +56,7 @@ reloading anything —
 cache and server metrics:
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.4.0","protocol":5,"cache":{"hits":2,"misses":1,"invalidations":0,"entries":1},"server":{"workers":4,"queue_capacity":64,"persist_seq":2,"epoch":0,"connections":2,"ok":3,"persist_tmp_swept":0,"queue_peak":1,"recovery_base":0,"recovery_corrupt_snapshots":0,"recovery_replayed":2,"recovery_truncated_bytes":0,"served":3}}
+  {"status":"ok","version":"1.5.0","protocol":6,"cache":{"hits":2,"misses":1,"invalidations":0,"entries":1},"server":{"workers":4,"queue_capacity":64,"persist_seq":2,"epoch":0,"connections":2,"ok":3,"persist_tmp_swept":0,"queue_peak":1,"recovery_base":0,"recovery_corrupt_snapshots":0,"recovery_replayed":2,"recovery_truncated_bytes":0,"served":3}}
 
 The snapshot verb writes a snapshot at the current sequence and rolls
 the log onto a fresh segment:
@@ -166,3 +166,32 @@ warns, exit 3:
   olp recover: data dir pitr (seq 2, replayed 2 from base 0)
   olp recover: warning: requested sequence 9 but the history ends at 2
   [3]
+
+Rule preferences are WAL-reified mutations: a set_preference is
+logged before it is acknowledged and survives a restart —
+
+  $ olp serve --socket s.sock --data-dir prefd > prefd.log 2>&1 &
+  $ olp call --socket s.sock --retry 5 '{"op":"load","src":"b : bird(tweety). p : penguin(tweety). f : fly(X) :- bird(X). nf : -fly(X) :- penguin(X)."}' '{"op":"set_preference","rule":"nf","over":"f"}' shutdown
+  {"status":"ok","objects":["main"]}
+  {"status":"ok","rule":"nf","over":"f"}
+  {"status":"ok","shutdown":true}
+  $ wait
+  $ olp recover prefd
+  olp recover: data dir prefd (seq 2, replayed 2 from base 0)
+  $ olp serve --socket s.sock --data-dir prefd > prefd2.log 2>&1 &
+  $ olp call --socket s.sock --retry 5 '{"op":"query","obj":"main","lit":"fly(tweety)","prefer":"compiled"}' snapshot shutdown
+  {"status":"ok","value":"false","prefer":"compiled"}
+  {"status":"ok","snapshot":2}
+  {"status":"ok","shutdown":true}
+  $ wait
+
+— and the preference order also rides the snapshot image, so a
+restart that replays nothing still enumerates the preferred models:
+
+  $ olp serve --socket s.sock --data-dir prefd > prefd3.log 2>&1 &
+  $ olp call --socket s.sock --retry 5 '{"op":"models","obj":"main","prefer":"naive"}' shutdown
+  {"status":"ok","kind":"preferred","prefer":"naive","count":1,"models":[["bird(tweety)","-fly(tweety)","penguin(tweety)"]]}
+  {"status":"ok","shutdown":true}
+  $ wait
+  $ grep -o 'replayed 0 from base 2' prefd3.log
+  replayed 0 from base 2

@@ -30,11 +30,11 @@ give it some knowledge:
   olp serve: listening on unix:prim.sock (4 workers)
   olp serve: accepting replicas on unix:rep.sock
 
-The primary's stats name its role, the replication listener and the
-fencing epoch:
+The primary's stats name its role, the replication listener, the
+fencing epoch and the replica-set topology (just itself so far):
 
   $ olp call --socket prim.sock stats | grep -o '"replication":{[^}]*}'
-  "replication":{"role":"primary","listener":"unix:rep.sock","epoch":0}
+  "replication":{"role":"primary","listener":"unix:rep.sock","epoch":0,"members":["unix:prim.sock"]}
 
 Start a replica pointed at the replication listener.  It catches up
 (two mutations behind) and then reports zero lag:
@@ -46,11 +46,17 @@ Start a replica pointed at the replication listener.  It catches up
   >   sleep 0.1
   > done
   $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}' | sed -E 's/"connect_attempts":[0-9]+/"connect_attempts":_/'
-  "replication":{"role":"replica","primary":"unix:rep.sock","epoch":0,"last_applied":2,"primary_seq":2,"lag":0,"connected":true,"connect_attempts":_}
+  "replication":{"role":"replica","primary":"unix:rep.sock","epoch":0,"last_applied":2,"primary_seq":2,"lag":0,"connected":true,"connect_attempts":_,"members":["unix:repl.sock"]}
   $ head -3 replica.log
   olp serve: data dir rd (seq 0, replayed 0 from base 0)
   olp serve: listening on unix:repl.sock (4 workers)
   olp serve: replicating from unix:rep.sock
+
+The replica advertised its client address in the handshake, so the
+primary's topology now lists both members, machine-readably:
+
+  $ olp call --socket prim.sock stats | grep -o '"members":\[[^]]*\]'
+  "members":["unix:prim.sock","unix:repl.sock"]
 
 The replica answers queries from its own copy of the knowledge base —
 the same answers the primary gives:
@@ -117,7 +123,7 @@ the fencing epoch and starts accepting writes:
   {"status":"ok"}
   {"status":"ok","value":"true"}
   $ olp call --socket repl.sock stats | grep -o '"replication":{[^}]*}' | sed -E 's/"connect_attempts":[0-9]+/"connect_attempts":_/'
-  "replication":{"role":"primary","primary":"unix:rep.sock","epoch":1,"last_applied":5,"primary_seq":4,"lag":0,"connected":false,"connect_attempts":_}
+  "replication":{"role":"primary","primary":"unix:rep.sock","epoch":1,"last_applied":5,"primary_seq":4,"lag":0,"connected":false,"connect_attempts":_,"members":["unix:repl.sock"]}
 
 A second promotion has nothing to do — the epoch is bumped exactly
 once:
@@ -153,7 +159,7 @@ the middle node:
   >   sleep 0.1
   > done
   $ olp call --socket mid.sock --retry 5 stats | grep -o '"replication":{[^}]*}' | sed -E 's/"connect_attempts":[0-9]+/"connect_attempts":_/'
-  "replication":{"role":"replica","primary":"unix:rep2.sock","epoch":0,"last_applied":1,"primary_seq":1,"lag":0,"connected":true,"connect_attempts":_,"listener":"unix:midrep.sock"}
+  "replication":{"role":"replica","primary":"unix:rep2.sock","epoch":0,"last_applied":1,"primary_seq":1,"lag":0,"connected":true,"connect_attempts":_,"members":["unix:mid.sock","unix:leaf.sock"],"listener":"unix:midrep.sock"}
   $ olp call --socket leaf.sock '{"op":"query","obj":"c","lit":"p"}'
   {"status":"ok","value":"true"}
 

@@ -53,13 +53,52 @@ and neither kills the frame:
   $ olp call --socket s.sock '{"op":"batch","requests":[{"op":"query","obj":"bot","lit":"fly(tweety)","id":1},{"op":"nope"},{"op":"query","obj":"ghost","lit":"p"}]}'
   {"status":"ok","count":3,"responses":[{"status":"ok","id":1,"value":"true"},{"status":"error","error":{"kind":"proto","message":"invalid request: unknown op \"nope\""}},{"status":"error","error":{"kind":"input","message":"Kb: unknown object \"ghost\""}}]}
 
+Rule preferences over the wire (protocol revision 6): rules keep
+their names through load, set_preference declares an order (WAL-able,
+replicable — it is a write), and "prefer" on models/query routes
+through the preference engines.  Without a preference the default and
+the exception defeat each other:
+
+  $ olp call --socket s.sock '{"op":"load","src":"b : bird(tweety). p : penguin(tweety). f : fly(X) :- bird(X). nf : -fly(X) :- penguin(X)."}'
+  {"status":"ok","objects":["top","bot","main"]}
+  $ olp call --socket s.sock '{"op":"models","obj":"main","prefer":"compiled"}'
+  {"status":"ok","kind":"preferred","prefer":"compiled","count":1,"models":[["bird(tweety)","penguin(tweety)"]]}
+  $ olp call --socket s.sock '{"op":"set_preference","rule":"nf","over":"f"}'
+  {"status":"ok","rule":"nf","over":"f"}
+  $ olp call --socket s.sock '{"op":"models","obj":"main","prefer":"compiled"}'
+  {"status":"ok","kind":"preferred","prefer":"compiled","count":1,"models":[["bird(tweety)","-fly(tweety)","penguin(tweety)"]]}
+
+The naive oracle agrees, a preferred query answers with the value the
+preferred models agree on, and a repeated compiled enumeration is a
+cache hit:
+
+  $ olp call --socket s.sock '{"op":"models","obj":"main","prefer":"naive"}'
+  {"status":"ok","kind":"preferred","prefer":"naive","count":1,"models":[["bird(tweety)","-fly(tweety)","penguin(tweety)"]]}
+  $ olp call --socket s.sock '{"op":"query","obj":"main","lit":"fly(tweety)","prefer":"compiled"}'
+  {"status":"ok","value":"false","prefer":"compiled"}
+  $ olp call --socket s.sock '{"op":"models","obj":"main","prefer":"compiled"}'
+  {"status":"ok","kind":"preferred","prefer":"compiled","count":1,"models":[["bird(tweety)","-fly(tweety)","penguin(tweety)"]]}
+
+A preference that would close a cycle is refused, typed; clearing the
+preference restores the undecided models:
+
+  $ olp call --socket s.sock '{"op":"set_preference","rule":"f","over":"nf"}'
+  {"status":"error","error":{"kind":"preference_cycle","message":"preference cycle: f > f > nf — the combined rule order (component order plus prefer declarations) must be a strict partial order","cycle":["f","f","nf"]}}
+  [2]
+  $ olp call --socket s.sock '{"op":"clear_preference","rule":"nf","over":"f"}'
+  {"status":"ok","removed":true}
+  $ olp call --socket s.sock '{"op":"models","obj":"main","prefer":"compiled"}'
+  {"status":"ok","kind":"preferred","prefer":"compiled","count":1,"models":[["bird(tweety)","penguin(tweety)"]]}
+
 The stats verb exposes the cache counters (the models repeat above is
 the hit; load and the two distinct computations are the misses) and
 the server's deterministic metrics — batch items are counted
-individually, plus the batches/batch_items pair for the frame:
+individually, plus the batches/batch_items pair for the frame, and
+the preference counters (compilations, cache hits, compiled-program
+size) land under "server":
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.4.0","protocol":5,"cache":{"hits":3,"misses":5,"invalidations":1,"entries":2},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"connections":9,"errors":2,"ok":6,"partials":1,"proto_errors":2,"queue_peak":1,"served":9,"writers_peak":1}}
+  {"status":"ok","version":"1.5.0","protocol":6,"cache":{"hits":5,"misses":9,"invalidations":4,"entries":1},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"connections":19,"errors":3,"ok":15,"partials":1,"prefer_cache_hits":2,"prefer_compilations":3,"prefer_gop_atoms":3,"prefer_gop_rules":4,"proto_errors":2,"queue_peak":1,"served":19,"writers_peak":1}}
 
 Graceful shutdown over the wire: the server drains, exits and unlinks
 its socket; the background job ends cleanly:

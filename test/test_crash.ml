@@ -33,9 +33,12 @@ let script : Store.mutation list =
     Store.Add_rule { obj = "penguin@2"; rule = Helpers.rule "swim(penguin)." };
     Store.Remove_rule { obj = "bird"; rule = Helpers.rule "bird(sparrow)." };
     Store.Load { src = "component extra { t(1). u(X) :- t(X). }" };
+    Store.Set_preference { rule = "exc"; over = "dflt" };
     Store.Remove_rule { obj = "extra"; rule = Helpers.rule "absent(0)." };
+    Store.Set_preference { rule = "dflt"; over = "weak" };
     Store.New_version
       { name = "bird"; rules = Some (Helpers.rules "heavy(ostrich).") };
+    Store.Clear_preference { rule = "dflt"; over = "weak" };
     Store.Add_rule { obj = "extra"; rule = Helpers.rule "t(2)." }
   ]
 

@@ -25,7 +25,11 @@ let corpus =
     "component a { p :- -q. q :- -p. } component b extends a { r. }";
     "p(X, Y) :- e(X, Y), X > Y + 1. e(1, 2).";
     "order a < b. component a { p. } component b { q. }";
-    "t(X) :- n(X), X mod 2 = 0. n(1). n(2)."
+    "t(X) :- n(X), X mod 2 = 0. n(1). n(2).";
+    "b : bird(tweety). f : fly(X) :- bird(X). nf : -fly(X) :- penguin(X). \
+     prefer nf > f.";
+    "component a { r1 : p. r2 : -p. } prefer r1 > r2, r2 > r1.";
+    "prefer a > b, c > d. prefer e > f."
   ]
 
 (* interesting bytes: structural tokens, comment starters, high bytes *)

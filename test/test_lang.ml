@@ -46,10 +46,10 @@ let test_lexer_idents () =
   Alcotest.(check bool) "underscore is var" true
     (tokens "_x" = [ Token.VAR "_x"; Token.EOF ]);
   Alcotest.(check bool) "keywords" true
-    (tokens "component module object extends isa order not neg mod"
+    (tokens "component module object extends isa order prefer not neg mod"
     = Token.
         [ KW_COMPONENT; KW_COMPONENT; KW_COMPONENT; KW_EXTENDS; KW_EXTENDS;
-          KW_ORDER; KW_NOT; KW_NOT; KW_MOD; EOF
+          KW_ORDER; KW_PREFER; KW_NOT; KW_NOT; KW_MOD; EOF
         ])
 
 let test_lexer_errors () =
@@ -59,9 +59,11 @@ let test_lexer_errors () =
     | _ -> Alcotest.fail ("lexer should reject " ^ src)
   in
   check_raises "p ? q";
-  check_raises "p :x";
   check_raises "! p";
-  check_raises "/* unterminated"
+  check_raises "/* unterminated";
+  (* a bare ':' is the rule-name separator, not ':-' *)
+  Alcotest.(check bool) "lone ':' is COLON" true
+    (tokens "p :x" = [ Token.IDENT "p"; Token.COLON; Token.IDENT "x"; Token.EOF ])
 
 let test_lexer_positions () =
   match Lang.Lexer.tokenize "p.\n  q." with

@@ -64,7 +64,9 @@ let repr store =
        d.Store.dump_objs
     @ List.map (fun (a, b) -> a ^ " latest " ^ b) d.Store.dump_latest
     @ List.map (fun (a, c) -> Printf.sprintf "%s count %d" a c)
-        d.Store.dump_counts)
+        d.Store.dump_counts
+    @ List.map (fun (a, b) -> Printf.sprintf "prefer %s > %s" a b)
+        d.Store.dump_prefs)
 
 let config ?(fsync = false) ?(snapshot_every = 0) dir =
   { P.dir; fsync; snapshot_every; group_commit_ms = 0 }
@@ -96,7 +98,10 @@ let sample_mutations : Store.mutation list =
     Store.New_version { name = "penguin"; rules = None };
     Store.New_version
       { name = "bird"; rules = Some (Helpers.rules "heavy(ostrich).") };
-    Store.Load { src = "component extra { t(1). u(X) :- t(X). }" }
+    Store.Load { src = "component extra { t(1). u(X) :- t(X). }" };
+    Store.Set_preference { rule = "exc"; over = "dflt" };
+    Store.Set_preference { rule = "dflt"; over = "weak" };
+    Store.Clear_preference { rule = "dflt"; over = "weak" }
   ]
 
 let mutation_repr m = Format.asprintf "%a" Store.pp_mutation m
@@ -351,7 +356,7 @@ let gen_mutation =
       List.filter (fun o -> not (String.contains o '@')) objs
     in
     let pick xs = List.nth xs (rand (List.length xs)) in
-    match (if objs = [] then 0 else rand 10) with
+    match (if objs = [] then 0 else rand 11) with
     | 0 | 1 ->
       incr fresh;
       let isa = if objs <> [] && rand 2 = 0 then [ pick objs ] else [] in
@@ -369,6 +374,15 @@ let gen_mutation =
         { name = pick bases;
           rules = (if rand 2 = 0 then None else Some [ any_rule () ])
         }
+    | 9 ->
+      (* preference edges only ever point from a lower-numbered name to
+         a higher one, so no random sequence can close a cycle *)
+      let i = rand 5 in
+      let j = i + 1 + rand 4 in
+      let pair = (Printf.sprintf "p%d" i, Printf.sprintf "p%d" j) in
+      if rand 3 = 0 then
+        Store.Clear_preference { rule = fst pair; over = snd pair }
+      else Store.Set_preference { rule = fst pair; over = snd pair }
     | _ ->
       incr fresh;
       Store.Load

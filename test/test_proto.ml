@@ -109,9 +109,47 @@ let test_oversized () =
 
 let test_decode_requests () =
   (match W.decode_request {|{"op":"query","obj":"c1","lit":"p","id":7}|} with
-  | Ok { id = Some 7; verb = W.Query { obj = "c1"; lit = "p" }; _ } -> ()
+  | Ok
+      { id = Some 7;
+        verb = W.Query { obj = "c1"; lit = "p"; prefer = None };
+        _
+      } -> ()
   | Ok _ -> Alcotest.fail "query decoded wrong"
   | Error e -> Alcotest.failf "query rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request {|{"op":"query","obj":"c1","lit":"p","prefer":"naive"}|}
+   with
+  | Ok { verb = W.Query { prefer = Some `Naive; _ }; _ } -> ()
+  | Ok _ -> Alcotest.fail "query prefer decoded wrong"
+  | Error e ->
+    Alcotest.failf "query prefer rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request
+       {|{"op":"models","obj":"o","prefer":"compiled","limit":2}|}
+   with
+  | Ok
+      { verb =
+          W.Models
+            { kind = `Stable; limit = Some 2; prefer = Some `Compiled; _ };
+        _
+      } -> ()
+  | Ok _ -> Alcotest.fail "models prefer decoded wrong"
+  | Error e ->
+    Alcotest.failf "models prefer rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request {|{"op":"set_preference","rule":"a","over":"b"}|}
+   with
+  | Ok { verb = W.Set_preference { rule = "a"; over = "b" }; _ } -> ()
+  | Ok _ -> Alcotest.fail "set_preference decoded wrong"
+  | Error e ->
+    Alcotest.failf "set_preference rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request {|{"op":"clear_preference","rule":"a","over":"b"}|}
+   with
+  | Ok { verb = W.Clear_preference { rule = "a"; over = "b" }; _ } -> ()
+  | Ok _ -> Alcotest.fail "clear_preference decoded wrong"
+  | Error e ->
+    Alcotest.failf "clear_preference rejected: %s" (W.error_to_string e));
   (match
      W.decode_request
        {|{"op":"models","obj":"o","kind":"assumption-free","limit":2,
@@ -138,7 +176,10 @@ let test_decode_requests () =
    with
   | Ok
       { verb =
-          W.Hello { seq = 12; protocol = 5; epoch = 2; rid = Some "r1" };
+          W.Hello
+            { seq = 12; protocol = 5; epoch = 2; rid = Some "r1";
+              addr = None
+            };
         _
       } -> ()
   | Ok _ -> Alcotest.fail "hello decoded wrong"
@@ -151,7 +192,7 @@ let test_decode_requests () =
       { verb =
           W.Pull
             { from_seq = 7; max = Some 64; epoch = 1; rid = Some "r1";
-              durable = Some 5
+              durable = Some 5; addr = None
             };
         _
       } -> ()
@@ -162,12 +203,19 @@ let test_decode_requests () =
       { verb =
           W.Pull
             { from_seq = 0; max = None; epoch = 0; rid = None;
-              durable = None
+              durable = None; addr = None
             };
         _
       } -> ()
   | Ok _ -> Alcotest.fail "pull without max decoded wrong"
   | Error e -> Alcotest.failf "pull rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request
+       {|{"op":"pull","from":2,"rid":"r2","addr":"127.0.0.1:7001"}|}
+   with
+  | Ok { verb = W.Pull { addr = Some "127.0.0.1:7001"; _ }; _ } -> ()
+  | Ok _ -> Alcotest.fail "pull addr decoded wrong"
+  | Error e -> Alcotest.failf "pull addr rejected: %s" (W.error_to_string e));
   (match W.decode_request {|{"op":"fetch_snapshot"}|} with
   | Ok { verb = W.Fetch_snapshot { epoch = 0 }; _ } -> ()
   | Ok _ -> Alcotest.fail "fetch_snapshot decoded wrong"
@@ -190,7 +238,7 @@ let test_decode_requests () =
    with
   | Ok { id = Some 9; verb = W.Batch items; _ } -> (
     match items with
-    | [ Ok { id = Some 1; verb = W.Query { obj = "c1"; lit = "p" }; _ };
+    | [ Ok { id = Some 1; verb = W.Query { obj = "c1"; lit = "p"; _ }; _ };
         Ok { verb = W.Stats; _ };
         Error _ (* obj not a string *);
         Error _ (* shutdown is not batchable *);
@@ -212,6 +260,10 @@ let test_decode_requests () =
   err {|{"op":"query","obj":"c1"}|} (* missing lit *);
   err {|{"op":"query","obj":3,"lit":"p"}|};
   err {|{"op":"models","obj":"o","kind":"total?"}|};
+  err {|{"op":"models","obj":"o","prefer":"fastest"}|};
+  err {|{"op":"models","obj":"o","kind":"assumption-free","prefer":"compiled"}|};
+  err {|{"op":"set_preference","rule":"a"}|} (* missing over *);
+  err {|{"op":"clear_preference","over":"b"}|} (* missing rule *);
   err {|{"op":"models","obj":"o","limit":-1}|};
   err {|{"op":"hello","seq":3}|} (* missing protocol *);
   err {|{"op":"hello","seq":-1,"protocol":3}|};
@@ -232,6 +284,11 @@ let corpus =
     {|{"op":"new_version","name":"x"}|};
     {|{"op":"query","obj":"c1","lit":"fly(penguin)","timeout_ms":100}|};
     {|{"op":"models","obj":"c1","kind":"stable","limit":3,"engine":"pruned"}|};
+    {|{"op":"models","obj":"c1","prefer":"compiled","limit":3}|};
+    {|{"op":"query","obj":"c1","lit":"p","prefer":"naive"}|};
+    {|{"op":"set_preference","rule":"nf","over":"f"}|};
+    {|{"op":"clear_preference","rule":"nf","over":"f"}|};
+    {|{"op":"pull","from":4,"max":128,"addr":"127.0.0.1:7001"}|};
     {|{"op":"explain","obj":"c1","lit":"-fly(penguin)","id":12}|};
     {|{"op":"stats"}|};
     {|{"op":"hello","seq":4,"protocol":3}|};
