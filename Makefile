@@ -6,8 +6,8 @@
 # Single source of truth for the randomized suites: the FUZZ_ITERS-scaled
 # fuzzers as suite=iterations pairs (fuzz and chaos share the sweep
 # loop), and the fault-injection suites crash-test runs in order.
-FUZZ_SUITES = fuzz=5000 diff-prefer=5000 proto=20000 persist=20000 \
-	replica=2000
+FUZZ_SUITES = fuzz=5000 diff-stable=2000 diff-prefer=5000 proto=20000 \
+	persist=20000 replica=2000
 CHAOS_FUZZ_SUITES = replica=2000 proto=20000 persist=20000
 CRASH_SUITES = crash replica linearize
 
@@ -25,17 +25,27 @@ test:
 # ratio regresses below the floor (PR 2 baseline: 364.8) or its pruned
 # median overshoots the absolute wall-clock ceiling (baseline: 4 ms —
 # the ceiling also catches a regression that slows both engines
-# equally).  See docs/PERFORMANCE.md.
+# equally).  Then the compiled-kernel benchmark (flat-array kernel vs
+# the pruned search, same model lists): writes BENCH_PR9.json and
+# fails if the scaled workload's pruned/compiled wall ratio falls
+# below the floor (PR 9 baseline: 2.0; floor at half) or the compiled
+# median overshoots the ceiling.  See docs/PERFORMANCE.md.
 bench:
 	dune exec bench/enum.exe -- --min-ratio 300 --max-wall-ms 250
+	dune exec bench/solve_bench.exe -- --min-wall-ratio 1.0 --max-wall-ms 250
 
-# Preference benchmark (compiled preferences + pruned search vs the
-# naive refined-grounding oracle, scaled prioritized-defaults
-# workloads): writes BENCH_PR8.json, then fails if the scaled
-# workload's compiled-vs-naive node ratio regresses below the floor
-# (PR 8 baseline: 145.8).  See docs/PERFORMANCE.md.
+# Preference benchmark (compiled preferences vs the naive
+# refined-grounding oracle, scaled prioritized-defaults workloads),
+# run once with the pruned search on the compiled program and once
+# with the flat-array kernel (--search compiled): writes
+# BENCH_PR8.json, then fails if the scaled workload's
+# compiled-vs-naive node ratio regresses below the floor (PR 8
+# baseline: 145.8; the kernel only raises the ratio).  See
+# docs/PERFORMANCE.md.
 bench-prefer:
 	dune exec bench/prefer.exe -- --min-ratio 140
+	dune exec bench/prefer.exe -- --search compiled --min-ratio 140 \
+	  --out BENCH_PR8_compiled.json
 
 # Serving benchmark (socket server, repeated-query workload): writes
 # BENCH_PR3.json with requests/sec and session-cache hit rate at one

@@ -30,7 +30,10 @@
    well-formedness test), --out FILE (default BENCH_PR8.json),
    --min-ratio R (exit 1 if the scaled workload's node ratio falls
    below R — the regression guard; the Makefile floor lives in
-   bench-prefer). *)
+   bench-prefer), --search pruned|compiled (the stable search run on
+   the compiled preference program; "compiled" is the flat-array
+   kernel — same models and order, fewer nodes on conflict-heavy
+   programs). *)
 
 module B = Ordered.Budget
 module C = Ordered.Counters
@@ -99,12 +102,14 @@ type row = {
   r_models : int;
 }
 
-let enumerate engine ?stats spec =
+let enumerate ~search engine ?stats spec =
   let result =
     match engine with
-    | `Compiled ->
-      Ordered.Stable.stable_models ?stats
-        (Prefer.Compile.gop (Prefer.Compile.compile spec))
+    | `Compiled -> (
+      let g = Prefer.Compile.gop (Prefer.Compile.compile spec) in
+      match search with
+      | `Pruned -> Ordered.Stable.stable_models ?stats g
+      | `Compiled -> Solve.Kernel.stable_models ?stats g)
     | `Naive -> Prefer.Naive.preferred_models ?stats spec
   in
   List.length (B.value result)
@@ -114,13 +119,13 @@ let median l =
   Array.sort compare a;
   a.(Array.length a / 2)
 
-let measure s engine =
+let measure ~search s engine =
   let spec = Lazy.force s.spec in
   let stats = C.create () in
-  let models = enumerate engine ~stats spec in
+  let models = enumerate ~search engine ~stats spec in
   let sample () =
     let t0 = Unix.gettimeofday () in
-    ignore (enumerate engine spec : int);
+    ignore (enumerate ~search engine spec : int);
     int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
   in
   let samples = List.init s.runs (fun _ -> sample ()) in
@@ -136,6 +141,7 @@ let () =
   let quick = ref false in
   let out = ref "BENCH_PR8.json" in
   let min_ratio = ref None in
+  let search = ref `Pruned in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -143,6 +149,15 @@ let () =
       parse rest
     | "--out" :: file :: rest ->
       out := file;
+      parse rest
+    | "--search" :: s :: rest ->
+      (match s with
+      | "pruned" -> search := `Pruned
+      | "compiled" -> search := `Compiled
+      | _ ->
+        Printf.eprintf "prefer: --search expects pruned or compiled, got %s\n"
+          s;
+        exit 2);
       parse rest
     | "--min-ratio" :: r :: rest ->
       (match float_of_string_opt r with
@@ -157,8 +172,11 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let specs = if !quick then quick_specs else full_specs in
+  let search = !search in
   let rows =
-    List.concat_map (fun s -> [ measure s `Compiled; measure s `Naive ]) specs
+    List.concat_map
+      (fun s -> [ measure ~search s `Compiled; measure ~search s `Naive ])
+      specs
   in
   (* the two engines are differential implementations of the same
      semantics: a model-count mismatch is a bug, not a data point *)
@@ -194,6 +212,8 @@ let () =
   let p fmt = Printf.fprintf oc fmt in
   p "{\n  \"bench\": \"PR8 preferences\",\n  \"mode\": \"%s\",\n"
     (if !quick then "quick" else "full");
+  p "  \"search\": \"%s\",\n"
+    (match search with `Pruned -> "pruned" | `Compiled -> "compiled");
   p "  \"workloads\": [\n";
   List.iteri
     (fun i r ->

@@ -25,8 +25,21 @@ Makefile's bench-prefer target):
   prefer: node ratio regression on prioritized-defaults-3: 9.0 < required 1000000.0
   [1]
 
+--search compiled runs the flat-array kernel on the compiled
+preference program: fewer search nodes against the same oracle, so
+the ratio only improves (the counters are deterministic):
+
+  $ ../prefer.exe --quick --out bench.json --search compiled --min-ratio 9.0
+  wrote bench.json
+  node ratio 11.3 >= 9.0: ok
+  $ ../json_check.exe bench.json bench mode search workloads ratios summary
+  bench.json: valid JSON
+
 Flags are validated:
 
   $ ../prefer.exe --min-ratio nope
   prefer: --min-ratio expects a number, got nope
+  [2]
+  $ ../prefer.exe --search fastest
+  prefer: --search expects pruned or compiled, got fastest
   [2]

@@ -1,0 +1,32 @@
+The compiled-kernel benchmark emits well-formed JSON with the
+trajectory's sections (checked with the bundled validator — no jq
+dependency):
+
+  $ ../solve_bench.exe --quick --out bench.json
+  wrote bench.json
+  $ ../json_check.exe bench.json bench mode workloads ratios summary
+  bench.json: valid JSON
+
+The wall-ratio regression guard: a reachable floor passes (the
+measured ratio varies run to run, so the digits are normalised away),
+an absurd one fails with a diagnostic (the real floor lives in the
+Makefile's bench target):
+
+  $ ../solve_bench.exe --quick --out bench.json --min-wall-ratio 0.01 | sed 's/ratio [0-9.]* >=/ratio R >=/'
+  wrote bench.json
+  wall ratio R >= 0.01: ok
+  $ ../solve_bench.exe --quick --out bench.json --min-wall-ratio 1000000 2>&1 | sed 's/af: [0-9.]* </af: R </'
+  wrote bench.json
+  solve-bench: wall-ratio regression on even-loops-3/af: R < required 1000000.00
+  $ ../solve_bench.exe --quick --out bench.json --min-wall-ratio 1000000 >/dev/null 2>&1
+  [1]
+
+The absolute wall-clock ceiling on the compiled median, and flag
+validation:
+
+  $ ../solve_bench.exe --quick --out bench.json --max-wall-ms 60000 | sed 's/median [0-9]* ms/median N ms/'
+  wrote bench.json
+  compiled median N ms <= 60000 ms: ok
+  $ ../solve_bench.exe --max-wall-ms 0
+  solve-bench: --max-wall-ms expects a positive integer, got 0
+  [2]

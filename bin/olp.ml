@@ -277,17 +277,26 @@ let models_cmd =
   in
   let search =
     Arg.(value
-         & opt (enum [ ("pruned", `Pruned); ("naive", `Naive) ]) `Pruned
+         & opt
+             (enum
+                [ ("pruned", `Pruned); ("naive", `Naive);
+                  ("compiled", `Compiled)
+                ])
+             `Pruned
          & info [ "search" ] ~docv:"SEARCH"
              ~doc:"Enumeration engine: $(b,pruned) (branch-and-propagate, \
-                   default) or $(b,naive) (leaf-check oracle).  Same model \
-                   set, different enumeration order.")
+                   default), $(b,naive) (leaf-check oracle) or \
+                   $(b,compiled) (flat-array kernel with watched-literal \
+                   propagation and conflict-driven nogood learning — same \
+                   models and order as $(b,pruned), fewer visited nodes).")
   in
   let stats_flag =
     Arg.(value & flag
          & info [ "stats" ]
              ~doc:"Print search-effort counters (nodes, leaves, prunes, \
-                   forced, models) on stderr after the models.")
+                   forced, models; with $(b,--search compiled) also \
+                   propagations, conflicts, learned/evicted nogoods and \
+                   restarts) on stderr after the models.")
   in
   let prefer =
     Arg.(value
@@ -297,10 +306,10 @@ let models_cmd =
              ~doc:"Enumerate only the $(i,preferred) stable models under \
                    the file's $(b,prefer) declarations: $(b,compiled) \
                    translates the preferences into fresh components and \
-                   runs the pruned search on the compiled program; \
-                   $(b,naive) is the reference oracle on the original \
-                   grounding.  Stable models only; $(b,--search) is \
-                   implied by the engine choice.")
+                   runs the stable search chosen by $(b,--search) on the \
+                   compiled program; $(b,naive) is the reference oracle \
+                   on the original grounding (it ignores $(b,--search)).  \
+                   Stable models only.")
   in
   let run budget file comp depth relevant facts max_instances kind limit
       search stats prefer =
@@ -333,7 +342,15 @@ let models_cmd =
               ~grounder:(grounder_of_flag relevant) ~depth
               (Prefer.Compile.compile spec)
           with
-          | g -> Ordered.Stable.stable_models ?limit ~budget ~stats:counters g
+          | g -> (
+            match search with
+            | `Pruned ->
+              Ordered.Stable.stable_models ?limit ~budget ~stats:counters g
+            | `Naive ->
+              Ordered.Stable.Naive.stable_models ?limit ~budget
+                ~stats:counters g
+            | `Compiled ->
+              Solve.Kernel.stable_models ?limit ~budget ~stats:counters g)
           | exception Invalid_argument e ->
             Printf.eprintf "%s\n" e;
             exit exit_error)
@@ -354,11 +371,17 @@ let models_cmd =
         | `Af, `Naive ->
           Ordered.Stable.Naive.assumption_free_models ?limit ~budget
             ~stats:counters g
+        | `Stable, `Compiled ->
+          Solve.Kernel.stable_models ?limit ~budget ~stats:counters g
+        | `Af, `Compiled ->
+          Solve.Kernel.assumption_free_models ?limit ~budget ~stats:counters g
         | `Total, `Pruned ->
           Ordered.Exhaustive.total_models ?limit ~budget ~stats:counters g
         | `Total, `Naive ->
           Ordered.Exhaustive.Naive.total_models ?limit ~budget ~stats:counters
-            g)
+            g
+        | `Total, `Compiled ->
+          Solve.Kernel.total_models ?limit ~budget ~stats:counters g)
     in
     let models = Ordered.Budget.value result in
     Format.printf "%d model(s)@." (List.length models);

@@ -289,6 +289,8 @@ module Values = struct
   let defined (v : t) i = v.(i) <> 0
   let equal (a : t) (b : t) = a = b
 
+  let of_codes (a : int array) : t = a
+
   let of_interp (g : gop) interp =
     let v = create g in
     let extra = ref [] in

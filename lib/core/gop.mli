@@ -116,5 +116,13 @@ module Values : sig
       that do not occur in the ground program (they take part in no rule,
       but make the interpretation non-assumption-free). *)
 
+  val of_codes : int array -> t
+  (** Adopt a raw code array — one slot per atom id, [0] undefined, [1]
+      true, [2] false — as an assignment {e without copying}.  This is the
+      bridge used by the compiled kernel ([Solve]), whose flat solver
+      state is exactly this encoding: the model checks can then run on
+      the live array with no per-leaf translation.  The caller must keep
+      the codes in range. *)
+
   val to_interp : gop -> t -> Logic.Interp.t
 end

@@ -4,25 +4,63 @@ type t = {
   mutable prunes : int;
   mutable forced : int;
   mutable models : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable learned : int;
+  mutable evicted : int;
+  mutable restarts : int;
 }
 
-let create () = { nodes = 0; leaves = 0; prunes = 0; forced = 0; models = 0 }
+let create () =
+  { nodes = 0;
+    leaves = 0;
+    prunes = 0;
+    forced = 0;
+    models = 0;
+    propagations = 0;
+    conflicts = 0;
+    learned = 0;
+    evicted = 0;
+    restarts = 0
+  }
 
 let reset c =
   c.nodes <- 0;
   c.leaves <- 0;
   c.prunes <- 0;
   c.forced <- 0;
-  c.models <- 0
+  c.models <- 0;
+  c.propagations <- 0;
+  c.conflicts <- 0;
+  c.learned <- 0;
+  c.evicted <- 0;
+  c.restarts <- 0
 
 let add ~into c =
   into.nodes <- into.nodes + c.nodes;
   into.leaves <- into.leaves + c.leaves;
   into.prunes <- into.prunes + c.prunes;
   into.forced <- into.forced + c.forced;
-  into.models <- into.models + c.models
+  into.models <- into.models + c.models;
+  into.propagations <- into.propagations + c.propagations;
+  into.conflicts <- into.conflicts + c.conflicts;
+  into.learned <- into.learned + c.learned;
+  into.evicted <- into.evicted + c.evicted;
+  into.restarts <- into.restarts + c.restarts
+
+let has_solver c =
+  c.propagations <> 0 || c.conflicts <> 0 || c.learned <> 0 || c.evicted <> 0
+  || c.restarts <> 0
 
 let pp ppf c =
   Format.fprintf ppf
     "%d nodes, %d leaves, %d pruned subtrees, %d forced branches, %d models"
-    c.nodes c.leaves c.prunes c.forced c.models
+    c.nodes c.leaves c.prunes c.forced c.models;
+  (* the solver counters exist only for the compiled kernel; the printed
+     line for the pruned/naive engines is a cram-pinned contract, so they
+     are appended only when one of them moved *)
+  if has_solver c then
+    Format.fprintf ppf
+      "; solver: %d propagations, %d conflicts, %d learned nogoods (%d \
+       evicted), %d restarts"
+      c.propagations c.conflicts c.learned c.evicted c.restarts

@@ -12,9 +12,13 @@ type op =
   | Models of {
       kind : [ `Stable | `Af ];
       limit : int option;
-      engine : [ `Pruned | `Naive ];
+      engine : [ `Pruned | `Naive | `Compiled ];
     }
-  | Preferred of { limit : int option; engine : [ `Compiled | `Naive ] }
+  | Preferred of {
+      limit : int option;
+      engine : [ `Compiled | `Naive ];
+      search : [ `Pruned | `Naive | `Compiled ];
+    }
   | Explained of string  (* printed literal *)
 
 type entry =
@@ -387,10 +391,10 @@ let prefer_gop ?budget ?metrics t ~obj =
   | None -> record_miss t);
   prefer_gop_of ?budget ?metrics v ~obj
 
-let preferred_models ?limit ?budget ?(engine = `Compiled) ?stats ?metrics t
-    ~obj =
+let preferred_models ?limit ?budget ?(engine = `Compiled) ?(search = `Pruned)
+    ?stats ?metrics t ~obj =
   let v = current t in
-  let key = (obj, Preferred { limit; engine }) in
+  let key = (obj, Preferred { limit; engine; search }) in
   match KeyMap.find_opt key (Atomic.get v.results) with
   | Some (E_models ms) ->
     record_hit t;
@@ -401,9 +405,12 @@ let preferred_models ?limit ?budget ?(engine = `Compiled) ?stats ?metrics t
     record_miss t;
     let r =
       match engine with
-      | `Compiled ->
-        Ordered.Stable.stable_models ?limit ?budget ?stats
-          (prefer_gop_of ?budget ?metrics v ~obj)
+      | `Compiled -> (
+        let g = prefer_gop_of ?budget ?metrics v ~obj in
+        match search with
+        | `Pruned -> Ordered.Stable.stable_models ?limit ?budget ?stats g
+        | `Naive -> Ordered.Stable.Naive.stable_models ?limit ?budget ?stats g
+        | `Compiled -> Solve.Kernel.stable_models ?limit ?budget ?stats g)
       | `Naive ->
         Store.preferred_models ?limit ?budget ~engine:`Naive ?stats v.vstore
           ~obj

@@ -158,7 +158,7 @@ val query_src :
 val stable_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
-  ?engine:[ `Pruned | `Naive ] ->
+  ?engine:[ `Pruned | `Naive | `Compiled ] ->
   ?stats:Ordered.Counters.t ->
   t ->
   obj:string ->
@@ -167,7 +167,7 @@ val stable_models :
 val assumption_free_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
-  ?engine:[ `Pruned | `Naive ] ->
+  ?engine:[ `Pruned | `Naive | `Compiled ] ->
   ?stats:Ordered.Counters.t ->
   t ->
   obj:string ->
@@ -192,12 +192,13 @@ val preferred_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
   ?engine:[ `Compiled | `Naive ] ->
+  ?search:[ `Pruned | `Naive | `Compiled ] ->
   ?stats:Ordered.Counters.t ->
   ?metrics:Governor.Metrics.t ->
   t ->
   obj:string ->
   Logic.Interp.t list Ordered.Budget.anytime
 (** {!Store.preferred_models} through the per-view result cache (keyed
-    by [obj], [limit] and [engine]; only complete enumerations are
-    cached).  [metrics] accounts compilations and cache hits as in
+    by [obj], [limit], [engine] and [search]; only complete enumerations
+    are cached).  [metrics] accounts compilations and cache hits as in
     {!prefer_gop}. *)

@@ -303,6 +303,7 @@ let stable_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
   match engine with
   | `Pruned -> Ordered.Stable.stable_models ?limit ?budget ?stats g
   | `Naive -> Ordered.Stable.Naive.stable_models ?limit ?budget ?stats g
+  | `Compiled -> Solve.Kernel.stable_models ?limit ?budget ?stats g
 
 let assumption_free_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
   let g = gop ?budget kb ~obj in
@@ -310,6 +311,7 @@ let assumption_free_models ?limit ?budget ?(engine = `Pruned) ?stats kb ~obj =
   | `Pruned -> Ordered.Stable.assumption_free_models ?limit ?budget ?stats g
   | `Naive ->
     Ordered.Stable.Naive.assumption_free_models ?limit ?budget ?stats g
+  | `Compiled -> Solve.Kernel.assumption_free_models ?limit ?budget ?stats g
 
 let explain kb ~obj l = Ordered.Explain.explain (gop kb ~obj) l
 
@@ -335,10 +337,14 @@ let prefer_gop ?budget kb ~obj =
     kb.pcache <- (obj, g) :: kb.pcache;
     g
 
-let preferred_models ?limit ?budget ?(engine = `Compiled) ?stats kb ~obj =
+let preferred_models ?limit ?budget ?(engine = `Compiled) ?(search = `Pruned)
+    ?stats kb ~obj =
   match engine with
-  | `Compiled ->
-    Ordered.Stable.stable_models ?limit ?budget ?stats
-      (prefer_gop ?budget kb ~obj)
+  | `Compiled -> (
+    let g = prefer_gop ?budget kb ~obj in
+    match search with
+    | `Pruned -> Ordered.Stable.stable_models ?limit ?budget ?stats g
+    | `Naive -> Ordered.Stable.Naive.stable_models ?limit ?budget ?stats g
+    | `Compiled -> Solve.Kernel.stable_models ?limit ?budget ?stats g)
   | `Naive ->
     Prefer.Naive.preferred_models ?limit ?budget ?stats (prefer_spec kb ~obj)

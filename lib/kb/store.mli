@@ -154,7 +154,7 @@ val least_model :
 val stable_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
-  ?engine:[ `Pruned | `Naive ] ->
+  ?engine:[ `Pruned | `Naive | `Compiled ] ->
   ?stats:Ordered.Counters.t ->
   t ->
   obj:string ->
@@ -162,13 +162,16 @@ val stable_models :
 (** Anytime, like {!Ordered.Stable.stable_models}: a [Partial] result
     carries the stable models found before the budget ran out.
     [engine] selects the branch-and-propagate search ([`Pruned], the
-    default) or the leaf-check oracle ([`Naive]) — same model set,
-    different enumeration order; [stats] accumulates search effort. *)
+    default), the leaf-check oracle ([`Naive]) — same model set,
+    different enumeration order — or the compiled flat-array kernel
+    ([`Compiled], {!Solve.Kernel}) — same model set {e and} same
+    enumeration order as [`Pruned], fewer visited nodes; [stats]
+    accumulates search effort. *)
 
 val assumption_free_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
-  ?engine:[ `Pruned | `Naive ] ->
+  ?engine:[ `Pruned | `Naive | `Compiled ] ->
   ?stats:Ordered.Counters.t ->
   t ->
   obj:string ->
@@ -183,16 +186,20 @@ val preferred_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
   ?engine:[ `Compiled | `Naive ] ->
+  ?search:[ `Pruned | `Naive | `Compiled ] ->
   ?stats:Ordered.Counters.t ->
   t ->
   obj:string ->
   Logic.Interp.t list Ordered.Budget.anytime
 (** The preferred models viewed from [obj] under the store's preference
     pairs (with no pairs: exactly {!stable_models}).  [`Compiled] (the
-    default) evaluates the {!Prefer.Compile} translation with the pruned
-    search; [`Naive] runs the {!Prefer.Naive} oracle — same model set,
-    different enumeration order.  Raises {!Ordered.Diag.Error} if a
-    preference names a rule absent from this view. *)
+    default) evaluates the {!Prefer.Compile} translation; [`Naive] runs
+    the {!Prefer.Naive} oracle — same model set, different enumeration
+    order.  [search] picks the stable-model engine used on the compiled
+    translation ([`Pruned], the default; [`Compiled] for the flat-array
+    kernel — same models and order, fewer nodes); it is ignored by the
+    naive route.  Raises {!Ordered.Diag.Error} if a preference names a
+    rule absent from this view. *)
 
 val prefer_spec : t -> obj:string -> Prefer.Spec.t
 (** The validated preference specification for the view from [obj]. *)

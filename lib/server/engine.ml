@@ -157,6 +157,18 @@ let kind_to_string = function
 
 let prefer_to_string = function `Compiled -> "compiled" | `Naive -> "naive"
 
+(* Per-request solver counters, folded into the server metrics after the
+   search returns (only the compiled kernel sets them, so pruned/naive
+   traffic leaves the stats line untouched). *)
+let record_solver t (c : Ordered.Counters.t) =
+  if Ordered.Counters.has_solver c then begin
+    M.add t.metrics "solver_propagations" c.propagations;
+    M.add t.metrics "solver_conflicts" c.conflicts;
+    M.add t.metrics "solver_learned" c.learned;
+    M.add t.metrics "solver_evicted" c.evicted;
+    M.add t.metrics "solver_restarts" c.restarts
+  end
+
 let is_write = function
   | Wire.Load _ | Wire.Define _ | Wire.Add_rule _ | Wire.Remove_rule _
   | Wire.New_version _ | Wire.Set_preference _ | Wire.Clear_preference _ ->
@@ -299,21 +311,24 @@ let serve t ~id req =
   | Wire.New_version _ | Wire.Set_preference _ | Wire.Clear_preference _
   | Wire.Batch _ ->
     assert false (* routed to serve_write / handle_batch *)
-  | Wire.Query { obj; lit; prefer = None } ->
+  | Wire.Query { obj; lit; prefer = None; search = _ } ->
     let l = Lang.Parser.parse_literal lit in
     let v = Kb.Session.query ~budget session ~obj l in
     Wire.ok ?id [ ("value", Wire.String (value_to_string v)) ]
-  | Wire.Query { obj; lit; prefer = Some engine } -> (
+  | Wire.Query { obj; lit; prefer = Some engine; search } -> (
     (* skeptical reading: the value all preferred models agree on,
        [undefined] when they disagree.  Sound only over the complete
        enumeration, so a budget trip carries no value at all. *)
     let l = Lang.Parser.parse_literal lit in
     if not (Logic.Literal.is_ground l) then
       invalid_arg "query: literal must be ground";
-    match
-      Kb.Session.preferred_models ~budget ~engine ~metrics:t.metrics session
-        ~obj
-    with
+    let stats = Ordered.Counters.create () in
+    let result =
+      Kb.Session.preferred_models ~budget ~engine ?search ~stats
+        ~metrics:t.metrics session ~obj
+    in
+    record_solver t stats;
+    match result with
     | B.Complete ms ->
       let v =
         match List.map (fun m -> Logic.Interp.value_lit m l) ms with
@@ -329,19 +344,21 @@ let serve t ~id req =
     | B.Partial (_, reason) ->
       Wire.partial ?id ~reason:(B.reason_to_string reason) [])
   | Wire.Models { obj; kind; limit; engine; prefer } ->
+    let stats = Ordered.Counters.create () in
     let result =
       match prefer with
       | Some pengine ->
         Kb.Session.preferred_models ?limit ~budget ~engine:pengine
-          ~metrics:t.metrics session ~obj
+          ~search:engine ~stats ~metrics:t.metrics session ~obj
       | None -> (
         match kind with
         | `Stable ->
-          Kb.Session.stable_models ?limit ~budget ~engine session ~obj
+          Kb.Session.stable_models ?limit ~budget ~engine ~stats session ~obj
         | `Af ->
-          Kb.Session.assumption_free_models ?limit ~budget ~engine session
-            ~obj)
+          Kb.Session.assumption_free_models ?limit ~budget ~engine ~stats
+            session ~obj)
     in
+    record_solver t stats;
     let ms = B.value result in
     let fields =
       (match prefer with

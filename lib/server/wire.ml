@@ -311,12 +311,13 @@ type verb =
       obj : string;
       lit : string;
       prefer : [ `Compiled | `Naive ] option;
+      search : [ `Pruned | `Naive | `Compiled ] option;
     }
   | Models of {
       obj : string;
       kind : [ `Stable | `Af ];
       limit : int option;
-      engine : [ `Pruned | `Naive ];
+      engine : [ `Pruned | `Naive | `Compiled ];
       prefer : [ `Compiled | `Naive ] option;
     }
   | Set_preference of { rule : string; over : string }
@@ -349,8 +350,8 @@ and request = { id : int option; budget : budget_spec; verb : verb }
 
 and batch_item = (request, string) result
 
-let package_version = "1.5.0"
-let protocol_revision = 6
+let package_version = "1.6.0"
+let protocol_revision = 7
 let max_batch = 256
 
 exception Bad_request of string
@@ -398,6 +399,23 @@ let prefer_field o =
   | Some "naive" -> Some `Naive
   | Some p -> reject "unknown prefer engine %S" p
 
+(* [search] is the canonical field naming the stable-model search
+   engine; [engine] is kept as a legacy alias (models only).  When both
+   appear they must agree. *)
+let search_field o =
+  let of_name field = function
+    | "pruned" -> `Pruned
+    | "naive" -> `Naive
+    | "compiled" -> `Compiled
+    | e -> reject "unknown %s %S" field e
+  in
+  match (opt_str_field o "search", opt_str_field o "engine") with
+  | Some s, Some e when s <> e ->
+    reject "\"search\" and legacy \"engine\" disagree (%S vs %S)" s e
+  | Some s, _ -> Some (of_name "search engine" s)
+  | None, Some e -> Some (of_name "engine" e)
+  | None, None -> None
+
 let rec decode_verb o = function
   | "load" -> Load { src = str_field o "src" }
   | "define" ->
@@ -412,11 +430,11 @@ let rec decode_verb o = function
   | "new_version" ->
     New_version { name = str_field o "name"; rules = opt_str_field o "rules" }
   | "query" ->
-    Query
-      { obj = str_field o "obj";
-        lit = str_field o "lit";
-        prefer = prefer_field o
-      }
+    let prefer = prefer_field o in
+    let search = search_field o in
+    if search <> None && prefer = None then
+      reject "\"search\" on a query requires \"prefer\"";
+    Query { obj = str_field o "obj"; lit = str_field o "lit"; prefer; search }
   | "models" ->
     let kind =
       match opt_str_field o "kind" with
@@ -424,12 +442,7 @@ let rec decode_verb o = function
       | Some "assumption-free" -> `Af
       | Some k -> reject "unknown models kind %S" k
     in
-    let engine =
-      match opt_str_field o "engine" with
-      | None | Some "pruned" -> `Pruned
-      | Some "naive" -> `Naive
-      | Some e -> reject "unknown engine %S" e
-    in
+    let engine = Option.value ~default:`Pruned (search_field o) in
     let prefer = prefer_field o in
     if prefer <> None && kind = `Af then
       reject "\"prefer\" applies to stable models only (kind \"stable\")";

@@ -66,21 +66,27 @@ type verb =
       obj : string;
       lit : string;
       prefer : [ `Compiled | `Naive ] option;
+      search : [ `Pruned | `Naive | `Compiled ] option;
     }
       (** with [prefer], the skeptical value of [lit] across the
           preferred models (under the KB's preference pairs) instead of
-          its least-model value *)
+          its least-model value; [search] then picks the stable-model
+          engine used on the compiled preference translation (sending
+          it without [prefer] is a request error) *)
   | Models of {
       obj : string;
       kind : [ `Stable | `Af ];
       limit : int option;
-      engine : [ `Pruned | `Naive ];
+      engine : [ `Pruned | `Naive | `Compiled ];
       prefer : [ `Compiled | `Naive ] option;
     }
-      (** with [prefer] (["compiled"] or ["naive"]), enumerate the
-          preferred models through the chosen route; [engine] is
-          ignored then, and combining [prefer] with the
-          assumption-free kind is a request error *)
+      (** [engine] comes from the canonical ["search"] field (legacy
+          alias ["engine"]; ["compiled"] selects the flat-array
+          kernel).  With [prefer] (["compiled"] or ["naive"]),
+          enumerate the preferred models through the chosen route —
+          ["search"] then applies to the compiled route's stable
+          search — and combining [prefer] with the assumption-free
+          kind is a request error *)
   | Set_preference of { rule : string; over : string }
       (** add one rule-preference pair (a write; replicates) *)
   | Clear_preference of { rule : string; over : string }

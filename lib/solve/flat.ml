@@ -1,0 +1,201 @@
+(* One-shot compilation of a ground ordered program into flat
+   integer-indexed arrays.  [Ordered.Gop.t] already interns atoms and
+   rules as dense ints, but its adjacency lives in [int list array]s and
+   its rule bodies in per-rule tuples; every propagation pass over those
+   chases list spines and re-reads tuple fields.  The compiled form packs
+   everything the kernel touches into CSR (offset + payload) int arrays:
+   one cache-friendly slab per relation, no allocation during search.
+
+   The compilation is per ground program, independent of any assignment
+   or budget; the kernel compiles once per solve call and reuses the
+   arrays across the whole search. *)
+
+type t = {
+  gop : Ordered.Gop.t;  (* decoding, model checks, symbolic output *)
+  n_atoms : int;
+  n_rules : int;
+  head : int array;  (* rule -> head atom id *)
+  head_pol : bool array;  (* rule -> head polarity *)
+  body_len : int array;  (* rule -> number of (deduplicated) body literals *)
+  body_off : int array;  (* rule -> offset into body_atom/body_pol *)
+  body_atom : int array;
+  body_pol : bool array;
+  occ_off : int array;  (* literal code -> offset into occ_rule *)
+  occ_rule : int array;  (* rules whose body contains the literal *)
+  by_head_off : int array;  (* atom -> offset into by_head_rule *)
+  by_head_rule : int array;
+  n_sup : int array;  (* rule -> number of suppressors (over- + defeat-) *)
+  sup_of_off : int array;  (* rule -> offset into sup_of_rule *)
+  sup_of_rule : int array;  (* suppressors of the rule, lowest rank first *)
+  suppresses_off : int array;  (* rule -> offset into suppresses_rule *)
+  suppresses_rule : int array;  (* rules this rule suppresses *)
+  rank : int array;  (* rule -> rank of its component in the order *)
+  occ_score : int array;  (* atom -> head+body occurrence count *)
+  head_pos : bool array;  (* atom -> occurs as a positive head *)
+  head_neg : bool array;  (* atom -> occurs as a negative head *)
+}
+
+(* Literal codes: [2a] is atom [a] positive, [2a+1] negative.  Assigning
+   [a := pol] makes literal [code a pol] true and [code a (not pol)]
+   false, so one CSR over codes serves both propagation directions. *)
+let code a pol = (2 * a) + if pol then 0 else 1
+
+(* Pack an [int list array] (as built by [Gop]) into CSR, preserving an
+   explicitly supplied deterministic order within each row. *)
+let csr_of_lists n rows =
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + List.length rows.(i)
+  done;
+  let payload = Array.make off.(n) 0 in
+  for i = 0 to n - 1 do
+    List.iteri (fun k j -> payload.(off.(i) + k) <- j) rows.(i)
+  done;
+  (off, payload)
+
+(* Rank of a component in the order: 0 for minimal components, otherwise
+   one more than the highest-ranked component strictly below.  The rank
+   vector is what the kernel keeps of the component order at runtime —
+   the suppression edges already encode who beats whom, and the ranks
+   give each suppressor list a deterministic lowest-component-first
+   layout (overruling components sort before same-level defeaters). *)
+let ranks_of poset n =
+  let rank = Array.make n 0 in
+  (* ids are few; a fixpoint over the strict order terminates because the
+     order is acyclic *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for a = 0 to n - 1 do
+      for b = 0 to n - 1 do
+        if Ordered.Poset.lt poset a b && rank.(b) < rank.(a) + 1 then begin
+          rank.(b) <- rank.(a) + 1;
+          changed := true
+        end
+      done
+    done
+  done;
+  rank
+
+let compile (g : Ordered.Gop.t) =
+  let n_atoms = Ordered.Gop.n_atoms g in
+  let n_rules = Ordered.Gop.n_rules g in
+  let head = Array.make (max 1 n_rules) 0 in
+  let head_pol = Array.make (max 1 n_rules) false in
+  let body_len = Array.make (max 1 n_rules) 0 in
+  let body_off = Array.make (n_rules + 1) 0 in
+  Array.iteri
+    (fun i (r : Ordered.Gop.grule) ->
+      head.(i) <- r.head;
+      head_pol.(i) <- r.head_pol;
+      body_len.(i) <- Array.length r.body;
+      body_off.(i + 1) <- body_off.(i) + Array.length r.body)
+    g.Ordered.Gop.rules;
+  let nbody = body_off.(n_rules) in
+  let body_atom = Array.make (max 1 nbody) 0 in
+  let body_pol = Array.make (max 1 nbody) false in
+  Array.iteri
+    (fun i (r : Ordered.Gop.grule) ->
+      Array.iteri
+        (fun k (a, pol) ->
+          body_atom.(body_off.(i) + k) <- a;
+          body_pol.(body_off.(i) + k) <- pol)
+        r.body)
+    g.Ordered.Gop.rules;
+  (* body-literal occurrences, by literal code, rules ascending *)
+  let occ_rows = Array.make (2 * n_atoms) [] in
+  for i = n_rules - 1 downto 0 do
+    for k = body_off.(i) to body_off.(i + 1) - 1 do
+      let c = code body_atom.(k) body_pol.(k) in
+      occ_rows.(c) <- i :: occ_rows.(c)
+    done
+  done;
+  let occ_off, occ_rule = csr_of_lists (2 * n_atoms) occ_rows in
+  let by_head_off, by_head_rule =
+    csr_of_lists n_atoms
+      (Array.map (fun l -> List.sort compare l) g.Ordered.Gop.by_head)
+  in
+  (* component ranks, then suppressor lists lowest rank first (overrulers
+     sit strictly below, so they come before same-level defeaters) *)
+  let poset = Ordered.Program.poset g.Ordered.Gop.program in
+  let comp_rank = ranks_of poset (Ordered.Poset.size poset) in
+  let rank =
+    Array.init (max 1 n_rules) (fun i ->
+        if i < n_rules then comp_rank.(g.Ordered.Gop.rules.(i).comp) else 0)
+  in
+  let sup_rows =
+    Array.init (max 1 n_rules) (fun i ->
+        if i >= n_rules then []
+        else
+          List.sort
+            (fun a b -> compare (rank.(a), a) (rank.(b), b))
+            (g.Ordered.Gop.overrulers.(i) @ g.Ordered.Gop.defeaters.(i)))
+  in
+  let sup_of_off, sup_of_rule =
+    csr_of_lists n_rules (Array.sub sup_rows 0 n_rules)
+  in
+  let n_sup =
+    Array.init (max 1 n_rules) (fun i ->
+        if i < n_rules then sup_of_off.(i + 1) - sup_of_off.(i) else 0)
+  in
+  let suppresses_off, suppresses_rule =
+    csr_of_lists n_rules
+      (Array.map (fun l -> List.sort compare l)
+         (Array.sub g.Ordered.Gop.suppresses 0 n_rules))
+  in
+  (* fail-first occurrence score and head-polarity flags, as in the
+     pruned search's static ordering *)
+  let occ_score = Array.make (max 1 n_atoms) 0 in
+  let head_pos = Array.make (max 1 n_atoms) false in
+  let head_neg = Array.make (max 1 n_atoms) false in
+  Array.iter
+    (fun (r : Ordered.Gop.grule) ->
+      occ_score.(r.head) <- occ_score.(r.head) + 1;
+      if r.head_pol then head_pos.(r.head) <- true
+      else head_neg.(r.head) <- true;
+      Array.iter (fun (a, _) -> occ_score.(a) <- occ_score.(a) + 1) r.body)
+    g.Ordered.Gop.rules;
+  { gop = g;
+    n_atoms;
+    n_rules;
+    head;
+    head_pol;
+    body_len;
+    body_off;
+    body_atom;
+    body_pol;
+    occ_off;
+    occ_rule;
+    by_head_off;
+    by_head_rule;
+    n_sup;
+    sup_of_off;
+    sup_of_rule;
+    suppresses_off;
+    suppresses_rule;
+    rank;
+    occ_score;
+    head_pos;
+    head_neg
+  }
+
+type stats = {
+  atoms : int;
+  rules : int;
+  body_slots : int;
+  suppression_edges : int;
+  max_rank : int;
+}
+
+let stats t =
+  { atoms = t.n_atoms;
+    rules = t.n_rules;
+    body_slots = t.body_off.(t.n_rules);
+    suppression_edges = t.sup_of_off.(t.n_rules);
+    max_rank = Array.fold_left max 0 (Array.sub t.rank 0 (max 1 t.n_rules))
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d atoms, %d rules, %d body slots, %d suppression edges, rank depth %d"
+    s.atoms s.rules s.body_slots s.suppression_edges s.max_rank

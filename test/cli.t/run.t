@@ -82,6 +82,16 @@ and --stats exposes the search effort of either engine:
   {a, -b, c}
   search: 7 nodes, 3 leaves, 2 pruned subtrees, 2 forced branches, 3 models
 
+The compiled kernel reproduces the pruned list (contents *and* order)
+and reports its solver counters after the shared ones:
+
+  $ olp models p5.olp --kind assumption-free --search compiled --stats 2>&1
+  3 model(s)
+  {c}
+  {-a, b, c}
+  {a, -b, c}
+  search: 7 nodes, 3 leaves, 2 pruned subtrees, 2 forced branches, 3 models; solver: 7 propagations, 1 conflicts, 1 learned nogoods (0 evicted), 0 restarts
+
 Rule preferences: rules may be named, and prefer declarations select
 the preferred stable models (docs/SEMANTICS.md).  Without a
 preference the default and the exception defeat each other and fly
@@ -106,6 +116,14 @@ stays undefined; the preference breaks the tie:
   $ olp models prefs.olp --prefer compiled
   1 model(s)
   {bird(tweety), -fly(tweety), penguin(tweety)}
+
+--search picks the stable search run on the compiled preference
+program; the flat-array kernel gives the same preferred models:
+
+  $ olp models prefs.olp --prefer compiled --search compiled --stats 2>&1
+  1 model(s)
+  {bird(tweety), -fly(tweety), penguin(tweety)}
+  search: 1 nodes, 1 leaves, 0 pruned subtrees, 0 forced branches, 1 models; solver: 3 propagations, 0 conflicts, 0 learned nogoods (0 evicted), 0 restarts
 
 The naive engine is the reference oracle — same models, its own
 enumeration order:

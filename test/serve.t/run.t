@@ -90,15 +90,35 @@ preference restores the undecided models:
   $ olp call --socket s.sock '{"op":"models","obj":"main","prefer":"compiled"}'
   {"status":"ok","kind":"preferred","prefer":"compiled","count":1,"models":[["bird(tweety)","penguin(tweety)"]]}
 
+The compiled flat-array kernel over the wire (protocol revision 7):
+the canonical "search" field selects the stable-model engine on
+models — same model list as the pruned default, in the same order —
+and the legacy "engine" alias keeps working.  With "prefer", "search"
+picks the engine run on the compiled preference program; on a plain
+query it is a request error:
+
+  $ olp call --socket s.sock '{"op":"models","obj":"bot","kind":"stable","search":"compiled"}'
+  {"status":"ok","kind":"stable","count":1,"models":[["bird(penguin)","bird(tweety)","-fly(penguin)","fly(tweety)"]]}
+  $ olp call --socket s.sock '{"op":"models","obj":"main","prefer":"compiled","search":"compiled"}'
+  {"status":"ok","kind":"preferred","prefer":"compiled","count":1,"models":[["bird(tweety)","penguin(tweety)"]]}
+  $ olp call --socket s.sock '{"op":"models","obj":"bot","kind":"stable","search":"compiled","engine":"pruned"}'
+  {"status":"error","error":{"kind":"proto","message":"invalid request: \"search\" and legacy \"engine\" disagree (\"compiled\" vs \"pruned\")"}}
+  [2]
+  $ olp call --socket s.sock '{"op":"query","obj":"bot","lit":"fly(tweety)","search":"compiled"}'
+  {"status":"error","error":{"kind":"proto","message":"invalid request: \"search\" on a query requires \"prefer\""}}
+  [2]
+
 The stats verb exposes the cache counters (the models repeat above is
-the hit; load and the two distinct computations are the misses) and
-the server's deterministic metrics — batch items are counted
-individually, plus the batches/batch_items pair for the frame, and
-the preference counters (compilations, cache hits, compiled-program
-size) land under "server":
+the hit; load and the distinct computations are the misses) and the
+server's deterministic metrics — batch items are counted
+individually, plus the batches/batch_items pair for the frame, the
+preference counters (compilations, cache hits, compiled-program size)
+and, once a compiled request has run, the solver counters
+(propagations, conflicts, learned/evicted nogoods, restarts — exact
+numbers: the kernel is deterministic) land under "server":
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.5.0","protocol":6,"cache":{"hits":5,"misses":9,"invalidations":4,"entries":1},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"connections":19,"errors":3,"ok":15,"partials":1,"prefer_cache_hits":2,"prefer_compilations":3,"prefer_gop_atoms":3,"prefer_gop_rules":4,"proto_errors":2,"queue_peak":1,"served":19,"writers_peak":1}}
+  {"status":"ok","version":"1.6.0","protocol":7,"cache":{"hits":5,"misses":11,"invalidations":4,"entries":3},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"connections":23,"errors":3,"ok":17,"partials":1,"prefer_cache_hits":3,"prefer_compilations":3,"prefer_gop_atoms":3,"prefer_gop_rules":4,"proto_errors":4,"queue_peak":1,"served":21,"solver_conflicts":0,"solver_evicted":0,"solver_learned":0,"solver_propagations":8,"solver_restarts":0,"writers_peak":1}}
 
 Graceful shutdown over the wire: the server drains, exits and unlinks
 its socket; the background job ends cleanly:

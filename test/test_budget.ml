@@ -171,6 +171,61 @@ let test_fault_sweep_pruned () =
       Alcotest.failf "fault at tick %d <= total %d must truncate" n total
   done
 
+(* The same sweep over the compiled kernel.  Its ticks land at search
+   nodes, inside the trail propagation loop (one per derived literal) and
+   per conflict-analysis resolution step, so the sweep covers faults
+   tripping mid-propagation and mid-analysis; every position must still
+   surface as a sound prefix of the (identical) pruned enumeration. *)
+let test_fault_sweep_compiled () =
+  let g = af_gop () in
+  let full, _ = full_run g in
+  let total =
+    let b = B.make () in
+    match Solve.Kernel.assumption_free_models ~budget:b g with
+    | B.Complete ms ->
+      Alcotest.(check bool) "compiled full run equals pruned" true
+        (List.length ms = List.length full
+        && List.for_all2 Interp.equal ms full);
+      B.steps b
+    | B.Partial _ -> Alcotest.fail "unlimited compiled run cannot be partial"
+  in
+  for n = 1 to total do
+    match
+      Solve.Kernel.assumption_free_models ~budget:(B.with_trip_at ~step:n ()) g
+    with
+    | B.Partial (ms, B.Fault) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "compiled fault at tick %d yields a prefix" n)
+        true
+        (is_prefix Interp.equal ms full)
+    | B.Partial (_, r) ->
+      Alcotest.failf "compiled fault at tick %d: wrong reason %s" n
+        (B.reason_to_string r)
+    | B.Complete _ ->
+      Alcotest.failf "compiled fault at tick %d <= total %d must truncate" n
+        total
+  done
+
+let test_prefix_property_compiled =
+  QCheck.Test.make ~count:60
+    ~name:"compiled kernel: step budgets yield prefixes"
+    QCheck.(pair (int_bound 3000) (int_range 1 4))
+    (fun (n, k) ->
+      let g = Ordered.Bridge.ground_ov (W.even_loops k) in
+      let full =
+        match Solve.Kernel.assumption_free_models g with
+        | B.Complete ms -> ms
+        | B.Partial _ -> QCheck.Test.fail_report "unlimited run partial"
+      in
+      match
+        Solve.Kernel.assumption_free_models ~budget:(B.make ~max_steps:n ()) g
+      with
+      | B.Complete ms ->
+        List.length ms = List.length full
+        && List.for_all2 Interp.equal ms full
+      | B.Partial (ms, B.Steps) -> is_prefix Interp.equal ms full
+      | B.Partial _ -> false)
+
 let test_prefix_property_naive =
   QCheck.Test.make ~count:40 ~name:"naive oracle: step budgets yield prefixes"
     QCheck.(pair (int_bound 3000) (int_range 1 3))
@@ -355,6 +410,9 @@ let suite =
     QCheck_alcotest.to_alcotest test_prefix_property_random;
     Alcotest.test_case "fault sweep over every tick of the pruned search"
       `Quick test_fault_sweep_pruned;
+    Alcotest.test_case "fault sweep over every tick of the compiled kernel"
+      `Quick test_fault_sweep_compiled;
+    QCheck_alcotest.to_alcotest test_prefix_property_compiled;
     QCheck_alcotest.to_alcotest test_prefix_property_naive;
     QCheck_alcotest.to_alcotest test_prefix_property_total;
     Alcotest.test_case "zero budgets" `Quick test_zero_budgets;

@@ -1,8 +1,11 @@
-(* Differential testing of the branch-and-propagate enumeration against
-   the leaf-check oracles ([Stable.Naive], [Exhaustive.Naive]) on random
-   programs:
+(* Differential testing of the three enumeration engines — compiled
+   ([Solve.Kernel]), pruned branch-and-propagate, and the leaf-check
+   oracles ([Stable.Naive], [Exhaustive.Naive]) — on random programs:
 
-   - same assumption-free / stable / total model sets;
+   - same assumption-free / stable / total model sets across all three;
+   - the compiled kernel reproduces the pruned enumeration {e order}
+     exactly (list equality, not just set equality) and never visits
+     more search nodes;
    - same counts under [?limit] (assumption-free and total enumerate in
      different orders but both return min(limit, total) models);
    - each engine's [?limit:k] result is exactly the first k of its own
@@ -10,12 +13,15 @@
    - [stable_models ?limit] is the maximal subset of the same engine's
      limited assumption-free enumeration;
    - the pruned search only emits assumption-free models and starts with
-     the least model.
+     the least model;
+   - on compiled preference programs ([Prefer.Compile]), the compiled
+     kernel agrees with the pruned preferred-model route.
 
    The generators cover random ordered programs (up to 3 components,
    negative heads, overruling/defeating) and OV-transformed seminegative
    programs (every atom branchable with both polarities — the
-   stable-branching regime the pruning is for). *)
+   stable-branching regime the pruning is for).  Iteration counts scale
+   with FUZZ_ITERS, like the other fuzz suites. *)
 
 open Logic
 open Helpers
@@ -23,37 +29,94 @@ module Gen = QCheck2.Gen
 module B = Ordered.Budget
 module S = Ordered.Stable
 module E = Ordered.Exhaustive
+module K = Solve.Kernel
+
+let iters name base =
+  ignore name;
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > base -> n
+    | _ -> base)
+  | None -> base
 
 let gop_of p = Ordered.Gop.ground p 0
 
 let af_pruned ?limit g = B.value (S.assumption_free_models ?limit g)
 let af_naive ?limit g = B.value (S.Naive.assumption_free_models ?limit g)
+let af_comp ?limit ?stats g = B.value (K.assumption_free_models ?limit ?stats g)
 let st_pruned ?limit g = B.value (S.stable_models ?limit g)
 let st_naive ?limit g = B.value (S.Naive.stable_models ?limit g)
+let st_comp ?limit g = B.value (K.stable_models ?limit g)
 let tot_pruned ?limit g = B.value (E.total_models ?limit g)
 let tot_naive ?limit g = B.value (E.Naive.total_models ?limit g)
+let tot_comp ?limit ?stats g = B.value (K.total_models ?limit ?stats g)
+
+let interp_list_equal l1 l2 =
+  List.length l1 = List.length l2 && List.for_all2 Interp.equal l1 l2
 
 let prop_af_sets =
-  qcheck ~count:400 ~print:print_program
-    "pruned = naive: assumption-free model sets"
+  qcheck
+    ~count:(iters "af" 400)
+    ~print:print_program "pruned = naive: assumption-free model sets"
     (Test_props.gen_ordered 4)
     (fun p ->
       let g = gop_of p in
       interp_set_equal (af_pruned g) (af_naive g))
 
 let prop_stable_sets =
-  qcheck ~count:250 ~print:print_program "pruned = naive: stable model sets"
+  qcheck
+    ~count:(iters "stable" 250)
+    ~print:print_program "pruned = naive: stable model sets"
     (Test_props.gen_ordered 4)
     (fun p ->
       let g = gop_of p in
       interp_set_equal (st_pruned g) (st_naive g))
 
 let prop_total_sets =
-  qcheck ~count:250 ~print:print_program "pruned = naive: total model sets"
+  qcheck
+    ~count:(iters "total" 250)
+    ~print:print_program "pruned = naive: total model sets"
     (Test_props.gen_ordered 4)
     (fun p ->
       let g = gop_of p in
       interp_set_equal (tot_pruned g) (tot_naive g))
+
+(* The compiled kernel's contract is stronger than set equality: same
+   tree, same order, so its enumerations equal the pruned ones as lists,
+   and nogood skips can only remove conflicting subtrees, so it never
+   visits more nodes. *)
+let prop_compiled_lists =
+  qcheck
+    ~count:(iters "compiled" 400)
+    ~print:print_program
+    "compiled = pruned: af/stable/total enumerations, in order"
+    (Test_props.gen_ordered 4)
+    (fun p ->
+      let g = gop_of p in
+      interp_list_equal (af_comp g) (af_pruned g)
+      && interp_list_equal (st_comp g) (st_pruned g)
+      && interp_list_equal (tot_comp g) (tot_pruned g))
+
+let prop_compiled_nodes =
+  qcheck
+    ~count:(iters "compiled-nodes" 250)
+    ~print:print_program "compiled visits no more nodes than pruned"
+    (Test_props.gen_ordered 4)
+    (fun p ->
+      let g = gop_of p in
+      let pruned = Ordered.Counters.create () in
+      let comp = Ordered.Counters.create () in
+      ignore (B.value (S.assumption_free_models ~stats:pruned g));
+      ignore (af_comp ~stats:comp g);
+      let pruned_tot = Ordered.Counters.create () in
+      let comp_tot = Ordered.Counters.create () in
+      ignore (B.value (E.total_models ~stats:pruned_tot g));
+      ignore (tot_comp ~stats:comp_tot g);
+      comp.Ordered.Counters.nodes <= pruned.Ordered.Counters.nodes
+      && comp.Ordered.Counters.models = pruned.Ordered.Counters.models
+      && comp_tot.Ordered.Counters.nodes <= pruned_tot.Ordered.Counters.nodes
+      && comp_tot.Ordered.Counters.models = pruned_tot.Ordered.Counters.models)
 
 (* OV transform of a random seminegative program: the -A axioms make every
    atom a head of both polarities, so the search genuinely branches three
@@ -61,12 +124,17 @@ let prop_total_sets =
 let gen_ov = Gen.list_size (Gen.int_range 1 6) (Test_props.gen_seminegative_rule 3)
 
 let prop_ov_sets =
-  qcheck ~count:200 ~print:print_rules
-    "pruned = naive on OV programs (assumption-free and stable)" gen_ov
+  qcheck
+    ~count:(iters "ov" 200)
+    ~print:print_rules
+    "pruned = naive = compiled on OV programs (assumption-free and stable)"
+    gen_ov
     (fun rs ->
       let g = Ordered.Bridge.ground_ov rs in
       interp_set_equal (af_pruned g) (af_naive g)
-      && interp_set_equal (st_pruned g) (st_naive g))
+      && interp_set_equal (st_pruned g) (st_naive g)
+      && interp_list_equal (af_comp g) (af_pruned g)
+      && interp_list_equal (st_comp g) (st_pruned g))
 
 let prop_limit_counts =
   qcheck ~count:200
@@ -105,8 +173,10 @@ let prop_limit_prefix =
       in
       prefix_of (fun ?limit g -> af_pruned ?limit g)
       && prefix_of (fun ?limit g -> af_naive ?limit g)
+      && prefix_of (fun ?limit g -> af_comp ?limit g)
       && prefix_of (fun ?limit g -> tot_pruned ?limit g)
-      && prefix_of (fun ?limit g -> tot_naive ?limit g))
+      && prefix_of (fun ?limit g -> tot_naive ?limit g)
+      && prefix_of (fun ?limit g -> tot_comp ?limit g))
 
 let prop_stable_limit_consistent =
   qcheck ~count:100
@@ -142,13 +212,34 @@ let prop_pruned_sound =
         Interp.equal first (Ordered.Vfix.least_model g)
         && List.for_all (Ordered.Model.is_assumption_free g) ms)
 
+(* Preference programs exercise the compiled kernel on the gops the
+   preferred-model route actually searches: per-rule components, control
+   atoms, deep component orders.  [Prefer.Compile.preferred_models] is
+   the pruned stable search on [Prefer.Compile.gop], so the compiled
+   kernel on the same gop must enumerate the same models. *)
+let prop_compiled_prefer =
+  qcheck
+    ~count:(iters "compiled-prefer" 300)
+    ~print:Test_diff_prefer.print_case
+    "compiled = pruned on compiled preference programs"
+    (Test_diff_prefer.gen_preferred 4)
+    (fun case ->
+      let c = Prefer.Compile.compile (Test_diff_prefer.spec_of case) in
+      let g = Prefer.Compile.gop c in
+      interp_list_equal (st_comp g) (st_pruned g)
+      && interp_set_equal (st_comp g)
+           (B.value (Prefer.Compile.preferred_models c)))
+
 let suite =
   [ prop_af_sets;
     prop_stable_sets;
     prop_total_sets;
+    prop_compiled_lists;
+    prop_compiled_nodes;
     prop_ov_sets;
     prop_limit_counts;
     prop_limit_prefix;
     prop_stable_limit_consistent;
-    prop_pruned_sound
+    prop_pruned_sound;
+    prop_compiled_prefer
   ]

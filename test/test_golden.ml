@@ -1,7 +1,8 @@
 (* Golden enumeration tests: exact model *lists* (contents and order, not
    just counts or sets) for the paper's figure programs and a Section-5
-   knowledge base, pinned for both the branch-and-propagate search and
-   the naive oracle.
+   knowledge base, pinned for the branch-and-propagate search, the naive
+   oracle and the compiled flat-array kernel (whose contract is the
+   *pruned* order exactly).
 
    The lists encode the documented search-order contract — first
    discovered first, least model first for assumption-free enumerations —
@@ -13,6 +14,7 @@ open Logic
 open Helpers
 module S = Ordered.Stable
 module E = Ordered.Exhaustive
+module K = Solve.Kernel
 
 let v = Ordered.Budget.value
 let check_list = Alcotest.check (Alcotest.list testable_interp)
@@ -22,10 +24,13 @@ let check_list = Alcotest.check (Alcotest.list testable_interp)
 let check_singleton name g m =
   check_list (name ^ ": af pruned") [ m ] (v (S.assumption_free_models g));
   check_list (name ^ ": af naive") [ m ] (v (S.Naive.assumption_free_models g));
+  check_list (name ^ ": af compiled") [ m ] (v (K.assumption_free_models g));
   check_list (name ^ ": stable pruned") [ m ] (v (S.stable_models g));
   check_list (name ^ ": stable naive") [ m ] (v (S.Naive.stable_models g));
+  check_list (name ^ ": stable compiled") [ m ] (v (K.stable_models g));
   check_list (name ^ ": total pruned") [ m ] (v (E.total_models g));
-  check_list (name ^ ": total naive") [ m ] (v (E.Naive.total_models g))
+  check_list (name ^ ": total naive") [ m ] (v (E.Naive.total_models g));
+  check_list (name ^ ": total compiled") [ m ] (v (K.total_models g))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: P1 (penguins)                                             *)
@@ -72,12 +77,16 @@ let test_fig2 () =
     (v (S.assumption_free_models g));
   check_list "P2/c1: af naive" [ Interp.empty ]
     (v (S.Naive.assumption_free_models g));
+  check_list "P2/c1: af compiled" [ Interp.empty ]
+    (v (K.assumption_free_models g));
   check_list "P2/c1: stable pruned" [ Interp.empty ] (v (S.stable_models g));
   check_list "P2/c1: stable naive" [ Interp.empty ]
     (v (S.Naive.stable_models g));
+  check_list "P2/c1: stable compiled" [ Interp.empty ] (v (K.stable_models g));
   (* Example 4: P2 has no total model at all. *)
   check_list "P2/c1: total pruned" [] (v (E.total_models g));
-  check_list "P2/c1: total naive" [] (v (E.Naive.total_models g))
+  check_list "P2/c1: total naive" [] (v (E.Naive.total_models g));
+  check_list "P2/c1: total compiled" [] (v (K.total_models g))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: the loan program, scenarios 2 and 3                       *)
@@ -95,8 +104,10 @@ let loan_src facts =
 let check_af_and_stable name g m =
   check_list (name ^ ": af pruned") [ m ] (v (S.assumption_free_models g));
   check_list (name ^ ": af naive") [ m ] (v (S.Naive.assumption_free_models g));
+  check_list (name ^ ": af compiled") [ m ] (v (K.assumption_free_models g));
   check_list (name ^ ": stable pruned") [ m ] (v (S.stable_models g));
-  check_list (name ^ ": stable naive") [ m ] (v (S.Naive.stable_models g))
+  check_list (name ^ ": stable naive") [ m ] (v (S.Naive.stable_models g));
+  check_list (name ^ ": stable compiled") [ m ] (v (K.stable_models g))
 
 let test_fig3 () =
   (* Scenario 2: the experts defeat each other, so take_loan stays
@@ -129,15 +140,25 @@ let test_example5 () =
   check_list "P5: af naive (least model first, other order)"
     [ m_least; m_a; m_b ]
     (v (S.Naive.assumption_free_models g));
+  (* the compiled kernel reproduces the pruned order exactly *)
+  check_list "P5: af compiled (= pruned order)"
+    [ m_least; m_b; m_a ]
+    (v (K.assumption_free_models g));
   check_list "P5: stable pruned" [ m_b; m_a ] (v (S.stable_models g));
   check_list "P5: stable naive" [ m_a; m_b ] (v (S.Naive.stable_models g));
+  check_list "P5: stable compiled (= pruned order)" [ m_b; m_a ]
+    (v (K.stable_models g));
   check_list "P5: total pruned" [ m_b; m_a ] (v (E.total_models g));
   check_list "P5: total naive" [ m_a; m_b ] (v (E.Naive.total_models g));
+  check_list "P5: total compiled (= pruned order)" [ m_b; m_a ]
+    (v (K.total_models g));
   (* limit = the first k of each engine's own order *)
   check_list "P5: af pruned limit 2" [ m_least; m_b ]
     (v (S.assumption_free_models ~limit:2 g));
   check_list "P5: af naive limit 2" [ m_least; m_a ]
-    (v (S.Naive.assumption_free_models ~limit:2 g))
+    (v (S.Naive.assumption_free_models ~limit:2 g));
+  check_list "P5: af compiled limit 2" [ m_least; m_b ]
+    (v (K.assumption_free_models ~limit:2 g))
 
 (* ------------------------------------------------------------------ *)
 (* Section 5: a knowledge base with inheritance and versioning         *)
@@ -163,7 +184,11 @@ let test_kb () =
     (v (Kb.assumption_free_models kb ~obj:"engineering"));
   check_list "kb: af naive" [ m_eng ]
     (v (Kb.assumption_free_models ~engine:`Naive kb ~obj:"engineering"));
+  check_list "kb: af compiled" [ m_eng ]
+    (v (Kb.assumption_free_models ~engine:`Compiled kb ~obj:"engineering"));
   check_list "kb: stable" [ m_eng ] (v (Kb.stable_models kb ~obj:"engineering"));
+  check_list "kb: stable compiled" [ m_eng ]
+    (v (Kb.stable_models ~engine:`Compiled kb ~obj:"engineering"));
   (* A revision freezing bonuses overrules the inherited default. *)
   let v2 =
     Kb.new_version kb ~rules:[ r "-bonus(X) :- employee(X)." ] "engineering"

@@ -111,11 +111,22 @@ let test_decode_requests () =
   (match W.decode_request {|{"op":"query","obj":"c1","lit":"p","id":7}|} with
   | Ok
       { id = Some 7;
-        verb = W.Query { obj = "c1"; lit = "p"; prefer = None };
+        verb = W.Query { obj = "c1"; lit = "p"; prefer = None; search = None };
         _
       } -> ()
   | Ok _ -> Alcotest.fail "query decoded wrong"
   | Error e -> Alcotest.failf "query rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request
+       {|{"op":"query","obj":"c1","lit":"p","prefer":"compiled",
+          "search":"compiled"}|}
+   with
+  | Ok { verb = W.Query { prefer = Some `Compiled; search = Some `Compiled; _ };
+         _
+       } -> ()
+  | Ok _ -> Alcotest.fail "query search decoded wrong"
+  | Error e ->
+    Alcotest.failf "query search rejected: %s" (W.error_to_string e));
   (match
      W.decode_request {|{"op":"query","obj":"c1","lit":"p","prefer":"naive"}|}
    with
@@ -162,6 +173,22 @@ let test_decode_requests () =
       } -> ()
   | Ok _ -> Alcotest.fail "models decoded wrong"
   | Error e -> Alcotest.failf "models rejected: %s" (W.error_to_string e));
+  (* the canonical "search" field and its legacy "engine" alias *)
+  (match
+     W.decode_request {|{"op":"models","obj":"o","search":"compiled"}|}
+   with
+  | Ok { verb = W.Models { engine = `Compiled; _ }; _ } -> ()
+  | Ok _ -> Alcotest.fail "models search decoded wrong"
+  | Error e ->
+    Alcotest.failf "models search rejected: %s" (W.error_to_string e));
+  (match
+     W.decode_request
+       {|{"op":"models","obj":"o","search":"naive","engine":"naive"}|}
+   with
+  | Ok { verb = W.Models { engine = `Naive; _ }; _ } -> ()
+  | Ok _ -> Alcotest.fail "models search+engine decoded wrong"
+  | Error e ->
+    Alcotest.failf "models search+engine rejected: %s" (W.error_to_string e));
   let err s =
     match W.decode_request s with
     | Ok _ -> Alcotest.failf "accepted bad request %s" s
@@ -268,6 +295,11 @@ let test_decode_requests () =
   err {|{"op":"hello","seq":3}|} (* missing protocol *);
   err {|{"op":"hello","seq":-1,"protocol":3}|};
   err {|{"op":"pull"}|} (* missing from *);
+  err {|{"op":"models","obj":"o","search":"fastest"}|};
+  err {|{"op":"models","obj":"o","search":"compiled","engine":"pruned"}|}
+  (* canonical field and legacy alias must agree *);
+  err {|{"op":"query","obj":"o","lit":"p","search":"compiled"}|}
+  (* search on a query needs prefer *);
   err {|{"op":"stats","id":"seven"}|};
   err {|[1,2,3]|};
   err {|"stats"|}
@@ -284,7 +316,9 @@ let corpus =
     {|{"op":"new_version","name":"x"}|};
     {|{"op":"query","obj":"c1","lit":"fly(penguin)","timeout_ms":100}|};
     {|{"op":"models","obj":"c1","kind":"stable","limit":3,"engine":"pruned"}|};
+    {|{"op":"models","obj":"c1","kind":"stable","search":"compiled"}|};
     {|{"op":"models","obj":"c1","prefer":"compiled","limit":3}|};
+    {|{"op":"query","obj":"c1","lit":"p","prefer":"compiled","search":"compiled"}|};
     {|{"op":"query","obj":"c1","lit":"p","prefer":"naive"}|};
     {|{"op":"set_preference","rule":"nf","over":"f"}|};
     {|{"op":"clear_preference","rule":"nf","over":"f"}|};
