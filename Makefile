@@ -1,12 +1,14 @@
 .PHONY: all build test bench bench-prefer bench-micro bench-smoke \
 	bench-serve bench-persist bench-replica bench-cluster \
-	bench-concurrent crash-test chaos stress serve-smoke examples doc \
+	bench-concurrent bench-incremental crash-test chaos stress \
+	serve-smoke examples doc \
 	clean fuzz
 
 # Single source of truth for the randomized suites: the FUZZ_ITERS-scaled
 # fuzzers as suite=iterations pairs (fuzz and chaos share the sweep
 # loop), and the fault-injection suites crash-test runs in order.
-FUZZ_SUITES = fuzz=5000 diff-stable=2000 diff-prefer=5000 proto=20000 \
+FUZZ_SUITES = fuzz=5000 diff-stable=2000 diff-prefer=5000 diff-inc=1500 \
+	proto=20000 \
 	persist=20000 replica=2000
 CHAOS_FUZZ_SUITES = replica=2000 proto=20000 persist=20000
 CRASH_SUITES = crash replica linearize
@@ -71,6 +73,14 @@ bench-replica:
 # docs/REPLICATION.md.
 bench-cluster:
 	dune exec bench/cluster.exe
+
+# Incremental-maintenance benchmark (delta eviction vs flush-on-write
+# under a mixed read/write workload, primary and replica): writes
+# BENCH_PR10.json and fails unless the delta runs hold a 0.90 cache
+# hit rate under sustained writes and beat the wholesale baseline.
+# See docs/INCREMENTAL.md.
+bench-incremental:
+	dune exec bench/incremental.exe -- --min-hit-rate 0.9
 
 # Concurrent-serving benchmark (lock-free snapshot reads under writer
 # pressure: read QPS at 1 worker vs 4 with writers parked in the

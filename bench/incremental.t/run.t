@@ -1,0 +1,9 @@
+The incremental-maintenance benchmark boots real daemons (primary and
+replica), sustains writes through the whole read window and emits
+well-formed JSON (checked with the bundled validator — no jq
+dependency):
+
+  $ ../incremental.exe --quick --out bench10.json
+  wrote bench10.json
+  $ ../json_check.exe bench10.json bench mode runs summary
+  bench10.json: valid JSON

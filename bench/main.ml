@@ -190,6 +190,50 @@ let bench_incremental =
           Staged.stage (fun () -> ignore (Datalog.Incremental.recompute t)))
     ]
 
+(* B10: delta repair vs rebuild at the ordered layer (lib/inc) — add one
+   universe-preserving rule to an n-fact component and either repair the
+   cached grounding + least model from the delta or reground and re-solve
+   from scratch. *)
+let bench_inc_repair =
+  let args = [ 16; 64; 256; 1024 ] in
+  (* The succ rule keeps O(n) ground instances out of the O(n^2)
+     substitutions the builtin guards reject, so instantiation dominates
+     the surviving program: rebuilding re-enumerates the square, repair
+     re-interns only the survivors plus the one added rule. *)
+  let program n =
+    let b = Buffer.create (16 * n) in
+    Buffer.add_string
+      b "component c0 { succ(X, Y) :- v(X), v(Y), Y > X, X > Y - 2. ";
+    for i = 0 to n - 1 do
+      Buffer.add_string b (Printf.sprintf "v(%d). " i)
+    done;
+    Buffer.add_string b "}";
+    Ordered.Program.parse_exn (Buffer.contents b)
+  in
+  let mutated p c =
+    Ordered.Program.add_rules p c [ Lang.Parser.parse_rule "flag :- succ(0, 1)." ]
+  in
+  Test.make_grouped ~name:"inc"
+    [ Test.make_indexed ~name:"repair_add" ~args (fun n ->
+          let p = program n in
+          let c = Ordered.Program.component_id_exn p "c0" in
+          let state = Inc.Reground.ground p c in
+          let previous = Ordered.Vfix.least_model state.Inc.Reground.gop in
+          let p2 = mutated p c in
+          Staged.stage (fun () ->
+              match Inc.Reground.reground state ~program:p2 with
+              | Ok (st, d) ->
+                ignore
+                  (Inc.Repair.least_model ~previous st.Inc.Reground.gop d)
+              | Error _ -> failwith "repair_add fell back"));
+      Test.make_indexed ~name:"rebuild_add" ~args (fun n ->
+          let p = program n in
+          let c = Ordered.Program.component_id_exn p "c0" in
+          let p2 = mutated p c in
+          Staged.stage (fun () ->
+              ignore (Ordered.Vfix.least_model (Ordered.Gop.ground p2 c))))
+    ]
+
 (* B9: magic sets vs full bottom-up evaluation — transitive closure over
    an n-node chain, queried from a node near the end. *)
 let bench_magic =
@@ -250,7 +294,7 @@ let groups =
     ("ov_ev", bench_ov_ev); ("ground", bench_grounding);
     ("stable", bench_stable); ("wfs", bench_wfs); ("kb", bench_kb);
     ("prove", bench_prove); ("incremental", bench_incremental);
-    ("magic", bench_magic)
+    ("inc", bench_inc_repair); ("magic", bench_magic)
   ]
 
 (* Optional argv filters: `bench/main.exe vfix prove` runs only those

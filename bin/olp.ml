@@ -690,9 +690,20 @@ let serve_cmd =
                    mutation is applied and locally durable, only its \
                    replication guarantee is degraded (default 5000).")
   in
+  let cache_eviction =
+    Arg.(value
+         & opt (enum [ ("delta", `Delta); ("wholesale", `Wholesale) ]) `Delta
+         & info [ "cache-eviction" ] ~docv:"POLICY"
+             ~doc:"Result-cache policy on writes: $(i,delta) (default) \
+                   repairs derived state incrementally and carries \
+                   forward every cached entry the mutation provably \
+                   cannot affect (see docs/INCREMENTAL.md); \
+                   $(i,wholesale) flushes the whole cache on every \
+                   mutation (the pre-incremental baseline).")
+  in
   let run socket port host workers parallel queue max_timeout max_steps_cap
       port_file data_dir no_fsync snapshot_every group_commit_ms replicate_on
-      replica_of sync_replicas sync_timeout file =
+      replica_of sync_replicas sync_timeout cache_eviction file =
     let usage msg =
       Printf.eprintf "olp serve: %s\n" msg;
       exit exit_error
@@ -764,6 +775,9 @@ let serve_cmd =
     | Some r, Some dir ->
       ignore (report_recovery ~prog:"olp serve" ~dir r : int)
     | _ -> ());
+    Kb.Session.set_eviction
+      (Server.Engine.session (Server.Daemon.engine daemon))
+      cache_eviction;
     Server.Daemon.install_signal_handlers daemon;
     (match file with
     | None -> ()
@@ -897,7 +911,8 @@ let serve_cmd =
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ parallel
           $ queue $ max_timeout $ max_steps_cap $ port_file $ data_dir_arg
           $ no_fsync_arg $ snapshot_every_arg $ group_commit_arg
-          $ replicate_on $ replica_of $ sync_replicas $ sync_timeout $ file)
+          $ replicate_on $ replica_of $ sync_replicas $ sync_timeout
+          $ cache_eviction $ file)
 
 let call_cmd =
   let retry =

@@ -136,10 +136,8 @@ let of_view ?(depth = 0) ?(extra_constants = []) program comp tagged =
     full_base
   }
 
-let ground ?(budget = Budget.unlimited) ?max_instances ?(grounder = `Naive)
-    ?(depth = 0) ?(extra_constants = []) program comp =
-  let view = Program.view program comp in
-  let untagged = List.map snd view in
+let schema_universe ?(depth = 0) ?(extra_constants = []) program comp =
+  let untagged = List.map snd (Program.view program comp) in
   let sg = Herbrand.signature_of_rules untagged in
   let sg =
     { sg with
@@ -150,7 +148,13 @@ let ground ?(budget = Budget.unlimited) ?max_instances ?(grounder = `Naive)
              (Term.Set.of_list extra_constants))
     }
   in
-  let universe = Herbrand.universe ~depth sg in
+  Herbrand.universe ~depth sg
+
+let ground_groups ?(budget = Budget.unlimited) ?max_instances
+    ?(grounder = `Naive) ?(depth = 0) ?(extra_constants = []) program comp =
+  let view = Program.view program comp in
+  let untagged = List.map snd view in
+  let universe = schema_universe ~depth ~extra_constants program comp in
   (* Count instances per source rule against the cap so the overflow
      diagnostic names the rule being instantiated. *)
   let count = ref 0 in
@@ -169,46 +173,62 @@ let ground ?(budget = Budget.unlimited) ?max_instances ?(grounder = `Naive)
              }));
     insts
   in
-  let tagged_ground =
+  let raw =
     match grounder with
     | `Naive ->
-      List.concat_map
+      List.map
         (fun (c, r) ->
-          List.map
-            (fun inst -> (c, inst))
-            (guard r
-               (Ground.Grounder.ground_rule_instances ~budget ~universe r)))
+          (c, r, guard r (Ground.Grounder.ground_rule_instances ~budget ~universe r)))
         view
     | `Relevant ->
       let res =
         Ground.Grounder.relevant ~budget ~depth ~extra_constants untagged
       in
       let support = List.map Rule.head res.Ground.Grounder.rules in
-      List.concat_map
+      List.map
         (fun (c, r) ->
-          List.map
-            (fun inst -> (c, inst))
-            (guard r
-               (Ground.Grounder.instances_supported_by ~budget ~universe
-                  ~support r)))
+          ( c,
+            r,
+            guard r
+              (Ground.Grounder.instances_supported_by ~budget ~universe
+                 ~support r) ))
         view
   in
   (* Deduplicate instances per component (a rule occurring in two distinct
      components keeps distinct instances, as the paper requires of the
-     function C). *)
+     function C).  The table is shared across the whole view, in view
+     order, so flattening the groups reproduces the deduplicated tagged
+     list exactly — incremental re-grounding (lib/inc) relies on that to
+     rebuild groundings bit-identical to a from-scratch [ground]. *)
   let seen = Hashtbl.create 256 in
-  let tagged_ground =
-    List.filter
-      (fun (c, r) ->
-        let key = (c, Rule.to_string r) in
-        if Hashtbl.mem seen key then false
-        else begin
-          Hashtbl.add seen key ();
-          true
-        end)
-      tagged_ground
+  List.map
+    (fun (c, src, insts) ->
+      let insts =
+        List.filter
+          (fun r ->
+            let key = (c, Rule.to_string r) in
+            if Hashtbl.mem seen key then false
+            else begin
+              Hashtbl.add seen key ();
+              true
+            end)
+          insts
+      in
+      (c, src, insts))
+    raw
+
+let flatten_groups groups =
+  List.concat_map
+    (fun (c, _, insts) -> List.map (fun inst -> (c, inst)) insts)
+    groups
+
+let ground ?budget ?max_instances ?grounder ?(depth = 0) ?(extra_constants = [])
+    program comp =
+  let groups =
+    ground_groups ?budget ?max_instances ?grounder ~depth ~extra_constants
+      program comp
   in
-  of_view ~depth ~extra_constants program comp tagged_ground
+  of_view ~depth ~extra_constants program comp (flatten_groups groups)
 
 let n_atoms t = Array.length t.atoms
 let n_rules t = Array.length t.rules

@@ -55,6 +55,38 @@ val ground :
     grounding work itself (deadline / steps / instances); exhaustion raises
     [Budget.Exhausted]. *)
 
+val ground_groups :
+  ?budget:Budget.t ->
+  ?max_instances:int ->
+  ?grounder:[ `Naive | `Relevant ] ->
+  ?depth:int ->
+  ?extra_constants:Logic.Term.t list ->
+  Program.t ->
+  Program.component_id ->
+  (Program.component_id * Logic.Rule.t * Logic.Rule.t list) list
+(** Like {!ground}, but stop before interning and keep provenance: one
+    group [(component, source rule, surviving instances)] per view rule,
+    in view order, deduplicated through one table shared across the whole
+    view.  {!flatten_groups} of the result is exactly the tagged list
+    {!ground} interns, so a caller that edits one group and re-interns
+    gets a grounding bit-identical to grounding from scratch — the basis
+    of incremental re-grounding ([Inc.Reground]). *)
+
+val flatten_groups :
+  (Program.component_id * Logic.Rule.t * Logic.Rule.t list) list ->
+  (Program.component_id * Logic.Rule.t) list
+
+val schema_universe :
+  ?depth:int ->
+  ?extra_constants:Logic.Term.t list ->
+  Program.t ->
+  Program.component_id ->
+  Logic.Term.t list
+(** The instantiation universe {!ground} uses for this view: the Herbrand
+    universe of the {e schema} rules' signature (before instantiation and
+    builtin filtering).  Two views with equal schema universes instantiate
+    every shared rule identically. *)
+
 val of_view :
   ?depth:int ->
   ?extra_constants:Logic.Term.t list ->

@@ -137,6 +137,19 @@ let propagate ?budget ?(frozen = no_frozen) (g : Gop.t) seed =
   | exception Conflicted c -> Error c
 
 let lfp ?budget g = fst (run_incremental ?budget g)
+
+(* Fixpoint repair: the lfp of [I |-> seed ∪ V(I)].  When the seed is
+   contained in the true lfp (the caller unset every atom a mutation
+   could have touched), monotonicity pins this to the true lfp: the lfp
+   L satisfies seed ∪ V(L) = L, so the seeded fixpoint is ≤ L; and it
+   is a prefixpoint of V containing ∅, so ≥ L by Knaster–Tarski.  A
+   conflict means the seed was {e not} below the lfp — non-monotone
+   damage the cone analysis missed — and we recompute from scratch
+   rather than return anything partial. *)
+let repair ?budget (g : Gop.t) ~seed =
+  match propagate ?budget g seed with
+  | Ok v -> `Repaired v
+  | Error _ -> `Recomputed (lfp ?budget g)
 let trace ?budget g = snd (run_incremental ?budget g)
 
 let least_model ?(engine = `Incremental) ?budget g =

@@ -62,6 +62,21 @@ val propagate :
     for it is a conflict).  [frozen] is only consulted for undefined
     atoms and defaults to accepting none. *)
 
+val repair :
+  ?budget:Budget.t ->
+  Gop.t ->
+  seed:Gop.Values.t ->
+  [ `Repaired of Gop.Values.t | `Recomputed of Gop.Values.t ]
+(** Repair a least fixpoint after a program change: propagate above a
+    seed carrying the still-valid part of a previous fixpoint (the caller
+    unsets every atom in the mutation's affected cone).  If the seed is
+    below the new lfp — which the cone construction guarantees for
+    monotone damage — the result is exactly the new lfp and is returned
+    as [`Repaired].  A propagation conflict means the seed kept a value
+    the new program refutes (non-monotone damage); the fixpoint is then
+    recomputed from scratch and returned as [`Recomputed] — never a
+    silent wrong answer.  [budget] is ticked as in {!lfp}. *)
+
 val least_model :
   ?engine:[ `Incremental | `Naive ] -> ?budget:Budget.t -> Gop.t ->
   Logic.Interp.t

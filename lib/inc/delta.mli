@@ -1,0 +1,29 @@
+(** The typed delta of one KB mutation at the ground level: which ground
+    rules a repaired grounding gained or lost relative to the previous
+    grounding of the same viewpoint.
+
+    A delta is always expressed against the {e repaired} grounding (the
+    one {!Reground} returns): [added] indexes rules in that grounding,
+    while removed instances no longer have an index and are carried
+    symbolically.  {!Cone} turns a delta into the affected-atom cone that
+    seeds fixpoint repair ({!Repair}). *)
+
+type t = {
+  added : int list;  (** indices of the added ground rules in the new gop *)
+  added_rules : Logic.Rule.t list;  (** the same rules, symbolically *)
+  removed_rules : Logic.Rule.t list;
+      (** ground instances dropped by the mutation *)
+}
+
+val empty : t
+
+val is_empty : t -> bool
+(** No ground-level change: the mutation's instances all deduplicated
+    away (or an added rule had no instances), so every derived result
+    for this viewpoint is still exact. *)
+
+val touched_atoms : t -> Logic.Atom.t list
+(** Head atoms of the added and removed ground rules — the seed [S0] of
+    the affected cone. *)
+
+val pp : Format.formatter -> t -> unit

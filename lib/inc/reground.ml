@@ -1,0 +1,198 @@
+open Logic
+module Gop = Ordered.Gop
+module Program = Ordered.Program
+module Budget = Governor.Budget
+
+type group = {
+  comp : Program.component_id;
+  src : Rule.t;
+  insts : Rule.t list;
+}
+
+type state = {
+  gop : Gop.t;
+  groups : group list;
+  universe : Term.t list;
+}
+
+type fallback = [ `Universe_changed | `Shared_instance | `View_mismatch ]
+
+let pp_fallback ppf = function
+  | `Universe_changed -> Format.pp_print_string ppf "universe changed"
+  | `Shared_instance -> Format.pp_print_string ppf "shared ground instance"
+  | `View_mismatch -> Format.pp_print_string ppf "view shape mismatch"
+
+let tagged_of_groups groups =
+  Gop.flatten_groups (List.map (fun g -> (g.comp, g.src, g.insts)) groups)
+
+let ground ?budget program comp =
+  let groups =
+    List.map
+      (fun (c, src, insts) -> { comp = c; src; insts })
+      (Gop.ground_groups ?budget program comp)
+  in
+  { gop = Gop.of_view program comp (tagged_of_groups groups);
+    groups;
+    universe = Gop.schema_universe program comp
+  }
+
+(* The two one-sided greedy alignments of the cached groups against the
+   mutated view.  A store mutation either appends one rule to one object
+   or removes every occurrence of one rule from one object, so the new
+   view is the old one with pure insertions or pure deletions; anything
+   else is a shape mismatch and falls back to scratch grounding. *)
+
+let heads_match g (c, r) = g.comp = c && Rule.compare g.src r = 0
+
+(* new view ⊆ old groups: unmatched groups are deletions *)
+let rec del_diff acc groups view =
+  match (groups, view) with
+  | [], [] -> Some (List.rev acc)
+  | g :: gs, v :: vs when heads_match g v -> del_diff (`Keep g :: acc) gs vs
+  | g :: gs, vs -> del_diff (`Drop g :: acc) gs vs
+  | [], _ :: _ -> None
+
+(* old groups ⊆ new view: unmatched view rules are insertions *)
+let rec ins_diff acc groups view =
+  match (groups, view) with
+  | [], [] -> Some (List.rev acc)
+  | g :: gs, v :: vs when heads_match g v -> ins_diff (`Keep g :: acc) gs vs
+  | gs, (c, r) :: vs -> ins_diff (`Add (c, r) :: acc) gs vs
+  | _ :: _, [] -> None
+
+module StrSet = Set.Make (String)
+
+let inst_strings insts =
+  StrSet.of_list (List.map Rule.to_string insts)
+
+(* Could [cand] (a surviving view rule of the same component) produce any
+   of the instances we are about to drop?  If so, a scratch grounding
+   would re-attribute the instance to [cand] instead of dropping it —
+   the repaired grounding would diverge, so the caller must fall back.
+   Instance strings carry the source rule's name, so only same-named
+   rules can ever collide; the head predicate prefilter skips the
+   re-instantiation in the common case.  The check itself is exact:
+   re-instantiate the candidate and intersect the printed instances. *)
+let could_produce ~budget ~universe ~dropped_heads ~dropped_strs cand =
+  let h = (Rule.head cand.src).Literal.atom in
+  List.mem (h.Atom.pred, List.length h.Atom.args) dropped_heads
+  && List.exists
+       (fun i -> StrSet.mem (Rule.to_string i) dropped_strs)
+       (Ground.Grounder.ground_rule_instances ~budget ~universe cand.src)
+
+let apply_deletion ~budget ~universe ~program ~comp state steps =
+  let keeps = List.filter_map (function `Keep g -> Some g | _ -> None) steps in
+  let drops = List.filter_map (function `Drop g -> Some g | _ -> None) steps in
+  let dropped = List.concat_map (fun g -> g.insts) drops in
+  if dropped = [] then Ok ({ state with groups = keeps }, Delta.empty)
+  else
+    let dropped_strs = inst_strings dropped in
+    let dropped_heads =
+      List.map
+        (fun r ->
+          let h = (Rule.head r).Literal.atom in
+          (h.Atom.pred, List.length h.Atom.args))
+        dropped
+    in
+    let dropped_name g' = List.exists (fun g -> Rule.name g.src = Rule.name g'.src) drops in
+    let dropped_comps = List.map (fun g -> g.comp) drops in
+    let shared =
+      List.exists
+        (fun g ->
+          List.mem g.comp dropped_comps && dropped_name g
+          && could_produce ~budget ~universe ~dropped_heads ~dropped_strs g)
+        keeps
+    in
+    if shared then Error `Shared_instance
+    else
+      let gop = Gop.of_view program comp (tagged_of_groups keeps) in
+      Ok
+        ( { state with gop; groups = keeps },
+          { Delta.added = []; added_rules = []; removed_rules = dropped } )
+
+let apply_insertion ~budget ~universe ~program ~comp state steps =
+  (* Rebuild the group list in view order with the shared dedup discipline
+     of [Gop.ground_groups]: existing groups feed the table as-is (they
+     were deduplicated under the same prefix), fresh instances of an added
+     rule are kept only if unseen. *)
+  let seen = Hashtbl.create 64 in
+  let tagged =
+    List.map
+      (function
+        | `Keep g ->
+          List.iter (fun i -> Hashtbl.replace seen (g.comp, Rule.to_string i) ()) g.insts;
+          (g, false)
+        | `Add (c, r) ->
+          let raw = Ground.Grounder.ground_rule_instances ~budget ~universe r in
+          let insts =
+            List.filter
+              (fun i ->
+                let k = (c, Rule.to_string i) in
+                if Hashtbl.mem seen k then false
+                else begin
+                  Hashtbl.add seen k ();
+                  true
+                end)
+              raw
+          in
+          ({ comp = c; src = r; insts }, true))
+      steps
+  in
+  (* A fresh instance equal to a later group's instance would, from
+     scratch, be attributed to the earlier (added) rule and dropped from
+     the later group — our later groups still hold theirs, so the
+     groundings would diverge.  Never reachable through the store (rules
+     append at the end of their component block) but checked anyway. *)
+  let stolen =
+    let arr = Array.of_list tagged in
+    let after = Hashtbl.create 64 in
+    let hit = ref false in
+    for i = Array.length arr - 1 downto 0 do
+      let g, is_add = arr.(i) in
+      if
+        is_add
+        && List.exists (fun x -> Hashtbl.mem after (g.comp, Rule.to_string x)) g.insts
+      then hit := true;
+      List.iter (fun x -> Hashtbl.replace after (g.comp, Rule.to_string x) ()) g.insts
+    done;
+    !hit
+  in
+  if stolen then Error `Shared_instance
+  else
+    let added_rules =
+      List.concat_map (fun (g, is_add) -> if is_add then g.insts else []) tagged
+    in
+    let groups = List.map fst tagged in
+    if added_rules = [] then Ok ({ state with groups }, Delta.empty)
+    else
+      let gop = Gop.of_view program comp (tagged_of_groups groups) in
+      (* indices of the added instances in the flattened rule array *)
+      let added = ref [] in
+      let off = ref 0 in
+      List.iter
+        (fun (g, is_add) ->
+          if is_add then
+            List.iteri (fun k _ -> added := (!off + k) :: !added) g.insts;
+          off := !off + List.length g.insts)
+        tagged;
+      Ok
+        ( { state with gop; groups },
+          { Delta.added = List.rev !added;
+            added_rules;
+            removed_rules = []
+          } )
+
+let reground ?(budget = Budget.unlimited) state ~program =
+  let comp = state.gop.Gop.comp in
+  let view = Program.view program comp in
+  let universe = Gop.schema_universe program comp in
+  if not (List.equal Term.equal universe state.universe) then
+    Error `Universe_changed
+  else
+    match del_diff [] state.groups view with
+    | Some steps -> apply_deletion ~budget ~universe ~program ~comp state steps
+    | None -> (
+      match ins_diff [] state.groups view with
+      | Some steps ->
+        apply_insertion ~budget ~universe ~program ~comp state steps
+      | None -> Error `View_mismatch)

@@ -1,0 +1,18 @@
+module Gop = Ordered.Gop
+module Vfix = Ordered.Vfix
+
+type outcome =
+  | Unchanged
+  | Repaired of Logic.Interp.t
+  | Recomputed of Logic.Interp.t
+
+let least_model ?budget ~previous (g : Gop.t) (d : Delta.t) =
+  if Delta.is_empty d then Unchanged
+  else begin
+    let seed, _gone = Gop.Values.of_interp g previous in
+    let cone = Cone.affected g d in
+    Array.iteri (fun a m -> if m then Gop.Values.unset seed a) cone.Cone.atoms;
+    match Vfix.repair ?budget g ~seed with
+    | `Repaired v -> Repaired (Gop.Values.to_interp g v)
+    | `Recomputed v -> Recomputed (Gop.Values.to_interp g v)
+  end

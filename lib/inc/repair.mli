@@ -1,0 +1,23 @@
+(** Least-fixpoint repair: re-derive only the affected cone.
+
+    Seeds {!Ordered.Vfix.repair} with the previous least model minus the
+    delta's affected cone.  By {!Cone}'s guarantee the seed is below the
+    new fixpoint, so propagation lands exactly on it ([Repaired]); a
+    propagation conflict means the cone analysis was beaten by
+    non-monotone damage and the fixpoint is recomputed from scratch
+    ([Recomputed]) — counted by the caller, never silent. *)
+
+type outcome =
+  | Unchanged  (** empty delta: the previous model is still exact *)
+  | Repaired of Logic.Interp.t
+  | Recomputed of Logic.Interp.t  (** fell back to a full fixpoint *)
+
+val least_model :
+  ?budget:Governor.Budget.t ->
+  previous:Logic.Interp.t ->
+  Ordered.Gop.t ->
+  Delta.t ->
+  outcome
+(** [least_model ~previous g d]: [g] is the repaired grounding and [d]
+    the delta {!Reground.reground} emitted for it; [previous] is the
+    least model cached against the pre-mutation grounding. *)

@@ -27,10 +27,35 @@
     a KB whose rules and order are byte-identical to the ones the entry
     was computed from.
 
-    {b Invalidation.}  The mutating operations ({!define}, {!define_src},
-    {!load}, {!add_rule}, {!add_rule_src}, {!add_fact}, {!remove_rule}
-    when it removes, {!new_version}) publish a fresh empty-cached view
-    and count one invalidation; the next query is a guaranteed miss.
+    {b Invalidation: delta eviction.}  The mutating operations
+    ({!define}, {!define_src}, {!load}, {!add_rule}, {!add_rule_src},
+    {!add_fact}, {!remove_rule} when it removes, {!new_version}) publish
+    a fresh view and count one invalidation, but the new view {e carries
+    the old caches forward} through delta-aware eviction instead of
+    starting empty (docs/INCREMENTAL.md):
+
+    - {!define}/{!new_version} add a fresh object no existing view can
+      see: everything is kept.
+    - {!add_rule}/{!remove_rule} on object [o] touch only the cached
+      viewpoints whose isa-cone contains [o].  For those, the grounding
+      is {e repaired} incrementally ([Inc.Reground]); if the mutation
+      turns out not to change the viewpoint's ground program, every
+      entry is kept, otherwise the least model is repaired from the
+      delta's affected cone ([Inc.Repair]) and enumerations /
+      explanations / preference caches for that viewpoint are evicted.
+      When repair cannot guarantee exactness (changed Herbrand universe,
+      shared ground instances, non-monotone damage) it falls back to
+      eviction or recompute — counted, never silent.
+    - {!set_preference}/{!clear_preference} evict only preference-derived
+      state (preferred-model entries, compiled preference programs).
+    - {!load} may rewire parents of existing objects, so it evicts
+      everything.
+
+    {!set_eviction} [`Wholesale] restores the pre-PR-10 flush-on-write
+    behaviour (the benchmark baseline).  Repairs, fallbacks, evictions
+    and carried entries are counted in {!counters} and, when
+    {!use_metrics} is wired, as [inc_repairs] / [inc_fallbacks] /
+    [inc_evictions] / [cache_kept] server metrics.
 
     {b Budgets.}  A cache miss computes under the caller's budget exactly
     like the underlying {!Store} call, and only {e complete} results are
@@ -75,9 +100,29 @@ type counters = {
   invalidations : int;  (** view publications by mutating operations *)
   entries : int;
       (** results cached in the current view (ground programs aside) *)
+  repairs : int;
+      (** groundings/fixpoints repaired in place by delta eviction *)
+  fallbacks : int;
+      (** repairs that had to fall back to eviction or full recompute *)
+  evictions : int;  (** result entries dropped by eviction *)
+  kept : int;  (** result entries carried across a mutation *)
 }
 
 val counters : t -> counters
+
+val use_metrics : t -> Governor.Metrics.t -> unit
+(** Mirror the delta-eviction counters into a metrics registry as
+    [inc_repairs], [inc_fallbacks], [inc_evictions] and [cache_kept],
+    and the flat-compile cache as [flat_compiles]/[flat_cache_hits];
+    all six are registered immediately (at zero) so [stats] stays
+    deterministic. *)
+
+val set_eviction : t -> [ `Delta | `Wholesale ] -> unit
+(** Eviction policy on mutation: [`Delta] (default) carries caches
+    forward per the contract above; [`Wholesale] publishes empty caches
+    (every surviving entry dropped) — the flush-on-write baseline. *)
+
+val eviction : t -> [ `Delta | `Wholesale ]
 
 val fingerprint : t -> string
 (** The current view's structural fingerprint (hex digest); equal
@@ -120,6 +165,8 @@ val apply_batch : t -> Store.mutation list -> unit
     acquisition, notifying the observer per record (in order) but
     publishing — and counting — a single invalidation at the end, so
     catching up by [n] records costs one store copy instead of [n].
+    The carried caches are folded through each record's delta in order,
+    so a replica repairs derived state exactly as the primary did.
     A record that raises publishes the prefix that did apply and
     re-raises. *)
 

@@ -4,9 +4,10 @@
     A link owns the replica's relationship to its primary: it connects,
     handshakes ({!Protocol.hello}) announcing the local {!Persist.seq}
     and epoch, then either tails the primary's log with [pull] requests
-    — applying each shipped mutation through {!Kb.Session.apply} under
-    the engine lock, so the replica's own WAL and result cache track its
-    store — or bootstraps from a snapshot when the primary has compacted
+    — applying each shipped batch through {!Kb.Session.apply_batch}
+    under the engine lock, so the replica's own WAL tracks its store
+    and the result cache is repaired through the same mutation deltas
+    the primary used — or bootstraps from a snapshot when the primary has compacted
     past the replica's position.  An empty pull is the heartbeat; the
     loop sleeps [poll_interval] between them.
 

@@ -54,6 +54,7 @@ let create ?(caps = default_caps) ?(metrics = M.create ())
   let session =
     match session with Some s -> s | None -> Kb.Session.create ()
   in
+  Kb.Session.use_metrics session metrics;
   { session; caps; metrics; lock = Mutex.create ();
     shards = Shards.create (); writers = Atomic.make 0; extra_stats;
     persistence; sync;

@@ -350,7 +350,7 @@ and request = { id : int option; budget : budget_spec; verb : verb }
 
 and batch_item = (request, string) result
 
-let package_version = "1.6.0"
+let package_version = "1.7.0"
 let protocol_revision = 7
 let max_batch = 256
 

@@ -434,13 +434,13 @@ and branch s a dval j =
     if s.pending >= restart_interval then restart s
   end
 
-let search mode ?limit ?(budget = Budget.unlimited) ?stats (g : Gop.t) =
+let search mode ?limit ?(budget = Budget.unlimited) ?stats ?flat (g : Gop.t) =
   let stats = match stats with Some s -> s | None -> Counters.create () in
   let acc = ref [] in
   let count = ref 0 in
   try
     let seed = Vfix.lfp ~budget g in
-    let f = Flat.compile g in
+    let f = match flat with Some f -> f | None -> Flat.compile g in
     let na = f.Flat.n_atoms in
     let nr = f.Flat.n_rules in
     let value = Array.make (max 1 na) 0 in
@@ -544,8 +544,8 @@ let search mode ?limit ?(budget = Budget.unlimited) ?stats (g : Gop.t) =
     Budget.Complete (List.rev !acc)
   with Budget.Exhausted r -> Budget.Partial (List.rev !acc, r)
 
-let assumption_free_models ?limit ?budget ?stats g =
-  search Af ?limit ?budget ?stats g
+let assumption_free_models ?limit ?budget ?stats ?flat g =
+  search Af ?limit ?budget ?stats ?flat g
 
 let maximal models =
   List.filter
@@ -556,7 +556,8 @@ let maximal models =
            models))
     models
 
-let stable_models ?limit ?budget ?stats g =
-  Budget.map maximal (assumption_free_models ?limit ?budget ?stats g)
+let stable_models ?limit ?budget ?stats ?flat g =
+  Budget.map maximal (assumption_free_models ?limit ?budget ?stats ?flat g)
 
-let total_models ?limit ?budget ?stats g = search Total ?limit ?budget ?stats g
+let total_models ?limit ?budget ?stats ?flat g =
+  search Total ?limit ?budget ?stats ?flat g

@@ -14,12 +14,18 @@
 
     [?stats] exposes the shared search counters plus the solver-specific
     group ({!Ordered.Counters.t}: propagations, conflicts, learned and
-    evicted nogoods, restarts), which only this engine moves. *)
+    evicted nogoods, restarts), which only this engine moves.
+
+    [?flat] supplies a precompiled {!Flat.t} for the given program (it
+    must be [Flat.compile] of the same gop) so a caller that enumerates
+    the same program repeatedly — the session cache — can skip the
+    compile step. *)
 
 val assumption_free_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
   ?stats:Ordered.Counters.t ->
+  ?flat:Flat.t ->
   Ordered.Gop.t ->
   Logic.Interp.t list Ordered.Budget.anytime
 
@@ -27,6 +33,7 @@ val stable_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
   ?stats:Ordered.Counters.t ->
+  ?flat:Flat.t ->
   Ordered.Gop.t ->
   Logic.Interp.t list Ordered.Budget.anytime
 
@@ -34,5 +41,6 @@ val total_models :
   ?limit:int ->
   ?budget:Ordered.Budget.t ->
   ?stats:Ordered.Counters.t ->
+  ?flat:Flat.t ->
   Ordered.Gop.t ->
   Logic.Interp.t list Ordered.Budget.anytime

@@ -21,6 +21,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("stress", Test_stress.suite);
       ("incremental", Test_incremental.suite);
+      ("diff-inc", Test_diff_inc.suite);
       ("edb", Test_edb.suite);
       ("magic", Test_magic.suite);
       ("budget", Test_budget.suite);

@@ -18,7 +18,7 @@ Load a knowledge base and mutate it over the wire:
 The version verb reports the package and protocol revision:
 
   $ olp call --socket s.sock version
-  {"status":"ok","version":"1.6.0","protocol":7}
+  {"status":"ok","version":"1.7.0","protocol":7}
 
 Kill the server without the shutdown verb (SIGTERM, as an init system
 would); the drain closes the log cleanly:
@@ -56,7 +56,7 @@ reloading anything —
 cache and server metrics:
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.6.0","protocol":7,"cache":{"hits":2,"misses":1,"invalidations":0,"entries":1},"server":{"workers":4,"queue_capacity":64,"persist_seq":2,"epoch":0,"connections":2,"ok":3,"persist_tmp_swept":0,"queue_peak":1,"recovery_base":0,"recovery_corrupt_snapshots":0,"recovery_replayed":2,"recovery_truncated_bytes":0,"served":3}}
+  {"status":"ok","version":"1.7.0","protocol":7,"cache":{"hits":2,"misses":1,"invalidations":0,"entries":1},"server":{"workers":4,"queue_capacity":64,"persist_seq":2,"epoch":0,"cache_kept":0,"connections":2,"flat_cache_hits":0,"flat_compiles":0,"inc_evictions":0,"inc_fallbacks":0,"inc_repairs":0,"ok":3,"persist_tmp_swept":0,"queue_peak":1,"recovery_base":0,"recovery_corrupt_snapshots":0,"recovery_replayed":2,"recovery_truncated_bytes":0,"served":3}}
 
 The snapshot verb writes a snapshot at the current sequence and rolls
 the log onto a fresh segment:

@@ -118,7 +118,32 @@ and, once a compiled request has run, the solver counters
 numbers: the kernel is deterministic) land under "server":
 
   $ olp call --socket s.sock stats
-  {"status":"ok","version":"1.6.0","protocol":7,"cache":{"hits":5,"misses":11,"invalidations":4,"entries":3},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"connections":23,"errors":3,"ok":17,"partials":1,"prefer_cache_hits":3,"prefer_compilations":3,"prefer_gop_atoms":3,"prefer_gop_rules":4,"proto_errors":4,"queue_peak":1,"served":21,"solver_conflicts":0,"solver_evicted":0,"solver_learned":0,"solver_propagations":8,"solver_restarts":0,"writers_peak":1}}
+  {"status":"ok","version":"1.7.0","protocol":7,"cache":{"hits":5,"misses":11,"invalidations":4,"entries":3},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"cache_kept":0,"connections":23,"errors":3,"flat_cache_hits":0,"flat_compiles":2,"inc_evictions":5,"inc_fallbacks":0,"inc_repairs":0,"ok":17,"partials":1,"prefer_cache_hits":3,"prefer_compilations":3,"prefer_gop_atoms":3,"prefer_gop_rules":4,"proto_errors":4,"queue_peak":1,"served":21,"solver_conflicts":0,"solver_evicted":0,"solver_learned":0,"solver_propagations":8,"solver_restarts":0,"writers_peak":1}}
+
+Incremental maintenance over the wire (docs/INCREMENTAL.md): with the
+delta eviction policy (the default; --cache-eviction wholesale
+restores flush-on-write), a mutation repairs derived state instead of
+emptying the cache.  Prime the least models of "main" and "bot", then
+add a rule to main: "bot" cannot see "main", so bot's cached entries
+are carried forward, and main's grounding and least model are
+repaired in place — both follow-up queries are cache hits, one from a
+repaired entry and one from a carried entry.  The second stats call
+pins the accounting: two repairs (grounding + fixpoint), carried
+entries, two evictions (main's preference-derived enumerations, which
+a touch always drops), no fallbacks:
+
+  $ olp call --socket s.sock '{"op":"query","obj":"main","lit":"penguin(tweety)"}'
+  {"status":"ok","value":"true"}
+  $ olp call --socket s.sock '{"op":"query","obj":"bot","lit":"fly(tweety)"}'
+  {"status":"ok","value":"true"}
+  $ olp call --socket s.sock '{"op":"add_rule","obj":"main","rule":"s : swim(tweety) :- penguin(tweety)."}'
+  {"status":"ok"}
+  $ olp call --socket s.sock '{"op":"query","obj":"main","lit":"swim(tweety)"}'
+  {"status":"ok","value":"true"}
+  $ olp call --socket s.sock '{"op":"query","obj":"bot","lit":"fly(tweety)"}'
+  {"status":"ok","value":"true"}
+  $ olp call --socket s.sock stats
+  {"status":"ok","version":"1.7.0","protocol":7,"cache":{"hits":7,"misses":13,"invalidations":5,"entries":3},"server":{"workers":2,"queue_capacity":64,"batch_items":3,"batches":1,"cache_kept":2,"connections":29,"errors":3,"flat_cache_hits":0,"flat_compiles":2,"inc_evictions":7,"inc_fallbacks":0,"inc_repairs":2,"ok":23,"partials":1,"prefer_cache_hits":3,"prefer_compilations":3,"prefer_gop_atoms":3,"prefer_gop_rules":4,"proto_errors":4,"queue_peak":1,"served":27,"solver_conflicts":0,"solver_evicted":0,"solver_learned":0,"solver_propagations":8,"solver_restarts":0,"writers_peak":1}}
 
 Graceful shutdown over the wire: the server drains, exits and unlinks
 its socket; the background job ends cleanly:

@@ -206,6 +206,57 @@ let test_fault_sweep_compiled () =
         total
   done
 
+(* The same discipline over the incremental-repair path (lib/inc):
+   sweep the trip point across a full reground-plus-repair run of a
+   single-rule insertion.  At every position the fault must surface as
+   [Budget.Exhausted Fault] out of the repair entry points — never a
+   silently wrong grounding or model — and the cached state it aborted
+   out of must still be repairable: an untripped rerun from the same
+   state lands exactly on the scratch least model. *)
+let test_fault_sweep_repair () =
+  let src =
+    "component c0 { bird(tweety). bird(sam). fly(X) :- bird(X). }\n\
+     component c1 extends c0 { -fly(sam). swim(X) :- bird(X), -fly(X). }"
+  in
+  let p = Helpers.program src in
+  let c = Ordered.Program.component_id_exn p "c1" in
+  let p2 =
+    Ordered.Program.add_rules p c
+      [ Lang.Parser.parse_rule "nest(X) :- bird(X), fly(X)." ]
+  in
+  let scratch = Ordered.Vfix.least_model (Ordered.Gop.ground p2 c) in
+  let state1 = Inc.Reground.ground p c in
+  let previous = Ordered.Vfix.least_model state1.Inc.Reground.gop in
+  let run budget =
+    match Inc.Reground.reground ?budget state1 ~program:p2 with
+    | Error f ->
+      Alcotest.failf "unexpected fallback: %a" Inc.Reground.pp_fallback f
+    | Ok (state2, delta) -> (
+      match
+        Inc.Repair.least_model ?budget ~previous state2.Inc.Reground.gop
+          delta
+      with
+      | Inc.Repair.Unchanged ->
+        Alcotest.fail "an insertion with instances cannot be a no-op"
+      | Inc.Repair.Repaired m | Inc.Repair.Recomputed m -> m)
+  in
+  let b = B.make () in
+  Alcotest.(check bool)
+    "full repair equals scratch" true
+    (Interp.equal (run (Some b)) scratch);
+  let total = B.steps b in
+  Alcotest.(check bool) "repair ticks the budget" true (total > 0);
+  for n = 1 to total do
+    match run (Some (B.with_trip_at ~step:n ())) with
+    | exception B.Exhausted B.Fault ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fault at tick %d leaves the state repairable" n)
+        true
+        (Interp.equal (run None) scratch)
+    | _ ->
+      Alcotest.failf "fault at tick %d <= total %d must raise" n total
+  done
+
 let test_prefix_property_compiled =
   QCheck.Test.make ~count:60
     ~name:"compiled kernel: step budgets yield prefixes"
@@ -412,6 +463,8 @@ let suite =
       `Quick test_fault_sweep_pruned;
     Alcotest.test_case "fault sweep over every tick of the compiled kernel"
       `Quick test_fault_sweep_compiled;
+    Alcotest.test_case "fault sweep over every tick of incremental repair"
+      `Quick test_fault_sweep_repair;
     QCheck_alcotest.to_alcotest test_prefix_property_compiled;
     QCheck_alcotest.to_alcotest test_prefix_property_naive;
     QCheck_alcotest.to_alcotest test_prefix_property_total;

@@ -1,0 +1,179 @@
+(* Differential testing of incremental maintenance (lib/inc and the
+   session's delta eviction) against from-scratch recomputation:
+
+   - an incremental session fed a random mutation sequence answers
+     every query (least model, stable and assumption-free models, over
+     every object) identically to a plain uncached store replaying the
+     same sequence — reads interleave with writes so repairs actually
+     run against populated caches, and the rule pool mixes
+     propositional rules, ground facts over constants (exercising the
+     [`Universe_changed] fallback) and rules with variables
+     (exercising instantiation in [Reground]);
+   - the direct [Inc] API: when [Reground.reground] accepts a
+     single-rule insertion, the repaired grounding is indistinguishable
+     from scratch grounding (same sizes, same least model, same stable
+     models) and [Repair.least_model] seeded with the old fixpoint
+     lands exactly on the scratch fixpoint; regrounding {e back} to the
+     original program exercises the deletion path the same way.
+
+   Iteration counts scale with FUZZ_ITERS like the other fuzz suites
+   (wired as diff-inc in the Makefile). *)
+
+open Logic
+open Helpers
+module Gen = QCheck2.Gen
+module KS = Kb.Session
+module B = Ordered.Budget
+
+let iters base =
+  match Sys.getenv_opt "FUZZ_ITERS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > base -> n
+    | _ -> base)
+  | None -> base
+
+(* Mutation rules: the propositional alphabet the program generator
+   uses (so added rules interact with generated ones), plus ground and
+   variable rules over constants (universe changes, real
+   instantiation), plus named rules (dedup keys include the name). *)
+let rule_pool =
+  [| "p.";
+     "q :- p.";
+     "-r :- q.";
+     "s :- p, -r.";
+     "r :- -q.";
+     "-p :- r, s.";
+     "w(k1).";
+     "v(X) :- w(X).";
+     "w(k2).";
+     "u :- v(k1).";
+     "nm : q :- -s.";
+     "nm : -q :- s."
+  |]
+
+let pool_rule i = rule rule_pool.(i mod Array.length rule_pool)
+
+(* One encoded mutation: kind + two free integers, resolved against the
+   current object list at apply time so sequences stay well-formed. *)
+let apply_mut s kb fresh (k, a, b) =
+  let objs = KS.objects s in
+  let obj i = List.nth objs (i mod List.length objs) in
+  match k mod 5 with
+  | 0 ->
+    let r = pool_rule b in
+    KS.add_rule s ~obj:(obj a) r;
+    Kb.add_rule kb ~obj:(obj a) r
+  | 1 -> (
+    let o = obj a in
+    match KS.rules s o with
+    | [] -> ()
+    | rs ->
+      let r = List.nth rs (b mod List.length rs) in
+      let x = KS.remove_rule s ~obj:o r in
+      let y = Kb.remove_rule kb ~obj:o r in
+      assert (x = y))
+  | 2 ->
+    incr fresh;
+    let name = Printf.sprintf "m%d" !fresh in
+    let r = pool_rule b in
+    KS.define s ~isa:[ obj a ] name [ r ];
+    Kb.define kb ~isa:[ obj a ] name [ r ]
+  | 3 ->
+    let x = KS.new_version s (obj a) in
+    let y = Kb.new_version kb (obj a) in
+    assert (String.equal x y)
+  | _ ->
+    (* a fact about a constant: flips the viewpoint's Herbrand universe
+       between ground and propositional — the repair must refuse and
+       recompute, and still agree with scratch *)
+    let f = lit (if b mod 2 = 0 then "w(k9)" else "-v(k9)") in
+    KS.add_fact s ~obj:(obj a) f;
+    Kb.add_fact kb ~obj:(obj a) f
+
+let agree s kb =
+  List.for_all
+    (fun o ->
+      Interp.equal (KS.least_model s ~obj:o) (Kb.least_model kb ~obj:o)
+      && interp_set_equal
+           (B.value (KS.stable_models s ~obj:o))
+           (B.value (Kb.stable_models kb ~obj:o))
+      && interp_set_equal
+           (B.value (KS.assumption_free_models s ~obj:o))
+           (B.value (Kb.assumption_free_models kb ~obj:o)))
+    (KS.objects s)
+
+let gen_muts =
+  Gen.list_size (Gen.int_range 1 8)
+    (Gen.triple (Gen.int_bound 4) (Gen.int_bound 96) (Gen.int_bound 96))
+
+let prop_session_equals_scratch =
+  qcheck
+    ~count:(iters 60)
+    ~print:(fun (p, muts) ->
+      print_program p ^ "\n"
+      ^ String.concat ";"
+          (List.map (fun (k, a, b) -> Printf.sprintf "(%d,%d,%d)" k a b) muts))
+    "incremental session = from-scratch store on mutation sequences"
+    Gen.(pair (Test_props.gen_ordered 4) gen_muts)
+    (fun (p, muts) ->
+      let src = print_program p in
+      let s = KS.create () in
+      KS.load s src;
+      let kb = Kb.create () in
+      Kb.load kb src;
+      let fresh = ref 0 in
+      agree s kb
+      && List.for_all
+           (fun m ->
+             apply_mut s kb fresh m;
+             agree s kb)
+           muts
+      && List.equal String.equal (KS.objects s) (Kb.objects kb))
+
+(* ------------------------------------------------------------------ *)
+(* The Inc API directly: repaired grounding ≡ scratch grounding        *)
+(* ------------------------------------------------------------------ *)
+
+let gop_agrees g1 g2 =
+  Ordered.Gop.n_atoms g1 = Ordered.Gop.n_atoms g2
+  && Ordered.Gop.n_rules g1 = Ordered.Gop.n_rules g2
+  && Interp.equal (Ordered.Vfix.least_model g1) (Ordered.Vfix.least_model g2)
+  && interp_set_equal
+       (B.value (Ordered.Stable.stable_models g1))
+       (B.value (Ordered.Stable.stable_models g2))
+
+let repair_lands_on ~previous g d =
+  let scratch = Ordered.Vfix.least_model g in
+  match Inc.Repair.least_model ~previous g d with
+  | Inc.Repair.Unchanged -> Interp.equal previous scratch
+  | Inc.Repair.Repaired m | Inc.Repair.Recomputed m -> Interp.equal m scratch
+
+let prop_reground_exact =
+  qcheck
+    ~count:(iters 80)
+    ~print:(fun (p, i) -> print_program p ^ Printf.sprintf " +pool(%d)" i)
+    "reground insertion/deletion = scratch grounding, repair = scratch lfp"
+    Gen.(pair (Test_props.gen_ordered 4) (Gen.int_bound 96))
+    (fun (p, i) ->
+      let c = Ordered.Program.component_id_exn p "c0" in
+      let state1 = Inc.Reground.ground p c in
+      let p2 = Ordered.Program.add_rules p c [ pool_rule i ] in
+      let scratch2 = Inc.Reground.ground p2 c in
+      match Inc.Reground.reground state1 ~program:p2 with
+      | Error _ -> true (* refusal is always sound: the caller recomputes *)
+      | Ok (state2, delta) ->
+        gop_agrees state2.Inc.Reground.gop scratch2.Inc.Reground.gop
+        && repair_lands_on
+             ~previous:(Ordered.Vfix.least_model state1.Inc.Reground.gop)
+             state2.Inc.Reground.gop delta
+        && (* and back: removing the rule again is the deletion path *)
+        (match Inc.Reground.reground state2 ~program:p with
+        | Error _ -> true
+        | Ok (state1', delta') ->
+          gop_agrees state1'.Inc.Reground.gop state1.Inc.Reground.gop
+          && repair_lands_on
+               ~previous:(Ordered.Vfix.least_model state2.Inc.Reground.gop)
+               state1'.Inc.Reground.gop delta'))
+
+let suite = [ prop_session_equals_scratch; prop_reground_exact ]

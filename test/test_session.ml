@@ -42,47 +42,104 @@ let test_hit_after_repeat () =
   ignore (KS.explain s ~obj:"bot" (lit "-fly(penguin)"));
   check_counters "explain twice" ~hits:3 ~misses:6 s
 
-let test_miss_after_mutation () =
+(* Delta eviction (PR 10): a mutation publishes a new view (one
+   invalidation) but carries forward every cache entry whose viewpoint
+   cone provably cannot see the change, and repairs the least model of
+   the viewpoints that can. *)
+let test_delta_eviction () =
   let s = session_with demo_src in
-  let prime () = ignore (B.value (KS.stable_models s ~obj:"bot")) in
-  let expect_invalidated name mutate =
-    prime ();
-    let before = KS.counters s in
-    mutate ();
-    let after = KS.counters s in
-    Alcotest.(check int)
-      (name ^ ": one invalidation")
-      (before.KS.invalidations + 1)
-      after.KS.invalidations;
-    Alcotest.(check int) (name ^ ": cache emptied") 0 after.KS.entries;
-    prime ();
-    Alcotest.(check int)
-      (name ^ ": recompute is a miss")
-      (after.KS.misses + 1)
-      (KS.counters s).KS.misses
-  in
-  expect_invalidated "define" (fun () ->
-      KS.define_src s ~isa:[ "bot" ] "extra" "p.");
-  expect_invalidated "add_rule" (fun () ->
-      KS.add_rule_src s ~obj:"extra" "q :- p.");
-  expect_invalidated "remove_rule" (fun () ->
-      Alcotest.(check bool)
-        "rule removed" true
-        (KS.remove_rule s ~obj:"extra" (rule "q :- p.")));
-  expect_invalidated "new_version" (fun () ->
-      ignore (KS.new_version s ~rules:[ rule "-p." ] "extra"));
+  let prime_bot () = ignore (B.value (KS.stable_models s ~obj:"bot")) in
+  let hits () = (KS.counters s).KS.hits in
+  prime_bot ();
+
+  (* define: a fresh object is invisible to existing views — kept *)
+  let before = KS.counters s in
+  KS.define_src s ~isa:[ "bot" ] "extra" "p.";
+  let after = KS.counters s in
+  Alcotest.(check int)
+    "define: one invalidation"
+    (before.KS.invalidations + 1)
+    after.KS.invalidations;
+  Alcotest.(check int) "define: entries carried" before.KS.entries
+    after.KS.entries;
+  let h = hits () in
+  prime_bot ();
+  Alcotest.(check int) "define: repeat is a hit" (h + 1) (hits ());
+
+  (* add_rule on extra: bot cannot see extra, so bot's entries survive;
+     extra's least model is repaired in place and keeps serving hits *)
+  ignore (KS.query_src s ~obj:"extra" "p");
+  let before = KS.counters s in
+  KS.add_rule_src s ~obj:"extra" "q :- p.";
+  let after = KS.counters s in
+  Alcotest.(check int)
+    "add_rule: grounding + fixpoint repaired"
+    (before.KS.repairs + 2) after.KS.repairs;
+  let h = hits () in
+  prime_bot ();
+  Alcotest.(check int) "add_rule elsewhere: bot still hits" (h + 1) (hits ());
+  let h = hits () in
+  Alcotest.(check bool)
+    "repaired least model is exact" true
+    (KS.query_src s ~obj:"extra" "q" = Interp.True);
+  Alcotest.(check int) "repaired entry serves the hit" (h + 1) (hits ());
+
+  (* a fresh constant changes the Herbrand universe: repair must refuse
+     and fall back — counted, and the next read recomputes *)
+  let before = KS.counters s in
+  KS.add_rule_src s ~obj:"extra" "w(zed).";
+  let after = KS.counters s in
+  Alcotest.(check bool)
+    "fresh constant falls back" true
+    (after.KS.fallbacks > before.KS.fallbacks);
+  let m = (KS.counters s).KS.misses in
+  Alcotest.(check bool)
+    "recompute after fallback is exact" true
+    (KS.query_src s ~obj:"extra" "w(zed)" = Interp.True);
+  Alcotest.(check int) "fallback evicted: recompute is a miss" (m + 1)
+    (KS.counters s).KS.misses;
+
+  (* removal repairs too: q loses its only support *)
+  let before = KS.counters s in
+  Alcotest.(check bool)
+    "rule removed" true
+    (KS.remove_rule s ~obj:"extra" (rule "q :- p."));
+  let after = KS.counters s in
+  Alcotest.(check int)
+    "remove_rule: grounding + fixpoint repaired"
+    (before.KS.repairs + 2) after.KS.repairs;
+  Alcotest.(check bool)
+    "repaired least model dropped the head" true
+    (KS.query_src s ~obj:"extra" "q" = Interp.Undefined);
+
+  (* new_version is a fresh object: carried *)
+  let before = KS.counters s in
+  ignore (KS.new_version s ~rules:[ rule "-p." ] "extra");
+  Alcotest.(check int) "new_version: entries carried" before.KS.entries
+    (KS.counters s).KS.entries;
+
   (* removing an absent rule mutates nothing: still a hit afterwards *)
-  prime ();
+  prime_bot ();
   let before = KS.counters s in
   Alcotest.(check bool)
     "absent rule not removed" false
     (KS.remove_rule s ~obj:"extra" (rule "never :- here."));
-  prime ();
+  prime_bot ();
   let after = KS.counters s in
   Alcotest.(check int)
     "no invalidation for a no-op remove" before.KS.invalidations
     after.KS.invalidations;
-  Alcotest.(check int) "repeat is a hit" (before.KS.hits + 1) after.KS.hits
+  Alcotest.(check int) "repeat is a hit" (before.KS.hits + 1) after.KS.hits;
+
+  (* the wholesale baseline restores flush-on-write *)
+  KS.set_eviction s `Wholesale;
+  Alcotest.(check bool) "eviction mode set" true (KS.eviction s = `Wholesale);
+  KS.add_rule_src s ~obj:"extra" "z.";
+  Alcotest.(check int) "wholesale: cache emptied" 0 (KS.counters s).KS.entries;
+  let m = (KS.counters s).KS.misses in
+  prime_bot ();
+  Alcotest.(check int) "wholesale: recompute is a miss" (m + 1)
+    (KS.counters s).KS.misses
 
 let test_fingerprint_tracks_structure () =
   let a = session_with demo_src in
@@ -154,8 +211,8 @@ let prop_cached_equals_uncached =
 
 let suite =
   [ Alcotest.test_case "hit after repeat" `Quick test_hit_after_repeat;
-    Alcotest.test_case "miss after each mutating op" `Quick
-      test_miss_after_mutation;
+    Alcotest.test_case "delta eviction across mutations" `Quick
+      test_delta_eviction;
     Alcotest.test_case "fingerprint tracks structure" `Quick
       test_fingerprint_tracks_structure;
     Alcotest.test_case "partial results are not cached" `Quick
